@@ -1,0 +1,111 @@
+//===- BenchUtil.h - Shared bench-harness helpers -------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing for the table-regeneration harnesses (Tables 3-7).
+/// Defaults keep a full `for b in build/bench/*; do $b; done` sweep to a
+/// few minutes; environment variables scale a run up to the paper's
+/// configuration:
+///
+///   ISOPREDICT_SEEDS       seeds per configuration   (paper: 10)
+///   ISOPREDICT_RUNS        MonkeyDB/MySQL runs       (paper: 100)
+///   ISOPREDICT_TIMEOUT_MS  per-query solver timeout  (paper: 24h)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_BENCH_BENCHUTIL_H
+#define ISOPREDICT_BENCH_BENCHUTIL_H
+
+#include "apps/AppFramework.h"
+#include "support/Env.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+namespace isopredict {
+namespace benchutil {
+
+inline unsigned seeds() {
+  return static_cast<unsigned>(envInt("ISOPREDICT_SEEDS", 5));
+}
+
+inline unsigned runs() {
+  return static_cast<unsigned>(envInt("ISOPREDICT_RUNS", 25));
+}
+
+inline unsigned timeoutMs() {
+  return static_cast<unsigned>(envInt("ISOPREDICT_TIMEOUT_MS", 5000));
+}
+
+inline WorkloadConfig config(bool Large, uint64_t Seed) {
+  return Large ? WorkloadConfig::large(Seed) : WorkloadConfig::small(Seed);
+}
+
+/// Runs one observed (serializable, serial) execution.
+inline RunResult observedRun(const std::string &AppName,
+                             const WorkloadConfig &Cfg) {
+  auto App = makeApplication(AppName);
+  DataStore::Options O;
+  O.Mode = StoreMode::SerialObserved;
+  O.Level = IsolationLevel::Serializable;
+  O.Seed = Cfg.Seed;
+  DataStore Store(O);
+  return WorkloadRunner::run(*App, Store, Cfg);
+}
+
+/// Runs one MonkeyDB-style random weak execution.
+inline RunResult randomWeakRun(const std::string &AppName,
+                               const WorkloadConfig &Cfg,
+                               IsolationLevel Level, uint64_t StoreSeed) {
+  auto App = makeApplication(AppName);
+  DataStore::Options O;
+  O.Mode = StoreMode::RandomWeak;
+  O.Level = Level;
+  O.Seed = StoreSeed;
+  DataStore Store(O);
+  return WorkloadRunner::run(*App, Store, Cfg);
+}
+
+/// Runs one execution on the locking read-committed store (the MySQL
+/// substitute of Table 7).
+inline RunResult lockingRcRun(const std::string &AppName,
+                              const WorkloadConfig &Cfg,
+                              uint64_t StoreSeed) {
+  auto App = makeApplication(AppName);
+  DataStore::Options O;
+  O.Mode = StoreMode::LockingRc;
+  O.Level = IsolationLevel::ReadCommitted;
+  O.Seed = StoreSeed;
+  DataStore Store(O);
+  return WorkloadRunner::run(*App, Store, Cfg);
+}
+
+inline std::string pct(unsigned Num, unsigned Den) {
+  if (Den == 0)
+    return "-";
+  return formatString("%.0f%%", 100.0 * Num / Den);
+}
+
+inline std::string secs(double Total, unsigned Count) {
+  if (Count == 0)
+    return "-";
+  return formatString("%.2f s", Total / Count);
+}
+
+inline void banner(const char *Table, const char *What) {
+  std::printf("==============================================================="
+              "=========\n%s: %s\n(seeds=%u runs=%u timeout=%ums; scale with "
+              "ISOPREDICT_SEEDS / ISOPREDICT_RUNS / ISOPREDICT_TIMEOUT_MS)\n"
+              "==============================================================="
+              "=========\n",
+              Table, What, seeds(), runs(), timeoutMs());
+}
+
+} // namespace benchutil
+} // namespace isopredict
+
+#endif // ISOPREDICT_BENCH_BENCHUTIL_H

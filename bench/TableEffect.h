@@ -1,0 +1,103 @@
+//===- TableEffect.h - Shared Table 4/5 harness ---------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The effectiveness-and-performance harness behind Tables 4 (causal)
+/// and 5 (rc): for every benchmark, workload size, and prediction
+/// strategy, run IsoPredict over seeded observed executions and report
+/// T/O-or-unknown / Unsat / Sat counts, how many Sat predictions
+/// validated (and diverged), constraint sizes, and generation/solving
+/// times — the same columns as the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_BENCH_TABLEEFFECT_H
+#define ISOPREDICT_BENCH_TABLEEFFECT_H
+
+#include "BenchUtil.h"
+#include "validate/Validate.h"
+
+namespace isopredict {
+namespace benchutil {
+
+inline int runEffectivenessTable(const char *TableName,
+                                 IsolationLevel Level) {
+  banner(TableName,
+         Level == IsolationLevel::Causal
+             ? "IsoPredict effectiveness and performance under causal"
+             : "IsoPredict effectiveness and performance under rc");
+
+  const Strategy Strategies[] = {Strategy::ExactStrict,
+                                 Strategy::ApproxStrict,
+                                 Strategy::ApproxRelaxed};
+
+  for (bool Large : {false, true}) {
+    std::printf("\n--- %s workload ---\n", Large ? "Large" : "Small");
+    TablePrinter T;
+    T.setHeader({"Program", "Strategy", "T/O+Unk", "Unsat", "Sat",
+                 "Validated", "(Diverged)", "# Literals", "Gen time",
+                 "Solve Sat", "Solve Unsat"});
+    for (const std::string &App : applicationNames()) {
+      for (Strategy S : Strategies) {
+        unsigned Unknown = 0, Unsat = 0, Sat = 0, Validated = 0,
+                 Diverged = 0;
+        double GenTime = 0, SatTime = 0, UnsatTime = 0;
+        uint64_t Literals = 0;
+        unsigned N = seeds();
+        for (uint64_t Seed = 1; Seed <= N; ++Seed) {
+          WorkloadConfig Cfg = config(Large, Seed);
+          RunResult Observed = observedRun(App, Cfg);
+
+          PredictOptions Opts;
+          Opts.Level = Level;
+          Opts.Strat = S;
+          Opts.TimeoutMs = timeoutMs();
+          Prediction P = predict(Observed.Hist, Opts);
+          GenTime += P.Stats.GenSeconds;
+          Literals += P.Stats.NumLiterals;
+
+          switch (P.Result) {
+          case SmtResult::Unknown:
+            ++Unknown;
+            break;
+          case SmtResult::Unsat:
+            ++Unsat;
+            UnsatTime += P.Stats.SolveSeconds;
+            break;
+          case SmtResult::Sat: {
+            ++Sat;
+            SatTime += P.Stats.SolveSeconds;
+            auto Replay = makeApplication(App);
+            ValidationResult V = validatePrediction(
+                *Replay, Cfg, Observed.Hist, P, Level, timeoutMs());
+            Validated +=
+                V.St == ValidationResult::Status::ValidatedUnserializable;
+            Diverged += V.Diverged;
+            break;
+          }
+          }
+        }
+        T.addRow({App, toString(S), formatString("%u", Unknown),
+                  formatString("%u", Unsat), formatString("%u", Sat),
+                  formatString("%u", Validated),
+                  formatString("(%u)", Diverged),
+                  formatString("%llu K",
+                               static_cast<unsigned long long>(
+                                   Literals / N / 1000)),
+                  secs(GenTime, N), secs(SatTime, Sat),
+                  secs(UnsatTime, Unsat)});
+      }
+      T.addSeparator();
+    }
+    T.print();
+  }
+  return 0;
+}
+
+} // namespace benchutil
+} // namespace isopredict
+
+#endif // ISOPREDICT_BENCH_TABLEEFFECT_H

@@ -1,0 +1,60 @@
+//===- ablation_boundary.cpp - Strict vs relaxed boundary -----*- C++ -*-===//
+//
+// Ablation for the prediction-boundary design choice (§4.5, Table 1):
+// for each benchmark under causal, compare the strict and relaxed
+// boundaries on prediction rate, validation rate, divergence, and
+// solving time. The paper's claim: relaxed predicts more at the cost of
+// occasional false predictions from divergence; strict's only false
+// predictions come from aborts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "validate/Validate.h"
+
+using namespace isopredict;
+using namespace isopredict::benchutil;
+
+int main() {
+  banner("Ablation", "strict vs relaxed prediction boundary (causal)");
+
+  TablePrinter T;
+  T.setHeader({"Program", "Boundary", "Sat", "Validated", "False preds",
+               "Diverged", "Solve time"});
+  for (const std::string &App : applicationNames()) {
+    for (Strategy S : {Strategy::ApproxStrict, Strategy::ApproxRelaxed}) {
+      unsigned Sat = 0, Validated = 0, FalsePred = 0, Diverged = 0;
+      double Solve = 0;
+      unsigned N = seeds();
+      for (uint64_t Seed = 1; Seed <= N; ++Seed) {
+        WorkloadConfig Cfg = WorkloadConfig::small(Seed);
+        RunResult Observed = observedRun(App, Cfg);
+        PredictOptions Opts;
+        Opts.Level = IsolationLevel::Causal;
+        Opts.Strat = S;
+        Opts.TimeoutMs = timeoutMs();
+        Prediction P = predict(Observed.Hist, Opts);
+        Solve += P.Stats.SolveSeconds;
+        if (P.Result != SmtResult::Sat)
+          continue;
+        ++Sat;
+        auto Replay = makeApplication(App);
+        ValidationResult V = validatePrediction(
+            *Replay, Cfg, Observed.Hist, P, IsolationLevel::Causal,
+            timeoutMs());
+        Validated +=
+            V.St == ValidationResult::Status::ValidatedUnserializable;
+        FalsePred += V.St == ValidationResult::Status::Serializable;
+        Diverged += V.Diverged;
+      }
+      T.addRow({App,
+                S == Strategy::ApproxStrict ? "strict" : "relaxed",
+                formatString("%u/%u", Sat, N),
+                formatString("%u", Validated), formatString("%u", FalsePred),
+                formatString("%u", Diverged), secs(Solve, N)});
+    }
+    T.addSeparator();
+  }
+  T.print();
+  return 0;
+}

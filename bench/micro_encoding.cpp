@@ -1,0 +1,114 @@
+//===- micro_encoding.cpp - Microbenchmarks (google-benchmark) -*- C++ -*-===//
+//
+// The §7.2 performance discussion: constraint generation vs solving.
+// The paper found 97% of generation time in Python/Z3Py; these
+// microbenchmarks quantify the native-API cost of each pipeline stage —
+// constraint generation (by strategy), solving, the polynomial
+// checkers, and the store's legality machinery — as history size grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "checker/Checkers.h"
+#include "predict/Predict.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace isopredict;
+using namespace isopredict::benchutil;
+
+namespace {
+
+History observedHistory(const char *App, unsigned TxnsPerSession,
+                        uint64_t Seed) {
+  WorkloadConfig Cfg{3, TxnsPerSession, Seed};
+  return observedRun(App, Cfg).Hist;
+}
+
+void predictOnce(benchmark::State &State, const char *App, Strategy Strat,
+                 IsolationLevel Level) {
+  History H = observedHistory(App, static_cast<unsigned>(State.range(0)), 1);
+  PredictOptions Opts;
+  Opts.Level = Level;
+  Opts.Strat = Strat;
+  Opts.TimeoutMs = 10000;
+  uint64_t Literals = 0;
+  for (auto _ : State) {
+    Prediction P = predict(H, Opts);
+    benchmark::DoNotOptimize(P.Result);
+    Literals = P.Stats.NumLiterals;
+  }
+  State.counters["literals"] = static_cast<double>(Literals);
+  State.counters["txns"] = static_cast<double>(H.numTxns() - 1);
+}
+
+} // namespace
+
+static void BM_PredictSmallbankApproxCausal(benchmark::State &State) {
+  predictOnce(State, "smallbank", Strategy::ApproxStrict,
+              IsolationLevel::Causal);
+}
+BENCHMARK(BM_PredictSmallbankApproxCausal)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_PredictSmallbankExactCausal(benchmark::State &State) {
+  predictOnce(State, "smallbank", Strategy::ExactStrict,
+              IsolationLevel::Causal);
+}
+BENCHMARK(BM_PredictSmallbankExactCausal)->Arg(2)->Arg(4);
+
+static void BM_PredictVoterApproxRc(benchmark::State &State) {
+  predictOnce(State, "voter", Strategy::ApproxStrict,
+              IsolationLevel::ReadCommitted);
+}
+BENCHMARK(BM_PredictVoterApproxRc)->Arg(2)->Arg(4);
+
+static void BM_CheckSerializability(benchmark::State &State) {
+  History H = observedHistory("smallbank",
+                              static_cast<unsigned>(State.range(0)), 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkSerializableSmt(H, 10000));
+}
+BENCHMARK(BM_CheckSerializability)->Arg(4)->Arg(8);
+
+static void BM_CausalChecker(benchmark::State &State) {
+  History H = observedHistory("tpcc", static_cast<unsigned>(State.range(0)),
+                              1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isCausal(H));
+}
+BENCHMARK(BM_CausalChecker)->Arg(4)->Arg(8);
+
+static void BM_PcoSaturation(benchmark::State &State) {
+  History H = observedHistory("tpcc", static_cast<unsigned>(State.range(0)),
+                              1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(pcoCycle(H).has_value());
+}
+BENCHMARK(BM_PcoSaturation)->Arg(4)->Arg(8);
+
+static void BM_StoreRandomWeakRun(benchmark::State &State) {
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    WorkloadConfig Cfg{3, static_cast<unsigned>(State.range(0)), Seed++};
+    RunResult R =
+        randomWeakRun("smallbank", Cfg, IsolationLevel::Causal, Seed);
+    benchmark::DoNotOptimize(R.Hist.numTxns());
+  }
+}
+BENCHMARK(BM_StoreRandomWeakRun)->Arg(4)->Arg(8);
+
+static void BM_TransitiveClosure(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  BitRel R(N);
+  Rng Rand(7);
+  for (size_t I = 0; I < 3 * N; ++I)
+    R.set(Rand.below(N), Rand.below(N));
+  for (auto _ : State) {
+    BitRel C = R;
+    C.closeTransitively();
+    benchmark::DoNotOptimize(C.hasCycleClosed());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

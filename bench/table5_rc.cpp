@@ -1,0 +1,15 @@
+//===- table5_rc.cpp - Regenerates Table 5 --------------------*- C++ -*-===//
+//
+// Table 5: IsoPredict effectiveness and performance under read
+// committed. Expected shape (paper): rc is weaker than causal, so every
+// benchmark — including Voter — yields predictions for (nearly) every
+// seed and strategy; solve times stay in the Sat regime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TableEffect.h"
+
+int main() {
+  return isopredict::benchutil::runEffectivenessTable(
+      "Table 5", isopredict::IsolationLevel::ReadCommitted);
+}

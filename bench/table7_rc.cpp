@@ -1,0 +1,74 @@
+//===- table7_rc.cpp - Regenerates Table 7 --------------------*- C++ -*-===//
+//
+// Table 7: MonkeyDB vs IsoPredict (Approx-Strict) vs regular execution
+// under read committed. The paper's regular-execution column ran MySQL
+// in rc mode; our substitute is the LockingRc store — write locks held
+// to commit with read-latest-committed, operation-granular interleaving
+// (see DESIGN.md §2). Expected shape: MonkeyDB and IsoPredict find
+// unserializable behaviour in nearly every run, while regular locked
+// execution only breaks TPC-C (whose order-id read is an unlocked
+// SELECT-then-UPDATE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "checker/Checkers.h"
+#include "validate/Validate.h"
+
+using namespace isopredict;
+using namespace isopredict::benchutil;
+
+int main() {
+  banner("Table 7", "MonkeyDB vs IsoPredict vs locked execution under rc");
+
+  for (bool Large : {false, true}) {
+    std::printf("\n--- %s workload ---\n", Large ? "Large" : "Small");
+    TablePrinter T;
+    T.setHeader({"Program", "MonkeyDB Fail", "MonkeyDB Unser",
+                 "IsoPredict Unser", "LockingRc Fail"});
+    for (const std::string &App : applicationNames()) {
+      unsigned NRuns = runs();
+      unsigned Fail = 0, Unser = 0, MysqlFail = 0;
+      for (uint64_t R = 1; R <= NRuns; ++R) {
+        // The paper runs 10 trials for each of 10 workload seeds; vary
+        // the workload with R so the locking column sees enough distinct
+        // schedules to exhibit TPC-C's order-id race.
+        WorkloadConfig Cfg = config(Large, (R - 1) % 10 + 1);
+        RunResult Run = randomWeakRun(App, Cfg,
+                                      IsolationLevel::ReadCommitted,
+                                      R * 0x51ed2701ULL + 3);
+        Fail += Run.assertionFailed();
+        Unser += checkSerializableSmt(Run.Hist, timeoutMs()) ==
+                 SerResult::Unserializable;
+
+        RunResult Locked = lockingRcRun(App, Cfg, R * 0xc0ffeeULL + 7);
+        MysqlFail += Locked.assertionFailed();
+      }
+
+      unsigned Validated = 0;
+      unsigned NSeeds = seeds();
+      for (uint64_t Seed = 1; Seed <= NSeeds; ++Seed) {
+        WorkloadConfig Cfg = config(Large, Seed);
+        RunResult Observed = observedRun(App, Cfg);
+        PredictOptions Opts;
+        Opts.Level = IsolationLevel::ReadCommitted;
+        Opts.Strat = Strategy::ApproxStrict;
+        Opts.TimeoutMs = timeoutMs();
+        Prediction P = predict(Observed.Hist, Opts);
+        if (P.Result != SmtResult::Sat)
+          continue;
+        auto Replay = makeApplication(App);
+        ValidationResult V = validatePrediction(
+            *Replay, Cfg, Observed.Hist, P, IsolationLevel::ReadCommitted,
+            timeoutMs());
+        Validated +=
+            V.St == ValidationResult::Status::ValidatedUnserializable;
+      }
+
+      T.addRow({App, pct(Fail, NRuns), pct(Unser, NRuns),
+                pct(Validated, NSeeds), pct(MysqlFail, NRuns)});
+    }
+    T.print();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- monkeydb_fuzz.cpp - MonkeyDB-style random weak testing -*- C++ -*-===//
+//
+// The baseline the paper compares against (§7.3): run the application on
+// a store that answers every read with a *random* isolation-legal
+// writer, and watch the in-application assertions. Each run explores one
+// weak behaviour; IsoPredict, by contrast, analyzes an equivalence class
+// of executions from a single observed run.
+//
+// Usage: monkeydb_fuzz [app] [runs] [causal|rc]
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checkers.h"
+#include "validate/Validate.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace isopredict;
+
+int main(int argc, char **argv) {
+  std::string AppName = argc > 1 ? argv[1] : "voter";
+  unsigned Runs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 20;
+  IsolationLevel Level = (argc > 3 && std::strcmp(argv[3], "rc") == 0)
+                             ? IsolationLevel::ReadCommitted
+                             : IsolationLevel::Causal;
+
+  unsigned Fails = 0;
+  unsigned Unser = 0;
+  for (uint64_t Seed = 1; Seed <= Runs; ++Seed) {
+    auto App = makeApplication(AppName);
+    if (!App) {
+      std::fprintf(stderr, "error: unknown application '%s'\n",
+                   AppName.c_str());
+      return 1;
+    }
+    WorkloadConfig Cfg = WorkloadConfig::small(Seed);
+    DataStore::Options StoreOpts;
+    StoreOpts.Mode = StoreMode::RandomWeak;
+    StoreOpts.Level = Level;
+    StoreOpts.Seed = Seed * 1000003;
+    DataStore Store(StoreOpts);
+    RunResult R = WorkloadRunner::run(*App, Store, Cfg);
+
+    bool Fail = R.assertionFailed();
+    bool IsUnser =
+        checkSerializableSmt(R.Hist, 30000) == SerResult::Unserializable;
+    Fails += Fail;
+    Unser += IsUnser;
+    std::printf("run %2llu: %s%s\n", static_cast<unsigned long long>(Seed),
+                IsUnser ? "unserializable" : "serializable  ",
+                Fail ? ("  FAILED: " + R.FailedAssertions.front()).c_str()
+                     : "");
+  }
+  std::printf("\n%s under %s: %u/%u assertion failures, "
+              "%u/%u unserializable histories\n",
+              AppName.c_str(), toString(Level), Fails, Runs, Unser, Runs);
+  std::printf("(assertion failure is sufficient but not necessary for "
+              "unserializability, so Fail <= Unser)\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+//===- AppFramework.h - Data store application framework ------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framework for data store applications (the OLTP-Bench ports of
+/// §7.1). An application contributes deterministic *session scripts*: for
+/// each session, a fixed list of transaction closures (slots). Given the
+/// same WorkloadConfig the scripts are identical across runs, which is
+/// what makes validation replay possible (the paper made the benchmarks
+/// deterministic for exactly this reason).
+///
+/// Transaction bodies interact with the store through TxnCtx:
+///   get / getForUpdate / put / abort / check
+/// `check` is a MonkeyDB-style in-application assertion: it must hold in
+/// *every* serializable execution, so a failure witnesses unserializable
+/// behaviour (the Fail columns of Tables 6 and 7). `getForUpdate` marks
+/// read-modify-write accesses that the SQL originals performed atomically
+/// (locked UPDATE); the weak store treats it as a plain get.
+///
+/// Transaction bodies must be deterministic functions of their captured
+/// parameters and the values returned by get — the LockingRc runner
+/// re-executes a body from a logged prefix to advance it one operation at
+/// a time (cooperative interleaving without threads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_APPS_APPFRAMEWORK_H
+#define ISOPREDICT_APPS_APPFRAMEWORK_H
+
+#include "store/Store.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+
+/// Workload shape: the paper's small workload is 3 sessions x 4 txns,
+/// large is 3 sessions x 8 txns (§7.1).
+struct WorkloadConfig {
+  unsigned Sessions = 3;
+  unsigned TxnsPerSession = 4;
+  uint64_t Seed = 1;
+
+  static WorkloadConfig small(uint64_t Seed) { return {3, 4, Seed}; }
+  static WorkloadConfig large(uint64_t Seed) { return {3, 8, Seed}; }
+};
+
+/// Handle a transaction body uses to talk to the store; see file comment.
+class TxnCtx {
+public:
+  Value get(const std::string &Key);
+  Value getForUpdate(const std::string &Key);
+  void put(const std::string &Key, Value V);
+
+  /// Requests rollback; subsequent operations become no-ops and the body
+  /// should return promptly.
+  void abort();
+  bool aborted() const { return AbortRequested; }
+
+  /// In-application assertion; failures are reported if the transaction
+  /// commits.
+  void check(bool Cond, const std::string &Msg);
+
+private:
+  friend class WorkloadRunner;
+
+  enum class OpKind : uint8_t { Get, GetForUpdate, Put, Check, Abort };
+  struct LoggedOp {
+    OpKind Kind;
+    std::string Key;
+    Value Val = 0;
+    bool CheckFailed = false;
+    std::string Msg;
+  };
+
+  TxnCtx(DataStore &Store, SessionId Session, bool Stepped)
+      : Store(Store), Session(Session), Stepped(Stepped) {}
+
+  Value doRead(const std::string &Key, bool ForUpdate);
+
+  DataStore &Store;
+  SessionId Session;
+  bool Stepped;
+
+  // Stepping state (LockingRc): the body is re-executed from the log;
+  // exactly one genuinely new store operation runs per attempt.
+  std::vector<LoggedOp> Log;
+  size_t Cursor = 0;
+  bool NewOpDone = false;
+  bool Blocked = false;
+  bool SawDummy = false;
+
+  bool AbortRequested = false;
+  std::vector<std::string> FailedChecks;
+};
+
+/// A transaction body.
+using TxnFn = std::function<void(TxnCtx &)>;
+
+/// One session's fixed list of transaction slots.
+struct SessionScript {
+  std::vector<TxnFn> Txns;
+};
+
+/// A data store application: initial state plus deterministic scripts.
+class Application {
+public:
+  virtual ~Application();
+  virtual std::string name() const = 0;
+
+  /// Writes the application's initial key values (attributed to t0).
+  virtual void setup(DataStore &Store, const WorkloadConfig &Cfg) = 0;
+
+  /// Builds one script per session; must be a pure function of \p Cfg.
+  virtual std::vector<SessionScript>
+  makeScripts(const WorkloadConfig &Cfg) = 0;
+};
+
+/// Creates one of the four benchmark applications: "smallbank", "voter",
+/// "tpcc", "wikipedia". Returns nullptr for unknown names.
+std::unique_ptr<Application> makeApplication(const std::string &Name);
+
+/// Names of all bundled applications, in the paper's table order.
+const std::vector<std::string> &applicationNames();
+
+/// Result of executing a workload against a store.
+struct RunResult {
+  History Hist;
+  /// Messages of failed in-application assertions (committed txns only).
+  std::vector<std::string> FailedAssertions;
+  unsigned AbortedTxns = 0;   ///< Application rollbacks.
+  unsigned DeadlockAborts = 0; ///< LockingRc deadlock victims.
+  unsigned Divergences = 0;   ///< ControlledReplay divergent reads.
+
+  bool assertionFailed() const { return !FailedAssertions.empty(); }
+};
+
+/// Executes application scripts against a store.
+class WorkloadRunner {
+public:
+  /// Runs \p App on \p Store. For SerialObserved / RandomWeak /
+  /// ControlledReplay stores, a seeded scheduler interleaves sessions at
+  /// *transaction* granularity (transactions execute one at a time, as in
+  /// MonkeyDB). For LockingRc stores, sessions interleave at *operation*
+  /// granularity via body re-execution, with wait-for deadlock detection.
+  static RunResult run(Application &App, DataStore &Store,
+                       const WorkloadConfig &Cfg);
+
+  /// Replays \p App executing exactly the (session, slot) transactions in
+  /// \p Order, each to completion (the validation schedule of §5).
+  /// Slots not listed are skipped.
+  static RunResult
+  replay(Application &App, DataStore &Store, const WorkloadConfig &Cfg,
+         const std::vector<std::pair<SessionId, uint32_t>> &Order);
+
+private:
+  /// Runs one whole transaction in live (non-stepped) mode; returns true
+  /// if it committed.
+  static bool runTxnLive(DataStore &Store, SessionId Session, uint32_t Slot,
+                         const TxnFn &Body, RunResult &Result);
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_APPS_APPFRAMEWORK_H

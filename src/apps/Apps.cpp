@@ -1,0 +1,31 @@
+//===- Apps.cpp - Application factory -------------------------*- C++ -*-===//
+
+#include "apps/AppFramework.h"
+
+using namespace isopredict;
+
+namespace isopredict {
+std::unique_ptr<Application> makeSmallbank();
+std::unique_ptr<Application> makeVoter();
+std::unique_ptr<Application> makeTpcc();
+std::unique_ptr<Application> makeWikipedia();
+} // namespace isopredict
+
+std::unique_ptr<Application>
+isopredict::makeApplication(const std::string &Name) {
+  if (Name == "smallbank")
+    return makeSmallbank();
+  if (Name == "voter")
+    return makeVoter();
+  if (Name == "tpcc")
+    return makeTpcc();
+  if (Name == "wikipedia")
+    return makeWikipedia();
+  return nullptr;
+}
+
+const std::vector<std::string> &isopredict::applicationNames() {
+  static const std::vector<std::string> Names = {"smallbank", "voter", "tpcc",
+                                                 "wikipedia"};
+  return Names;
+}

@@ -1,0 +1,174 @@
+//===- Tpcc.cpp - TPC-C benchmark port ------------------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Port of the (simplified, MonkeyDB-style) TPC-C workload: one
+/// warehouse, a few districts, customers, items, and stock. NewOrder
+/// reads the district's next-order-id with a *plain* get — exactly the
+/// SELECT-then-UPDATE pattern of the MonkeyDB port — so duplicate order
+/// ids arise under weak isolation *and* under the locking
+/// read-committed store (the paper's MySQL column shows TPC-C as the
+/// only benchmark failing under a real rc engine). Payment keeps
+/// warehouse/district year-to-date totals in sync; the audit asserts the
+/// TPC-C consistency conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppFramework.h"
+#include "support/StrUtil.h"
+
+using namespace isopredict;
+
+namespace {
+
+constexpr unsigned NumDistricts = 2;
+constexpr unsigned NumCustomers = 2;
+constexpr unsigned NumItems = 4;
+constexpr unsigned MaxOrders = 16; ///< Ballot space for order-id audit.
+
+std::string nextOid(unsigned D) { return formatString("d_next_o_id_%u", D); }
+std::string dYtd(unsigned D) { return formatString("d_ytd_%u", D); }
+std::string cBal(unsigned D, unsigned C) {
+  return formatString("c_bal_%u_%u", D, C);
+}
+std::string stock(unsigned I) { return formatString("stock_%u", I); }
+std::string order(unsigned D, Value O) {
+  return formatString("order_%u_%lld", D, static_cast<long long>(O));
+}
+
+class TpccApp : public Application {
+public:
+  std::string name() const override { return "tpcc"; }
+
+  void setup(DataStore &Store, const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    Store.setInitial("w_ytd", 0);
+    for (unsigned D = 0; D < NumDistricts; ++D) {
+      Store.setInitial(nextOid(D), 0);
+      Store.setInitial(dYtd(D), 0);
+      for (unsigned C = 0; C < NumCustomers; ++C)
+        Store.setInitial(cBal(D, C), 500);
+    }
+    for (unsigned I = 0; I < NumItems; ++I)
+      Store.setInitial(stock(I), 1000);
+  }
+
+  std::vector<SessionScript> makeScripts(const WorkloadConfig &Cfg) override;
+};
+
+TxnFn makeNewOrder(unsigned D, std::vector<unsigned> Items, bool BadItem) {
+  return [D, Items, BadItem](TxnCtx &Ctx) {
+    // The order-id read is a plain get (SELECT ... ; UPDATE ...), the
+    // anomaly the paper's TPC-C experiments revolve around.
+    Value O = Ctx.get(nextOid(D));
+    Ctx.put(nextOid(D), O + 1);
+    Ctx.put(order(D, O), 1);
+    unsigned Line = 0;
+    for (unsigned I : Items) {
+      Value S = Ctx.getForUpdate(stock(I));
+      Ctx.put(stock(I), S > 0 ? S - 1 : S + 91);
+      Ctx.put(formatString("ol_%u_%lld_%u", D, static_cast<long long>(O),
+                           Line++),
+              static_cast<Value>(I));
+    }
+    // TPC-C mandates that ~1% of NewOrders roll back on an unused item
+    // number; we use a per-script flag.
+    if (BadItem)
+      Ctx.abort();
+  };
+}
+
+TxnFn makePayment(unsigned D, unsigned C, Value Amount) {
+  return [D, C, Amount](TxnCtx &Ctx) {
+    Value W = Ctx.getForUpdate("w_ytd");
+    Ctx.put("w_ytd", W + Amount);
+    Value Dy = Ctx.getForUpdate(dYtd(D));
+    Ctx.put(dYtd(D), Dy + Amount);
+    Value B = Ctx.getForUpdate(cBal(D, C));
+    if (B < Amount) {
+      Ctx.abort();
+      return;
+    }
+    Ctx.put(cBal(D, C), B - Amount);
+  };
+}
+
+TxnFn makeOrderStatus(unsigned D) {
+  return [D](TxnCtx &Ctx) {
+    Value Next = Ctx.get(nextOid(D));
+    // Read back the most recent orders.
+    Value From = Next > 3 ? Next - 3 : 0;
+    for (Value O = From; O < Next && O < MaxOrders; ++O)
+      Ctx.get(order(D, O));
+    for (unsigned I = 0; I < NumItems; ++I)
+      Ctx.get(stock(I));
+  };
+}
+
+TxnFn makeAudit() {
+  return [](TxnCtx &Ctx) {
+    // Consistency condition 1: d_next_o_id equals the number of orders.
+    for (unsigned D = 0; D < NumDistricts; ++D) {
+      Value Next = Ctx.get(nextOid(D));
+      Value Count = 0;
+      for (Value O = 0; O < MaxOrders; ++O)
+        Count += Ctx.get(order(D, O)) != 0;
+      Ctx.check(Count == Next,
+                formatString("tpcc: district %u has %lld orders but "
+                             "d_next_o_id=%lld",
+                             D, static_cast<long long>(Count),
+                             static_cast<long long>(Next)));
+    }
+    // Consistency condition 2: w_ytd is the sum of the district ytds.
+    Value W = Ctx.get("w_ytd");
+    Value Sum = 0;
+    for (unsigned D = 0; D < NumDistricts; ++D)
+      Sum += Ctx.get(dYtd(D));
+    Ctx.check(W == Sum, formatString("tpcc: w_ytd=%lld != sum(d_ytd)=%lld",
+                                     static_cast<long long>(W),
+                                     static_cast<long long>(Sum)));
+  };
+}
+
+std::vector<SessionScript> TpccApp::makeScripts(const WorkloadConfig &Cfg) {
+  std::vector<SessionScript> Scripts(Cfg.Sessions);
+  Rng Master(Cfg.Seed);
+  for (unsigned S = 0; S < Cfg.Sessions; ++S) {
+    Rng R = Master.split(S + 0x7c);
+    for (unsigned T = 0; T < Cfg.TxnsPerSession; ++T) {
+      unsigned D = static_cast<unsigned>(R.below(NumDistricts));
+      unsigned C = static_cast<unsigned>(R.below(NumCustomers));
+      switch (R.below(100)) {
+      default:
+      case 0 ... 44: {
+        std::vector<unsigned> Items;
+        unsigned N = static_cast<unsigned>(R.range(2, 4));
+        for (unsigned I = 0; I < N; ++I)
+          Items.push_back(static_cast<unsigned>(R.below(NumItems)));
+        bool BadItem = R.chance(8, 100);
+        Scripts[S].Txns.push_back(makeNewOrder(D, std::move(Items), BadItem));
+        break;
+      }
+      case 45 ... 74:
+        Scripts[S].Txns.push_back(makePayment(D, C, R.range(10, 80)));
+        break;
+      case 75 ... 84:
+        Scripts[S].Txns.push_back(makeOrderStatus(D));
+        break;
+      case 85 ... 99:
+        Scripts[S].Txns.push_back(makeAudit());
+        break;
+      }
+    }
+  }
+  return Scripts;
+}
+
+} // namespace
+
+namespace isopredict {
+std::unique_ptr<Application> makeTpcc() { return std::make_unique<TpccApp>(); }
+} // namespace isopredict

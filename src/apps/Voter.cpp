@@ -1,0 +1,83 @@
+//===- Voter.cpp - Voter benchmark port -----------------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Port of the Voter OLTP-Bench workload, following the paper's
+/// Algorithm 3: every transaction is a vote attempt that checks the
+/// caller's vote count against the limit (1) and only writes when under
+/// it. All sessions vote from the same phone, so a serializable
+/// execution has exactly one writing transaction — the property behind
+/// the paper's headline Voter result (no causal predictions possible,
+/// footnote 5), while rc predictions and MonkeyDB's random reads can
+/// produce double votes.
+///
+/// Each accepted vote inserts a globally unique ballot row (keyed by
+/// session and slot) in addition to bumping the per-phone counter; the
+/// in-app audit counts ballot rows and asserts the limit, which is how
+/// double votes become an assertion failure (Tables 6/7 Fail).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppFramework.h"
+#include "support/StrUtil.h"
+
+using namespace isopredict;
+
+namespace {
+
+constexpr Value VoteLimit = 1;
+
+class VoterApp : public Application {
+public:
+  std::string name() const override { return "voter"; }
+
+  void setup(DataStore &Store, const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    Store.setInitial("cnt_phone0", 0);
+    Store.setInitial("total_contestant0", 0);
+  }
+
+  std::vector<SessionScript> makeScripts(const WorkloadConfig &Cfg) override {
+    std::vector<SessionScript> Scripts(Cfg.Sessions);
+    for (unsigned S = 0; S < Cfg.Sessions; ++S) {
+      for (unsigned T = 0; T < Cfg.TxnsPerSession; ++T) {
+        unsigned Sessions = Cfg.Sessions;
+        unsigned Slots = Cfg.TxnsPerSession;
+        unsigned Session = S;
+        unsigned Slot = T;
+        Scripts[S].Txns.push_back([Sessions, Slots, Session,
+                                   Slot](TxnCtx &Ctx) {
+          // Vote attempt (Algorithm 3, with a row-count audit).
+          Value Cnt = Ctx.getForUpdate("cnt_phone0");
+          if (Cnt < VoteLimit) {
+            Ctx.put(formatString("ballot_%u_%u", Session, Slot), 1);
+            Ctx.put("cnt_phone0", Cnt + 1);
+            Value Total = Ctx.getForUpdate("total_contestant0");
+            Ctx.put("total_contestant0", Total + 1);
+          }
+          // Audit: count accepted ballots across all possible rows; more
+          // than the limit is impossible in any serializable execution.
+          Value Ballots = 0;
+          for (unsigned OS = 0; OS < Sessions; ++OS)
+            for (unsigned OT = 0; OT < Slots; ++OT)
+              Ballots += Ctx.get(formatString("ballot_%u_%u", OS, OT)) != 0;
+          Ctx.check(Ballots <= VoteLimit,
+                    formatString("voter: %lld ballots accepted for phone0 "
+                                 "(limit %lld)",
+                                 static_cast<long long>(Ballots),
+                                 static_cast<long long>(VoteLimit)));
+        });
+      }
+    }
+    return Scripts;
+  }
+};
+
+} // namespace
+
+namespace isopredict {
+std::unique_ptr<Application> makeVoter() { return std::make_unique<VoterApp>(); }
+} // namespace isopredict

@@ -1,0 +1,130 @@
+//===- Wikipedia.cpp - Wikipedia benchmark port ---------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Port of the Wikipedia OLTP-Bench workload: a read-mostly mix over a
+/// couple of pages. GetPage dominates (and audits that the page's
+/// revision counter matches the revision rows it can see); EditPage is
+/// rare, which is why the observed executions contain few writing
+/// transactions and causal predictions are scarce (§7.2, Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppFramework.h"
+#include "support/StrUtil.h"
+
+using namespace isopredict;
+
+namespace {
+
+constexpr unsigned NumPages = 2;
+constexpr unsigned NumUsers = 3;
+constexpr Value EditCap = 3; ///< Edits per user before the app refuses.
+
+std::string revCnt(unsigned P) { return formatString("page_rev_cnt_%u", P); }
+std::string touched(unsigned P) { return formatString("page_touched_%u", P); }
+std::string revRow(unsigned P, unsigned S, unsigned T) {
+  return formatString("rev_%u_%u_%u", P, S, T);
+}
+std::string watch(unsigned U, unsigned P) {
+  return formatString("watch_%u_%u", U, P);
+}
+std::string editCnt(unsigned U) { return formatString("user_editcnt_%u", U); }
+
+class WikipediaApp : public Application {
+public:
+  std::string name() const override { return "wikipedia"; }
+
+  void setup(DataStore &Store, const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    for (unsigned P = 0; P < NumPages; ++P) {
+      Store.setInitial(revCnt(P), 0);
+      Store.setInitial(touched(P), 0);
+    }
+    for (unsigned U = 0; U < NumUsers; ++U)
+      Store.setInitial(editCnt(U), 0);
+  }
+
+  std::vector<SessionScript> makeScripts(const WorkloadConfig &Cfg) override;
+};
+
+// The revision audit uses getForUpdate so that, under the locking rc
+// store (the MySQL substitute), the counter and the revision rows are
+// read against a consistent locked snapshot — matching a single-SELECT
+// aggregate in the SQL original. Weak stores treat these as plain gets.
+TxnFn makeGetPage(unsigned P, unsigned U, unsigned Sessions, unsigned Slots) {
+  return [P, U, Sessions, Slots](TxnCtx &Ctx) {
+    Ctx.get(touched(P));
+    Value Cnt = Ctx.getForUpdate(revCnt(P));
+    Value Rows = 0;
+    for (unsigned S = 0; S < Sessions; ++S)
+      for (unsigned T = 0; T < Slots; ++T)
+        Rows += Ctx.getForUpdate(revRow(P, S, T)) != 0;
+    Ctx.get(watch(U, P));
+    Ctx.check(Rows == Cnt,
+              formatString("wikipedia: page %u shows %lld revisions but "
+                           "rev counter is %lld",
+                           P, static_cast<long long>(Rows),
+                           static_cast<long long>(Cnt)));
+  };
+}
+
+TxnFn makeEditPage(unsigned P, unsigned U, unsigned Session, unsigned Slot) {
+  return [P, U, Session, Slot](TxnCtx &Ctx) {
+    Value Edits = Ctx.getForUpdate(editCnt(U));
+    if (Edits >= EditCap) {
+      Ctx.abort();
+      return;
+    }
+    Value Cnt = Ctx.getForUpdate(revCnt(P));
+    Ctx.put(revRow(P, Session, Slot), 1);
+    Ctx.put(revCnt(P), Cnt + 1);
+    Ctx.put(touched(P), static_cast<Value>(Slot) + 1);
+    Ctx.put(editCnt(U), Edits + 1);
+  };
+}
+
+TxnFn makeAddWatch(unsigned P, unsigned U) {
+  return [P, U](TxnCtx &Ctx) {
+    Ctx.get(touched(P));
+    Ctx.put(watch(U, P), 1);
+  };
+}
+
+std::vector<SessionScript>
+WikipediaApp::makeScripts(const WorkloadConfig &Cfg) {
+  std::vector<SessionScript> Scripts(Cfg.Sessions);
+  Rng Master(Cfg.Seed);
+  for (unsigned S = 0; S < Cfg.Sessions; ++S) {
+    Rng R = Master.split(S + 0x31c1);
+    for (unsigned T = 0; T < Cfg.TxnsPerSession; ++T) {
+      unsigned P = static_cast<unsigned>(R.below(NumPages));
+      unsigned U = static_cast<unsigned>(R.below(NumUsers));
+      switch (R.below(100)) {
+      default:
+      case 0 ... 79:
+        Scripts[S].Txns.push_back(
+            makeGetPage(P, U, Cfg.Sessions, Cfg.TxnsPerSession));
+        break;
+      case 80 ... 91:
+        Scripts[S].Txns.push_back(makeEditPage(P, U, S, T));
+        break;
+      case 92 ... 99:
+        Scripts[S].Txns.push_back(makeAddWatch(P, U));
+        break;
+      }
+    }
+  }
+  return Scripts;
+}
+
+} // namespace
+
+namespace isopredict {
+std::unique_ptr<Application> makeWikipedia() {
+  return std::make_unique<WikipediaApp>();
+}
+} // namespace isopredict

@@ -1,0 +1,131 @@
+//===- BitRel.cpp - Dense binary relations --------------------*- C++ -*-===//
+
+#include "history/BitRel.h"
+
+#include <algorithm>
+
+using namespace isopredict;
+
+void BitRel::unionWith(const BitRel &Other) {
+  assert(N == Other.N && "BitRel::unionWith size mismatch");
+  for (size_t I = 0; I < Bits.size(); ++I)
+    Bits[I] |= Other.Bits[I];
+}
+
+void BitRel::closeTransitively() {
+  // Warshall: for every middle vertex K, every row I that reaches K
+  // absorbs K's row. The inner update is word-parallel.
+  for (size_t K = 0; K < N; ++K) {
+    const uint64_t *RowK = row(K);
+    for (size_t I = 0; I < N; ++I) {
+      if (I == K || !test(I, K))
+        continue;
+      uint64_t *RowI = row(I);
+      for (size_t W = 0; W < WordsPerRow; ++W)
+        RowI[W] |= RowK[W];
+    }
+  }
+}
+
+bool BitRel::hasCycleClosed() const {
+  for (size_t I = 0; I < N; ++I)
+    if (test(I, I))
+      return true;
+  return false;
+}
+
+bool BitRel::isCyclic() const {
+  BitRel Copy = *this;
+  Copy.closeTransitively();
+  return Copy.hasCycleClosed();
+}
+
+std::optional<std::vector<uint32_t>> BitRel::topoOrder() const {
+  std::vector<uint32_t> InDegree(N, 0);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      if (I != J && test(I, J))
+        ++InDegree[J];
+
+  // Kahn's algorithm with a sorted frontier for determinism.
+  std::vector<uint32_t> Order;
+  Order.reserve(N);
+  std::vector<uint32_t> Ready;
+  for (size_t I = 0; I < N; ++I)
+    if (InDegree[I] == 0)
+      Ready.push_back(static_cast<uint32_t>(I));
+
+  while (!Ready.empty()) {
+    std::sort(Ready.begin(), Ready.end(), std::greater<uint32_t>());
+    uint32_t Next = Ready.back();
+    Ready.pop_back();
+    Order.push_back(Next);
+    for (size_t J = 0; J < N; ++J) {
+      if (J != Next && test(Next, J) && --InDegree[J] == 0)
+        Ready.push_back(static_cast<uint32_t>(J));
+    }
+  }
+  if (Order.size() != N)
+    return std::nullopt;
+  return Order;
+}
+
+std::optional<std::vector<uint32_t>> BitRel::findCycle() const {
+  // Iterative DFS with colors; returns the vertices on the first back
+  // edge's cycle.
+  enum Color : uint8_t { White, Gray, Black };
+  std::vector<Color> Colors(N, White);
+  std::vector<uint32_t> Parent(N, UINT32_MAX);
+
+  for (size_t Root = 0; Root < N; ++Root) {
+    if (Colors[Root] != White)
+      continue;
+    // Stack of (vertex, next-successor-to-try).
+    std::vector<std::pair<uint32_t, uint32_t>> Stack;
+    Stack.push_back({static_cast<uint32_t>(Root), 0});
+    Colors[Root] = Gray;
+    while (!Stack.empty()) {
+      auto &[V, NextJ] = Stack.back();
+      if (test(V, V)) {
+        return std::vector<uint32_t>{V}; // Self loop.
+      }
+      bool Descended = false;
+      for (uint32_t J = NextJ; J < N; ++J) {
+        if (J == V || !test(V, J))
+          continue;
+        if (Colors[J] == Gray) {
+          // Found a cycle J -> ... -> V -> J; reconstruct via parents.
+          std::vector<uint32_t> Cycle;
+          uint32_t Cur = V;
+          Cycle.push_back(J);
+          while (Cur != J) {
+            Cycle.push_back(Cur);
+            Cur = Parent[Cur];
+          }
+          std::reverse(Cycle.begin() + 1, Cycle.end());
+          return Cycle;
+        }
+        if (Colors[J] == White) {
+          NextJ = J + 1;
+          Parent[J] = V;
+          Colors[J] = Gray;
+          Stack.push_back({J, 0});
+          Descended = true;
+          break;
+        }
+      }
+      if (!Descended) {
+        Colors[V] = Black;
+        Stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+size_t BitRel::countEdges() const {
+  size_t Count = 0;
+  for (uint64_t W : Bits)
+    Count += static_cast<size_t>(__builtin_popcountll(W));
+  return Count;
+}

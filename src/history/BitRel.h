@@ -1,0 +1,90 @@
+//===- BitRel.h - Dense binary relations over transactions ----*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense n×n bit matrix representing a binary relation over transaction
+/// ids, with the operations the checkers need: union, composition step,
+/// Warshall transitive closure (word-parallel), cycle detection, and
+/// topological ordering. Histories have at most a few dozen transactions,
+/// so dense bitsets beat any sparse structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_HISTORY_BITREL_H
+#define ISOPREDICT_HISTORY_BITREL_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace isopredict {
+
+/// Dense relation over {0, ..., N-1}.
+class BitRel {
+public:
+  BitRel() = default;
+  explicit BitRel(size_t N)
+      : N(N), WordsPerRow((N + 63) / 64), Bits(N * WordsPerRow, 0) {}
+
+  size_t size() const { return N; }
+
+  void set(size_t From, size_t To) {
+    assert(From < N && To < N && "BitRel::set out of range");
+    row(From)[To / 64] |= (uint64_t(1) << (To % 64));
+  }
+
+  void clear(size_t From, size_t To) {
+    assert(From < N && To < N && "BitRel::clear out of range");
+    row(From)[To / 64] &= ~(uint64_t(1) << (To % 64));
+  }
+
+  bool test(size_t From, size_t To) const {
+    assert(From < N && To < N && "BitRel::test out of range");
+    return (row(From)[To / 64] >> (To % 64)) & 1;
+  }
+
+  /// This |= Other (elementwise union). Sizes must match.
+  void unionWith(const BitRel &Other);
+
+  /// Replaces the relation with its transitive closure (Warshall,
+  /// word-parallel row updates). Reflexive pairs are produced only for
+  /// elements on cycles.
+  void closeTransitively();
+
+  /// True if any element reaches itself. Only meaningful after
+  /// closeTransitively() or on relations already closed.
+  bool hasCycleClosed() const;
+
+  /// Computes the transitive closure into a copy and reports cyclicity
+  /// without mutating this relation.
+  bool isCyclic() const;
+
+  /// Returns a topological order of all N elements consistent with the
+  /// relation, or std::nullopt if the relation is cyclic. Ties are broken
+  /// by ascending element id so the order is deterministic.
+  std::optional<std::vector<uint32_t>> topoOrder() const;
+
+  /// Returns the elements of some cycle (in order) if one exists.
+  /// Intended for error reporting and the pco-cycle witnesses printed by
+  /// the figure harness.
+  std::optional<std::vector<uint32_t>> findCycle() const;
+
+  /// Number of set pairs (for stats).
+  size_t countEdges() const;
+
+private:
+  uint64_t *row(size_t I) { return Bits.data() + I * WordsPerRow; }
+  const uint64_t *row(size_t I) const { return Bits.data() + I * WordsPerRow; }
+
+  size_t N = 0;
+  size_t WordsPerRow = 0;
+  std::vector<uint64_t> Bits;
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_HISTORY_BITREL_H

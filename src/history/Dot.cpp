@@ -1,0 +1,60 @@
+//===- Dot.cpp - Graphviz export of execution histories -------*- C++ -*-===//
+
+#include "history/Dot.h"
+
+#include <sstream>
+
+using namespace isopredict;
+
+std::string isopredict::writeDot(const History &H,
+                                 const std::vector<DotEdge> &Extra,
+                                 const std::string &Title) {
+  std::ostringstream Out;
+  Out << "digraph \"" << Title << "\" {\n";
+  Out << "  node [shape=box, fontname=\"monospace\"];\n";
+
+  for (TxnId T = 0; T < H.numTxns(); ++T) {
+    const Transaction &Txn = H.txn(T);
+    Out << "  t" << T << " [label=\"t" << T;
+    if (Txn.isInit())
+      Out << " (init)";
+    else
+      Out << " s" << Txn.Session;
+    Out << "\\l";
+    for (const Event &E : Txn.Events) {
+      if (E.Kind == EventKind::Read)
+        Out << "read(" << H.keys().name(E.Key) << "): " << E.Val << "\\l";
+      else
+        Out << "write(" << H.keys().name(E.Key) << ", " << E.Val << ")\\l";
+    }
+    Out << "\"];\n";
+  }
+
+  // Immediate-successor so edges only (the rest are implied).
+  for (SessionId S = 0; S < H.numSessions(); ++S) {
+    const std::vector<TxnId> &Txns = H.sessionTxns(S);
+    for (size_t I = 0; I + 1 < Txns.size(); ++I)
+      Out << "  t" << Txns[I] << " -> t" << Txns[I + 1]
+          << " [label=\"so\"];\n";
+    if (!Txns.empty())
+      Out << "  t0 -> t" << Txns[0] << " [label=\"so\", style=dotted];\n";
+  }
+
+  // wr edges derived from read events.
+  for (TxnId T = 1; T < H.numTxns(); ++T)
+    for (const Event &E : H.txn(T).Events)
+      if (E.Kind == EventKind::Read)
+        Out << "  t" << E.Writer << " -> t" << T << " [label=\"wr_"
+            << H.keys().name(E.Key) << "\", color=blue];\n";
+
+  for (const DotEdge &E : Extra) {
+    Out << "  t" << E.From << " -> t" << E.To << " [label=\"" << E.Label
+        << "\", color=" << (E.Color.empty() ? "red" : E.Color);
+    if (E.Dashed)
+      Out << ", style=dashed";
+    Out << "];\n";
+  }
+
+  Out << "}\n";
+  return Out.str();
+}

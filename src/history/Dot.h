@@ -1,0 +1,42 @@
+//===- Dot.h - Graphviz export of execution histories ---------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders histories in the style of the paper's figures: one box per
+/// transaction listing its read/write events, solid so edges, blue wr_k
+/// edges, and optional extra edge sets (e.g. the rw/ww edges of a pco
+/// cycle as dashed red arrows). IsoPredict reports predictions "in both
+/// textual and graphical forms" (§6); this is the graphical form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_HISTORY_DOT_H
+#define ISOPREDICT_HISTORY_DOT_H
+
+#include "history/History.h"
+
+#include <string>
+#include <vector>
+
+namespace isopredict {
+
+/// An extra labeled edge to overlay on the history graph.
+struct DotEdge {
+  TxnId From;
+  TxnId To;
+  std::string Label; ///< e.g. "rw_x" or "ww".
+  std::string Color; ///< Graphviz color name, e.g. "red".
+  bool Dashed = true;
+};
+
+/// Renders \p H as a Graphviz digraph. \p Extra edges are drawn on top of
+/// the so and wr edges derived from the history itself.
+std::string writeDot(const History &H, const std::vector<DotEdge> &Extra = {},
+                     const std::string &Title = "history");
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_HISTORY_DOT_H

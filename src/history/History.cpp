@@ -1,0 +1,239 @@
+//===- History.cpp - Execution histories ----------------------*- C++ -*-===//
+
+#include "history/History.h"
+
+#include <algorithm>
+
+using namespace isopredict;
+
+//===----------------------------------------------------------------------===
+// KeyTable
+//===----------------------------------------------------------------------===
+
+KeyId KeyTable::intern(const std::string &Name) {
+  auto It = Ids.find(Name);
+  if (It != Ids.end())
+    return It->second;
+  KeyId Id = static_cast<KeyId>(Names.size());
+  Names.push_back(Name);
+  Ids.emplace(Name, Id);
+  return Id;
+}
+
+KeyId KeyTable::lookup(const std::string &Name) const {
+  auto It = Ids.find(Name);
+  return It == Ids.end() ? InvalidKey : It->second;
+}
+
+//===----------------------------------------------------------------------===
+// History
+//===----------------------------------------------------------------------===
+
+static uint64_t packTxnKey(TxnId T, KeyId K) {
+  return (static_cast<uint64_t>(T) << 32) | K;
+}
+
+bool History::so(TxnId A, TxnId B) const {
+  if (A == B)
+    return false;
+  if (A == InitTxn)
+    return true;
+  if (B == InitTxn)
+    return false;
+  const Transaction &TA = txn(A);
+  const Transaction &TB = txn(B);
+  return TA.Session == TB.Session && TA.IndexInSession < TB.IndexInSession;
+}
+
+bool History::wr(TxnId Writer, TxnId Reader) const {
+  if (Writer == Reader)
+    return false;
+  for (const Event &E : txn(Reader).Events)
+    if (E.Kind == EventKind::Read && E.Writer == Writer)
+      return true;
+  return false;
+}
+
+const std::vector<TxnId> &History::writersOf(KeyId Key) const {
+  assert(Key < WritersByKey.size() && "key id out of range");
+  return WritersByKey[Key];
+}
+
+const std::vector<ReadRef> &History::readsOf(KeyId Key) const {
+  assert(Key < ReadsByKey.size() && "key id out of range");
+  return ReadsByKey[Key];
+}
+
+bool History::writesKey(TxnId T, KeyId Key) const {
+  if (T == InitTxn)
+    return true; // t0 implicitly writes every key.
+  return WritePos.count(packTxnKey(T, Key)) != 0;
+}
+
+uint32_t History::wrPos(TxnId T, KeyId Key) const {
+  if (T == InitTxn)
+    return 0;
+  auto It = WritePos.find(packTxnKey(T, Key));
+  assert(It != WritePos.end() && "wrPos: transaction does not write key");
+  return It->second;
+}
+
+std::vector<uint32_t> History::rdPos(TxnId T, KeyId Key) const {
+  std::vector<uint32_t> Out;
+  for (const Event &E : txn(T).Events)
+    if (E.Kind == EventKind::Read && E.Key == Key)
+      Out.push_back(E.Pos);
+  return Out;
+}
+
+std::vector<uint32_t> History::rdPosAll(TxnId T) const {
+  std::vector<uint32_t> Out;
+  for (const Event &E : txn(T).Events)
+    if (E.Kind == EventKind::Read)
+      Out.push_back(E.Pos);
+  return Out;
+}
+
+const Event *History::readAt(TxnId T, uint32_t Pos) const {
+  for (const Event &E : txn(T).Events)
+    if (E.Kind == EventKind::Read && E.Pos == Pos)
+      return &E;
+  return nullptr;
+}
+
+uint32_t History::sessionLastPos(SessionId Session) const {
+  assert(Session < SessionLast.size() && "session id out of range");
+  return SessionLast[Session];
+}
+
+const Transaction *History::txnAtPos(SessionId Session, uint32_t Pos) const {
+  for (TxnId T : sessionTxns(Session)) {
+    const Transaction &Txn = txn(T);
+    if (Pos <= Txn.EndPos)
+      return &Txn;
+  }
+  return nullptr;
+}
+
+void History::finalize() {
+  assert(!Txns.empty() && Txns[0].isInit() && "history must start with t0");
+
+  SessionId MaxSession = DeclaredSessions;
+  for (const Transaction &T : Txns)
+    if (T.Session != NoSession)
+      MaxSession = std::max(MaxSession, T.Session + 1);
+  SessionTxns.assign(MaxSession, {});
+  SessionLast.assign(MaxSession, 0);
+  WritersByKey.assign(Keys.size(), {});
+  ReadsByKey.assign(Keys.size(), {});
+  KeysReadList.clear();
+  WritePos.clear();
+
+  // t0 heads every per-key writer list: it implicitly writes all keys.
+  for (KeyId K = 0; K < Keys.size(); ++K)
+    WritersByKey[K].push_back(InitTxn);
+
+  std::vector<bool> KeyRead(Keys.size(), false);
+  for (const Transaction &T : Txns) {
+    if (T.Session != NoSession) {
+      SessionTxns[T.Session].push_back(T.Id);
+      SessionLast[T.Session] = std::max(SessionLast[T.Session], T.EndPos);
+    }
+    for (const Event &E : T.Events) {
+      if (E.Kind == EventKind::Write) {
+        if (!T.isInit()) {
+          auto [It, New] = WritePos.emplace(packTxnKey(T.Id, E.Key), E.Pos);
+          assert(New && "only the last write per key may be an event");
+          (void)It;
+          (void)New;
+          WritersByKey[E.Key].push_back(T.Id);
+        }
+        continue;
+      }
+      ReadsByKey[E.Key].push_back({T.Id, E.Pos, E.Writer});
+      if (!KeyRead[E.Key]) {
+        KeyRead[E.Key] = true;
+        KeysReadList.push_back(E.Key);
+      }
+    }
+  }
+  std::sort(KeysReadList.begin(), KeysReadList.end());
+}
+
+//===----------------------------------------------------------------------===
+// HistoryBuilder
+//===----------------------------------------------------------------------===
+
+HistoryBuilder::HistoryBuilder(unsigned NumSessions)
+    : NumSessions(NumSessions), NextPos(NumSessions, 1) {
+  H.DeclaredSessions = NumSessions;
+  Transaction T0;
+  T0.Id = InitTxn;
+  T0.Session = NoSession;
+  H.Txns.push_back(std::move(T0));
+}
+
+TxnId HistoryBuilder::beginTxn(SessionId Session, uint32_t Slot) {
+  assert(Current == InitTxn && "previous transaction not committed");
+  assert(Session < NumSessions && "session id out of range");
+  Transaction T;
+  T.Id = static_cast<TxnId>(H.Txns.size());
+  T.Session = Session;
+  // Count existing transactions of this session for the so index.
+  uint32_t Index = 0;
+  for (const Transaction &Prev : H.Txns)
+    if (Prev.Session == Session)
+      ++Index;
+  T.IndexInSession = Index;
+  T.Slot = Slot == InfPos ? Index : Slot;
+  T.StartPos = NextPos[Session];
+  Current = T.Id;
+  H.Txns.push_back(std::move(T));
+  return Current;
+}
+
+void HistoryBuilder::read(const std::string &Key, TxnId Writer, Value Val) {
+  assert(Current != InitTxn && "read outside a transaction");
+  Transaction &T = H.Txns[Current];
+  Event E;
+  E.Kind = EventKind::Read;
+  E.Key = H.Keys.intern(Key);
+  E.Pos = NextPos[T.Session]++;
+  E.Writer = Writer;
+  E.Val = Val;
+  T.Events.push_back(E);
+}
+
+void HistoryBuilder::write(const std::string &Key, Value Val) {
+  assert(Current != InitTxn && "write outside a transaction");
+  Transaction &T = H.Txns[Current];
+  Event E;
+  E.Kind = EventKind::Write;
+  E.Key = H.Keys.intern(Key);
+  E.Pos = NextPos[T.Session]++;
+  E.Writer = InitTxn;
+  E.Val = Val;
+  // Only the last write to a key is an event (§2.1): drop an earlier one.
+  for (auto It = T.Events.begin(); It != T.Events.end(); ++It) {
+    if (It->Kind == EventKind::Write && It->Key == E.Key) {
+      T.Events.erase(It);
+      break;
+    }
+  }
+  T.Events.push_back(E);
+}
+
+void HistoryBuilder::commit() {
+  assert(Current != InitTxn && "commit outside a transaction");
+  Transaction &T = H.Txns[Current];
+  T.EndPos = NextPos[T.Session]++;
+  if (T.Events.empty())
+    T.StartPos = T.EndPos;
+  Current = InitTxn;
+}
+
+History HistoryBuilder::finish() {
+  assert(Current == InitTxn && "unfinished transaction at finish()");
+  H.finalize();
+  return std::move(H);
+}

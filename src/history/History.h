@@ -1,0 +1,254 @@
+//===- History.h - Execution histories of data store applications -*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-history formalism of IsoPredict §2 (after Biswas & Enea):
+/// a history is ⟨T, so, wr⟩ where T is the set of committed transactions,
+/// so is session order, and wr maps every read event to the transaction
+/// whose last write to the same key it read from. Transaction 0 is the
+/// special initial-state transaction t0, which implicitly writes the
+/// initial value of every key and is so-ordered before everything.
+///
+/// Events within a session are numbered with monotonically increasing
+/// *positions*; the prediction-boundary constraints (§4.5) are expressed
+/// over these positions, so they are first-class here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_HISTORY_HISTORY_H
+#define ISOPREDICT_HISTORY_HISTORY_H
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace isopredict {
+
+using TxnId = uint32_t;
+using KeyId = uint32_t;
+using SessionId = uint32_t;
+
+/// Transaction id of the initial-state transaction t0.
+constexpr TxnId InitTxn = 0;
+
+/// Sentinel session id for t0 (it belongs to no client session).
+constexpr SessionId NoSession = std::numeric_limits<SessionId>::max();
+
+/// Sentinel event position representing "infinity" (a session whose
+/// prediction boundary is its last event; §4.5).
+constexpr uint32_t InfPos = std::numeric_limits<uint32_t>::max();
+
+/// Values stored under keys. The formal model only cares about which write
+/// a read observes, but concrete values make traces debuggable and drive
+/// the application replay in validation.
+using Value = int64_t;
+
+/// Interns string key names to dense KeyIds.
+class KeyTable {
+public:
+  /// Returns the id for \p Name, interning it if new.
+  KeyId intern(const std::string &Name);
+
+  /// Returns the id for \p Name or InvalidKey when unknown.
+  static constexpr KeyId InvalidKey = std::numeric_limits<KeyId>::max();
+  KeyId lookup(const std::string &Name) const;
+
+  const std::string &name(KeyId Key) const {
+    assert(Key < Names.size() && "key id out of range");
+    return Names[Key];
+  }
+
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, KeyId> Ids;
+};
+
+enum class EventKind : uint8_t { Read, Write };
+
+/// A read or write event. The commit event that ends each transaction is
+/// implicit; its position is Transaction::EndPos.
+struct Event {
+  EventKind Kind;
+  KeyId Key;
+  /// Per-session monotonically increasing position.
+  uint32_t Pos;
+  /// For reads: the transaction whose last write to Key this read observed
+  /// (the wr_k edge). Unused for writes.
+  TxnId Writer;
+  /// Concrete value read or written.
+  Value Val;
+};
+
+/// A committed transaction. Per the model (§2.1), a read satisfied by an
+/// earlier write in the same transaction is not an event, and only the
+/// last write to each key is an event.
+struct Transaction {
+  TxnId Id = 0;
+  SessionId Session = NoSession;
+  /// Index of this transaction within its session (defines so).
+  uint32_t IndexInSession = 0;
+  /// Application script slot that produced this transaction. Slots are
+  /// stable across replays even when some transactions abort, so the
+  /// validator uses (Session, Slot) to match transactions between the
+  /// observed, predicted, and validating executions.
+  uint32_t Slot = 0;
+  std::vector<Event> Events;
+  /// Position of the first event (reads/writes); == EndPos if empty.
+  uint32_t StartPos = 0;
+  /// Position of the implicit commit event (strictly after all events).
+  uint32_t EndPos = 0;
+
+  bool isInit() const { return Id == InitTxn; }
+};
+
+/// A read occurrence, used by the per-key indexes.
+struct ReadRef {
+  TxnId Reader;
+  uint32_t Pos;
+  TxnId Writer; ///< Observed writer.
+};
+
+/// An immutable execution history ⟨T, so, wr⟩ plus derived indexes.
+/// Construct through HistoryBuilder or the trace reader; call sites should
+/// treat instances as value types.
+class History {
+public:
+  History() = default;
+
+  //===--------------------------------------------------------------------===
+  // Basic structure
+  //===--------------------------------------------------------------------===
+
+  size_t numTxns() const { return Txns.size(); }
+  size_t numSessions() const { return SessionTxns.size(); }
+  size_t numKeys() const { return Keys.size(); }
+
+  const Transaction &txn(TxnId Id) const {
+    assert(Id < Txns.size() && "txn id out of range");
+    return Txns[Id];
+  }
+
+  const KeyTable &keys() const { return Keys; }
+
+  /// Transactions of \p Session in session order.
+  const std::vector<TxnId> &sessionTxns(SessionId Session) const {
+    assert(Session < SessionTxns.size() && "session id out of range");
+    return SessionTxns[Session];
+  }
+
+  //===--------------------------------------------------------------------===
+  // Relations (§2.1)
+  //===--------------------------------------------------------------------===
+
+  /// Session order: t0 precedes everything; same-session transactions are
+  /// ordered by their index.
+  bool so(TxnId A, TxnId B) const;
+
+  /// True if some read event of \p Reader reads from \p Writer (union of
+  /// wr_k over all keys).
+  bool wr(TxnId Writer, TxnId Reader) const;
+
+  //===--------------------------------------------------------------------===
+  // Per-key indexes used by the encoders and checkers
+  //===--------------------------------------------------------------------===
+
+  /// Transactions with a (last-)write event to \p Key. t0 is always
+  /// included first: it implicitly writes every key.
+  const std::vector<TxnId> &writersOf(KeyId Key) const;
+
+  /// All read occurrences of \p Key across the history.
+  const std::vector<ReadRef> &readsOf(KeyId Key) const;
+
+  /// True if \p T writes \p Key (t0 writes every key).
+  bool writesKey(TxnId T, KeyId Key) const;
+
+  /// Position of \p T's last write to \p Key; asserts writesKey. For t0
+  /// returns 0 (t0 conceptually precedes every boundary).
+  uint32_t wrPos(TxnId T, KeyId Key) const;
+
+  /// Positions of reads to \p Key inside transaction \p T (rdpos_k).
+  std::vector<uint32_t> rdPos(TxnId T, KeyId Key) const;
+
+  /// Positions of all read events inside \p T (rdpos_*), in order.
+  std::vector<uint32_t> rdPosAll(TxnId T) const;
+
+  /// The read event of \p T at session position \p Pos, or nullptr.
+  const Event *readAt(TxnId T, uint32_t Pos) const;
+
+  /// Keys read anywhere in the history.
+  const std::vector<KeyId> &keysRead() const { return KeysReadList; }
+
+  /// Largest event position in \p Session (the last commit position).
+  uint32_t sessionLastPos(SessionId Session) const;
+
+  /// The transaction of \p Session whose [StartPos, EndPos] contains
+  /// \p Pos, or nullptr.
+  const Transaction *txnAtPos(SessionId Session, uint32_t Pos) const;
+
+  //===--------------------------------------------------------------------===
+  // Mutation (HistoryBuilder / trace reader only)
+  //===--------------------------------------------------------------------===
+
+  /// Recomputes all derived indexes; must be called after Txns changes.
+  void finalize();
+
+  std::vector<Transaction> Txns;
+  KeyTable Keys;
+  /// Number of sessions the producing run declared; numSessions() is the
+  /// max of this and the sessions actually appearing in transactions
+  /// (a session whose transactions all aborted still exists).
+  uint32_t DeclaredSessions = 0;
+
+private:
+  std::vector<std::vector<TxnId>> SessionTxns;
+  std::vector<std::vector<TxnId>> WritersByKey;
+  std::vector<std::vector<ReadRef>> ReadsByKey;
+  std::vector<KeyId> KeysReadList;
+  /// (Txn, Key) -> last write position.
+  std::unordered_map<uint64_t, uint32_t> WritePos;
+  std::vector<uint32_t> SessionLast;
+};
+
+/// Incremental construction of histories for tests, examples, and the
+/// store's trace recorder. Events get per-session positions in the order
+/// they are added; transactions of one session must be added in session
+/// order (interleaving across sessions is fine).
+class HistoryBuilder {
+public:
+  explicit HistoryBuilder(unsigned NumSessions);
+
+  /// Starts a transaction on \p Session and returns its id. \p Slot
+  /// labels the application script slot; InfPos means "use the index of
+  /// the transaction within its session".
+  TxnId beginTxn(SessionId Session, uint32_t Slot = InfPos);
+
+  /// Adds a read of \p Key observing \p Writer's last write.
+  void read(const std::string &Key, TxnId Writer, Value Val = 0);
+
+  /// Adds a (last-)write of \p Key.
+  void write(const std::string &Key, Value Val = 0);
+
+  /// Ends the current transaction (implicit commit event).
+  void commit();
+
+  /// Finalizes and returns the history. The builder is consumed.
+  History finish();
+
+private:
+  History H;
+  unsigned NumSessions;
+  std::vector<uint32_t> NextPos;
+  TxnId Current = InitTxn; ///< InitTxn means "no open transaction".
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_HISTORY_HISTORY_H

@@ -1,0 +1,127 @@
+//===- TraceIO.cpp - Text serialization of execution histories -*- C++ -*-===//
+
+#include "history/TraceIO.h"
+
+#include "support/StrUtil.h"
+
+#include <sstream>
+
+using namespace isopredict;
+
+std::string isopredict::writeTrace(const History &H) {
+  std::ostringstream Out;
+  Out << "history " << H.numSessions() << "\n";
+  for (TxnId T = 1; T < H.numTxns(); ++T) {
+    const Transaction &Txn = H.txn(T);
+    Out << "txn " << Txn.Session << " " << Txn.Slot << "\n";
+    for (const Event &E : Txn.Events) {
+      if (E.Kind == EventKind::Read)
+        Out << "read " << H.keys().name(E.Key) << " " << E.Writer << " "
+            << E.Val << "\n";
+      else
+        Out << "write " << H.keys().name(E.Key) << " " << E.Val << "\n";
+    }
+    Out << "commit\n";
+  }
+  return Out.str();
+}
+
+std::optional<History> isopredict::readTrace(const std::string &Text,
+                                             std::string *Error) {
+  auto Fail = [Error](const std::string &Msg) -> std::optional<History> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+
+  std::optional<HistoryBuilder> Builder;
+  bool InTxn = false;
+  size_t LineNo = 0;
+  size_t NumTxnsSeen = 0;
+
+  for (std::string_view Line : splitString(Text, '\n')) {
+    ++LineNo;
+    Line = trimString(Line);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::vector<std::string_view> Tok;
+    for (std::string_view Part : splitString(Line, ' '))
+      if (!Part.empty())
+        Tok.push_back(Part);
+
+    const std::string Where = formatString("line %zu: ", LineNo);
+    if (Tok[0] == "history") {
+      if (Builder)
+        return Fail(Where + "duplicate history directive");
+      if (Tok.size() != 2)
+        return Fail(Where + "expected: history <numSessions>");
+      auto N = parseInt(Tok[1]);
+      if (!N || *N <= 0)
+        return Fail(Where + "bad session count");
+      Builder.emplace(static_cast<unsigned>(*N));
+      continue;
+    }
+    if (!Builder)
+      return Fail(Where + "missing history directive");
+
+    if (Tok[0] == "txn") {
+      if (InTxn)
+        return Fail(Where + "txn without commit of previous txn");
+      if (Tok.size() != 2 && Tok.size() != 3)
+        return Fail(Where + "expected: txn <session> [slot]");
+      auto S = parseInt(Tok[1]);
+      if (!S || *S < 0)
+        return Fail(Where + "bad session id");
+      uint32_t Slot = InfPos;
+      if (Tok.size() == 3) {
+        auto SlotVal = parseInt(Tok[2]);
+        if (!SlotVal || *SlotVal < 0)
+          return Fail(Where + "bad slot");
+        Slot = static_cast<uint32_t>(*SlotVal);
+      }
+      Builder->beginTxn(static_cast<SessionId>(*S), Slot);
+      InTxn = true;
+      ++NumTxnsSeen;
+      continue;
+    }
+    if (Tok[0] == "read") {
+      if (!InTxn)
+        return Fail(Where + "read outside txn");
+      if (Tok.size() != 4)
+        return Fail(Where + "expected: read <key> <writer> <value>");
+      auto W = parseInt(Tok[2]);
+      auto V = parseInt(Tok[3]);
+      if (!W || *W < 0 || static_cast<size_t>(*W) > NumTxnsSeen)
+        return Fail(Where + "bad writer id");
+      if (!V)
+        return Fail(Where + "bad value");
+      Builder->read(std::string(Tok[1]), static_cast<TxnId>(*W), *V);
+      continue;
+    }
+    if (Tok[0] == "write") {
+      if (!InTxn)
+        return Fail(Where + "write outside txn");
+      if (Tok.size() != 3)
+        return Fail(Where + "expected: write <key> <value>");
+      auto V = parseInt(Tok[2]);
+      if (!V)
+        return Fail(Where + "bad value");
+      Builder->write(std::string(Tok[1]), *V);
+      continue;
+    }
+    if (Tok[0] == "commit") {
+      if (!InTxn)
+        return Fail(Where + "commit outside txn");
+      Builder->commit();
+      InTxn = false;
+      continue;
+    }
+    return Fail(Where + "unknown directive '" + std::string(Tok[0]) + "'");
+  }
+
+  if (!Builder)
+    return Fail("empty trace: missing history directive");
+  if (InTxn)
+    return Fail("trace ends inside a transaction");
+  return Builder->finish();
+}

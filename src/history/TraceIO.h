@@ -1,0 +1,47 @@
+//===- TraceIO.h - Text serialization of execution histories --*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-based text format for execution histories so traces can be
+/// recorded at one store, saved, and analyzed offline (the paper's
+/// predictive analysis "is in principle suitable for analyzing executions
+/// from any data store"; a portable trace format is the interface).
+///
+/// Format (one directive per line, '#' comments ignored):
+///
+///   history <numSessions>
+///   txn <session>
+///   read <key> <writerTxnId> <value>
+///   write <key> <value>
+///   commit
+///
+/// Transactions are numbered in file order starting at 1 (0 is t0).
+/// Transactions of the same session must appear in session order; event
+/// positions are assigned per session in file order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_HISTORY_TRACEIO_H
+#define ISOPREDICT_HISTORY_TRACEIO_H
+
+#include "history/History.h"
+
+#include <optional>
+#include <string>
+
+namespace isopredict {
+
+/// Serializes \p H to the text format above.
+std::string writeTrace(const History &H);
+
+/// Parses a trace; on malformed input returns std::nullopt and, when
+/// \p Error is non-null, stores a one-line diagnostic in it.
+std::optional<History> readTrace(const std::string &Text,
+                                 std::string *Error = nullptr);
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_HISTORY_TRACEIO_H

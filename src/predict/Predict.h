@@ -1,0 +1,117 @@
+//===- Predict.h - IsoPredict predictive analysis -------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution (§4, Appendix B): given an observed
+/// execution history, generate SMT constraints whose satisfying models
+/// are feasible, *unserializable* execution prefixes valid under a weak
+/// isolation level (causal or rc), and extract one if it exists.
+///
+/// Prediction strategies (Table 2):
+///  - ExactStrict:   exact unserializability (∀co. ¬IsSerializable(co)),
+///                   strict prediction boundary.
+///  - ApproxStrict:  sufficient condition via a cyclic pco with
+///                   rank-based well-foundedness, strict boundary.
+///  - ApproxRelaxed: same encoding, relaxed boundary (excludes whole
+///                   transactions, so more predictions but divergence may
+///                   cause false predictions).
+///
+/// The prediction boundary (§4.5): each session gets a boundary event —
+/// either a read observing a different writer than in the observed
+/// execution, or the session's last event (encoded as "infinity"). Reads
+/// strictly before the boundary keep their observed writer; events after
+/// the *cut* (the boundary read itself under strict; the end of its
+/// transaction under relaxed) are excluded from the predicted history.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_PREDICT_PREDICT_H
+#define ISOPREDICT_PREDICT_PREDICT_H
+
+#include "checker/Checkers.h"
+#include "history/History.h"
+#include "smt/Smt.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+
+enum class Strategy { ExactStrict, ApproxStrict, ApproxRelaxed };
+
+const char *toString(Strategy S);
+
+/// How the approximate strategies realize the "minimal relation"
+/// requirement on pco (§4.2.2).
+enum class PcoEncoding {
+  /// The paper's encoding (the default): free relation variables guarded
+  /// by integer `rank` terms that forbid self-justifying edges (§4.2.2,
+  /// Fig. 6). Complete for any derivation depth.
+  Rank,
+  /// Experimental alternative: pco computed as a bounded-depth least
+  /// fixpoint (`PcoDepth` rounds of ww/rw derivation + transitive
+  /// closure by repeated squaring), making every auxiliary relation a
+  /// deterministic function of the read choices. Sound (misses cycles
+  /// needing deeper derivations), but the closure-layer CNF turned out
+  /// *harder* for Z3 than the rank encoding on our workloads — kept for
+  /// the bench/ablation_pco comparison.
+  Layered,
+};
+
+const char *toString(PcoEncoding E);
+
+struct PredictOptions {
+  IsolationLevel Level = IsolationLevel::Causal;
+  Strategy Strat = Strategy::ApproxRelaxed;
+  /// Per-query solver timeout; 0 = none (the paper used 24 hours).
+  unsigned TimeoutMs = 0;
+  /// Ablation knob: include anti-dependency (rw) edges in pco (§4.2.2,
+  /// Fig. 5). Disabling loses predictions; used by bench/ablation_rw.
+  bool EnableRw = true;
+  /// pco realization for the approximate strategies; see PcoEncoding.
+  PcoEncoding Pco = PcoEncoding::Rank;
+  /// Derivation-depth bound for PcoEncoding::Layered.
+  unsigned PcoDepth = 3;
+};
+
+/// Sizing and timing of one predictive-analysis query (the paper's
+/// # Literals / constraint-generation / solving-time columns).
+struct EncodingStats {
+  uint64_t NumLiterals = 0;
+  double GenSeconds = 0;
+  double SolveSeconds = 0;
+};
+
+/// Outcome of a prediction query.
+struct Prediction {
+  SmtResult Result = SmtResult::Unknown;
+  EncodingStats Stats;
+
+  // The fields below are meaningful only when Result == Sat.
+
+  /// The predicted execution prefix: the observed transactions with
+  /// events beyond each session's cut removed and the included reads'
+  /// writers replaced by the predicted choice. Transaction ids equal the
+  /// observed history's ids.
+  History Predicted;
+  /// Per-session boundary read position (InfPos when the session did not
+  /// diverge).
+  std::vector<uint32_t> BoundaryPos;
+  /// Per-session cut: last included event position (InfPos = everything).
+  std::vector<uint32_t> CutPos;
+  /// A pco cycle witnessing unserializability of the prediction, as
+  /// transaction ids (empty for ExactStrict, where no explicit cycle is
+  /// produced).
+  std::vector<TxnId> Witness;
+};
+
+/// Runs IsoPredict's predictive analysis on \p Observed.
+Prediction predict(const History &Observed, const PredictOptions &Opts);
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_PREDICT_PREDICT_H

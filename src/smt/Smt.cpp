@@ -1,0 +1,233 @@
+//===- Smt.cpp - RAII wrapper over the Z3 C API ---------------*- C++ -*-===//
+
+#include "smt/Smt.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include <z3.h>
+
+using namespace isopredict;
+
+const char *isopredict::toString(SmtResult R) {
+  switch (R) {
+  case SmtResult::Sat:
+    return "sat";
+  case SmtResult::Unsat:
+    return "unsat";
+  case SmtResult::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Z3 errors indicate a malformed term or an internal failure; both are
+/// programmatic errors for this code base, so die loudly.
+static void errorHandler(Z3_context Ctx, Z3_error_code Code) {
+  std::fprintf(stderr, "fatal Z3 error %d: %s\n", static_cast<int>(Code),
+               Z3_get_error_msg(Ctx, Code));
+  std::abort();
+}
+
+SmtContext::SmtContext() {
+  Z3_config Cfg = Z3_mk_config();
+  Z3_set_param_value(Cfg, "model", "true");
+  // Legacy context: all ASTs live until Z3_del_context.
+  Ctx = Z3_mk_context(Cfg);
+  Z3_del_config(Cfg);
+  Z3_set_error_handler(Ctx, errorHandler);
+}
+
+SmtContext::~SmtContext() { Z3_del_context(Ctx); }
+
+SmtExpr SmtContext::boolVar(const std::string &Name) {
+  Z3_symbol Sym = Z3_mk_string_symbol(Ctx, Name.c_str());
+  return {Z3_mk_const(Ctx, Sym, Z3_mk_bool_sort(Ctx)), 1};
+}
+
+SmtExpr SmtContext::intVar(const std::string &Name) {
+  Z3_symbol Sym = Z3_mk_string_symbol(Ctx, Name.c_str());
+  // Integer terms are not literals by themselves; comparisons over them
+  // are counted when built.
+  return {Z3_mk_const(Ctx, Sym, Z3_mk_int_sort(Ctx)), 0};
+}
+
+SmtExpr SmtContext::boolVal(bool V) {
+  return {V ? Z3_mk_true(Ctx) : Z3_mk_false(Ctx), 1};
+}
+
+SmtExpr SmtContext::intVal(int64_t V) {
+  return {Z3_mk_int64(Ctx, V, Z3_mk_int_sort(Ctx)), 0};
+}
+
+SmtExpr SmtContext::mkNot(SmtExpr A) {
+  assert(A.valid() && "mkNot on invalid expr");
+  return {Z3_mk_not(Ctx, A.Ast), A.Lits};
+}
+
+SmtExpr SmtContext::mkAnd(const std::vector<SmtExpr> &Args) {
+  if (Args.empty())
+    return boolVal(true);
+  if (Args.size() == 1)
+    return Args[0];
+  std::vector<Z3_ast> Asts;
+  Asts.reserve(Args.size());
+  uint64_t Lits = 0;
+  for (const SmtExpr &A : Args) {
+    assert(A.valid() && "mkAnd on invalid expr");
+    Asts.push_back(A.Ast);
+    Lits += A.Lits;
+  }
+  return {Z3_mk_and(Ctx, static_cast<unsigned>(Asts.size()), Asts.data()),
+          Lits};
+}
+
+SmtExpr SmtContext::mkOr(const std::vector<SmtExpr> &Args) {
+  if (Args.empty())
+    return boolVal(false);
+  if (Args.size() == 1)
+    return Args[0];
+  std::vector<Z3_ast> Asts;
+  Asts.reserve(Args.size());
+  uint64_t Lits = 0;
+  for (const SmtExpr &A : Args) {
+    assert(A.valid() && "mkOr on invalid expr");
+    Asts.push_back(A.Ast);
+    Lits += A.Lits;
+  }
+  return {Z3_mk_or(Ctx, static_cast<unsigned>(Asts.size()), Asts.data()),
+          Lits};
+}
+
+SmtExpr SmtContext::mkImplies(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkImplies on invalid expr");
+  return {Z3_mk_implies(Ctx, A.Ast, B.Ast), A.Lits + B.Lits};
+}
+
+SmtExpr SmtContext::mkIff(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkIff on invalid expr");
+  return {Z3_mk_iff(Ctx, A.Ast, B.Ast), A.Lits + B.Lits};
+}
+
+SmtExpr SmtContext::mkEq(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkEq on invalid expr");
+  // An equality over integer terms is one atom.
+  uint64_t Lits = A.Lits + B.Lits;
+  if (Lits == 0)
+    Lits = 1;
+  return {Z3_mk_eq(Ctx, A.Ast, B.Ast), Lits};
+}
+
+SmtExpr SmtContext::mkLt(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkLt on invalid expr");
+  return {Z3_mk_lt(Ctx, A.Ast, B.Ast), 1};
+}
+
+SmtExpr SmtContext::mkLe(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkLe on invalid expr");
+  return {Z3_mk_le(Ctx, A.Ast, B.Ast), 1};
+}
+
+SmtExpr SmtContext::mkDistinct(const std::vector<SmtExpr> &Args) {
+  assert(Args.size() >= 2 && "mkDistinct needs at least two terms");
+  std::vector<Z3_ast> Asts;
+  Asts.reserve(Args.size());
+  for (const SmtExpr &A : Args)
+    Asts.push_back(A.Ast);
+  // Distinct over n terms stands for n*(n-1)/2 disequality atoms.
+  uint64_t Lits = Args.size() * (Args.size() - 1) / 2;
+  return {Z3_mk_distinct(Ctx, static_cast<unsigned>(Asts.size()),
+                         Asts.data()),
+          Lits};
+}
+
+SmtExpr SmtContext::mkForall(const std::vector<SmtExpr> &Bound, SmtExpr Body) {
+  assert(!Bound.empty() && Body.valid() && "mkForall needs bound vars");
+  std::vector<Z3_app> Apps;
+  Apps.reserve(Bound.size());
+  for (const SmtExpr &B : Bound)
+    Apps.push_back(Z3_to_app(Ctx, B.Ast));
+  return {Z3_mk_forall_const(Ctx, /*weight=*/0,
+                             static_cast<unsigned>(Apps.size()), Apps.data(),
+                             /*num_patterns=*/0, /*patterns=*/nullptr,
+                             Body.Ast),
+          Body.Lits};
+}
+
+//===----------------------------------------------------------------------===
+// SmtSolver
+//===----------------------------------------------------------------------===
+
+SmtSolver::SmtSolver(SmtContext &Ctx, const char *Logic) : Parent(Ctx) {
+  Solver = Logic ? Z3_mk_solver_for_logic(
+                       Ctx.raw(), Z3_mk_string_symbol(Ctx.raw(), Logic))
+                 : Z3_mk_solver(Ctx.raw());
+  Z3_solver_inc_ref(Ctx.raw(), Solver);
+}
+
+SmtSolver::~SmtSolver() {
+  releaseModel();
+  Z3_solver_dec_ref(Parent.raw(), Solver);
+}
+
+void SmtSolver::releaseModel() {
+  if (Model) {
+    Z3_model_dec_ref(Parent.raw(), Model);
+    Model = nullptr;
+  }
+}
+
+void SmtSolver::add(SmtExpr E) {
+  assert(E.valid() && "asserting invalid expr");
+  releaseModel();
+  Z3_solver_assert(Parent.raw(), Solver, E.Ast);
+  Parent.AssertedLits += E.Lits;
+}
+
+void SmtSolver::setTimeoutMs(unsigned Ms) {
+  Z3_params Params = Z3_mk_params(Parent.raw());
+  Z3_params_inc_ref(Parent.raw(), Params);
+  Z3_symbol Sym = Z3_mk_string_symbol(Parent.raw(), "timeout");
+  Z3_params_set_uint(Parent.raw(), Params, Sym, Ms);
+  Z3_solver_set_params(Parent.raw(), Solver, Params);
+  Z3_params_dec_ref(Parent.raw(), Params);
+}
+
+SmtResult SmtSolver::check() {
+  releaseModel();
+  switch (Z3_solver_check(Parent.raw(), Solver)) {
+  case Z3_L_TRUE: {
+    Model = Z3_solver_get_model(Parent.raw(), Solver);
+    if (Model)
+      Z3_model_inc_ref(Parent.raw(), Model);
+    return SmtResult::Sat;
+  }
+  case Z3_L_FALSE:
+    return SmtResult::Unsat;
+  case Z3_L_UNDEF:
+    return SmtResult::Unknown;
+  }
+  return SmtResult::Unknown;
+}
+
+int64_t SmtSolver::modelInt(SmtExpr E) {
+  assert(Model && "modelInt without a sat model");
+  Z3_ast Out = nullptr;
+  [[maybe_unused]] bool Ok = Z3_model_eval(Parent.raw(), Model, E.Ast,
+                                           /*model_completion=*/true, &Out);
+  assert(Ok && "Z3_model_eval failed");
+  int64_t V = 0;
+  [[maybe_unused]] bool Num = Z3_get_numeral_int64(Parent.raw(), Out, &V);
+  assert(Num && "model value is not a numeral");
+  return V;
+}
+
+bool SmtSolver::modelBool(SmtExpr E) {
+  assert(Model && "modelBool without a sat model");
+  Z3_ast Out = nullptr;
+  [[maybe_unused]] bool Ok = Z3_model_eval(Parent.raw(), Model, E.Ast,
+                                           /*model_completion=*/true, &Out);
+  assert(Ok && "Z3_model_eval failed");
+  return Z3_get_bool_value(Parent.raw(), Out) == Z3_L_TRUE;
+}

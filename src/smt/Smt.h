@@ -1,0 +1,143 @@
+//===- Smt.h - RAII wrapper over the Z3 C API -----------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin, exception-free C++ layer over the native Z3 C API. The paper's
+/// implementation used Z3Py and measured that 97% of constraint-generation
+/// time was spent in Python (§7.2); this reproduction talks to Z3 natively.
+///
+/// Design notes:
+///  - One SmtContext per prediction/validation instance. We use the
+///    legacy (non-reference-counted) Z3 context, in which every created
+///    AST stays valid until the context is destroyed. Encoders build a
+///    few million nodes, solve, extract a model, and throw the whole
+///    context away — no manual AST reference counting anywhere.
+///  - SmtExpr carries a *literal count*: the number of atomic boolean
+///    occurrences (variable references and arithmetic comparisons) in the
+///    expression tree as constructed. Asserted literals accumulate in the
+///    context; this is the paper's "# Literals" column.
+///  - Z3 errors are programmatic errors here (we only build well-sorted
+///    terms), so the installed error handler prints and aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SMT_SMT_H
+#define ISOPREDICT_SMT_SMT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+typedef struct _Z3_context *Z3_context;
+typedef struct _Z3_solver *Z3_solver;
+typedef struct _Z3_model *Z3_model;
+typedef struct _Z3_ast *Z3_ast;
+
+namespace isopredict {
+
+class SmtContext;
+
+/// A Z3 term plus the number of boolean literals it contains.
+struct SmtExpr {
+  Z3_ast Ast = nullptr;
+  uint64_t Lits = 0;
+
+  bool valid() const { return Ast != nullptr; }
+};
+
+/// Outcome of a solver query.
+enum class SmtResult { Sat, Unsat, Unknown };
+
+/// Returns "sat", "unsat", or "unknown".
+const char *toString(SmtResult R);
+
+/// Owns a Z3 context and provides the term constructors the encoders use.
+class SmtContext {
+public:
+  SmtContext();
+  ~SmtContext();
+  SmtContext(const SmtContext &) = delete;
+  SmtContext &operator=(const SmtContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Term construction
+  //===--------------------------------------------------------------------===
+
+  SmtExpr boolVar(const std::string &Name);
+  SmtExpr intVar(const std::string &Name);
+  SmtExpr boolVal(bool V);
+  SmtExpr intVal(int64_t V);
+
+  SmtExpr mkNot(SmtExpr A);
+  SmtExpr mkAnd(const std::vector<SmtExpr> &Args); ///< and([]) == true
+  SmtExpr mkOr(const std::vector<SmtExpr> &Args);  ///< or([]) == false
+  SmtExpr mkImplies(SmtExpr A, SmtExpr B);
+  SmtExpr mkIff(SmtExpr A, SmtExpr B);
+  SmtExpr mkEq(SmtExpr A, SmtExpr B); ///< Works for int and bool terms.
+  SmtExpr mkLt(SmtExpr A, SmtExpr B);
+  SmtExpr mkLe(SmtExpr A, SmtExpr B);
+  SmtExpr mkDistinct(const std::vector<SmtExpr> &Args);
+
+  /// Universal quantification over the given integer/bool constants
+  /// (used by the Exact-Strict encoding's ∀co. ¬IsSerializable(co)).
+  SmtExpr mkForall(const std::vector<SmtExpr> &Bound, SmtExpr Body);
+
+  //===--------------------------------------------------------------------===
+  // Stats
+  //===--------------------------------------------------------------------===
+
+  /// Total literals across all formulas asserted on solvers of this
+  /// context (updated by SmtSolver::add).
+  uint64_t literalCount() const { return AssertedLits; }
+
+  Z3_context raw() const { return Ctx; }
+
+private:
+  friend class SmtSolver;
+  Z3_context Ctx;
+  uint64_t AssertedLits = 0;
+};
+
+/// A satisfiability query; owns a Z3 solver object.
+class SmtSolver {
+public:
+  /// \p Logic optionally names an SMT-LIB logic (e.g. "QF_LIA") to get a
+  /// specialized solver; quantified encodings must leave it null.
+  explicit SmtSolver(SmtContext &Ctx, const char *Logic = nullptr);
+  ~SmtSolver();
+  SmtSolver(const SmtSolver &) = delete;
+  SmtSolver &operator=(const SmtSolver &) = delete;
+
+  /// Asserts \p E and accumulates its literal count into the context.
+  void add(SmtExpr E);
+
+  /// Sets the per-check timeout. 0 means no timeout.
+  void setTimeoutMs(unsigned Ms);
+
+  SmtResult check();
+
+  //===--------------------------------------------------------------------===
+  // Model access (valid after check() == Sat until the next check/add)
+  //===--------------------------------------------------------------------===
+
+  /// Evaluates an integer term in the current model (model completion on,
+  /// so unconstrained variables get a default value).
+  int64_t modelInt(SmtExpr E);
+
+  /// Evaluates a boolean term in the current model.
+  bool modelBool(SmtExpr E);
+
+private:
+  SmtContext &Parent;
+  Z3_solver Solver;
+  Z3_model Model = nullptr;
+
+  void releaseModel();
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_SMT_SMT_H

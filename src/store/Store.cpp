@@ -1,0 +1,426 @@
+//===- Store.cpp - Transactional key-value data store ---------*- C++ -*-===//
+
+#include "store/Store.h"
+
+#include <algorithm>
+
+using namespace isopredict;
+
+ReadDirector::~ReadDirector() = default;
+
+DataStore::DataStore(const Options &Opts) : Opts(Opts), Random(Opts.Seed) {
+  // Committed[0] is t0: the initial-state transaction.
+  Transaction T0;
+  T0.Id = InitTxn;
+  T0.Session = NoSession;
+  Committed.push_back(std::move(T0));
+}
+
+KeyId DataStore::internKey(const std::string &Key) {
+  KeyId Id = Keys.intern(Key);
+  if (Id >= Initial.size()) {
+    Initial.resize(Id + 1, 0);
+    Versions.resize(Id + 1);
+    LockOwner.resize(Id + 1, NoSession);
+  }
+  return Id;
+}
+
+void DataStore::setInitial(const std::string &Key, Value V) {
+  Initial[internKey(Key)] = V;
+}
+
+SessionId DataStore::openSession() {
+  SessionId Id = static_cast<SessionId>(Open.size());
+  Open.emplace_back();
+  NextPos.push_back(1);
+  return Id;
+}
+
+void DataStore::beginTxn(SessionId Session, uint32_t Slot) {
+  assert(Session < Open.size() && "unknown session");
+  OpenTxn &T = Open[Session];
+  assert(!T.Active && "beginTxn with a transaction already open");
+  T.Active = true;
+  T.Slot = Slot;
+  T.Ops.clear();
+  T.WriteSet.clear();
+  T.BlockedKey.reset();
+}
+
+bool DataStore::inTxn(SessionId Session) const {
+  return Session < Open.size() && Open[Session].Active;
+}
+
+Value DataStore::writtenValue(TxnId Writer, KeyId Key) const {
+  if (Writer == InitTxn)
+    return Key < Initial.size() ? Initial[Key] : 0;
+  for (const auto &[W, V] : Versions[Key])
+    if (W == Writer)
+      return V;
+  assert(false && "writtenValue: writer has no committed write to key");
+  return 0;
+}
+
+TxnId DataStore::latestWriter(KeyId Key) const {
+  return Versions[Key].empty() ? InitTxn : Versions[Key].back().first;
+}
+
+void DataStore::rebuildCaches() {
+  History H = history();
+  HbClosed = hbRel(H);
+  BitRel Level = HbClosed;
+  switch (Opts.Level) {
+  case IsolationLevel::Causal:
+    Level.unionWith(wwCausalRel(H, HbClosed));
+    break;
+  case IsolationLevel::ReadAtomic:
+    Level.unionWith(wwRaRel(H));
+    break;
+  case IsolationLevel::ReadCommitted:
+    Level.unionWith(wwRcRel(H));
+    break;
+  case IsolationLevel::Serializable:
+    break; // Serial mode reads latest; no arbitration cache needed.
+  }
+  Level.closeTransitively();
+  LevelClosed = std::move(Level);
+  CachesValid = true;
+}
+
+std::vector<bool> DataStore::hbPredecessors(SessionId Session) const {
+  size_t M = Committed.size();
+  std::vector<bool> P(M, false);
+  P[InitTxn] = true;
+  auto Absorb = [&](TxnId C) {
+    P[C] = true;
+    for (TxnId X = 0; X < M; ++X)
+      if (X != C && HbClosed.test(X, C))
+        P[X] = true;
+  };
+  for (TxnId C = 1; C < M; ++C)
+    if (Committed[C].Session == Session)
+      Absorb(C);
+  for (const PendingOp &Op : Open[Session].Ops)
+    if (Op.Kind == EventKind::Read)
+      Absorb(Op.Writer);
+  return P;
+}
+
+bool DataStore::readIsLegal(SessionId Session, KeyId Key, TxnId Writer) {
+  if (!CachesValid)
+    rebuildCaches();
+  size_t M = Committed.size();
+  const OpenTxn &T = Open[Session];
+
+  // Gather the reads of the open transaction plus the tentative one.
+  std::vector<PendingRead> Reads;
+  for (const PendingOp &Op : T.Ops)
+    if (Op.Kind == EventKind::Read)
+      Reads.push_back({Op.Key, Op.Writer, Op.Val});
+  Reads.push_back({Key, Writer, 0});
+
+  // Arbitration edges among committed transactions induced by the open
+  // transaction's reads. The open transaction itself has no outgoing
+  // edges, so these are the only possible new cycle sources.
+  std::vector<std::pair<TxnId, TxnId>> Edges;
+  if (Opts.Level == IsolationLevel::Causal ||
+      Opts.Level == IsolationLevel::ReadAtomic) {
+    // Visibility set: committed txns hb-before (causal) or directly
+    // so/wr-before (read atomic) the open transaction, including the
+    // tentative read's writer.
+    std::vector<bool> P(M, false);
+    if (Opts.Level == IsolationLevel::Causal) {
+      P = hbPredecessors(Session);
+      P[Writer] = true;
+      for (TxnId X = 0; X < M; ++X)
+        if (X != Writer && HbClosed.test(X, Writer))
+          P[X] = true;
+    } else {
+      P[InitTxn] = true;
+      for (TxnId C = 1; C < M; ++C)
+        if (Committed[C].Session == Session)
+          P[C] = true;
+      for (const PendingOp &Op : T.Ops)
+        if (Op.Kind == EventKind::Read)
+          P[Op.Writer] = true;
+      P[Writer] = true;
+    }
+    // ww(t1, r.Writer) for every committed t1 writing r.Key visible to
+    // the open transaction.  (Eq. 2 with t3 = the open transaction)
+    for (const PendingRead &R : Reads) {
+      for (TxnId T1 = 0; T1 < M; ++T1) {
+        if (T1 == R.Writer || !P[T1])
+          continue;
+        if (T1 != InitTxn) {
+          bool WritesK = false;
+          for (const auto &[W, V] : Versions[R.Key])
+            if (W == T1) {
+              WritesK = true;
+              break;
+            }
+          if (!WritesK)
+            continue;
+        }
+        Edges.push_back({T1, R.Writer});
+      }
+    }
+  } else if (Opts.Level == IsolationLevel::ReadCommitted) {
+    // wwrc(t1, alpha.Writer) for reads beta before alpha in the open
+    // transaction where beta's writer t1 also writes alpha's key (Eq. 4).
+    for (size_t AI = 0; AI < Reads.size(); ++AI) {
+      const PendingRead &Alpha = Reads[AI];
+      for (size_t BI = 0; BI < AI; ++BI) {
+        TxnId T1 = Reads[BI].Writer;
+        if (T1 == Alpha.Writer)
+          continue;
+        if (T1 != InitTxn) {
+          bool WritesK = false;
+          for (const auto &[W, V] : Versions[Alpha.Key])
+            if (W == T1) {
+              WritesK = true;
+              break;
+            }
+          if (!WritesK)
+            continue;
+        }
+        Edges.push_back({T1, Alpha.Writer});
+      }
+    }
+  } else {
+    // Serializable: only the latest committed writer is legal.
+    return Writer == latestWriter(Key);
+  }
+
+  if (Edges.empty())
+    return true;
+  BitRel Combined = LevelClosed;
+  for (auto [A, B] : Edges) {
+    if (A == B)
+      return false; // A self-arbitration edge is an immediate cycle.
+    Combined.set(A, B);
+  }
+  return !Combined.isCyclic();
+}
+
+std::vector<TxnId> DataStore::legalWriters(SessionId Session, KeyId Key) {
+  std::vector<TxnId> Legal;
+  if (readIsLegal(Session, Key, InitTxn))
+    Legal.push_back(InitTxn);
+  for (const auto &[W, V] : Versions[Key])
+    if (readIsLegal(Session, Key, W))
+      Legal.push_back(W);
+  assert(!Legal.empty() &&
+         "some writer is always legal under causal and rc");
+  return Legal;
+}
+
+DataStore::GetResult DataStore::getImpl(SessionId Session,
+                                        const std::string &Key,
+                                        bool ForUpdate) {
+  assert(inTxn(Session) && "get outside a transaction");
+  KeyId K = internKey(Key);
+  OpenTxn &T = Open[Session];
+
+  // Read-own-write: not an event (§2.1).
+  auto WS = T.WriteSet.find(K);
+  if (WS != T.WriteSet.end())
+    return {OpStatus::Ok, WS->second};
+
+  if (Opts.Mode == StoreMode::LockingRc && ForUpdate) {
+    OpStatus St = acquireLock(Session, K);
+    if (St != OpStatus::Ok)
+      return {St, 0};
+  }
+
+  TxnId Writer = InitTxn;
+  switch (Opts.Mode) {
+  case StoreMode::SerialObserved:
+  case StoreMode::LockingRc:
+    Writer = latestWriter(K);
+    break;
+  case StoreMode::RandomWeak: {
+    std::vector<TxnId> Legal = legalWriters(Session, K);
+    Writer = Legal[Random.below(Legal.size())];
+    break;
+  }
+  case StoreMode::ControlledReplay: {
+    uint32_t ReadIndex = 0;
+    for (const PendingOp &Op : T.Ops)
+      if (Op.Kind == EventKind::Read)
+        ++ReadIndex;
+    ReadDirector::Directive Dir;
+    if (Director)
+      Dir = Director->preferredWriter(Session, T.Slot, ReadIndex, Key);
+    bool Diverged = !Dir.MatchesPrediction;
+    Writer = TxnId(-1);
+    if (Dir.Writer && !Diverged) {
+      // Conditions (2) and (3) of §5: the predicted writer must have
+      // written the key in this execution and must be legal.
+      bool Wrote = *Dir.Writer == InitTxn;
+      for (const auto &[W, V] : Versions[K])
+        if (W == *Dir.Writer)
+          Wrote = true;
+      if (Wrote && readIsLegal(Session, K, *Dir.Writer))
+        Writer = *Dir.Writer;
+      else
+        Diverged = true;
+    }
+    if (Writer == TxnId(-1)) {
+      // Fall back to the newest legal writer.
+      std::vector<TxnId> Legal = legalWriters(Session, K);
+      Writer = Legal.back();
+    }
+    if (Diverged)
+      ++Divergences;
+    break;
+  }
+  }
+
+  Value V = writtenValue(Writer, K);
+  T.Ops.push_back({EventKind::Read, K, Writer, V});
+  T.BlockedKey.reset();
+  return {OpStatus::Ok, V};
+}
+
+DataStore::GetResult DataStore::get(SessionId Session,
+                                    const std::string &Key) {
+  return getImpl(Session, Key, /*ForUpdate=*/false);
+}
+
+DataStore::GetResult DataStore::getForUpdate(SessionId Session,
+                                             const std::string &Key) {
+  return getImpl(Session, Key, /*ForUpdate=*/true);
+}
+
+DataStore::OpStatus DataStore::put(SessionId Session, const std::string &Key,
+                                   Value V) {
+  assert(inTxn(Session) && "put outside a transaction");
+  KeyId K = internKey(Key);
+  OpenTxn &T = Open[Session];
+  if (Opts.Mode == StoreMode::LockingRc) {
+    OpStatus St = acquireLock(Session, K);
+    if (St != OpStatus::Ok)
+      return St;
+  }
+  T.WriteSet[K] = V;
+  T.Ops.push_back({EventKind::Write, K, InitTxn, V});
+  T.BlockedKey.reset();
+  return OpStatus::Ok;
+}
+
+DataStore::OpStatus DataStore::acquireLock(SessionId Session, KeyId Key) {
+  SessionId Owner = LockOwner[Key];
+  if (Owner == Session)
+    return OpStatus::Ok;
+  if (Owner != NoSession) {
+    Open[Session].BlockedKey = Key;
+    return OpStatus::WouldBlock;
+  }
+  LockOwner[Key] = Session;
+  Open[Session].LocksHeld.push_back(Key);
+  return OpStatus::Ok;
+}
+
+void DataStore::releaseLocks(SessionId Session) {
+  for (KeyId K : Open[Session].LocksHeld)
+    if (LockOwner[K] == Session)
+      LockOwner[K] = NoSession;
+  Open[Session].LocksHeld.clear();
+}
+
+std::optional<std::string> DataStore::blockedOn(SessionId Session) const {
+  if (Session >= Open.size() || !Open[Session].BlockedKey)
+    return std::nullopt;
+  return Keys.name(*Open[Session].BlockedKey);
+}
+
+std::optional<SessionId>
+DataStore::lockOwnerOfBlockedKey(SessionId Session) const {
+  if (Session >= Open.size() || !Open[Session].BlockedKey)
+    return std::nullopt;
+  SessionId Owner = LockOwner[*Open[Session].BlockedKey];
+  if (Owner == NoSession || Owner == Session)
+    return std::nullopt;
+  return Owner;
+}
+
+TxnId DataStore::commitTxn(SessionId Session) {
+  assert(inTxn(Session) && "commit outside a transaction");
+  OpenTxn &T = Open[Session];
+
+  Transaction Txn;
+  Txn.Id = static_cast<TxnId>(Committed.size());
+  Txn.Session = Session;
+  Txn.Slot = T.Slot;
+  uint32_t Index = 0;
+  for (const Transaction &Prev : Committed)
+    if (Prev.Session == Session)
+      ++Index;
+  Txn.IndexInSession = Index;
+  Txn.StartPos = NextPos[Session];
+
+  // Materialize events: every read, and only the last write per key.
+  for (size_t I = 0; I < T.Ops.size(); ++I) {
+    const PendingOp &Op = T.Ops[I];
+    if (Op.Kind == EventKind::Write) {
+      bool IsLast = true;
+      for (size_t J = I + 1; J < T.Ops.size(); ++J)
+        if (T.Ops[J].Kind == EventKind::Write && T.Ops[J].Key == Op.Key) {
+          IsLast = false;
+          break;
+        }
+      if (!IsLast)
+        continue;
+    }
+    Event E;
+    E.Kind = Op.Kind;
+    E.Key = Op.Key;
+    E.Pos = NextPos[Session]++;
+    E.Writer = Op.Writer;
+    E.Val = Op.Kind == EventKind::Write ? T.WriteSet.at(Op.Key) : Op.Val;
+    if (Op.Kind == EventKind::Read)
+      ++NumReads;
+    else
+      ++NumWrites;
+    Txn.Events.push_back(E);
+  }
+  Txn.EndPos = NextPos[Session]++;
+  if (Txn.Events.empty())
+    Txn.StartPos = Txn.EndPos;
+
+  for (const Event &E : Txn.Events)
+    if (E.Kind == EventKind::Write)
+      Versions[E.Key].push_back({Txn.Id, E.Val});
+
+  SlotMap[{Session, T.Slot}] = Txn.Id;
+  TxnId Id = Txn.Id;
+  Committed.push_back(std::move(Txn));
+  releaseLocks(Session);
+  T = OpenTxn();
+  CachesValid = false;
+  return Id;
+}
+
+void DataStore::rollbackTxn(SessionId Session) {
+  assert(inTxn(Session) && "rollback outside a transaction");
+  releaseLocks(Session);
+  Open[Session] = OpenTxn();
+}
+
+History DataStore::history() const {
+  History H;
+  H.Txns = Committed;
+  H.Keys = Keys;
+  H.DeclaredSessions = static_cast<uint32_t>(Open.size());
+  H.finalize();
+  return H;
+}
+
+std::optional<TxnId> DataStore::txnForSlot(SessionId Session,
+                                           uint32_t Slot) const {
+  auto It = SlotMap.find({Session, Slot});
+  if (It == SlotMap.end())
+    return std::nullopt;
+  return It->second;
+}

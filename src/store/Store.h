@@ -1,0 +1,251 @@
+//===- Store.h - Transactional key-value data store -----------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data store substrate: a transactional key-value store in the style
+/// of MonkeyDB [Biswas et al., OOPSLA'21], which the paper extends for
+/// trace recording and validation replay (§6). Transactions execute one
+/// at a time; weak behaviour comes from *which committed write each read
+/// observes*, governed by the Biswas–Enea axioms for the configured
+/// isolation level.
+///
+/// Execution modes:
+///  - SerialObserved:  every read returns the latest committed write.
+///    Executions are serializable; this produces the *observed* histories
+///    that feed IsoPredict's predictive analysis.
+///  - RandomWeak:      every read returns a uniformly random *legal*
+///    writer under the configured weak isolation level (causal or rc).
+///    This is MonkeyDB's testing mode (§7.3).
+///  - ControlledReplay: a ReadDirector supplies the writer each read
+///    should observe (the predicted wr relation); illegal or impossible
+///    directives are recorded as divergence and replaced by the latest
+///    legal writer. This is the validation query engine (§5).
+///  - LockingRc:       write locks held to commit + read-latest-committed,
+///    the substitution for the paper's MySQL-in-rc-mode baseline
+///    (Table 7). Requires the stepping runner for real interleaving.
+///
+/// Read legality is checked incrementally: the open transaction has no
+/// outgoing edges (nothing can read from it before commit), so adding a
+/// read can only create cycles through new arbitration edges among
+/// *committed* transactions; those are checked against a cached closure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_STORE_STORE_H
+#define ISOPREDICT_STORE_STORE_H
+
+#include "checker/Checkers.h"
+#include "history/BitRel.h"
+#include "history/History.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+
+enum class StoreMode { SerialObserved, RandomWeak, ControlledReplay,
+                       LockingRc };
+
+/// Supplies the predicted writer for each read during validation replay.
+class ReadDirector {
+public:
+  virtual ~ReadDirector();
+
+  struct Directive {
+    /// Writer the predicted execution read from (a store txn id), if the
+    /// read has a matching predicted read.
+    std::optional<TxnId> Writer;
+    /// False when the validating execution's read has no corresponding
+    /// predicted read (condition (1) of §5) — counted as divergence.
+    bool MatchesPrediction = true;
+  };
+
+  /// \p ReadIndex is the ordinal of this read within the open transaction.
+  virtual Directive preferredWriter(SessionId Session, uint32_t Slot,
+                                    uint32_t ReadIndex,
+                                    const std::string &Key) = 0;
+};
+
+/// The transactional key-value store.
+class DataStore {
+public:
+  struct Options {
+    StoreMode Mode = StoreMode::SerialObserved;
+    /// Isolation level governing read legality in RandomWeak and
+    /// ControlledReplay modes. Ignored by SerialObserved and LockingRc.
+    IsolationLevel Level = IsolationLevel::Causal;
+    uint64_t Seed = 1;
+  };
+
+  explicit DataStore(const Options &Opts);
+
+  //===--------------------------------------------------------------------===
+  // Setup
+  //===--------------------------------------------------------------------===
+
+  /// Sets the initial value of \p Key, attributed to t0. Keys never set
+  /// default to 0.
+  void setInitial(const std::string &Key, Value V);
+
+  /// Opens a client session and returns its id.
+  SessionId openSession();
+
+  /// Installs the validation read director (ControlledReplay mode).
+  void setDirector(ReadDirector *D) { Director = D; }
+
+  //===--------------------------------------------------------------------===
+  // Transactional operations
+  //===--------------------------------------------------------------------===
+
+  /// Begins a transaction on \p Session, labeled with the application
+  /// script slot \p Slot (used to match transactions across replays).
+  void beginTxn(SessionId Session, uint32_t Slot);
+
+  /// Outcome of a get/put in LockingRc mode; weak modes never block.
+  enum class OpStatus { Ok, WouldBlock, DeadlockAbort };
+
+  struct GetResult {
+    OpStatus Status = OpStatus::Ok;
+    Value Val = 0;
+  };
+
+  /// Reads \p Key. A pending write of the open transaction is returned
+  /// directly (and produces no event, §2.1); otherwise a committed writer
+  /// is chosen per the mode and a read event is recorded.
+  GetResult get(SessionId Session, const std::string &Key);
+
+  /// Like get, but in LockingRc mode acquires the key's write lock first
+  /// (the analogue of SELECT ... FOR UPDATE / atomic UPDATE).
+  GetResult getForUpdate(SessionId Session, const std::string &Key);
+
+  /// Buffers a write of \p Key (visible to later reads of this txn).
+  OpStatus put(SessionId Session, const std::string &Key, Value V);
+
+  /// Commits the open transaction; returns its id.
+  TxnId commitTxn(SessionId Session);
+
+  /// Discards the open transaction (application rollback or deadlock).
+  void rollbackTxn(SessionId Session);
+
+  /// True if \p Session has an open transaction.
+  bool inTxn(SessionId Session) const;
+
+  //===--------------------------------------------------------------------===
+  // Lock introspection (LockingRc stepping runner)
+  //===--------------------------------------------------------------------===
+
+  /// Key the session is blocked on, if any (set when an op returned
+  /// WouldBlock).
+  std::optional<std::string> blockedOn(SessionId Session) const;
+
+  /// Owner of the lock \p Session is blocked on, for wait-for deadlock
+  /// detection. std::nullopt when \p Session is not blocked or the lock
+  /// has since been released.
+  std::optional<SessionId> lockOwnerOfBlockedKey(SessionId Session) const;
+
+  /// True when the store was built in LockingRc mode (the runner then
+  /// interleaves at operation granularity).
+  bool isLockingMode() const { return Opts.Mode == StoreMode::LockingRc; }
+
+  //===--------------------------------------------------------------------===
+  // Results
+  //===--------------------------------------------------------------------===
+
+  /// Snapshot of the committed history (finalized copy).
+  History history() const;
+
+  /// Store txn id of the committed transaction at (Session, Slot), if it
+  /// committed.
+  std::optional<TxnId> txnForSlot(SessionId Session, uint32_t Slot) const;
+
+  /// Number of reads whose ControlledReplay directive could not be
+  /// honored (§5 divergence), plus directives with MatchesPrediction
+  /// false.
+  unsigned divergenceCount() const { return Divergences; }
+
+  /// Total read / write events recorded in committed transactions.
+  unsigned committedReads() const { return NumReads; }
+  unsigned committedWrites() const { return NumWrites; }
+
+private:
+  struct PendingRead {
+    KeyId Key;
+    TxnId Writer;
+    Value Val;
+  };
+  struct PendingOp {
+    EventKind Kind;
+    KeyId Key;
+    TxnId Writer; ///< Reads only.
+    Value Val;
+  };
+  struct OpenTxn {
+    bool Active = false;
+    uint32_t Slot = 0;
+    std::vector<PendingOp> Ops;       ///< Program order (for wwrc).
+    std::map<KeyId, Value> WriteSet;  ///< Latest pending value per key.
+    std::vector<KeyId> LocksHeld;     ///< LockingRc mode.
+    std::optional<KeyId> BlockedKey;  ///< LockingRc mode.
+  };
+
+  Options Opts;
+  Rng Random;
+  ReadDirector *Director = nullptr;
+
+  KeyTable Keys;
+  std::vector<Value> Initial; ///< Indexed by KeyId; grows on intern.
+
+  /// Committed transactions (index 0 is t0 with no explicit events).
+  std::vector<Transaction> Committed;
+  /// Per key: committed writers in commit order with their values.
+  std::vector<std::vector<std::pair<TxnId, Value>>> Versions;
+  /// (Session, Slot) -> committed txn id.
+  std::map<std::pair<SessionId, uint32_t>, TxnId> SlotMap;
+
+  std::vector<OpenTxn> Open;      ///< Indexed by session.
+  std::vector<uint32_t> NextPos;  ///< Per-session position counters.
+
+  /// Cached closures over committed transactions, rebuilt on commit:
+  /// HbClosed = (so ∪ wr)+ and LevelClosed = (hb ∪ ww_level)+.
+  BitRel HbClosed;
+  BitRel LevelClosed;
+  bool CachesValid = false;
+
+  /// Per-key lock owner (LockingRc); NoSession when free.
+  std::vector<SessionId> LockOwner;
+
+  unsigned Divergences = 0;
+  unsigned NumReads = 0;
+  unsigned NumWrites = 0;
+
+  KeyId internKey(const std::string &Key);
+  Value writtenValue(TxnId Writer, KeyId Key) const;
+  TxnId latestWriter(KeyId Key) const;
+
+  /// Committed writers of \p Key whose observation by the open txn of
+  /// \p Session keeps the history valid under Opts.Level.
+  std::vector<TxnId> legalWriters(SessionId Session, KeyId Key);
+
+  /// True if the open txn of \p Session may read \p Key from \p Writer.
+  bool readIsLegal(SessionId Session, KeyId Key, TxnId Writer);
+
+  void rebuildCaches();
+  GetResult getImpl(SessionId Session, const std::string &Key,
+                    bool ForUpdate);
+  OpStatus acquireLock(SessionId Session, KeyId Key);
+  void releaseLocks(SessionId Session);
+
+  /// Committed txns hb-before the open txn of \p Session (bitset over
+  /// committed ids).
+  std::vector<bool> hbPredecessors(SessionId Session) const;
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_STORE_STORE_H

@@ -1,0 +1,38 @@
+//===- Env.cpp - Environment-variable configuration helpers ---*- C++ -*-===//
+
+#include "support/Env.h"
+#include "support/StrUtil.h"
+
+#include <chrono>
+#include <cstdlib>
+
+using namespace isopredict;
+
+int64_t isopredict::envInt(const char *Name, int64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V)
+    return Default;
+  auto Parsed = parseInt(V);
+  return Parsed ? *Parsed : Default;
+}
+
+std::string isopredict::envString(const char *Name,
+                                  const std::string &Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::string(V) : Default;
+}
+
+static uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Timer::Timer() : StartNs(nowNs()) {}
+
+double Timer::seconds() const {
+  return static_cast<double>(nowNs() - StartNs) * 1e-9;
+}
+
+void Timer::reset() { StartNs = nowNs(); }

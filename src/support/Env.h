@@ -1,0 +1,45 @@
+//===- Env.h - Environment-variable configuration helpers -----*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reading experiment knobs from the environment. The bench harnesses use
+/// these so the default `for b in build/bench/*; do $b; done` run finishes
+/// quickly while ISOPREDICT_SEEDS / ISOPREDICT_TIMEOUT_MS allow scaling a
+/// run up to the paper's full configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SUPPORT_ENV_H
+#define ISOPREDICT_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace isopredict {
+
+/// Returns the integer value of environment variable \p Name, or
+/// \p Default when unset or unparsable.
+int64_t envInt(const char *Name, int64_t Default);
+
+/// Returns the string value of environment variable \p Name, or
+/// \p Default when unset.
+std::string envString(const char *Name, const std::string &Default);
+
+/// A monotonic wall-clock timer for the gen-time / solve-time columns.
+class Timer {
+public:
+  Timer();
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const;
+  void reset();
+
+private:
+  uint64_t StartNs;
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_SUPPORT_ENV_H

@@ -1,0 +1,14 @@
+//===- Rng.cpp - Deterministic random number generation -------*- C++ -*-===//
+
+#include "support/Rng.h"
+
+using namespace isopredict;
+
+Rng Rng::split(uint64_t Salt) const {
+  // Mix the salt through one SplitMix64 step so children with adjacent
+  // salts are uncorrelated.
+  uint64_t Z = State + Salt * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL;
+  Z = (Z ^ (Z >> 33)) * 0xff51afd7ed558ccdULL;
+  Z = (Z ^ (Z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return Rng(Z ^ (Z >> 33));
+}

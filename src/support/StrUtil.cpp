@@ -1,0 +1,70 @@
+//===- StrUtil.cpp - Small string helpers ---------------------*- C++ -*-===//
+
+#include "support/StrUtil.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace isopredict;
+
+std::vector<std::string_view> isopredict::splitString(std::string_view Text,
+                                                      char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view isopredict::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::optional<int64_t> isopredict::parseInt(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  std::string Buf(Text);
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Buf.c_str(), &End, 10);
+  if (errno != 0 || End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return static_cast<int64_t>(V);
+}
+
+bool isopredict::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string isopredict::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Args2;
+  va_copy(Args2, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len));
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args2);
+  }
+  va_end(Args2);
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- TablePrinter.cpp - Aligned text table output -----------*- C++ -*-===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace isopredict;
+
+static const char SeparatorSentinel[] = "\x01";
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::addSeparator() {
+  Rows.push_back({SeparatorSentinel});
+}
+
+void TablePrinter::print(FILE *Out) const {
+  // Compute column widths over the header and all data rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    if (!(Row.size() == 1 && Row[0] == SeparatorSentinel))
+      Grow(Row);
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      if (I == 0)
+        std::fprintf(Out, "%-*s  ", static_cast<int>(Widths[I]), Cell.c_str());
+      else
+        std::fprintf(Out, "%*s  ", static_cast<int>(Widths[I]), Cell.c_str());
+    }
+    std::fprintf(Out, "\n");
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    for (size_t I = 0; I < Total; ++I)
+      std::fputc('-', Out);
+    std::fputc('\n', Out);
+  }
+  for (const auto &Row : Rows) {
+    if (Row.size() == 1 && Row[0] == SeparatorSentinel) {
+      for (size_t I = 0; I < Total; ++I)
+        std::fputc('-', Out);
+      std::fputc('\n', Out);
+      continue;
+    }
+    PrintRow(Row);
+  }
+}

@@ -1,0 +1,46 @@
+//===- TablePrinter.h - Aligned text table output -------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-layout text tables used by the bench harnesses to print rows in
+/// the same layout as the paper's Tables 3-7. Columns are sized to the
+/// widest cell; cells are right-aligned except the first column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SUPPORT_TABLEPRINTER_H
+#define ISOPREDICT_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// Sets the header row (printed with a separator line underneath).
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; rows may be ragged (short rows are padded).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal separator at the current position.
+  void addSeparator();
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(FILE *Out = stdout) const;
+
+private:
+  std::vector<std::string> Header;
+  // A row with the single sentinel cell "\x01" renders as a separator.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_SUPPORT_TABLEPRINTER_H

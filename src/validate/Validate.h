@@ -1,0 +1,70 @@
+//===- Validate.h - Validation of predicted executions --------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IsoPredict's validation component (§5): replays the application on a
+/// controlled query engine that steers every read toward the predicted
+/// writer, executing whole transactions in an order consistent with the
+/// predicted happens-before relation, and then checks whether the
+/// resulting *validating execution* is unserializable.
+///
+/// The validating execution is always feasible and valid under the weak
+/// isolation level (the query engine only ever picks legal writers); it
+/// may *diverge* from the prediction when application control flow
+/// changes, a predicted writer did not commit, or the predicted read is
+/// illegal at replay time — divergence is reported but does not by
+/// itself fail validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_VALIDATE_VALIDATE_H
+#define ISOPREDICT_VALIDATE_VALIDATE_H
+
+#include "apps/AppFramework.h"
+#include "predict/Predict.h"
+
+namespace isopredict {
+
+/// Outcome of validating one prediction.
+struct ValidationResult {
+  enum class Status {
+    /// The validating execution is unserializable: the prediction is a
+    /// real, feasible, weak-isolation-valid unserializable behaviour.
+    ValidatedUnserializable,
+    /// The validating execution turned out serializable (a false
+    /// prediction, e.g. caused by a divergent abort; §4.5).
+    Serializable,
+    /// The serializability check timed out.
+    Unknown,
+    /// predict() produced no prediction to validate.
+    NoPrediction,
+  };
+
+  Status St = Status::NoPrediction;
+  /// True when any read could not match the predicted execution (§5).
+  bool Diverged = false;
+  /// The validating execution's history.
+  History Validating;
+  /// Assertion failures and abort counts from the replay.
+  RunResult Run;
+};
+
+const char *toString(ValidationResult::Status St);
+
+/// Validates \p Pred (produced from \p Observed, which \p App generated
+/// under \p Cfg) by replaying \p App on a ControlledReplay store at
+/// isolation level \p Level. \p TimeoutMs bounds the final
+/// serializability check.
+ValidationResult validatePrediction(Application &App,
+                                    const WorkloadConfig &Cfg,
+                                    const History &Observed,
+                                    const Prediction &Pred,
+                                    IsolationLevel Level,
+                                    unsigned TimeoutMs = 0);
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_VALIDATE_VALIDATE_H

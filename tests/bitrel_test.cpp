@@ -1,0 +1,141 @@
+//===- bitrel_test.cpp - Dense relation algebra tests ---------*- C++ -*-===//
+
+#include "history/BitRel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+
+TEST(BitRel, SetTestClear) {
+  BitRel R(70); // Spans two 64-bit words per row.
+  R.set(0, 69);
+  R.set(69, 0);
+  EXPECT_TRUE(R.test(0, 69));
+  EXPECT_TRUE(R.test(69, 0));
+  EXPECT_FALSE(R.test(0, 68));
+  R.clear(0, 69);
+  EXPECT_FALSE(R.test(0, 69));
+  EXPECT_EQ(R.countEdges(), 1u);
+}
+
+TEST(BitRel, ClosureChain) {
+  BitRel R(5);
+  for (size_t I = 0; I + 1 < 5; ++I)
+    R.set(I, I + 1);
+  R.closeTransitively();
+  for (size_t I = 0; I < 5; ++I)
+    for (size_t J = 0; J < 5; ++J)
+      EXPECT_EQ(R.test(I, J), I < J) << I << "," << J;
+  EXPECT_FALSE(R.hasCycleClosed());
+}
+
+TEST(BitRel, CycleDetection) {
+  BitRel R(4);
+  R.set(0, 1);
+  R.set(1, 2);
+  R.set(2, 0);
+  EXPECT_TRUE(R.isCyclic());
+  auto Cycle = R.findCycle();
+  ASSERT_TRUE(Cycle.has_value());
+  EXPECT_EQ(Cycle->size(), 3u);
+  // Each consecutive pair (and the wrap-around) must be an edge.
+  for (size_t I = 0; I < Cycle->size(); ++I)
+    EXPECT_TRUE(R.test((*Cycle)[I], (*Cycle)[(I + 1) % Cycle->size()]));
+}
+
+TEST(BitRel, SelfLoopIsACycle) {
+  BitRel R(3);
+  R.set(1, 1);
+  auto Cycle = R.findCycle();
+  ASSERT_TRUE(Cycle.has_value());
+  EXPECT_EQ(*Cycle, std::vector<uint32_t>{1});
+}
+
+TEST(BitRel, TopoOrderRespectsEdges) {
+  BitRel R(6);
+  R.set(5, 0);
+  R.set(0, 3);
+  R.set(3, 1);
+  auto Order = R.topoOrder();
+  ASSERT_TRUE(Order.has_value());
+  std::vector<uint32_t> Pos(6);
+  for (uint32_t I = 0; I < 6; ++I)
+    Pos[(*Order)[I]] = I;
+  EXPECT_LT(Pos[5], Pos[0]);
+  EXPECT_LT(Pos[0], Pos[3]);
+  EXPECT_LT(Pos[3], Pos[1]);
+}
+
+TEST(BitRel, TopoOrderFailsOnCycle) {
+  BitRel R(3);
+  R.set(0, 1);
+  R.set(1, 0);
+  EXPECT_FALSE(R.topoOrder().has_value());
+}
+
+TEST(BitRel, UnionWith) {
+  BitRel A(4), B(4);
+  A.set(0, 1);
+  B.set(2, 3);
+  A.unionWith(B);
+  EXPECT_TRUE(A.test(0, 1));
+  EXPECT_TRUE(A.test(2, 3));
+}
+
+namespace {
+class BitRelRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Reference reachability by DFS, for cross-checking Warshall.
+bool reaches(const BitRel &R, size_t From, size_t To) {
+  std::vector<bool> Seen(R.size(), false);
+  std::vector<size_t> Stack = {From};
+  while (!Stack.empty()) {
+    size_t V = Stack.back();
+    Stack.pop_back();
+    for (size_t J = 0; J < R.size(); ++J) {
+      if (!R.test(V, J) || Seen[J])
+        continue;
+      if (J == To)
+        return true;
+      Seen[J] = true;
+      Stack.push_back(J);
+    }
+  }
+  return false;
+}
+} // namespace
+
+TEST_P(BitRelRandomTest, ClosureMatchesDfsReachability) {
+  Rng R(GetParam());
+  size_t N = 8 + R.below(8);
+  BitRel Rel(N);
+  size_t Edges = N + R.below(2 * N);
+  for (size_t I = 0; I < Edges; ++I)
+    Rel.set(R.below(N), R.below(N));
+
+  BitRel Closed = Rel;
+  Closed.closeTransitively();
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      EXPECT_EQ(Closed.test(I, J), reaches(Rel, I, J))
+          << I << "->" << J << " seed " << GetParam();
+}
+
+TEST_P(BitRelRandomTest, FindCycleAgreesWithIsCyclic) {
+  Rng R(GetParam() * 31 + 1);
+  size_t N = 6 + R.below(10);
+  BitRel Rel(N);
+  for (size_t I = 0; I < N + R.below(N); ++I)
+    Rel.set(R.below(N), R.below(N));
+  auto Cycle = Rel.findCycle();
+  EXPECT_EQ(Cycle.has_value(), Rel.isCyclic());
+  if (Cycle) {
+    for (size_t I = 0; I < Cycle->size(); ++I)
+      EXPECT_TRUE(
+          Rel.test((*Cycle)[I], (*Cycle)[(I + 1) % Cycle->size()]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitRelRandomTest,
+                         ::testing::Range<uint64_t>(1, 26));

@@ -1,0 +1,180 @@
+//===- history_test.cpp - History model and trace IO tests ----*- C++ -*-===//
+
+#include "history/Dot.h"
+#include "history/History.h"
+#include "history/TraceIO.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+using namespace isopredict::testutil;
+
+TEST(History, BuilderAssignsPositionsPerSession) {
+  HistoryBuilder B(2);
+  TxnId T1 = B.beginTxn(0);
+  B.read("x", InitTxn);
+  B.write("y", 1);
+  B.commit();
+  TxnId T2 = B.beginTxn(1);
+  B.write("x", 2);
+  B.commit();
+  History H = B.finish();
+
+  // Session 0: read at 1, write at 2, commit at 3. Session 1 starts its
+  // own numbering.
+  EXPECT_EQ(H.txn(T1).Events[0].Pos, 1u);
+  EXPECT_EQ(H.txn(T1).Events[1].Pos, 2u);
+  EXPECT_EQ(H.txn(T1).EndPos, 3u);
+  EXPECT_EQ(H.txn(T2).Events[0].Pos, 1u);
+  EXPECT_EQ(H.txn(T2).EndPos, 2u);
+}
+
+TEST(History, OnlyLastWriteIsAnEvent) {
+  HistoryBuilder B(1);
+  B.beginTxn(0);
+  B.write("x", 1);
+  B.write("x", 2);
+  B.commit();
+  History H = B.finish();
+  ASSERT_EQ(H.txn(1).Events.size(), 1u);
+  EXPECT_EQ(H.txn(1).Events[0].Val, 2);
+  EXPECT_EQ(H.wrPos(1, H.keys().lookup("x")), H.txn(1).Events[0].Pos);
+}
+
+TEST(History, SessionOrderAndT0) {
+  History H = depositObserved();
+  EXPECT_TRUE(H.so(InitTxn, 1));
+  EXPECT_TRUE(H.so(InitTxn, 2));
+  EXPECT_FALSE(H.so(1, 2)) << "different sessions are not so-ordered";
+  EXPECT_FALSE(H.so(1, 1));
+
+  HistoryBuilder B(1);
+  TxnId A = B.beginTxn(0);
+  B.commit();
+  TxnId C = B.beginTxn(0);
+  B.commit();
+  History H2 = B.finish();
+  EXPECT_TRUE(H2.so(A, C));
+  EXPECT_FALSE(H2.so(C, A));
+}
+
+TEST(History, WritersIncludeT0First) {
+  History H = depositObserved();
+  KeyId Acct = H.keys().lookup("acct");
+  ASSERT_NE(Acct, KeyTable::InvalidKey);
+  const std::vector<TxnId> &W = H.writersOf(Acct);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W[0], InitTxn);
+  EXPECT_TRUE(H.writesKey(InitTxn, Acct)) << "t0 writes every key";
+}
+
+TEST(History, WrRelationFollowsReads) {
+  History H = depositObserved();
+  EXPECT_TRUE(H.wr(InitTxn, 1));
+  EXPECT_TRUE(H.wr(1, 2));
+  EXPECT_FALSE(H.wr(2, 1));
+}
+
+TEST(History, RdPosAndReadAt) {
+  History H = crossReadObserved();
+  TxnId Reader = 3; // reads y
+  KeyId Y = H.keys().lookup("y");
+  std::vector<uint32_t> Pos = H.rdPos(Reader, Y);
+  ASSERT_EQ(Pos.size(), 1u);
+  const Event *E = H.readAt(Reader, Pos[0]);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Key, Y);
+  EXPECT_EQ(H.readAt(Reader, 9999), nullptr);
+}
+
+TEST(History, TxnAtPosFindsContainingTransaction) {
+  History H = bankDivergenceObserved();
+  // Session 1 has txns t2 and t3.
+  const Transaction *T = H.txnAtPos(1, H.txn(2).Events[0].Pos);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Id, 2u);
+  T = H.txnAtPos(1, H.txn(3).EndPos);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Id, 3u);
+}
+
+TEST(History, DeclaredSessionsSurviveEmptySessions) {
+  HistoryBuilder B(3);
+  B.beginTxn(0);
+  B.commit();
+  History H = B.finish();
+  EXPECT_EQ(H.numSessions(), 3u);
+}
+
+//===----------------------------------------------------------------------===
+// Trace round trips
+//===----------------------------------------------------------------------===
+
+TEST(TraceIO, RoundTripPreservesStructure) {
+  for (const History &H :
+       {depositObserved(), depositUnserializable(), crossReadObserved(),
+        bankDivergenceObserved()}) {
+    std::string Text = writeTrace(H);
+    std::string Error;
+    auto Parsed = readTrace(Text, &Error);
+    ASSERT_TRUE(Parsed.has_value()) << Error;
+    EXPECT_EQ(writeTrace(*Parsed), Text);
+    EXPECT_EQ(Parsed->numTxns(), H.numTxns());
+    EXPECT_EQ(Parsed->numSessions(), H.numSessions());
+  }
+}
+
+TEST(TraceIO, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(readTrace("", &Error).has_value());
+  EXPECT_FALSE(readTrace("txn 0\ncommit\n", &Error).has_value())
+      << "missing history directive";
+  EXPECT_FALSE(readTrace("history 1\nread x 0 0\n", &Error).has_value())
+      << "read outside txn";
+  EXPECT_FALSE(
+      readTrace("history 1\ntxn 0\nread x 5 0\ncommit\n", &Error)
+          .has_value())
+      << "writer id referencing a future transaction";
+  EXPECT_FALSE(readTrace("history 1\ntxn 0\nwrite x\ncommit\n", &Error)
+                   .has_value())
+      << "write missing value";
+  EXPECT_FALSE(readTrace("history 1\ntxn 0\nread x 0 0\n", &Error)
+                   .has_value())
+      << "trace ends inside a transaction";
+  EXPECT_FALSE(readTrace("history 1\nfrobnicate\n", &Error).has_value());
+}
+
+TEST(TraceIO, CommentsAndBlankLinesIgnored) {
+  const char *Text = "# a comment\nhistory 1\n\ntxn 0\n# inner\nwrite x 1\n"
+                     "commit\n";
+  auto Parsed = readTrace(Text);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->numTxns(), 2u);
+}
+
+TEST(TraceIO, SlotsRoundTrip) {
+  HistoryBuilder B(1);
+  B.beginTxn(0, /*Slot=*/5);
+  B.write("x", 1);
+  B.commit();
+  History H = B.finish();
+  auto Parsed = readTrace(writeTrace(H));
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->txn(1).Slot, 5u);
+}
+
+//===----------------------------------------------------------------------===
+// DOT export
+//===----------------------------------------------------------------------===
+
+TEST(Dot, ContainsNodesAndEdges) {
+  History H = depositObserved();
+  std::string Dot = writeDot(H, {{1, 2, "rw_acct", "red", true}}, "test");
+  EXPECT_NE(Dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(Dot.find("t0"), std::string::npos);
+  EXPECT_NE(Dot.find("wr_acct"), std::string::npos);
+  EXPECT_NE(Dot.find("rw_acct"), std::string::npos);
+  EXPECT_NE(Dot.find("color=red"), std::string::npos);
+  EXPECT_NE(Dot.find("read(acct): 0"), std::string::npos);
+}

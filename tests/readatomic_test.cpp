@@ -1,0 +1,130 @@
+//===- readatomic_test.cpp - Read Atomic extension tests ------*- C++ -*-===//
+//
+// The paper names read atomic (repeated reads) as a straightforward
+// extension of IsoPredict (§8); this reproduction implements it across
+// the checker, the store's read legality, and the predictive encoder.
+// Strength ordering: serializable > causal > read atomic > rc.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppFramework.h"
+#include "checker/Checkers.h"
+#include "predict/Predict.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+using namespace isopredict::testutil;
+
+TEST(ReadAtomic, FracturedReadIsNotReadAtomic) {
+  // Reading t1's x but the initial y (both written by t1) in one
+  // transaction violates atomic visibility, in either read order.
+  HistoryBuilder B(2);
+  TxnId T1 = B.beginTxn(0);
+  B.write("x", 1);
+  B.write("y", 1);
+  B.commit();
+  B.beginTxn(1);
+  B.read("y", InitTxn, 0);
+  B.read("x", T1, 1);
+  B.commit();
+  History H = B.finish();
+  EXPECT_FALSE(isReadAtomic(H));
+  EXPECT_TRUE(isReadCommitted(H)) << "old-then-new is rc";
+}
+
+TEST(ReadAtomic, SessionsNeedNotBeMonotonic) {
+  // Unlike causal, read atomic allows a session to read t1's write and
+  // *later* (in another transaction) read the initial state.
+  HistoryBuilder B(2);
+  TxnId T1 = B.beginTxn(0);
+  B.write("x", 1);
+  B.commit();
+  B.beginTxn(1);
+  B.read("x", T1, 1);
+  B.commit();
+  B.beginTxn(1);
+  B.read("x", InitTxn, 0);
+  B.commit();
+  History H = B.finish();
+  EXPECT_TRUE(isReadAtomic(H));
+  EXPECT_FALSE(isCausal(H));
+  EXPECT_EQ(checkSerializableSmt(H), SerResult::Unserializable);
+}
+
+TEST(ReadAtomic, CannedHistoriesRespectStrengthOrdering) {
+  for (const History &H :
+       {depositObserved(), depositUnserializable(), crossReadObserved(),
+        bankDivergenceObserved(), selfJustifyTrap()}) {
+    if (isCausal(H)) {
+      EXPECT_TRUE(isReadAtomic(H));
+    }
+    if (isReadAtomic(H)) {
+      EXPECT_TRUE(isReadCommitted(H));
+    }
+  }
+}
+
+TEST(ReadAtomic, PredictsTheDepositExample) {
+  // Figure 3a is causal and hence read atomic; prediction under the
+  // read-atomic level must find it too.
+  History H = depositObserved();
+  PredictOptions Opts;
+  Opts.Level = IsolationLevel::ReadAtomic;
+  Opts.Strat = Strategy::ApproxRelaxed;
+  Opts.TimeoutMs = 60000;
+  Prediction P = predict(H, Opts);
+  ASSERT_EQ(P.Result, SmtResult::Sat);
+  EXPECT_TRUE(isReadAtomic(P.Predicted));
+  EXPECT_EQ(checkSerializableSmt(P.Predicted), SerResult::Unserializable);
+}
+
+TEST(ReadAtomic, SingleWriterPredictsUnlikeCausal) {
+  // The footnote-5 impossibility is causal-specific: with one writing
+  // transaction, read atomic still admits the non-monotonic-session
+  // prediction (a later transaction flips to the initial state).
+  HistoryBuilder B(2);
+  TxnId TW = B.beginTxn(0);
+  B.write("v", 1);
+  B.commit();
+  B.beginTxn(1);
+  B.read("v", TW, 1);
+  B.commit();
+  B.beginTxn(1);
+  B.read("v", TW, 1);
+  B.commit();
+  History H = B.finish();
+
+  PredictOptions Causal;
+  Causal.Level = IsolationLevel::Causal;
+  Causal.Strat = Strategy::ApproxStrict;
+  Causal.TimeoutMs = 60000;
+  EXPECT_EQ(predict(H, Causal).Result, SmtResult::Unsat);
+
+  PredictOptions Ra = Causal;
+  Ra.Level = IsolationLevel::ReadAtomic;
+  Prediction P = predict(H, Ra);
+  ASSERT_EQ(P.Result, SmtResult::Sat);
+  EXPECT_TRUE(isReadAtomic(P.Predicted));
+  EXPECT_EQ(checkSerializableSmt(P.Predicted), SerResult::Unserializable);
+}
+
+namespace {
+class RaStoreTest : public ::testing::TestWithParam<uint64_t> {};
+} // namespace
+
+TEST_P(RaStoreTest, RandomWeakRunsAreReadAtomic) {
+  auto App = makeApplication("smallbank");
+  WorkloadConfig Cfg = WorkloadConfig::small(GetParam());
+  DataStore::Options O;
+  O.Mode = StoreMode::RandomWeak;
+  O.Level = IsolationLevel::ReadAtomic;
+  O.Seed = GetParam() * 977;
+  DataStore Store(O);
+  RunResult R = WorkloadRunner::run(*App, Store, Cfg);
+  EXPECT_TRUE(isReadAtomic(R.Hist)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaStoreTest,
+                         ::testing::Range<uint64_t>(1, 13));

@@ -1,0 +1,140 @@
+//===- smt_test.cpp - Z3 wrapper tests ------------------------*- C++ -*-===//
+
+#include "smt/Smt.h"
+
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+
+TEST(Smt, TrivialSatAndModel) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr X = Ctx.intVar("x");
+  SmtExpr B = Ctx.boolVar("b");
+  Solver.add(Ctx.mkEq(X, Ctx.intVal(41)));
+  Solver.add(B);
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.modelInt(X), 41);
+  EXPECT_TRUE(Solver.modelBool(B));
+}
+
+TEST(Smt, Contradiction) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr B = Ctx.boolVar("b");
+  Solver.add(B);
+  Solver.add(Ctx.mkNot(B));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST(Smt, EmptyConnectives) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  Solver.add(Ctx.mkAnd({})); // true
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+  Solver.add(Ctx.mkOr({})); // false
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST(Smt, DistinctForcesDifferentValues) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  std::vector<SmtExpr> Vars;
+  for (int I = 0; I < 3; ++I)
+    Vars.push_back(Ctx.intVar("v" + std::to_string(I)));
+  Solver.add(Ctx.mkDistinct(Vars));
+  for (SmtExpr &V : Vars) {
+    Solver.add(Ctx.mkLe(Ctx.intVal(0), V));
+    Solver.add(Ctx.mkLe(V, Ctx.intVal(2)));
+  }
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  int64_t A = Solver.modelInt(Vars[0]);
+  int64_t B = Solver.modelInt(Vars[1]);
+  int64_t C = Solver.modelInt(Vars[2]);
+  EXPECT_NE(A, B);
+  EXPECT_NE(B, C);
+  EXPECT_NE(A, C);
+
+  // Four distinct values in [0,2] is impossible.
+  Vars.push_back(Ctx.intVar("v3"));
+  Solver.add(Ctx.mkLe(Ctx.intVal(0), Vars[3]));
+  Solver.add(Ctx.mkLe(Vars[3], Ctx.intVal(2)));
+  Solver.add(Ctx.mkDistinct(Vars));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST(Smt, ImpliesAndIff) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr A = Ctx.boolVar("a");
+  SmtExpr B = Ctx.boolVar("b");
+  Solver.add(Ctx.mkImplies(A, B));
+  Solver.add(A);
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_TRUE(Solver.modelBool(B));
+
+  Solver.add(Ctx.mkIff(B, Ctx.boolVal(false)));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST(Smt, ForallRefutesExistentialClaim) {
+  // ∀x. x != 5 is unsat over integers... as an assertion it means the
+  // formula is false for x == 5.
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr X = Ctx.intVar("x");
+  Solver.add(Ctx.mkForall({X}, Ctx.mkNot(Ctx.mkEq(X, Ctx.intVal(5)))));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST(Smt, ForallTautologyIsSat) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr X = Ctx.intVar("x");
+  Solver.add(Ctx.mkForall({X}, Ctx.mkOr({Ctx.mkLe(X, Ctx.intVal(0)),
+                                         Ctx.mkLe(Ctx.intVal(0), X)})));
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+}
+
+TEST(Smt, LiteralCounting) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr A = Ctx.boolVar("a");
+  SmtExpr B = Ctx.boolVar("b");
+  uint64_t Before = Ctx.literalCount();
+  Solver.add(Ctx.mkOr({A, B, Ctx.mkNot(A)}));
+  EXPECT_EQ(Ctx.literalCount() - Before, 3u);
+  Solver.add(Ctx.mkLt(Ctx.intVar("x"), Ctx.intVal(3)));
+  EXPECT_EQ(Ctx.literalCount() - Before, 4u);
+}
+
+TEST(Smt, ModelInvalidatedByAdd) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr X = Ctx.intVar("x");
+  Solver.add(Ctx.mkLe(Ctx.intVal(10), X));
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  // Adding a tighter constraint and re-checking refreshes the model.
+  Solver.add(Ctx.mkLe(X, Ctx.intVal(10)));
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.modelInt(X), 10);
+}
+
+TEST(Smt, TimeoutReturnsUnknownOrAnswer) {
+  // A hard pigeonhole-ish instance with a 1ms timeout: the solver must
+  // come back quickly with Unknown (or solve it, which is also fine).
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  const int N = 9;
+  std::vector<SmtExpr> Vars;
+  for (int I = 0; I < N * N; ++I)
+    Vars.push_back(Ctx.intVar("p" + std::to_string(I)));
+  for (SmtExpr &V : Vars) {
+    Solver.add(Ctx.mkLe(Ctx.intVal(0), V));
+    Solver.add(Ctx.mkLe(V, Ctx.intVal(N - 2)));
+  }
+  Solver.add(Ctx.mkDistinct(Vars));
+  Solver.setTimeoutMs(1);
+  SmtResult R = Solver.check();
+  EXPECT_TRUE(R == SmtResult::Unknown || R == SmtResult::Unsat);
+}

@@ -1,0 +1,263 @@
+//===- store_test.cpp - Data store tests ----------------------*- C++ -*-===//
+
+#include "store/Store.h"
+
+#include "checker/Checkers.h"
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+
+namespace {
+
+DataStore::Options serialOpts() {
+  DataStore::Options O;
+  O.Mode = StoreMode::SerialObserved;
+  O.Level = IsolationLevel::Serializable;
+  return O;
+}
+
+DataStore::Options weakOpts(IsolationLevel L, uint64_t Seed) {
+  DataStore::Options O;
+  O.Mode = StoreMode::RandomWeak;
+  O.Level = L;
+  O.Seed = Seed;
+  return O;
+}
+
+} // namespace
+
+TEST(Store, SerialModeReadsLatestCommitted) {
+  DataStore Store(serialOpts());
+  Store.setInitial("x", 7);
+  SessionId A = Store.openSession();
+  SessionId B = Store.openSession();
+
+  Store.beginTxn(A, 0);
+  EXPECT_EQ(Store.get(A, "x").Val, 7);
+  Store.put(A, "x", 10);
+  EXPECT_EQ(Store.get(A, "x").Val, 10) << "read-own-write";
+  Store.commitTxn(A);
+
+  Store.beginTxn(B, 0);
+  EXPECT_EQ(Store.get(B, "x").Val, 10);
+  Store.commitTxn(B);
+
+  History H = Store.history();
+  EXPECT_EQ(H.numTxns(), 3u);
+  EXPECT_EQ(checkSerializableSmt(H), SerResult::Serializable);
+  // The read-own-write produced no event (§2.1).
+  EXPECT_EQ(H.txn(1).Events.size(), 2u);
+}
+
+TEST(Store, RollbackDiscardsEverything) {
+  DataStore Store(serialOpts());
+  SessionId A = Store.openSession();
+  Store.beginTxn(A, 0);
+  Store.put(A, "x", 5);
+  Store.rollbackTxn(A);
+
+  Store.beginTxn(A, 1);
+  EXPECT_EQ(Store.get(A, "x").Val, 0) << "aborted write must not be visible";
+  Store.commitTxn(A);
+
+  History H = Store.history();
+  EXPECT_EQ(H.numTxns(), 2u) << "aborted txns are not part of the history";
+  EXPECT_FALSE(Store.txnForSlot(A, 0).has_value());
+  EXPECT_TRUE(Store.txnForSlot(A, 1).has_value());
+}
+
+TEST(Store, OnlyLastWritePerKeyIsAnEvent) {
+  DataStore Store(serialOpts());
+  SessionId A = Store.openSession();
+  Store.beginTxn(A, 0);
+  Store.put(A, "x", 1);
+  Store.put(A, "x", 2);
+  Store.put(A, "y", 3);
+  Store.commitTxn(A);
+  History H = Store.history();
+  ASSERT_EQ(H.txn(1).Events.size(), 2u);
+  // The surviving write to x carries the last value.
+  for (const Event &E : H.txn(1).Events)
+    if (H.keys().name(E.Key) == "x") {
+      EXPECT_EQ(E.Val, 2);
+    }
+}
+
+TEST(Store, SlotMappingSurvivesAborts) {
+  DataStore Store(serialOpts());
+  SessionId A = Store.openSession();
+  Store.beginTxn(A, 0);
+  Store.put(A, "x", 1);
+  Store.commitTxn(A);
+  Store.beginTxn(A, 1);
+  Store.rollbackTxn(A);
+  Store.beginTxn(A, 2);
+  Store.put(A, "x", 2);
+  Store.commitTxn(A);
+
+  EXPECT_EQ(Store.txnForSlot(A, 0), std::optional<TxnId>(1));
+  EXPECT_EQ(Store.txnForSlot(A, 2), std::optional<TxnId>(2));
+  EXPECT_EQ(Store.history().txn(2).Slot, 2u);
+}
+
+namespace {
+
+/// Drives a contended two-session workload against a weak store and
+/// returns the history.
+History runWeakScenario(IsolationLevel L, uint64_t Seed) {
+  DataStore Store(weakOpts(L, Seed));
+  Store.setInitial("x", 0);
+  Store.setInitial("y", 0);
+  SessionId A = Store.openSession();
+  SessionId B = Store.openSession();
+
+  Store.beginTxn(A, 0);
+  Store.get(A, "x");
+  Store.put(A, "x", 1);
+  Store.put(A, "y", 1);
+  Store.commitTxn(A);
+
+  Store.beginTxn(B, 0);
+  Store.get(B, "x");
+  Store.put(B, "x", 2);
+  Store.commitTxn(B);
+
+  Store.beginTxn(A, 1);
+  Store.get(A, "y");
+  Store.get(A, "x");
+  Store.commitTxn(A);
+
+  Store.beginTxn(B, 1);
+  Store.get(B, "x");
+  Store.get(B, "y");
+  Store.get(B, "x");
+  Store.commitTxn(B);
+
+  return Store.history();
+}
+
+class WeakStoreTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(WeakStoreTest, RandomCausalRunsAreCausal) {
+  History H = runWeakScenario(IsolationLevel::Causal, GetParam());
+  EXPECT_TRUE(isCausal(H)) << "seed " << GetParam();
+}
+
+TEST_P(WeakStoreTest, RandomRcRunsAreRc) {
+  History H = runWeakScenario(IsolationLevel::ReadCommitted, GetParam());
+  EXPECT_TRUE(isReadCommitted(H)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakStoreTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+TEST(Store, CausalForbidsReadingInitialAfterSessionSawWrite) {
+  // Once a session observed t1's write to x, a later read of x cannot
+  // legally return t0 under causal; under rc it can.
+  for (IsolationLevel L :
+       {IsolationLevel::Causal, IsolationLevel::ReadCommitted}) {
+    bool SawInit = false;
+    for (uint64_t Seed = 1; Seed <= 64; ++Seed) {
+      DataStore Store(weakOpts(L, Seed));
+      Store.setInitial("x", 0);
+      SessionId A = Store.openSession();
+      SessionId B = Store.openSession();
+      Store.beginTxn(A, 0);
+      Store.put(A, "x", 1);
+      Store.commitTxn(A);
+      // Force B's first read to observe t1: rebuild until it does.
+      Store.beginTxn(B, 0);
+      Value First = Store.get(B, "x").Val;
+      Store.commitTxn(B);
+      if (First != 1)
+        continue;
+      Store.beginTxn(B, 1);
+      Value Second = Store.get(B, "x").Val;
+      Store.commitTxn(B);
+      if (Second == 0)
+        SawInit = true;
+      EXPECT_TRUE(satisfiesLevel(Store.history(), L));
+    }
+    if (L == IsolationLevel::Causal)
+      EXPECT_FALSE(SawInit) << "causal must keep session reads monotonic";
+    else
+      EXPECT_TRUE(SawInit) << "rc should sometimes read stale data";
+  }
+}
+
+TEST(Store, ControlledReplayFollowsDirector) {
+  struct FixedDirector : ReadDirector {
+    TxnId Target;
+    Directive preferredWriter(SessionId, uint32_t, uint32_t,
+                              const std::string &) override {
+      return {Target, true};
+    }
+  };
+
+  DataStore::Options O;
+  O.Mode = StoreMode::ControlledReplay;
+  O.Level = IsolationLevel::Causal;
+  DataStore Store(O);
+  Store.setInitial("x", 0);
+  FixedDirector Dir;
+  Store.setDirector(&Dir);
+  SessionId A = Store.openSession();
+  SessionId B = Store.openSession();
+
+  Store.beginTxn(A, 0);
+  Store.put(A, "x", 42);
+  Store.commitTxn(A);
+
+  // Direct B to read the initial state even though t1 committed.
+  Dir.Target = InitTxn;
+  Store.beginTxn(B, 0);
+  EXPECT_EQ(Store.get(B, "x").Val, 0);
+  Store.commitTxn(B);
+  EXPECT_EQ(Store.divergenceCount(), 0u);
+
+  // Direct B to read t1.
+  Dir.Target = 1;
+  Store.beginTxn(B, 1);
+  EXPECT_EQ(Store.get(B, "x").Val, 42);
+  Store.commitTxn(B);
+  EXPECT_EQ(Store.divergenceCount(), 0u);
+
+  // Now the initial state is illegal for B under causal: divergence.
+  Dir.Target = InitTxn;
+  Store.beginTxn(B, 2);
+  EXPECT_EQ(Store.get(B, "x").Val, 42);
+  Store.commitTxn(B);
+  EXPECT_EQ(Store.divergenceCount(), 1u);
+
+  EXPECT_TRUE(isCausal(Store.history()));
+}
+
+TEST(Store, LockingModeBlocksAndReleases) {
+  DataStore::Options O;
+  O.Mode = StoreMode::LockingRc;
+  DataStore Store(O);
+  Store.setInitial("x", 0);
+  SessionId A = Store.openSession();
+  SessionId B = Store.openSession();
+
+  Store.beginTxn(A, 0);
+  EXPECT_EQ(Store.getForUpdate(A, "x").Status, DataStore::OpStatus::Ok);
+
+  Store.beginTxn(B, 0);
+  EXPECT_EQ(Store.getForUpdate(B, "x").Status,
+            DataStore::OpStatus::WouldBlock);
+  EXPECT_EQ(Store.blockedOn(B), std::optional<std::string>("x"));
+  EXPECT_EQ(Store.lockOwnerOfBlockedKey(B), std::optional<SessionId>(A));
+
+  // Plain reads do not block (read committed).
+  EXPECT_EQ(Store.get(B, "x").Status, DataStore::OpStatus::Ok);
+
+  Store.put(A, "x", 9);
+  Store.commitTxn(A);
+  EXPECT_EQ(Store.getForUpdate(B, "x").Status, DataStore::OpStatus::Ok);
+  EXPECT_EQ(Store.getForUpdate(B, "x").Val, 9)
+      << "after the lock is released the latest committed value is read";
+  Store.commitTxn(B);
+}

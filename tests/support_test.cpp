@@ -1,0 +1,137 @@
+//===- support_test.cpp - Support library tests ---------------*- C++ -*-===//
+
+#include "support/Env.h"
+#include "support/Rng.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng Master(5);
+  Rng C1 = Master.split(1);
+  Rng C2 = Master.split(2);
+  EXPECT_NE(C1.next(), C2.next());
+  // Splitting is a pure function of (state, salt).
+  Rng C1b = Master.split(1);
+  Rng C1c = Master.split(1);
+  EXPECT_EQ(C1b.next(), C1c.next());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(R.chance(1, 1));
+    EXPECT_FALSE(R.chance(0, 5));
+  }
+}
+
+TEST(StrUtil, Split) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StrUtil, ParseInt) {
+  EXPECT_EQ(parseInt("42"), std::optional<int64_t>(42));
+  EXPECT_EQ(parseInt("-7"), std::optional<int64_t>(-7));
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("12x").has_value());
+  EXPECT_FALSE(parseInt("x12").has_value());
+  EXPECT_FALSE(parseInt("999999999999999999999999").has_value());
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(startsWith("history 3", "history"));
+  EXPECT_FALSE(startsWith("his", "history"));
+}
+
+TEST(StrUtil, Format) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("%s", ""), "");
+}
+
+TEST(Env, DefaultsAndOverrides) {
+  unsetenv("ISOPREDICT_TEST_ENVVAR");
+  EXPECT_EQ(envInt("ISOPREDICT_TEST_ENVVAR", 5), 5);
+  setenv("ISOPREDICT_TEST_ENVVAR", "12", 1);
+  EXPECT_EQ(envInt("ISOPREDICT_TEST_ENVVAR", 5), 12);
+  setenv("ISOPREDICT_TEST_ENVVAR", "garbage", 1);
+  EXPECT_EQ(envInt("ISOPREDICT_TEST_ENVVAR", 5), 5);
+  EXPECT_EQ(envString("ISOPREDICT_TEST_ENVVAR", "d"), "garbage");
+  unsetenv("ISOPREDICT_TEST_ENVVAR");
+}
+
+TEST(Env, TimerAdvances) {
+  Timer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+  T.reset();
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(TablePrinter, AlignsAndSeparates) {
+  TablePrinter T;
+  T.setHeader({"Name", "Value"});
+  T.addRow({"longer-name", "1"});
+  T.addSeparator();
+  T.addRow({"x", "22"});
+
+  char Buf[512] = {0};
+  FILE *Mem = fmemopen(Buf, sizeof(Buf) - 1, "w");
+  ASSERT_NE(Mem, nullptr);
+  T.print(Mem);
+  std::fclose(Mem);
+  std::string Out(Buf);
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+  // Right-aligned second column: "22" should appear after padding.
+  EXPECT_NE(Out.find(" 22"), std::string::npos);
+}

@@ -1,0 +1,158 @@
+//===- validate_test.cpp - Validation component tests ---------*- C++ -*-===//
+
+#include "validate/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+
+namespace {
+
+/// The Figure 9 application: one session deposits, another withdraws and
+/// deposits. Withdraw aborts on insufficient funds — the divergence that
+/// motivates the prediction boundary.
+class BankApp : public Application {
+public:
+  std::string name() const override { return "bank"; }
+
+  void setup(DataStore &Store, const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    Store.setInitial("acct", 0);
+  }
+
+  std::vector<SessionScript> makeScripts(const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    auto Deposit = [](Value Amt) {
+      return [Amt](TxnCtx &Ctx) {
+        Value V = Ctx.get("acct");
+        Ctx.put("acct", V + Amt);
+      };
+    };
+    auto Withdraw = [](Value Amt) {
+      return [Amt](TxnCtx &Ctx) {
+        Value V = Ctx.get("acct");
+        if (V < Amt) {
+          Ctx.abort();
+          return;
+        }
+        Ctx.put("acct", V - Amt);
+      };
+    };
+    std::vector<SessionScript> Scripts(2);
+    Scripts[0].Txns = {Deposit(60)};
+    Scripts[1].Txns = {Withdraw(50), Deposit(5)};
+    return Scripts;
+  }
+};
+
+/// The Figure 8 application: each session writes its key, then reads the
+/// other session's key. No control flow depends on the reads, so
+/// predictions validate without divergence.
+class CrossReadApp : public Application {
+public:
+  std::string name() const override { return "crossread"; }
+
+  void setup(DataStore &Store, const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    Store.setInitial("x", 0);
+    Store.setInitial("y", 0);
+  }
+
+  std::vector<SessionScript> makeScripts(const WorkloadConfig &Cfg) override {
+    (void)Cfg;
+    std::vector<SessionScript> Scripts(2);
+    Scripts[0].Txns = {[](TxnCtx &Ctx) { Ctx.put("x", 1); },
+                       [](TxnCtx &Ctx) { Ctx.get("y"); }};
+    Scripts[1].Txns = {[](TxnCtx &Ctx) { Ctx.put("y", 1); },
+                       [](TxnCtx &Ctx) { Ctx.get("x"); }};
+    return Scripts;
+  }
+};
+
+History observe(Application &App, const WorkloadConfig &Cfg,
+                const std::vector<std::pair<SessionId, uint32_t>> &Order) {
+  DataStore::Options O;
+  O.Mode = StoreMode::SerialObserved;
+  O.Level = IsolationLevel::Serializable;
+  O.Seed = Cfg.Seed;
+  DataStore Store(O);
+  return WorkloadRunner::replay(App, Store, Cfg, Order).Hist;
+}
+
+PredictOptions opts(IsolationLevel L, Strategy S) {
+  PredictOptions O;
+  O.Level = L;
+  O.Strat = S;
+  O.TimeoutMs = 60000;
+  return O;
+}
+
+} // namespace
+
+TEST(Validate, CrossReadPredictionValidatesWithoutDivergence) {
+  CrossReadApp App;
+  WorkloadConfig Cfg{2, 2, 1};
+  History Observed =
+      observe(App, Cfg, {{0, 0}, {1, 0}, {0, 1}, {1, 1}});
+  ASSERT_EQ(checkSerializableSmt(Observed), SerResult::Serializable);
+
+  Prediction P =
+      predict(Observed, opts(IsolationLevel::Causal, Strategy::ApproxStrict));
+  ASSERT_EQ(P.Result, SmtResult::Sat);
+
+  ValidationResult V = validatePrediction(App, Cfg, Observed, P,
+                                          IsolationLevel::Causal, 60000);
+  EXPECT_EQ(V.St, ValidationResult::Status::ValidatedUnserializable);
+  EXPECT_FALSE(V.Diverged);
+  EXPECT_TRUE(isCausal(V.Validating))
+      << "the validating execution must conform to the isolation level";
+}
+
+TEST(Validate, BankDivergentAbortYieldsSerializableExecution) {
+  // The paper's Figure 9 story: the relaxed prediction makes the
+  // withdraw read the empty initial balance; on replay it aborts, the
+  // execution diverges, and the validating execution is serializable —
+  // a false prediction caught by validation.
+  BankApp App;
+  WorkloadConfig Cfg{2, 2, 1};
+  History Observed = observe(App, Cfg, {{0, 0}, {1, 0}, {1, 1}});
+  ASSERT_EQ(Observed.numTxns(), 4u);
+  ASSERT_EQ(checkSerializableSmt(Observed), SerResult::Serializable);
+
+  Prediction P = predict(Observed,
+                         opts(IsolationLevel::Causal, Strategy::ApproxRelaxed));
+  ASSERT_EQ(P.Result, SmtResult::Sat);
+
+  ValidationResult V = validatePrediction(App, Cfg, Observed, P,
+                                          IsolationLevel::Causal, 60000);
+  EXPECT_EQ(V.St, ValidationResult::Status::Serializable);
+  EXPECT_TRUE(V.Diverged);
+  EXPECT_TRUE(isCausal(V.Validating));
+}
+
+TEST(Validate, NoPredictionPassesThrough) {
+  CrossReadApp App;
+  WorkloadConfig Cfg{2, 2, 1};
+  History Observed =
+      observe(App, Cfg, {{0, 0}, {1, 0}, {0, 1}, {1, 1}});
+  Prediction P;
+  P.Result = SmtResult::Unsat;
+  ValidationResult V = validatePrediction(App, Cfg, Observed, P,
+                                          IsolationLevel::Causal, 60000);
+  EXPECT_EQ(V.St, ValidationResult::Status::NoPrediction);
+}
+
+TEST(Validate, ValidatingExecutionStopsAtTheBoundary) {
+  // Only boundary transactions and their hb-predecessors replay (§5):
+  // in the bank scenario the excluded trailing deposit must not appear.
+  BankApp App;
+  WorkloadConfig Cfg{2, 2, 1};
+  History Observed = observe(App, Cfg, {{0, 0}, {1, 0}, {1, 1}});
+  Prediction P = predict(Observed,
+                         opts(IsolationLevel::Causal, Strategy::ApproxRelaxed));
+  ASSERT_EQ(P.Result, SmtResult::Sat);
+  ValidationResult V = validatePrediction(App, Cfg, Observed, P,
+                                          IsolationLevel::Causal, 60000);
+  // Committed validating txns + aborts <= scheduled txns < observed.
+  EXPECT_LT(V.Validating.numTxns(), Observed.numTxns());
+}
