@@ -9,15 +9,35 @@
 // relative profile: Voter nearly read-only with a constant write count,
 // TPC-C write-heavy with the most accesses, Wikipedia read-mostly.
 //
+// The per-seed observed runs are independent, so they execute as one
+// Observe campaign on the engine's worker pool (ISOPREDICT_JOBS); the
+// JSON report lands next to the text table as BENCH_table3.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 using namespace isopredict;
 using namespace isopredict::benchutil;
+using namespace isopredict::engine;
 
 int main() {
   banner("Table 3", "workload characteristics (avg over trials)");
+
+  Campaign C;
+  C.Name = "table3";
+  unsigned N = seeds();
+  for (const std::string &App : applicationNames())
+    for (bool Large : {false, true})
+      for (uint64_t Seed = 1; Seed <= N; ++Seed) {
+        JobSpec J;
+        J.Kind = JobKind::Observe;
+        J.App = App;
+        J.Cfg = config(Large, Seed);
+        C.Jobs.push_back(std::move(J));
+      }
+
+  Report R = runCampaign(C);
 
   TablePrinter T;
   T.setHeader({"Program", "Workload", "Reads", "Writes", "Committed txns",
@@ -25,23 +45,15 @@ int main() {
   for (const std::string &App : applicationNames()) {
     for (bool Large : {false, true}) {
       double Reads = 0, Writes = 0, Txns = 0, ReadOnly = 0, Aborted = 0;
-      unsigned N = seeds();
-      for (uint64_t Seed = 1; Seed <= N; ++Seed) {
-        RunResult R = observedRun(App, config(Large, Seed));
-        Txns += static_cast<double>(R.Hist.numTxns() - 1);
-        Aborted += R.AbortedTxns;
-        for (TxnId Id = 1; Id < R.Hist.numTxns(); ++Id) {
-          bool Wrote = false;
-          for (const Event &E : R.Hist.txn(Id).Events) {
-            if (E.Kind == EventKind::Read)
-              Reads += 1;
-            else {
-              Writes += 1;
-              Wrote = true;
-            }
-          }
-          ReadOnly += !Wrote;
-        }
+      for (const JobResult &Res : R.results()) {
+        if (Res.Spec.App != App ||
+            isLarge(Res.Spec.Cfg) != Large)
+          continue;
+        Reads += Res.Reads;
+        Writes += Res.Writes;
+        Txns += Res.CommittedTxns;
+        ReadOnly += Res.ReadOnlyTxns;
+        Aborted += Res.AbortedTxns;
       }
       T.addRow({App, Large ? "large" : "small",
                 formatString("%.1f", Reads / N),
@@ -53,5 +65,6 @@ int main() {
     T.addSeparator();
   }
   T.print();
+  writeBenchReport(R, "table3");
   return 0;
 }

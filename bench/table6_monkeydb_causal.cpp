@@ -14,17 +14,50 @@
 // that never happened) and Wikipedia (IsoPredict detects unserializable
 // behaviour the assertions miss).
 //
+// Every trial is an independent job (RandomWeak for the MonkeyDB
+// columns, Predict for IsoPredict's), so the whole table runs as one
+// campaign on the engine's worker pool (ISOPREDICT_JOBS); the JSON
+// report lands next to the text tables as BENCH_table6.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "checker/Checkers.h"
-#include "validate/Validate.h"
 
 using namespace isopredict;
 using namespace isopredict::benchutil;
+using namespace isopredict::engine;
 
 int main() {
   banner("Table 6", "MonkeyDB vs IsoPredict under causal");
+
+  Campaign C;
+  C.Name = "table6";
+  unsigned NRuns = runs(), NSeeds = seeds();
+  for (bool Large : {false, true})
+    for (const std::string &App : applicationNames()) {
+      for (uint64_t R = 1; R <= NRuns; ++R) {
+        JobSpec J;
+        J.Kind = JobKind::RandomWeak;
+        J.App = App;
+        J.Cfg = config(Large, (R - 1) % NSeeds + 1);
+        J.Level = IsolationLevel::Causal;
+        J.StoreSeed = R * 0x9e3779b9ULL + 1;
+        J.TimeoutMs = timeoutMs();
+        C.Jobs.push_back(std::move(J));
+      }
+      for (uint64_t Seed = 1; Seed <= NSeeds; ++Seed) {
+        JobSpec J;
+        J.Kind = JobKind::Predict;
+        J.App = App;
+        J.Cfg = config(Large, Seed);
+        J.Level = IsolationLevel::Causal;
+        J.Strat = Strategy::ApproxRelaxed;
+        J.TimeoutMs = timeoutMs();
+        C.Jobs.push_back(std::move(J));
+      }
+    }
+
+  Report Rep = runCampaign(C);
 
   for (bool Large : {false, true}) {
     std::printf("\n--- %s workload ---\n", Large ? "Large" : "Small");
@@ -32,43 +65,23 @@ int main() {
     T.setHeader({"Program", "MonkeyDB Fail", "MonkeyDB Unser",
                  "IsoPredict Unser"});
     for (const std::string &App : applicationNames()) {
-      // MonkeyDB: random exploration, `runs()` trials.
-      unsigned Fail = 0, Unser = 0;
-      unsigned NRuns = runs();
-      for (uint64_t R = 1; R <= NRuns; ++R) {
-        WorkloadConfig Cfg = config(Large, (R - 1) % seeds() + 1);
-        RunResult Run = randomWeakRun(App, Cfg, IsolationLevel::Causal,
-                                      R * 0x9e3779b9ULL + 1);
-        Fail += Run.assertionFailed();
-        Unser += checkSerializableSmt(Run.Hist, timeoutMs()) ==
-                 SerResult::Unserializable;
-      }
-
-      // IsoPredict: validated predictions per observed execution.
-      unsigned Validated = 0;
-      unsigned NSeeds = seeds();
-      for (uint64_t Seed = 1; Seed <= NSeeds; ++Seed) {
-        WorkloadConfig Cfg = config(Large, Seed);
-        RunResult Observed = observedRun(App, Cfg);
-        PredictOptions Opts;
-        Opts.Level = IsolationLevel::Causal;
-        Opts.Strat = Strategy::ApproxRelaxed;
-        Opts.TimeoutMs = timeoutMs();
-        Prediction P = predict(Observed.Hist, Opts);
-        if (P.Result != SmtResult::Sat)
+      unsigned Fail = 0, Unser = 0, Validated = 0;
+      for (const JobResult &Res : Rep.results()) {
+        if (Res.Spec.App != App ||
+            isLarge(Res.Spec.Cfg) != Large)
           continue;
-        auto Replay = makeApplication(App);
-        ValidationResult V = validatePrediction(
-            *Replay, Cfg, Observed.Hist, P, IsolationLevel::Causal,
-            timeoutMs());
-        Validated +=
-            V.St == ValidationResult::Status::ValidatedUnserializable;
+        if (Res.Spec.Kind == JobKind::RandomWeak) {
+          Fail += Res.AssertionFailed;
+          Unser += Res.Serializability == SerResult::Unserializable;
+        } else {
+          Validated += Res.validatedUnserializable();
+        }
       }
-
       T.addRow({App, pct(Fail, NRuns), pct(Unser, NRuns),
                 pct(Validated, NSeeds)});
     }
     T.print();
   }
+  writeBenchReport(Rep, "table6");
   return 0;
 }

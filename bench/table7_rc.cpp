@@ -9,17 +9,61 @@
 // execution only breaks TPC-C (whose order-id read is an unlocked
 // SELECT-then-UPDATE).
 //
+// All three columns fan out as one campaign (RandomWeak + LockingRc +
+// Predict jobs) on the engine's worker pool (ISOPREDICT_JOBS); the JSON
+// report lands next to the text tables as BENCH_table7.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "checker/Checkers.h"
-#include "validate/Validate.h"
 
 using namespace isopredict;
 using namespace isopredict::benchutil;
+using namespace isopredict::engine;
 
 int main() {
   banner("Table 7", "MonkeyDB vs IsoPredict vs locked execution under rc");
+
+  Campaign C;
+  C.Name = "table7";
+  unsigned NRuns = runs(), NSeeds = seeds();
+  for (bool Large : {false, true})
+    for (const std::string &App : applicationNames()) {
+      for (uint64_t R = 1; R <= NRuns; ++R) {
+        // The paper runs 10 trials for each of 10 workload seeds; vary
+        // the workload with R so the locking column sees enough distinct
+        // schedules to exhibit TPC-C's order-id race.
+        WorkloadConfig Cfg = config(Large, (R - 1) % 10 + 1);
+
+        JobSpec Weak;
+        Weak.Kind = JobKind::RandomWeak;
+        Weak.App = App;
+        Weak.Cfg = Cfg;
+        Weak.Level = IsolationLevel::ReadCommitted;
+        Weak.StoreSeed = R * 0x51ed2701ULL + 3;
+        Weak.TimeoutMs = timeoutMs();
+        C.Jobs.push_back(std::move(Weak));
+
+        JobSpec Locked;
+        Locked.Kind = JobKind::LockingRc;
+        Locked.App = App;
+        Locked.Cfg = Cfg;
+        Locked.StoreSeed = R * 0xc0ffeeULL + 7;
+        C.Jobs.push_back(std::move(Locked));
+      }
+      for (uint64_t Seed = 1; Seed <= NSeeds; ++Seed) {
+        JobSpec J;
+        J.Kind = JobKind::Predict;
+        J.App = App;
+        J.Cfg = config(Large, Seed);
+        J.Level = IsolationLevel::ReadCommitted;
+        J.Strat = Strategy::ApproxStrict;
+        J.TimeoutMs = timeoutMs();
+        C.Jobs.push_back(std::move(J));
+      }
+    }
+
+  Report Rep = runCampaign(C);
 
   for (bool Large : {false, true}) {
     std::printf("\n--- %s workload ---\n", Large ? "Large" : "Small");
@@ -27,48 +71,31 @@ int main() {
     T.setHeader({"Program", "MonkeyDB Fail", "MonkeyDB Unser",
                  "IsoPredict Unser", "LockingRc Fail"});
     for (const std::string &App : applicationNames()) {
-      unsigned NRuns = runs();
-      unsigned Fail = 0, Unser = 0, MysqlFail = 0;
-      for (uint64_t R = 1; R <= NRuns; ++R) {
-        // The paper runs 10 trials for each of 10 workload seeds; vary
-        // the workload with R so the locking column sees enough distinct
-        // schedules to exhibit TPC-C's order-id race.
-        WorkloadConfig Cfg = config(Large, (R - 1) % 10 + 1);
-        RunResult Run = randomWeakRun(App, Cfg,
-                                      IsolationLevel::ReadCommitted,
-                                      R * 0x51ed2701ULL + 3);
-        Fail += Run.assertionFailed();
-        Unser += checkSerializableSmt(Run.Hist, timeoutMs()) ==
-                 SerResult::Unserializable;
-
-        RunResult Locked = lockingRcRun(App, Cfg, R * 0xc0ffeeULL + 7);
-        MysqlFail += Locked.assertionFailed();
-      }
-
-      unsigned Validated = 0;
-      unsigned NSeeds = seeds();
-      for (uint64_t Seed = 1; Seed <= NSeeds; ++Seed) {
-        WorkloadConfig Cfg = config(Large, Seed);
-        RunResult Observed = observedRun(App, Cfg);
-        PredictOptions Opts;
-        Opts.Level = IsolationLevel::ReadCommitted;
-        Opts.Strat = Strategy::ApproxStrict;
-        Opts.TimeoutMs = timeoutMs();
-        Prediction P = predict(Observed.Hist, Opts);
-        if (P.Result != SmtResult::Sat)
+      unsigned Fail = 0, Unser = 0, Validated = 0, MysqlFail = 0;
+      for (const JobResult &Res : Rep.results()) {
+        if (Res.Spec.App != App ||
+            isLarge(Res.Spec.Cfg) != Large)
           continue;
-        auto Replay = makeApplication(App);
-        ValidationResult V = validatePrediction(
-            *Replay, Cfg, Observed.Hist, P, IsolationLevel::ReadCommitted,
-            timeoutMs());
-        Validated +=
-            V.St == ValidationResult::Status::ValidatedUnserializable;
+        switch (Res.Spec.Kind) {
+        case JobKind::RandomWeak:
+          Fail += Res.AssertionFailed;
+          Unser += Res.Serializability == SerResult::Unserializable;
+          break;
+        case JobKind::LockingRc:
+          MysqlFail += Res.AssertionFailed;
+          break;
+        case JobKind::Predict:
+          Validated += Res.validatedUnserializable();
+          break;
+        case JobKind::Observe:
+          break;
+        }
       }
-
       T.addRow({App, pct(Fail, NRuns), pct(Unser, NRuns),
                 pct(Validated, NSeeds), pct(MysqlFail, NRuns)});
     }
     T.print();
   }
+  writeBenchReport(Rep, "table7");
   return 0;
 }

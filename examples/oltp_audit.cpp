@@ -5,18 +5,22 @@
 //
 //   observed execution -> predictive analysis -> validation -> report
 //
-// Usage: oltp_audit [app] [seed] [causal|rc] [small|large]
-//        (defaults: smallbank 1 causal small)
+// The three prediction strategies run as one campaign on the engine, so
+// they execute concurrently when more than one worker is available.
+//
+// Usage: oltp_audit [app] [seed] [causal|rc] [small|large] [out.json]
+//        (defaults: smallbank 1 causal small; ISOPREDICT_JOBS workers)
 //
 //===----------------------------------------------------------------------===//
 
-#include "history/TraceIO.h"
-#include "validate/Validate.h"
+#include "engine/Engine.h"
+#include "support/Env.h"
 
 #include <cstdio>
 #include <cstring>
 
 using namespace isopredict;
+using namespace isopredict::engine;
 
 int main(int argc, char **argv) {
   std::string AppName = argc > 1 ? argv[1] : "smallbank";
@@ -28,8 +32,7 @@ int main(int argc, char **argv) {
                            ? WorkloadConfig::large(Seed)
                            : WorkloadConfig::small(Seed);
 
-  auto App = makeApplication(AppName);
-  if (!App) {
+  if (!makeApplication(AppName)) {
     std::fprintf(stderr, "error: unknown application '%s' (try: ",
                  AppName.c_str());
     for (const std::string &N : applicationNames())
@@ -38,49 +41,62 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // 1. Record an observed (serializable) execution at the store.
-  DataStore::Options StoreOpts;
-  StoreOpts.Mode = StoreMode::SerialObserved;
-  StoreOpts.Seed = Seed;
-  DataStore Store(StoreOpts);
-  RunResult Observed = WorkloadRunner::run(*App, Store, Cfg);
-  std::printf("observed run of %s (seed %llu): %zu committed txns, "
-              "%u reads, %u writes, %u aborts\n",
-              AppName.c_str(), static_cast<unsigned long long>(Seed),
-              Observed.Hist.numTxns() - 1, Store.committedReads(),
-              Store.committedWrites(), Observed.AbortedTxns);
-
-  // 2. Predict with every strategy.
+  // One Predict job per strategy: each runs the full observe -> predict
+  // -> validate pipeline over the same (deterministic) observed run.
+  Campaign C;
+  C.Name = "oltp_audit";
   for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
                      Strategy::ApproxRelaxed}) {
-    PredictOptions Opts;
-    Opts.Level = Level;
-    Opts.Strat = S;
-    Opts.TimeoutMs = 30000;
-    Prediction P = predict(Observed.Hist, Opts);
+    JobSpec J;
+    J.App = AppName;
+    J.Cfg = Cfg;
+    J.Level = Level;
+    J.Strat = S;
+    J.TimeoutMs = 30000;
+    C.Jobs.push_back(std::move(J));
+  }
+
+  EngineOptions EO;
+  EO.NumWorkers = static_cast<unsigned>(envInt("ISOPREDICT_JOBS", 0));
+  Report R = Engine(EO).run(C);
+
+  const JobResult &First = R.results().front();
+  std::printf("observed run of %s (seed %llu): %u committed txns, "
+              "%u reads, %u writes, %u aborts\n",
+              AppName.c_str(), static_cast<unsigned long long>(Seed),
+              First.CommittedTxns, First.Reads, First.Writes,
+              First.AbortedTxns);
+
+  for (const JobResult &Res : R.results()) {
     std::printf("\n[%s under %s] %s  (%llu literals, gen %.2fs, "
                 "solve %.2fs)\n",
-                toString(S), toString(Level), toString(P.Result),
-                static_cast<unsigned long long>(P.Stats.NumLiterals),
-                P.Stats.GenSeconds, P.Stats.SolveSeconds);
-    if (P.Result != SmtResult::Sat)
+                toString(Res.Spec.Strat), toString(Level),
+                toString(Res.Outcome),
+                static_cast<unsigned long long>(Res.Stats.NumLiterals),
+                Res.Stats.GenSeconds, Res.Stats.SolveSeconds);
+    if (Res.Outcome != SmtResult::Sat)
       continue;
-
-    std::printf("  pco cycle: ");
-    for (size_t I = 0; I < P.Witness.size(); ++I)
-      std::printf("%st%u", I ? " -> " : "", P.Witness[I]);
-    std::printf("\n");
-
-    // 3. Validate by replaying the application.
-    auto Replay = makeApplication(AppName);
-    ValidationResult V =
-        validatePrediction(*Replay, Cfg, Observed.Hist, P, Level, 30000);
-    std::printf("  validation: %s%s", toString(V.St),
-                V.Diverged ? " (diverged)" : "");
-    if (!V.Run.FailedAssertions.empty())
+    if (!Res.Witness.empty()) {
+      std::printf("  pco cycle: ");
+      for (size_t I = 0; I < Res.Witness.size(); ++I)
+        std::printf("%st%u", I ? " -> " : "", Res.Witness[I]);
+      std::printf("\n");
+    }
+    std::printf("  validation: %s%s", toString(Res.ValStatus),
+                Res.Diverged ? " (diverged)" : "");
+    if (!Res.FailedAssertions.empty())
       std::printf(", tripped assertion: %s",
-                  V.Run.FailedAssertions.front().c_str());
+                  Res.FailedAssertions.front().c_str());
     std::printf("\n");
+  }
+
+  if (argc > 5) {
+    std::string Error;
+    if (!R.writeJsonFile(argv[5], ReportOptions{}, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("\n[json report: %s]\n", argv[5]);
   }
   return 0;
 }

@@ -1,0 +1,48 @@
+//===- Campaign.cpp - Prediction-campaign descriptions ---------*- C++ -*-===//
+
+#include "engine/Campaign.h"
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+const char *isopredict::engine::toString(JobKind K) {
+  switch (K) {
+  case JobKind::Observe:
+    return "observe";
+  case JobKind::Predict:
+    return "predict";
+  case JobKind::RandomWeak:
+    return "random-weak";
+  case JobKind::LockingRc:
+    return "locking-rc";
+  }
+  return "unknown";
+}
+
+Campaign Campaign::predictGrid(std::string Name,
+                               const std::vector<std::string> &Apps,
+                               const std::vector<IsolationLevel> &Levels,
+                               const std::vector<Strategy> &Strategies,
+                               const std::vector<bool> &Larges,
+                               unsigned NumSeeds, unsigned TimeoutMs,
+                               PcoEncoding Pco) {
+  Campaign C;
+  C.Name = std::move(Name);
+  for (const std::string &App : Apps)
+    for (IsolationLevel Level : Levels)
+      for (Strategy S : Strategies)
+        for (bool Large : Larges)
+          for (uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+            JobSpec J;
+            J.Kind = JobKind::Predict;
+            J.App = App;
+            J.Cfg = Large ? WorkloadConfig::large(Seed)
+                          : WorkloadConfig::small(Seed);
+            J.Level = Level;
+            J.Strat = S;
+            J.Pco = Pco;
+            J.TimeoutMs = TimeoutMs;
+            C.Jobs.push_back(std::move(J));
+          }
+  return C;
+}

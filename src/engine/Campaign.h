@@ -1,0 +1,106 @@
+//===- Campaign.h - Prediction-campaign descriptions -----------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *campaign* describes a grid of independent pipeline jobs — the unit
+/// of work behind every table of the paper's evaluation (§7): hundreds of
+/// observe → predict → validate queries over (application × isolation
+/// level × strategy × seed) configurations, plus the MonkeyDB-style
+/// random-exploration and locked-execution baselines they are compared
+/// against. Campaigns are plain data; the engine (Engine.h) executes
+/// them and the report module (Report.h) aggregates the outcomes.
+///
+/// Jobs are share-nothing by construction: each one names everything it
+/// needs (application, workload config, store seed, solver options), and
+/// executing it builds a private DataStore and SmtContext. That is what
+/// lets the engine fan a campaign out across worker threads without any
+/// cross-job synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENGINE_CAMPAIGN_H
+#define ISOPREDICT_ENGINE_CAMPAIGN_H
+
+#include "apps/AppFramework.h"
+#include "predict/Predict.h"
+
+#include <string>
+#include <vector>
+
+namespace isopredict {
+namespace engine {
+
+/// What one job does. All kinds start by running an application workload
+/// against a store; they differ in the store mode and what happens next.
+enum class JobKind : uint8_t {
+  /// Serializable observed execution only; report workload shape
+  /// (Table 3's reads / writes / committed columns).
+  Observe,
+  /// Observed execution, then predictive analysis, then (optionally)
+  /// validation replay of a Sat prediction — the full Figure 4 pipeline
+  /// (Tables 4-7's IsoPredict columns).
+  Predict,
+  /// MonkeyDB-style random weak exploration, then (optionally) the ∃co
+  /// serializability check of the resulting history (the MonkeyDB
+  /// Fail / Unser columns of Tables 6 and 7).
+  RandomWeak,
+  /// Locked read-committed execution, the MySQL substitute (Table 7's
+  /// regular-execution column).
+  LockingRc,
+};
+
+const char *toString(JobKind K);
+
+/// One fully-specified pipeline job.
+struct JobSpec {
+  JobKind Kind = JobKind::Predict;
+  /// Application name (resolved with makeApplication at run time).
+  std::string App;
+  /// Workload shape and seed for the application scripts.
+  WorkloadConfig Cfg;
+  /// Isolation level for prediction (Predict) or weak exploration
+  /// (RandomWeak). Ignored by Observe and LockingRc.
+  IsolationLevel Level = IsolationLevel::Causal;
+  /// Prediction strategy (Predict only).
+  Strategy Strat = Strategy::ApproxRelaxed;
+  /// pco realization for the approximate strategies (Predict only).
+  PcoEncoding Pco = PcoEncoding::Rank;
+  /// Store RNG seed for RandomWeak / LockingRc schedules (the workload
+  /// seed lives in Cfg.Seed).
+  uint64_t StoreSeed = 1;
+  /// Per-solver-query timeout in milliseconds; 0 = none.
+  unsigned TimeoutMs = 0;
+  /// Predict: replay-validate a Sat prediction (§5).
+  bool Validate = true;
+  /// RandomWeak: run the ∃co serializability check on the history.
+  bool CheckSerializability = true;
+};
+
+/// A named list of jobs. Job order is the report order; the engine may
+/// execute jobs in any order but results are always delivered in this
+/// one.
+struct Campaign {
+  std::string Name;
+  std::vector<JobSpec> Jobs;
+
+  size_t size() const { return Jobs.size(); }
+  bool empty() const { return Jobs.empty(); }
+
+  /// Cross-product helper for Table-4/5-style sweeps: one Predict job
+  /// per (app × level × strategy × large? × seed in [1, NumSeeds]).
+  static Campaign predictGrid(std::string Name,
+                              const std::vector<std::string> &Apps,
+                              const std::vector<IsolationLevel> &Levels,
+                              const std::vector<Strategy> &Strategies,
+                              const std::vector<bool> &Larges,
+                              unsigned NumSeeds, unsigned TimeoutMs,
+                              PcoEncoding Pco = PcoEncoding::Rank);
+};
+
+} // namespace engine
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENGINE_CAMPAIGN_H

@@ -1,0 +1,172 @@
+//===- Engine.cpp - Parallel campaign execution engine ---------*- C++ -*-===//
+
+#include "engine/Engine.h"
+
+#include "checker/Checkers.h"
+#include "support/Env.h"
+#include "validate/Validate.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+namespace {
+
+/// Fills the Table-3-style workload counters from a finished run.
+void fillWorkloadStats(JobResult &R, const RunResult &Run) {
+  const History &H = Run.Hist;
+  R.CommittedTxns = static_cast<unsigned>(H.numTxns() - 1);
+  R.AbortedTxns = Run.AbortedTxns;
+  R.DeadlockAborts = Run.DeadlockAborts;
+  for (TxnId Id = 1; Id < H.numTxns(); ++Id) {
+    bool Wrote = false;
+    for (const Event &E : H.txn(Id).Events) {
+      if (E.Kind == EventKind::Read)
+        ++R.Reads;
+      else {
+        ++R.Writes;
+        Wrote = true;
+      }
+    }
+    R.ReadOnlyTxns += !Wrote;
+  }
+  R.AssertionFailed = Run.assertionFailed();
+  R.FailedAssertions = Run.FailedAssertions;
+}
+
+/// Runs \p App once against a fresh store in the given mode.
+RunResult runWorkload(Application &App, const WorkloadConfig &Cfg,
+                      StoreMode Mode, IsolationLevel Level,
+                      uint64_t StoreSeed) {
+  DataStore::Options O;
+  O.Mode = Mode;
+  O.Level = Level;
+  O.Seed = StoreSeed;
+  DataStore Store(O);
+  return WorkloadRunner::run(App, Store, Cfg);
+}
+
+} // namespace
+
+JobResult Engine::runJob(const JobSpec &Spec) {
+  JobResult R;
+  R.Spec = Spec;
+  Timer Wall;
+
+  auto App = makeApplication(Spec.App);
+  if (!App) {
+    R.Error = "unknown application '" + Spec.App + "'";
+    R.WallSeconds = Wall.seconds();
+    return R;
+  }
+  R.Ok = true;
+
+  switch (Spec.Kind) {
+  case JobKind::Observe: {
+    RunResult Run = runWorkload(*App, Spec.Cfg, StoreMode::SerialObserved,
+                                IsolationLevel::Serializable, Spec.Cfg.Seed);
+    fillWorkloadStats(R, Run);
+    break;
+  }
+
+  case JobKind::Predict: {
+    RunResult Observed =
+        runWorkload(*App, Spec.Cfg, StoreMode::SerialObserved,
+                    IsolationLevel::Serializable, Spec.Cfg.Seed);
+    fillWorkloadStats(R, Observed);
+
+    PredictOptions Opts;
+    Opts.Level = Spec.Level;
+    Opts.Strat = Spec.Strat;
+    Opts.Pco = Spec.Pco;
+    Opts.TimeoutMs = Spec.TimeoutMs;
+    Prediction P = predict(Observed.Hist, Opts);
+    R.Outcome = P.Result;
+    R.Stats = P.Stats;
+    R.Witness = P.Witness;
+
+    if (P.Result == SmtResult::Sat && Spec.Validate) {
+      auto Replay = makeApplication(Spec.App);
+      ValidationResult V = validatePrediction(
+          *Replay, Spec.Cfg, Observed.Hist, P, Spec.Level, Spec.TimeoutMs);
+      R.ValStatus = V.St;
+      R.Diverged = V.Diverged;
+      // Assertions tripped by the *validating* execution (the observed
+      // run is serializable and cannot trip any).
+      R.AssertionFailed = V.Run.assertionFailed();
+      R.FailedAssertions = V.Run.FailedAssertions;
+    }
+    break;
+  }
+
+  case JobKind::RandomWeak: {
+    RunResult Run = runWorkload(*App, Spec.Cfg, StoreMode::RandomWeak,
+                                Spec.Level, Spec.StoreSeed);
+    fillWorkloadStats(R, Run);
+    if (Spec.CheckSerializability)
+      R.Serializability = checkSerializableSmt(Run.Hist, Spec.TimeoutMs);
+    break;
+  }
+
+  case JobKind::LockingRc: {
+    RunResult Run = runWorkload(*App, Spec.Cfg, StoreMode::LockingRc,
+                                IsolationLevel::ReadCommitted,
+                                Spec.StoreSeed);
+    fillWorkloadStats(R, Run);
+    break;
+  }
+  }
+
+  R.WallSeconds = Wall.seconds();
+  return R;
+}
+
+Engine::Engine(EngineOptions O) : Opts(std::move(O)) {
+  Workers = Opts.NumWorkers;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+}
+
+Report Engine::run(const Campaign &C) const {
+  Timer Wall;
+  std::vector<JobResult> Results(C.Jobs.size());
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Done{0};
+  std::mutex ProgressMutex;
+
+  auto Worker = [&]() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= C.Jobs.size())
+        return;
+      Results[I] = runJob(C.Jobs[I]);
+      size_t Finished = Done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (Opts.OnJobDone) {
+        std::lock_guard<std::mutex> Lock(ProgressMutex);
+        Opts.OnJobDone(Finished, C.Jobs.size(), Results[I]);
+      }
+    }
+  };
+
+  // Never spawn more threads than jobs; one worker runs inline.
+  unsigned NumThreads =
+      static_cast<unsigned>(std::min<size_t>(Workers, C.Jobs.size()));
+  if (NumThreads <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(NumThreads);
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  return Report(C.Name, std::move(Results), Workers, Wall.seconds());
+}

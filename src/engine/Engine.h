@@ -1,0 +1,67 @@
+//===- Engine.h - Parallel campaign execution engine -----------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Campaign on a fixed-size worker pool. Workers pull job
+/// indices from a shared atomic cursor (the queue is the campaign's job
+/// vector, so "popping" is a fetch_add) and run each job end to end with
+/// private state: every job builds its own DataStore, applications, and
+/// — inside predict()/checkSerializableSmt() — its own Z3 SmtContext
+/// (Smt.h's one-context-per-query design is what makes jobs
+/// share-nothing). The only shared write is each worker storing results
+/// into its jobs' pre-allocated slots, so reports are ordered by
+/// campaign position and byte-identical regardless of worker count.
+///
+/// runJob() is also the single place the observe → predict → validate
+/// pipeline of Figure 4 is spelled out; the bench harnesses and CLIs
+/// are thin wrappers that build campaigns and format reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENGINE_ENGINE_H
+#define ISOPREDICT_ENGINE_ENGINE_H
+
+#include "engine/Campaign.h"
+#include "engine/Report.h"
+
+#include <functional>
+
+namespace isopredict {
+namespace engine {
+
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). 1 runs
+  /// everything inline on the calling thread (no threads spawned).
+  unsigned NumWorkers = 1;
+  /// Called after each job completes, serialized under an internal
+  /// mutex: (completed so far, total, result just finished).
+  std::function<void(size_t, size_t, const JobResult &)> OnJobDone;
+};
+
+class Engine {
+public:
+  explicit Engine(EngineOptions Opts = {});
+
+  /// Executes every job of \p C and returns the report (results in
+  /// campaign order).
+  Report run(const Campaign &C) const;
+
+  /// Worker count after resolving NumWorkers == 0.
+  unsigned numWorkers() const { return Workers; }
+
+  /// Executes one job in isolation — the full pipeline for its kind.
+  /// Deterministic: depends only on \p Spec (modulo solver timeouts).
+  static JobResult runJob(const JobSpec &Spec);
+
+private:
+  EngineOptions Opts;
+  unsigned Workers;
+};
+
+} // namespace engine
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENGINE_ENGINE_H

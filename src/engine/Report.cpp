@@ -1,0 +1,400 @@
+//===- Report.cpp - Campaign result aggregation and JSON output -*- C++ -*-===//
+
+#include "engine/Report.h"
+
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+std::string isopredict::engine::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+static const char *toString(SerResult R) {
+  switch (R) {
+  case SerResult::Serializable:
+    return "serializable";
+  case SerResult::Unserializable:
+    return "unserializable";
+  case SerResult::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Minimal ordered JSON emitter: keys appear exactly in call order, so
+/// output bytes are a pure function of the emitted values.
+class JsonOut {
+public:
+  explicit JsonOut(unsigned Indent) : IndentWidth(Indent) {}
+
+  void openObject() {
+    element();
+    open('{');
+  }
+  void closeObject() { close('}'); }
+  void openArray(const char *Key) {
+    field(Key);
+    open('[');
+  }
+  void openObjectIn(const char *Key) {
+    field(Key);
+    open('{');
+  }
+  /// Opens an anonymous object as an array element.
+  void openElement() {
+    element();
+    open('{');
+  }
+  void closeArray() { close(']'); }
+
+  void str(const char *Key, const std::string &V) {
+    field(Key);
+    Out << '"' << jsonEscape(V) << '"';
+  }
+  void num(const char *Key, uint64_t V) {
+    field(Key);
+    Out << V;
+  }
+  void num(const char *Key, double V) {
+    field(Key);
+    Out << formatString("%.6f", V);
+  }
+  void boolean(const char *Key, bool V) {
+    field(Key);
+    Out << (V ? "true" : "false");
+  }
+  /// Bare numeric array element.
+  void numElement(uint64_t V) {
+    element();
+    Out << V;
+  }
+  /// Bare string array element.
+  void strElement(const std::string &V) {
+    element();
+    Out << '"' << jsonEscape(V) << '"';
+  }
+
+  std::string take() {
+    Out << '\n';
+    return Out.str();
+  }
+
+private:
+  /// Emits the opening bracket at the current position; the caller has
+  /// already placed it (field() for keyed containers, element() for
+  /// array elements).
+  void open(char C) {
+    Out << C;
+    Stack.push_back(C == '{' ? '}' : ']');
+    First = true;
+  }
+  void close(char C) {
+    Stack.pop_back();
+    if (!First)
+      newline();
+    Out << C;
+    First = false;
+  }
+  void field(const char *Key) {
+    element();
+    Out << '"' << Key << "\": ";
+  }
+  /// Comma/indent bookkeeping before any value at the current depth.
+  void element() {
+    if (Stack.empty())
+      return;
+    if (!First)
+      Out << ',';
+    newline();
+    First = false;
+  }
+  void newline() {
+    Out << '\n';
+    for (size_t I = 0; I < Stack.size() * IndentWidth; ++I)
+      Out << ' ';
+  }
+
+  std::ostringstream Out;
+  std::vector<char> Stack;
+  bool First = true;
+  unsigned IndentWidth;
+};
+
+/// Human/JSON label for a workload shape ("3x4", "3x8", ...).
+std::string workloadLabel(const WorkloadConfig &Cfg) {
+  return formatString("%ux%u", Cfg.Sessions, Cfg.TxnsPerSession);
+}
+
+/// Per-configuration aggregate for the summary section and table.
+struct Group {
+  unsigned Jobs = 0;
+  unsigned Failed = 0; ///< Jobs with Ok == false.
+  unsigned Sat = 0, Unsat = 0, Unknown = 0;
+  unsigned Validated = 0, Diverged = 0;
+  unsigned AssertionFailed = 0, Unserializable = 0;
+  unsigned CommittedTxns = 0, Reads = 0, Writes = 0, ReadOnlyTxns = 0,
+           AbortedTxns = 0, DeadlockAborts = 0;
+  uint64_t Literals = 0;
+  double GenSeconds = 0, SolveSeconds = 0, WallSeconds = 0;
+};
+
+/// Jobs group by everything that identifies a configuration except the
+/// seeds (workload seed and store seed vary within a group).
+std::string groupKey(const JobSpec &S) {
+  std::string Key = formatString("%s|%s|%s", toString(S.Kind), S.App.c_str(),
+                                 workloadLabel(S.Cfg).c_str());
+  if (S.Kind == JobKind::Predict || S.Kind == JobKind::RandomWeak)
+    Key += formatString("|%s", toString(S.Level));
+  if (S.Kind == JobKind::Predict)
+    Key += formatString("|%s|%s", toString(S.Strat), toString(S.Pco));
+  return Key;
+}
+
+void accumulate(Group &G, const JobResult &R) {
+  ++G.Jobs;
+  G.Failed += !R.Ok;
+  G.CommittedTxns += R.CommittedTxns;
+  G.Reads += R.Reads;
+  G.Writes += R.Writes;
+  G.ReadOnlyTxns += R.ReadOnlyTxns;
+  G.AbortedTxns += R.AbortedTxns;
+  G.DeadlockAborts += R.DeadlockAborts;
+  G.WallSeconds += R.WallSeconds;
+  if (R.Spec.Kind == JobKind::Predict && R.Ok) {
+    switch (R.Outcome) {
+    case SmtResult::Sat:
+      ++G.Sat;
+      break;
+    case SmtResult::Unsat:
+      ++G.Unsat;
+      break;
+    case SmtResult::Unknown:
+      ++G.Unknown;
+      break;
+    }
+    G.Validated += R.validatedUnserializable();
+    G.Diverged += R.Diverged;
+    G.Literals += R.Stats.NumLiterals;
+    G.GenSeconds += R.Stats.GenSeconds;
+    G.SolveSeconds += R.Stats.SolveSeconds;
+  }
+  G.AssertionFailed += R.AssertionFailed;
+  G.Unserializable += R.Serializability == SerResult::Unserializable;
+}
+
+/// Group results by configuration, preserving first-appearance order.
+std::vector<std::pair<std::string, Group>>
+groupResults(const std::vector<JobResult> &Results) {
+  std::vector<std::pair<std::string, Group>> Groups;
+  std::map<std::string, size_t> Index;
+  for (const JobResult &R : Results) {
+    std::string Key = groupKey(R.Spec);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      It = Index.emplace(Key, Groups.size()).first;
+      Groups.emplace_back(Key, Group{});
+    }
+    accumulate(Groups[It->second].second, R);
+  }
+  return Groups;
+}
+
+void emitJob(JsonOut &J, const JobResult &R, size_t Index,
+             const ReportOptions &Opts) {
+  const JobSpec &S = R.Spec;
+  J.openElement();
+  J.num("index", static_cast<uint64_t>(Index));
+  J.str("kind", toString(S.Kind));
+  J.str("app", S.App);
+  J.str("workload", workloadLabel(S.Cfg));
+  J.num("sessions", static_cast<uint64_t>(S.Cfg.Sessions));
+  J.num("txns_per_session", static_cast<uint64_t>(S.Cfg.TxnsPerSession));
+  J.num("seed", S.Cfg.Seed);
+  if (S.Kind == JobKind::Predict || S.Kind == JobKind::RandomWeak)
+    J.str("level", toString(S.Level));
+  if (S.Kind == JobKind::Predict) {
+    J.str("strategy", toString(S.Strat));
+    J.str("pco", toString(S.Pco));
+  }
+  if (S.Kind == JobKind::RandomWeak || S.Kind == JobKind::LockingRc)
+    J.num("store_seed", S.StoreSeed);
+  J.num("timeout_ms", static_cast<uint64_t>(S.TimeoutMs));
+
+  J.boolean("ok", R.Ok);
+  if (!R.Ok) {
+    J.str("error", R.Error);
+    J.closeObject();
+    return;
+  }
+
+  J.num("committed_txns", static_cast<uint64_t>(R.CommittedTxns));
+  J.num("reads", static_cast<uint64_t>(R.Reads));
+  J.num("writes", static_cast<uint64_t>(R.Writes));
+  J.num("read_only_txns", static_cast<uint64_t>(R.ReadOnlyTxns));
+  J.num("aborted_txns", static_cast<uint64_t>(R.AbortedTxns));
+
+  if (S.Kind == JobKind::Predict) {
+    J.str("result", toString(R.Outcome));
+    J.num("literals", R.Stats.NumLiterals);
+    if (R.Outcome == SmtResult::Sat) {
+      J.openArray("witness");
+      for (TxnId T : R.Witness)
+        J.numElement(T);
+      J.closeArray();
+    }
+    if (S.Validate) {
+      J.str("validation", toString(R.ValStatus));
+      J.boolean("diverged", R.Diverged);
+    }
+  }
+  if (S.Kind == JobKind::RandomWeak) {
+    J.boolean("assertion_failed", R.AssertionFailed);
+    if (S.CheckSerializability)
+      J.str("serializability", toString(R.Serializability));
+  }
+  if (S.Kind == JobKind::LockingRc) {
+    J.boolean("assertion_failed", R.AssertionFailed);
+    J.num("deadlock_aborts", static_cast<uint64_t>(R.DeadlockAborts));
+  }
+  if (!R.FailedAssertions.empty()) {
+    J.openArray("failed_assertions");
+    for (const std::string &Msg : R.FailedAssertions)
+      J.strElement(Msg);
+    J.closeArray();
+  }
+  if (Opts.IncludeTimings) {
+    if (S.Kind == JobKind::Predict) {
+      J.num("gen_seconds", R.Stats.GenSeconds);
+      J.num("solve_seconds", R.Stats.SolveSeconds);
+    }
+    J.num("wall_seconds", R.WallSeconds);
+  }
+  J.closeObject();
+}
+
+void emitGroup(JsonOut &J, const std::string &Key, const Group &G,
+               const ReportOptions &Opts) {
+  J.openElement();
+  J.str("config", Key);
+  J.num("jobs", static_cast<uint64_t>(G.Jobs));
+  if (G.Failed)
+    J.num("failed", static_cast<uint64_t>(G.Failed));
+  J.num("committed_txns", static_cast<uint64_t>(G.CommittedTxns));
+  J.num("reads", static_cast<uint64_t>(G.Reads));
+  J.num("writes", static_cast<uint64_t>(G.Writes));
+  J.num("read_only_txns", static_cast<uint64_t>(G.ReadOnlyTxns));
+  J.num("aborted_txns", static_cast<uint64_t>(G.AbortedTxns));
+  J.num("sat", static_cast<uint64_t>(G.Sat));
+  J.num("unsat", static_cast<uint64_t>(G.Unsat));
+  J.num("unknown", static_cast<uint64_t>(G.Unknown));
+  J.num("validated", static_cast<uint64_t>(G.Validated));
+  J.num("diverged", static_cast<uint64_t>(G.Diverged));
+  J.num("assertion_failed", static_cast<uint64_t>(G.AssertionFailed));
+  J.num("unserializable", static_cast<uint64_t>(G.Unserializable));
+  J.num("deadlock_aborts", static_cast<uint64_t>(G.DeadlockAborts));
+  J.num("literals", G.Literals);
+  if (Opts.IncludeTimings) {
+    J.num("gen_seconds", G.GenSeconds);
+    J.num("solve_seconds", G.SolveSeconds);
+    J.num("wall_seconds", G.WallSeconds);
+  }
+  J.closeObject();
+}
+
+} // namespace
+
+std::string Report::toJson(const ReportOptions &Opts) const {
+  JsonOut J(Opts.Indent);
+  J.openObject();
+  J.str("schema", "isopredict-campaign-report/1");
+  J.str("campaign", CampaignName);
+  J.num("num_jobs", static_cast<uint64_t>(Results.size()));
+  if (Opts.IncludeTimings) {
+    J.num("workers", static_cast<uint64_t>(NumWorkers));
+    J.num("wall_seconds", WallSeconds);
+  }
+
+  J.openArray("jobs");
+  for (size_t I = 0; I < Results.size(); ++I)
+    emitJob(J, Results[I], I, Opts);
+  J.closeArray();
+
+  J.openArray("summary");
+  for (const auto &KV : groupResults(Results))
+    emitGroup(J, KV.first, KV.second, Opts);
+  J.closeArray();
+
+  J.closeObject();
+  return J.take();
+}
+
+bool Report::writeJsonFile(const std::string &Path, const ReportOptions &Opts,
+                           std::string *Error) const {
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Json = toJson(Opts);
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), Out);
+  bool CloseOk = std::fclose(Out) == 0;
+  bool Ok = Written == Json.size() && CloseOk;
+  if (!Ok && Error)
+    *Error = "short write to '" + Path + "'";
+  return Ok;
+}
+
+void Report::printSummary(FILE *Out) const {
+  TablePrinter T;
+  T.setHeader({"Config", "Jobs", "Sat", "Unsat", "Unk", "Validated",
+               "AssertFail", "Unser", "Wall"});
+  for (const auto &KV : groupResults(Results)) {
+    const Group &G = KV.second;
+    T.addRow({KV.first, formatString("%u", G.Jobs), formatString("%u", G.Sat),
+              formatString("%u", G.Unsat), formatString("%u", G.Unknown),
+              formatString("%u", G.Validated),
+              formatString("%u", G.AssertionFailed),
+              formatString("%u", G.Unserializable),
+              formatString("%.2fs", G.WallSeconds)});
+  }
+  T.print(Out);
+  std::fprintf(Out, "campaign '%s': %zu jobs, %u workers, %.2fs wall\n",
+               CampaignName.c_str(), Results.size(), NumWorkers,
+               WallSeconds);
+}

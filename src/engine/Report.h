@@ -1,0 +1,137 @@
+//===- Report.h - Campaign result aggregation and JSON output --*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured results of a campaign run. A Report holds one JobResult
+/// per job, in campaign order (never in completion order — the engine
+/// writes each result into the job's own slot, so a report is
+/// byte-for-byte independent of how many workers produced it). It
+/// serializes to JSON for machine consumption (`BENCH_*.json` next to
+/// the text tables; dashboards and regression diffing downstream) and
+/// prints a compact summary table for humans.
+///
+/// Determinism contract: with ReportOptions.IncludeTimings = false (the
+/// default), toJson() depends only on job outcomes, which are pure
+/// functions of their JobSpec (modulo solver timeouts). Wall-clock and
+/// solver times are run-dependent, so they are opt-in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENGINE_REPORT_H
+#define ISOPREDICT_ENGINE_REPORT_H
+
+#include "engine/Campaign.h"
+#include "validate/Validate.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+namespace engine {
+
+/// Everything one job produced. Fields beyond the workload counters are
+/// meaningful only for the job kinds noted.
+struct JobResult {
+  /// The job this result belongs to (echoed for self-contained reports).
+  JobSpec Spec;
+  /// False when the job could not run at all (unknown application);
+  /// Error then holds a diagnostic.
+  bool Ok = false;
+  std::string Error;
+
+  //===-- Workload shape (all kinds; Table 3 columns) --------------------===
+  unsigned CommittedTxns = 0;
+  unsigned Reads = 0;
+  unsigned Writes = 0;
+  unsigned ReadOnlyTxns = 0;
+  unsigned AbortedTxns = 0;
+  unsigned DeadlockAborts = 0; ///< LockingRc only.
+
+  //===-- Predict ---------------------------------------------------------===
+  SmtResult Outcome = SmtResult::Unknown;
+  EncodingStats Stats;
+  /// Validation outcome of a Sat prediction (NoPrediction when the job
+  /// did not validate).
+  ValidationResult::Status ValStatus = ValidationResult::Status::NoPrediction;
+  bool Diverged = false;
+  /// pco cycle witnessing unserializability of a Sat prediction, as
+  /// transaction ids (empty for ExactStrict).
+  std::vector<TxnId> Witness;
+
+  //===-- RandomWeak / LockingRc ------------------------------------------===
+  /// An in-application assertion failed in a committed transaction (for
+  /// Predict jobs: in the validating execution).
+  bool AssertionFailed = false;
+  /// Messages of the failed assertions.
+  std::vector<std::string> FailedAssertions;
+  /// ∃co serializability verdict on the history (RandomWeak with
+  /// CheckSerializability; Unknown otherwise).
+  SerResult Serializability = SerResult::Unknown;
+
+  /// Wall-clock of the whole job (run-dependent; excluded from
+  /// deterministic JSON).
+  double WallSeconds = 0;
+
+  bool validatedUnserializable() const {
+    return ValStatus == ValidationResult::Status::ValidatedUnserializable;
+  }
+};
+
+struct ReportOptions {
+  /// Emit wall-clock / generation / solving seconds. Off by default so
+  /// reports of the same campaign are byte-identical across runs and
+  /// worker counts.
+  bool IncludeTimings = false;
+  /// Pretty-print with two-space indentation (always on; knob reserved).
+  unsigned Indent = 2;
+};
+
+/// Results of one campaign run, in campaign job order.
+class Report {
+public:
+  Report() = default;
+  Report(std::string CampaignName, std::vector<JobResult> Results,
+         unsigned NumWorkers, double WallSeconds)
+      : CampaignName(std::move(CampaignName)), Results(std::move(Results)),
+        NumWorkers(NumWorkers), WallSeconds(WallSeconds) {}
+
+  const std::string &campaignName() const { return CampaignName; }
+  const std::vector<JobResult> &results() const { return Results; }
+  size_t size() const { return Results.size(); }
+  /// Worker count and total wall-clock of the producing run.
+  unsigned numWorkers() const { return NumWorkers; }
+  double wallSeconds() const { return WallSeconds; }
+
+  /// Serializes the full report (jobs + per-configuration summary) as a
+  /// JSON document. Deterministic and stably ordered: jobs in campaign
+  /// order, summary groups in order of first appearance, object keys
+  /// fixed.
+  std::string toJson(const ReportOptions &Opts = {}) const;
+
+  /// Writes toJson() to \p Path. Returns false (and sets \p Error when
+  /// non-null) on I/O failure.
+  bool writeJsonFile(const std::string &Path, const ReportOptions &Opts = {},
+                     std::string *Error = nullptr) const;
+
+  /// Prints a per-configuration summary table (TablePrinter layout).
+  void printSummary(FILE *Out = stdout) const;
+
+private:
+  std::string CampaignName;
+  std::vector<JobResult> Results;
+  unsigned NumWorkers = 0;
+  double WallSeconds = 0;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not
+/// included). Exposed for tests.
+std::string jsonEscape(const std::string &S);
+
+} // namespace engine
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENGINE_REPORT_H

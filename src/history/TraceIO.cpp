@@ -37,6 +37,8 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
   std::optional<HistoryBuilder> Builder;
   bool InTxn = false;
   size_t LineNo = 0;
+  size_t LastLine = 0; ///< Line of the last directive (EOF diagnostics).
+  size_t TxnLine = 0;  ///< Line of the currently open txn directive.
   size_t NumTxnsSeen = 0;
 
   for (std::string_view Line : splitString(Text, '\n')) {
@@ -44,6 +46,7 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
     Line = trimString(Line);
     if (Line.empty() || Line[0] == '#')
       continue;
+    LastLine = LineNo;
     std::vector<std::string_view> Tok;
     for (std::string_view Part : splitString(Line, ' '))
       if (!Part.empty())
@@ -81,6 +84,7 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
       }
       Builder->beginTxn(static_cast<SessionId>(*S), Slot);
       InTxn = true;
+      TxnLine = LineNo;
       ++NumTxnsSeen;
       continue;
     }
@@ -122,6 +126,8 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
   if (!Builder)
     return Fail("empty trace: missing history directive");
   if (InTxn)
-    return Fail("trace ends inside a transaction");
+    return Fail(formatString("line %zu: trace ends inside the transaction "
+                             "opened at line %zu (missing commit)",
+                             LastLine, TxnLine));
   return Builder->finish();
 }

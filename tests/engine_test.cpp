@@ -1,0 +1,167 @@
+//===- engine_test.cpp - Campaign engine tests ----------------*- C++ -*-===//
+
+#include "engine/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+namespace {
+
+/// A campaign covering every job kind whose outcomes are all decided
+/// well within the timeout, so results are solver-schedule-independent.
+Campaign mixedCampaign() {
+  Campaign C;
+  C.Name = "engine-test";
+  for (const std::string &App : applicationNames())
+    for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+      JobSpec J;
+      J.Kind = JobKind::Observe;
+      J.App = App;
+      J.Cfg = WorkloadConfig::small(Seed);
+      C.Jobs.push_back(std::move(J));
+    }
+  {
+    JobSpec J; // A Sat prediction that validates (fast).
+    J.Kind = JobKind::Predict;
+    J.App = "smallbank";
+    J.Cfg = WorkloadConfig::small(2);
+    J.Level = IsolationLevel::Causal;
+    J.Strat = Strategy::ApproxRelaxed;
+    J.TimeoutMs = 60000;
+    C.Jobs.push_back(std::move(J));
+  }
+  for (uint64_t R = 1; R <= 3; ++R) {
+    JobSpec J;
+    J.Kind = JobKind::RandomWeak;
+    J.App = "smallbank";
+    J.Cfg = WorkloadConfig::small(1);
+    J.Level = IsolationLevel::Causal;
+    J.StoreSeed = R * 1000 + 7;
+    J.TimeoutMs = 60000;
+    C.Jobs.push_back(std::move(J));
+  }
+  {
+    JobSpec J;
+    J.Kind = JobKind::LockingRc;
+    J.App = "voter";
+    J.Cfg = WorkloadConfig::small(1);
+    J.StoreSeed = 99;
+    C.Jobs.push_back(std::move(J));
+  }
+  return C;
+}
+
+Report runWith(const Campaign &C, unsigned Workers) {
+  EngineOptions O;
+  O.NumWorkers = Workers;
+  return Engine(O).run(C);
+}
+
+} // namespace
+
+TEST(Engine, DeterministicAcrossWorkerCounts) {
+  Campaign C = mixedCampaign();
+  std::string Json1 = runWith(C, 1).toJson();
+  std::string Json2 = runWith(C, 2).toJson();
+  std::string Json4 = runWith(C, 4).toJson();
+  // Byte-identical reports regardless of parallelism: results land in
+  // campaign order and timings are excluded by default.
+  EXPECT_EQ(Json1, Json2);
+  EXPECT_EQ(Json1, Json4);
+  EXPECT_NE(Json1.find("\"validation\": \"validated-unserializable\""),
+            std::string::npos);
+}
+
+TEST(Engine, ResultsLandInCampaignOrder) {
+  Campaign C = mixedCampaign();
+  Report R = runWith(C, 3);
+  ASSERT_EQ(R.size(), C.size());
+  for (size_t I = 0; I < C.size(); ++I) {
+    EXPECT_EQ(R.results()[I].Spec.Kind, C.Jobs[I].Kind);
+    EXPECT_EQ(R.results()[I].Spec.App, C.Jobs[I].App);
+    EXPECT_EQ(R.results()[I].Spec.Cfg.Seed, C.Jobs[I].Cfg.Seed);
+    EXPECT_TRUE(R.results()[I].Ok);
+  }
+}
+
+TEST(Engine, QueueDrainsWithMoreJobsThanWorkers) {
+  // Many cheap jobs on few workers: every job completes exactly once
+  // and the progress callback sees a contiguous completion count.
+  Campaign C;
+  C.Name = "drain";
+  for (uint64_t Seed = 1; Seed <= 23; ++Seed) {
+    JobSpec J;
+    J.Kind = JobKind::Observe;
+    J.App = "voter";
+    J.Cfg = WorkloadConfig::small(Seed);
+    C.Jobs.push_back(std::move(J));
+  }
+
+  std::set<uint64_t> SeenSeeds;
+  size_t Calls = 0, MaxDone = 0;
+  EngineOptions O;
+  O.NumWorkers = 4;
+  O.OnJobDone = [&](size_t Done, size_t Total, const JobResult &R) {
+    ++Calls;
+    MaxDone = std::max(MaxDone, Done);
+    EXPECT_EQ(Total, 23u);
+    SeenSeeds.insert(R.Spec.Cfg.Seed);
+  };
+  Report R = Engine(O).run(C);
+
+  ASSERT_EQ(R.size(), 23u);
+  EXPECT_EQ(Calls, 23u);
+  EXPECT_EQ(MaxDone, 23u);
+  EXPECT_EQ(SeenSeeds.size(), 23u); // every job ran exactly once
+  for (const JobResult &Res : R.results())
+    EXPECT_TRUE(Res.Ok);
+}
+
+TEST(Engine, EmptyCampaign) {
+  Campaign C;
+  C.Name = "empty";
+  Report R = runWith(C, 4);
+  EXPECT_EQ(R.size(), 0u);
+  std::string Json = R.toJson();
+  EXPECT_NE(Json.find("\"num_jobs\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"jobs\": []"), std::string::npos);
+}
+
+TEST(Engine, UnknownApplicationReportsError) {
+  Campaign C;
+  C.Name = "bad";
+  JobSpec J;
+  J.App = "no-such-app";
+  C.Jobs.push_back(J);
+  Report R = runWith(C, 2);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R.results()[0].Ok);
+  EXPECT_NE(R.results()[0].Error.find("no-such-app"), std::string::npos);
+  EXPECT_NE(R.toJson().find("\"ok\": false"), std::string::npos);
+}
+
+TEST(Engine, PredictGridCrossProduct) {
+  Campaign C = Campaign::predictGrid(
+      "grid", {"smallbank", "voter"},
+      {IsolationLevel::Causal, IsolationLevel::ReadCommitted},
+      {Strategy::ApproxStrict, Strategy::ApproxRelaxed}, {false, true}, 3,
+      1234);
+  EXPECT_EQ(C.size(), 2u * 2 * 2 * 2 * 3);
+  for (const JobSpec &J : C.Jobs) {
+    EXPECT_EQ(J.Kind, JobKind::Predict);
+    EXPECT_EQ(J.TimeoutMs, 1234u);
+    EXPECT_GE(J.Cfg.Seed, 1u);
+    EXPECT_LE(J.Cfg.Seed, 3u);
+  }
+}
+
+TEST(Report, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("x\ny\t"), "x\\ny\\t");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}

@@ -1,0 +1,113 @@
+//===- traceio_test.cpp - Trace serialization tests -----------*- C++ -*-===//
+
+#include "history/TraceIO.h"
+
+#include "TestUtil.h"
+#include "apps/AppFramework.h"
+#include "store/Store.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+
+namespace {
+
+/// writeTrace must be a fixed point of write ∘ read, and the re-read
+/// history must agree structurally with the original.
+void expectRoundTrip(const History &H) {
+  std::string Text = writeTrace(H);
+  std::string Error;
+  auto H2 = readTrace(Text, &Error);
+  ASSERT_TRUE(H2.has_value()) << Error << "\ntrace:\n" << Text;
+  EXPECT_EQ(writeTrace(*H2), Text);
+  ASSERT_EQ(H2->numTxns(), H.numTxns());
+  EXPECT_EQ(H2->numSessions(), H.numSessions());
+  EXPECT_EQ(H2->numKeys(), H.numKeys());
+  for (TxnId T = 1; T < H.numTxns(); ++T) {
+    const Transaction &A = H.txn(T), &B = H2->txn(T);
+    EXPECT_EQ(A.Session, B.Session);
+    EXPECT_EQ(A.Slot, B.Slot);
+    ASSERT_EQ(A.Events.size(), B.Events.size());
+    for (size_t I = 0; I < A.Events.size(); ++I) {
+      EXPECT_EQ(A.Events[I].Kind, B.Events[I].Kind);
+      EXPECT_EQ(H.keys().name(A.Events[I].Key),
+                H2->keys().name(B.Events[I].Key));
+      EXPECT_EQ(A.Events[I].Val, B.Events[I].Val);
+      if (A.Events[I].Kind == EventKind::Read)
+        EXPECT_EQ(A.Events[I].Writer, B.Events[I].Writer);
+    }
+  }
+}
+
+} // namespace
+
+TEST(TraceIO, RoundTripCannedHistories) {
+  expectRoundTrip(testutil::depositObserved());
+  expectRoundTrip(testutil::depositUnserializable());
+  expectRoundTrip(testutil::crossReadObserved());
+  expectRoundTrip(testutil::bankDivergenceObserved());
+  expectRoundTrip(testutil::selfJustifyTrap());
+}
+
+TEST(TraceIO, RoundTripRandomHistories) {
+  Rng R(20260729);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    unsigned Sessions = 1 + static_cast<unsigned>(R.below(4));
+    HistoryBuilder B(Sessions);
+    unsigned NumTxns = static_cast<unsigned>(R.below(10));
+    for (unsigned T = 1; T <= NumTxns; ++T) {
+      B.beginTxn(static_cast<SessionId>(R.below(Sessions)));
+      unsigned NumEvents = static_cast<unsigned>(R.below(6));
+      for (unsigned E = 0; E < NumEvents; ++E) {
+        std::string Key = "k" + std::to_string(R.below(4));
+        if (R.chance(1, 2))
+          // Any already-committed transaction (or t0) may be the writer.
+          B.read(Key, static_cast<TxnId>(R.below(T)), R.range(-99, 99));
+        else
+          B.write(Key, R.range(-99, 99));
+      }
+      B.commit();
+    }
+    expectRoundTrip(B.finish());
+  }
+}
+
+TEST(TraceIO, RoundTripStoreHistories) {
+  // Histories recorded by the actual store, including weak ones.
+  for (const std::string &AppName : {std::string("smallbank"),
+                                     std::string("voter")}) {
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      auto App = makeApplication(AppName);
+      DataStore::Options O;
+      O.Mode = StoreMode::RandomWeak;
+      O.Level = IsolationLevel::Causal;
+      O.Seed = Seed * 17 + 1;
+      DataStore Store(O);
+      RunResult Run =
+          WorkloadRunner::run(*App, Store, WorkloadConfig::small(Seed));
+      expectRoundTrip(Run.Hist);
+    }
+  }
+}
+
+TEST(TraceIO, ErrorsCarryLineNumbers) {
+  std::string Error;
+
+  EXPECT_FALSE(readTrace("history 2\ntxn 0\nwrite k 1\n", &Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+
+  EXPECT_FALSE(readTrace("history 1\nbogus\n", &Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+
+  EXPECT_FALSE(readTrace("history 1\n# comment\n\nhistory 1\n", &Error));
+  EXPECT_NE(Error.find("line 4"), std::string::npos) << Error;
+
+  // Writer ids must reference an already-seen transaction (or t0).
+  EXPECT_FALSE(readTrace("history 1\ntxn 0\nread k 5 1\ncommit\n", &Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos) << Error;
+
+  EXPECT_FALSE(readTrace("", &Error));
+  EXPECT_NE(Error.find("missing history"), std::string::npos) << Error;
+}
