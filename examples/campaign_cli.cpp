@@ -96,8 +96,14 @@ int main(int argc, char **argv) {
         return usage("--apps needs a value");
       Apps = splitList(V);
       for (const std::string &A : Apps)
-        if (!makeApplication(A))
-          return usage(("unknown application '" + A + "'").c_str());
+        if (!makeApplication(A)) {
+          std::string Valid;
+          for (const std::string &Name : applicationNames())
+            Valid += (Valid.empty() ? "" : ", ") + Name;
+          return usage(("unknown application '" + A + "' (valid: " + Valid +
+                        ")")
+                           .c_str());
+        }
     } else if (Flag == "--levels") {
       const char *V = next();
       if (!V)
@@ -111,7 +117,9 @@ int main(int argc, char **argv) {
         else if (L == "ra")
           Levels.push_back(IsolationLevel::ReadAtomic);
         else
-          return usage(("unknown level '" + L + "'").c_str());
+          return usage(("unknown level '" + L +
+                        "' (valid: causal, rc, ra)")
+                           .c_str());
       }
     } else if (Flag == "--strategies") {
       const char *V = next();
@@ -126,7 +134,9 @@ int main(int argc, char **argv) {
         else if (S == "relaxed")
           Strategies.push_back(Strategy::ApproxRelaxed);
         else
-          return usage(("unknown strategy '" + S + "'").c_str());
+          return usage(("unknown strategy '" + S +
+                        "' (valid: exact, strict, relaxed)")
+                           .c_str());
       }
     } else if (Flag == "--sizes") {
       const char *V = next();
@@ -139,7 +149,8 @@ int main(int argc, char **argv) {
         else if (S == "large")
           Larges.push_back(true);
         else
-          return usage(("unknown size '" + S + "'").c_str());
+          return usage(
+              ("unknown size '" + S + "' (valid: small, large)").c_str());
       }
     } else if (Flag == "--seeds" || Flag == "--jobs" ||
                Flag == "--timeout-ms") {

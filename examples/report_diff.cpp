@@ -1,0 +1,107 @@
+//===- report_diff.cpp - Campaign-report regression diff -------*- C++ -*-===//
+//
+// Compares two campaign JSON reports (campaign_cli --out / BENCH_*.json)
+// and flags outcome regressions: predictions lost (sat → unsat/unknown),
+// validations downgraded (validated → diverged), jobs that stopped
+// running, MonkeyDB bugs that disappeared. The ROADMAP "incremental
+// re-runs / report diffing" tool.
+//
+// Usage:
+//   report_diff [--regressions-only] [--quiet] before.json after.json
+//
+// Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage or
+// parse error. Neutral changes (new predictions, literal-count shifts)
+// are listed but do not affect the exit code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ReportDiff.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace isopredict::engine;
+
+namespace {
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    std::fprintf(stderr, "error: %s\n", Msg);
+  std::fprintf(stderr,
+               "usage: report_diff [--regressions-only] [--quiet] "
+               "before.json after.json\n"
+               "  exit 0: no outcome regressions\n"
+               "  exit 1: regressions (sat->unsat, validated->diverged, "
+               "ok->failed, ...)\n"
+               "  exit 2: usage or parse error\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool RegressionsOnly = false;
+  bool Quiet = false;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--regressions-only") == 0)
+      RegressionsOnly = true;
+    else if (std::strcmp(argv[I], "--quiet") == 0)
+      Quiet = true;
+    else if (argv[I][0] == '-' && argv[I][1] != '\0')
+      return usage(("unknown option '" + std::string(argv[I]) + "'").c_str());
+    else
+      Paths.push_back(argv[I]);
+  }
+  if (Paths.size() != 2)
+    return usage("expected exactly two report paths");
+
+  std::string JsonA, JsonB;
+  if (!readFile(Paths[0], JsonA))
+    return usage(("cannot read '" + Paths[0] + "'").c_str());
+  if (!readFile(Paths[1], JsonB))
+    return usage(("cannot read '" + Paths[1] + "'").c_str());
+
+  std::string Error;
+  std::optional<ReportDiffResult> Diff = diffReports(JsonA, JsonB, &Error);
+  if (!Diff) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  if (!Quiet) {
+    for (const JobDelta &D : Diff->Deltas) {
+      if (RegressionsOnly && !D.Regression)
+        continue;
+      std::printf("%s %s: %s: %s -> %s\n",
+                  D.Regression ? "REGRESSION" : "change", D.Job.c_str(),
+                  D.Field.c_str(), D.Before.c_str(), D.After.c_str());
+    }
+    if (!RegressionsOnly) {
+      for (const std::string &Key : Diff->OnlyInA)
+        std::printf("only in %s: %s\n", Paths[0].c_str(), Key.c_str());
+      for (const std::string &Key : Diff->OnlyInB)
+        std::printf("only in %s: %s\n", Paths[1].c_str(), Key.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "%u matched job(s), %zu change(s), %u regression(s), "
+               "%zu/%zu unmatched\n",
+               Diff->MatchedJobs, Diff->Deltas.size(),
+               Diff->numRegressions(), Diff->OnlyInA.size(),
+               Diff->OnlyInB.size());
+  return Diff->hasRegressions() ? 1 : 0;
+}

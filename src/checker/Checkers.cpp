@@ -2,8 +2,8 @@
 
 #include "checker/Checkers.h"
 
+#include "encode/Serializable.h"
 #include "smt/Smt.h"
-#include "support/StrUtil.h"
 
 #include <algorithm>
 
@@ -162,42 +162,13 @@ bool isopredict::isReadCommitted(const History &H) {
 
 SerResult isopredict::checkSerializableSmt(const History &H,
                                            unsigned TimeoutMs) {
-  size_t N = H.numTxns();
+  // The constraint system lives in src/encode/Serializable.cpp, on the
+  // same interning/batching utilities as the prediction pipeline.
   SmtContext Ctx;
   SmtSolver Solver(Ctx);
   if (TimeoutMs)
     Solver.setTimeoutMs(TimeoutMs);
-
-  std::vector<SmtExpr> Co;
-  Co.reserve(N);
-  for (TxnId T = 0; T < N; ++T)
-    Co.push_back(Ctx.intVar(formatString("co_%u", T)));
-
-  if (N >= 2)
-    Solver.add(Ctx.mkDistinct(Co));
-
-  // hb ⊆ co: it suffices to order the so ∪ wr generators.
-  BitRel So = soRel(H);
-  BitRel Wr = wrRel(H);
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B)
-      if (A != B && (So.test(A, B) || Wr.test(A, B)))
-        Solver.add(Ctx.mkLt(Co[A], Co[B]));
-
-  // Arbitration (Eq. 1): for writers t1,t2 of k and wr_k(t2,t3):
-  // co(t1) < co(t3) ⇒ co(t1) < co(t2).
-  for (KeyId K : H.keysRead()) {
-    for (const ReadRef &Read : H.readsOf(K)) {
-      TxnId T2 = Read.Writer;
-      TxnId T3 = Read.Reader;
-      for (TxnId T1 : H.writersOf(K)) {
-        if (T1 == T2 || T1 == T3)
-          continue;
-        Solver.add(Ctx.mkImplies(Ctx.mkLt(Co[T1], Co[T3]),
-                                 Ctx.mkLt(Co[T1], Co[T2])));
-      }
-    }
-  }
+  encode::encodeSerializableCo(H, Ctx, Solver);
 
   switch (Solver.check()) {
   case SmtResult::Sat:

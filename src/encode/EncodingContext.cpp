@@ -1,0 +1,193 @@
+//===- EncodingContext.cpp - Shared state of the encoding pipeline -------===//
+
+#include "encode/EncodingContext.h"
+
+#include "support/StrUtil.h"
+
+using namespace isopredict;
+using namespace isopredict::encode;
+
+namespace {
+
+/// Injective packings for the atom-cache keys. The asserts bound the
+/// realistic id ranges (histories have dozens of transactions and at
+/// most a few thousand keys/positions).
+uint64_t packSPW(SessionId S, uint32_t Pos, TxnId W) {
+  assert(S < (1u << 12) && Pos < (1u << 26) && W < (1u << 26) &&
+         "atom-cache key overflow");
+  return (static_cast<uint64_t>(S) << 52) |
+         (static_cast<uint64_t>(Pos) << 26) | W;
+}
+
+uint64_t packSP(SessionId S, uint32_t Pos) {
+  return (static_cast<uint64_t>(S) << 32) | Pos;
+}
+
+uint64_t packTK(TxnId T, KeyId K) {
+  return (static_cast<uint64_t>(T) << 32) | K;
+}
+
+} // namespace
+
+PairMatrix isopredict::encode::defineClosure(SmtContext &Ctx,
+                                             AssertionBuffer &Asserts,
+                                             const PairMatrix &Base,
+                                             const char *Prefix) {
+  size_t N = Base.size();
+  size_t Layers = 1;
+  while ((size_t(1) << Layers) < N)
+    ++Layers;
+  PairMatrix Prev = Base;
+  std::vector<SmtExpr> Terms;
+  Terms.reserve(N);
+  for (size_t L = 0; L < Layers; ++L) {
+    PairMatrix Next(N, std::vector<SmtExpr>(N));
+    for (TxnId A = 0; A < N; ++A)
+      for (TxnId B = 0; B < N; ++B) {
+        if (A == B)
+          continue;
+        Terms.clear();
+        Terms.push_back(Prev[A][B]);
+        for (TxnId M = 0; M < N; ++M)
+          if (M != A && M != B)
+            Terms.push_back(Ctx.mkAnd(Prev[A][M], Prev[M][B]));
+        SmtExpr Var =
+            Ctx.boolVar(formatString("%s_l%zu_%u_%u", Prefix, L, A, B));
+        Asserts.add(Ctx.mkIff(Var, Ctx.mkOr(Terms)));
+        Next[A][B] = Var;
+      }
+    Prev = std::move(Next);
+  }
+  return Prev;
+}
+
+PairMatrix EncodingContext::makePairMatrix(const char *Name, bool IsInt) {
+  PairMatrix M(N, std::vector<SmtExpr>(N));
+  for (TxnId A = 0; A < N; ++A)
+    for (TxnId B = 0; B < N; ++B) {
+      if (A == B)
+        continue;
+      std::string VarName = formatString("%s_%u_%u", Name, A, B);
+      M[A][B] = IsInt ? Ctx.intVar(VarName) : Ctx.boolVar(VarName);
+    }
+  return M;
+}
+
+SmtExpr &EncodingContext::wrkVar(KeyId K, TxnId Writer, TxnId Reader) {
+  auto It = WrKFast.find(packKWR(K, Writer, Reader));
+  assert(It != WrKFast.end() && "missing wr_k variable");
+  return It->second;
+}
+
+bool EncodingContext::hasWrk(KeyId K, TxnId Writer, TxnId Reader) const {
+  return WrKFast.count(packKWR(K, Writer, Reader)) != 0;
+}
+
+SmtExpr EncodingContext::choiceIs(SessionId S, uint32_t Pos, TxnId W) {
+  auto [It, New] = ChoiceAtomCache.try_emplace(packSPW(S, Pos, W));
+  if (New)
+    It->second = Ctx.mkEq(Choice.at({S, Pos}), Ctx.internIntVal(W));
+  return It->second;
+}
+
+SmtExpr EncodingContext::eventIncluded(SessionId S, uint32_t Pos) {
+  auto [It, New] = EventInclCache.try_emplace(packSP(S, Pos));
+  if (New)
+    It->second = Ctx.mkLe(Ctx.internIntVal(Pos), Cut[S]);
+  return It->second;
+}
+
+SmtExpr EncodingContext::beforeBoundary(SessionId S, uint32_t Pos) {
+  auto [It, New] = BeforeBoundaryCache.try_emplace(packSP(S, Pos));
+  if (New)
+    It->second = Ctx.mkLt(Ctx.internIntVal(Pos), Boundary[S]);
+  return It->second;
+}
+
+SmtExpr EncodingContext::writeIncluded(TxnId T, KeyId K) {
+  if (T == InitTxn)
+    return Ctx.boolVal(true);
+  auto [It, New] = WriteInclCache.try_emplace(packTK(T, K));
+  if (New)
+    It->second = Ctx.mkLt(Ctx.internIntVal(H.wrPos(T, K)),
+                          Cut[H.txn(T).Session]);
+  return It->second;
+}
+
+void EncodingContext::buildIndexes() {
+  NumKeys = H.numKeys();
+  WritesBit.assign(N * NumKeys, 0);
+  for (TxnId T = 0; T < N; ++T)
+    for (KeyId K = 0; K < NumKeys; ++K)
+      if (H.writesKey(T, K))
+        WritesBit[T * NumKeys + K] = 1;
+
+  WrKFast.reserve(WrK.size() * 2);
+  for (auto &[KeyTuple, Var] : WrK) {
+    auto [K, Writer, Reader] = KeyTuple;
+    assert(K < (1u << 22) && Writer < (1u << 21) && Reader < (1u << 21) &&
+           "wr_k key overflow");
+    WrKFast.emplace(packKWR(K, Writer, Reader), Var);
+  }
+
+  // Justification indexes, in the exact traversal order the passes
+  // consume (keysRead outer, readsOf/writersOf inner).
+  WwByWriter.assign(N, {});
+  RwByReader.assign(N, {});
+  for (KeyId K : H.keysRead()) {
+    const std::vector<TxnId> &Writers = H.writersOf(K);
+    for (const ReadRef &R : H.readsOf(K))
+      for (TxnId W : Writers)
+        if (W != R.Reader && hasWrk(K, W, R.Reader))
+          WwByWriter[W].push_back({K, R.Reader, wrkVar(K, W, R.Reader)});
+    for (TxnId W : Writers)
+      for (const ReadRef &R : H.readsOf(K)) {
+        // One rw entry per *reader*, not per read occurrence: the rw
+        // enumeration walks writersOf(k) for each reading transaction.
+        if (W == R.Reader || !hasWrk(K, W, R.Reader))
+          continue;
+        std::vector<JustEntry> &Rw = RwByReader[R.Reader];
+        if (!Rw.empty() && Rw.back().K == K && Rw.back().Other == W)
+          continue;
+        Rw.push_back({K, W, wrkVar(K, W, R.Reader)});
+      }
+  }
+}
+
+std::vector<EncodingContext::Justification>
+EncodingContext::wwJust(TxnId A, TxnId B, const PairMatrix &P) {
+  // φww(A,B): B's write to k is read by some t3 that pco-follows A, and
+  // A's write to k lies inside its session's boundary (App. B.2.2).
+  std::vector<Justification> Out;
+  for (const JustEntry &E : WwByWriter[B]) {
+    if (E.Other == A || !writes(A, E.K))
+      continue;
+    Out.push_back({Ctx.mkAnd({E.Wrk, P[A][E.Other], writeIncluded(A, E.K)}),
+                   A, E.Other});
+  }
+  return Out;
+}
+
+std::vector<EncodingContext::Justification>
+EncodingContext::rwJust(TxnId A, TxnId B, const PairMatrix &P) {
+  // φrw(A,B): A reads k from some t3, B also writes k and pco-follows
+  // t3, and B's write to k lies inside its session's boundary.
+  std::vector<Justification> Out;
+  if (!Opts.EnableRw)
+    return Out;
+  for (const JustEntry &E : RwByReader[A]) {
+    if (E.Other == B || !writes(B, E.K))
+      continue;
+    Out.push_back({Ctx.mkAnd({E.Wrk, P[E.Other][B], writeIncluded(B, E.K)}),
+                   E.Other, B});
+  }
+  return Out;
+}
+
+void EncodingContext::addCycleConstraint(const PairMatrix &P) {
+  std::vector<SmtExpr> CycleTerms;
+  for (TxnId A = 0; A < N; ++A)
+    for (TxnId B = A + 1; B < N; ++B)
+      CycleTerms.push_back(Ctx.mkAnd(P[A][B], P[B][A]));
+  assertExpr(Ctx.mkOr(CycleTerms));
+}

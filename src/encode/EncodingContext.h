@@ -1,0 +1,267 @@
+//===- EncodingContext.h - Shared state of the encoding pipeline -*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The state shared by the composable encoding passes (Passes.h): the
+/// pair-indexed variable matrices, the φwr_k atom table, the boundary
+/// and cut terms, interned helper atoms, and the batched assertion
+/// buffer. One EncodingContext exists per predict() query; the
+/// EncoderPipeline (Pipeline.h) threads it through the passes the
+/// options selected, and extraction in Predict.cpp reads the model
+/// through the same tables.
+///
+/// Everything here is *mechanism* — constraint semantics (Appendix B)
+/// live in the passes. The split follows the paper's observation (§7.2)
+/// that constraint generation dominates query time: the mechanism layer
+/// is where the constant factors live (atom interning, precomputed
+/// justification indexes, dense writes bitsets), independent of which
+/// strategy or isolation level is being encoded. Measured perspective:
+/// in this native reproduction ~95% of generation wall-clock is inside
+/// libz3 itself (~1/3 term hash-consing, ~2/3 assert-time
+/// preprocessing the solver would otherwise do at check()), so these
+/// optimizations bound the wrapper layer's overhead rather than the
+/// total — see bench/micro_encoding for the per-pass attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENCODE_ENCODINGCONTEXT_H
+#define ISOPREDICT_ENCODE_ENCODINGCONTEXT_H
+
+#include "history/History.h"
+#include "predict/Predict.h"
+#include "smt/Smt.h"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace isopredict {
+namespace encode {
+
+/// Pair-indexed expression matrix ([t1][t2], diagonal unused).
+using PairMatrix = std::vector<std::vector<SmtExpr>>;
+
+/// Routes pass assertions to the solver. Two modes, because batching is
+/// *not* model-transparent:
+///
+///  - Immediate: every add() is a Z3_solver_assert right away,
+///    interleaved with term construction exactly as the monolithic
+///    encoder interleaved them. Z3 creates (and hash-conses) auxiliary
+///    ASTs while asserting, so the interleaving determines AST ids,
+///    which seed the solver's search heuristics — Immediate is the only
+///    mode that keeps extracted predictions bit-identical across the
+///    refactor, and the prediction pipeline uses it.
+///  - Conjoin: buffer the pass and flush it as a single batched
+///    Z3_solver_assert of the conjunction (SmtSolver::addAll) — one API
+///    crossing per pass. Sat-equivalent, but may steer the solver to a
+///    different (equally valid) model, so it is reserved for
+///    verdict-only queries (the serializability checker) where no model
+///    is extracted.
+class AssertionBuffer {
+public:
+  enum class FlushMode { Immediate, Conjoin };
+
+  explicit AssertionBuffer(SmtSolver &Solver,
+                           FlushMode Mode = FlushMode::Immediate)
+      : Solver(Solver), Mode(Mode) {}
+
+  void add(SmtExpr E) {
+    if (Mode == FlushMode::Immediate)
+      Solver.add(E);
+    else
+      Pending.push_back(E);
+  }
+
+  /// Flushes pending assertions (no-op in Immediate mode, one batched
+  /// Z3_solver_assert in Conjoin mode).
+  void flush() {
+    if (!Pending.empty()) {
+      Solver.addAll(Pending);
+      Pending.clear();
+    }
+  }
+
+  size_t pendingCount() const { return Pending.size(); }
+
+private:
+  SmtSolver &Solver;
+  FlushMode Mode;
+  std::vector<SmtExpr> Pending;
+};
+
+/// Defines fresh variables <-> transitive closure of \p Base by repeated
+/// squaring (ceil(log2 N) layers); definitions go through \p Asserts.
+/// Exposed as a free function so the closure machinery is testable in
+/// isolation and reusable outside a prediction query.
+PairMatrix defineClosure(SmtContext &Ctx, AssertionBuffer &Asserts,
+                         const PairMatrix &Base, const char *Prefix);
+
+/// Shared state of one predictive-encoding query. Construction declares
+/// nothing; EncoderPipeline runs the DeclarePass first, which builds the
+/// variable tables below in the same order the monolithic encoder did.
+class EncodingContext {
+public:
+  EncodingContext(const History &H, const PredictOptions &Opts,
+                  SmtContext &Ctx, SmtSolver &Solver)
+      : H(H), Opts(Opts), Ctx(Ctx),
+        Asserts(Solver, Opts.BatchAsserts
+                            ? AssertionBuffer::FlushMode::Conjoin
+                            : AssertionBuffer::FlushMode::Immediate),
+        N(H.numTxns()), Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {}
+
+  const History &H;
+  const PredictOptions &Opts;
+  SmtContext &Ctx;
+  AssertionBuffer Asserts;
+  const size_t N;
+  const bool Relaxed;
+
+  //===--------------------------------------------------------------------===
+  // Variable tables (built by DeclarePass)
+  //===--------------------------------------------------------------------===
+
+  /// Pair-indexed boolean variables ([t1][t2], diagonal unused).
+  PairMatrix So, Wr, Hb;
+  PairMatrix Pco;  ///< Final pco (for witness extraction).
+  PairMatrix Rank; ///< Int vars, rank encoding only.
+
+  /// φwr_k(t1,t2), keyed by (key, writer, reader). Ordered container:
+  /// FeasibilityPass iterates it when defining the φwr_k semantics, and
+  /// assertion order is part of the bit-identical behaviour contract.
+  std::map<std::tuple<KeyId, TxnId, TxnId>, SmtExpr> WrK;
+
+  /// Integer standing in for the "∞" boundary position: strictly larger
+  /// than every event position.
+  int64_t Inf = 0;
+
+  /// φchoice(s, i): integer variable holding the chosen writer txn id.
+  std::map<std::pair<SessionId, uint32_t>, SmtExpr> Choice;
+  /// φboundary(s): integer variable, a read position or Inf.
+  std::vector<SmtExpr> Boundary;
+  /// Derived cut: last included position (== Boundary when strict; the
+  /// end of the boundary read's transaction when relaxed; Table 1).
+  std::vector<SmtExpr> Cut;
+
+  //===--------------------------------------------------------------------===
+  // Derived indexes (built by DeclarePass alongside the variables)
+  //===--------------------------------------------------------------------===
+  //
+  // The B.2/B.3 passes all enumerate the same justification shape — "t3
+  // reads k from the inner transaction while the outer transaction also
+  // writes k" — once per transaction pair, which in the monolithic
+  // encoder meant O(N² · keys · reads) ordered-map probes and rdpos
+  // vector rebuilds. The indexes below are computed once, in exactly
+  // the (keysRead, readsOf/writersOf) traversal order the passes
+  // consume, so using them changes neither term order nor term content.
+
+  /// One potential justification site: key, the varying endpoint (the
+  /// reader t3 for ww-style edges, the writer t3 for rw edges), and the
+  /// φwr_k variable connecting them.
+  struct JustEntry {
+    KeyId K;
+    TxnId Other;
+    SmtExpr Wrk;
+  };
+
+  /// Per writer B: every (k, reader t3) with a φwr_k(B,t3) variable, in
+  /// (keysRead, readsOf) order — the ww/arbitration enumeration.
+  std::vector<std::vector<JustEntry>> WwByWriter;
+
+  /// Per reader A: every (k, writer t3) with a φwr_k(t3,A) variable, in
+  /// (keysRead, writersOf) order — the rw enumeration.
+  std::vector<std::vector<JustEntry>> RwByReader;
+
+  //===--------------------------------------------------------------------===
+  // Builders and interned atoms
+  //===--------------------------------------------------------------------===
+
+  /// Buffers \p E for the next batched assert.
+  void assertExpr(SmtExpr E) { Asserts.add(E); }
+
+  /// Fresh N×N matrix of named bool (or int) variables.
+  PairMatrix makePairMatrix(const char *Name, bool IsInt = false);
+
+  SmtExpr &wrkVar(KeyId K, TxnId Writer, TxnId Reader);
+  bool hasWrk(KeyId K, TxnId Writer, TxnId Reader) const;
+
+  /// The atom φchoice(s,i) = W (interned: one table probe per reuse).
+  SmtExpr choiceIs(SessionId S, uint32_t Pos, TxnId W);
+
+  /// "t writes k" over the *observed* transactions; t0 writes every key.
+  /// Dense bitset lookup (hot in every justification filter).
+  bool writes(TxnId T, KeyId K) const {
+    return WritesBit[T * NumKeys + K] != 0;
+  }
+
+  /// i ≤ cut(s): the event at (S, Pos) is part of the prediction
+  /// (interned).
+  SmtExpr eventIncluded(SessionId S, uint32_t Pos);
+
+  /// i < boundary(s): the read keeps its observed writer (interned).
+  SmtExpr beforeBoundary(SessionId S, uint32_t Pos);
+
+  /// wrpos_k(t) < cut(s_t): t's write to k is part of the prediction.
+  /// True outright for t0. Interned.
+  SmtExpr writeIncluded(TxnId T, KeyId K);
+
+  /// Member shorthand for the free defineClosure above.
+  PairMatrix closure(const PairMatrix &Base, const char *Prefix) {
+    return defineClosure(Ctx, Asserts, Base, Prefix);
+  }
+
+  /// One way to justify a ww/rw edge: the condition plus the pco edge
+  /// (RankA, RankB) the derivation consumed (for the rank guards).
+  struct Justification {
+    SmtExpr Cond;
+    TxnId RankA, RankB;
+  };
+
+  /// φww(A,B) justifications: B's write to k is read by some t3 that
+  /// pco-follows A, and A's write to k lies inside its session's
+  /// boundary (App. B.2.2).
+  std::vector<Justification> wwJust(TxnId A, TxnId B, const PairMatrix &P);
+
+  /// φrw(A,B) justifications: A reads k from some t3, B also writes k
+  /// and pco-follows t3, and B's write to k lies inside its session's
+  /// boundary. Empty when the rw ablation knob is off.
+  std::vector<Justification> rwJust(TxnId A, TxnId B, const PairMatrix &P);
+
+  /// Asserts that \p P contains a 2-cycle through its closure (the
+  /// unserializability witness requirement).
+  void addCycleConstraint(const PairMatrix &P);
+
+  /// Builds WritesBit and the justification indexes; DeclarePass calls
+  /// this after the φwr_k table exists.
+  void buildIndexes();
+
+private:
+  size_t NumKeys = 0;
+  /// Dense N×numKeys "t writes k" bitset (t0 writes every key).
+  std::vector<uint8_t> WritesBit;
+
+  /// Single-probe atom caches keyed on packed small-integer tuples.
+  /// Cheaper than the generic pointer-keyed interning in SmtContext for
+  /// these very hot atoms (one lookup instead of value-then-atom).
+  std::unordered_map<uint64_t, SmtExpr> ChoiceAtomCache;
+  std::unordered_map<uint64_t, SmtExpr> EventInclCache;
+  std::unordered_map<uint64_t, SmtExpr> BeforeBoundaryCache;
+  std::unordered_map<uint64_t, SmtExpr> WriteInclCache;
+
+  /// Fast φwr_k existence/lookup table mirroring WrK (packed key).
+  std::unordered_map<uint64_t, SmtExpr> WrKFast;
+
+  static uint64_t packKWR(KeyId K, TxnId W, TxnId R) {
+    return (static_cast<uint64_t>(K) << 42) |
+           (static_cast<uint64_t>(W) << 21) | R;
+  }
+};
+
+} // namespace encode
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENCODE_ENCODINGCONTEXT_H

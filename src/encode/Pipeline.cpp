@@ -1,0 +1,48 @@
+//===- Pipeline.cpp - Encoding-pass pipeline -----------------------------===//
+
+#include "encode/Pipeline.h"
+
+#include "support/Env.h"
+
+
+using namespace isopredict;
+using namespace isopredict::encode;
+
+void EncoderPipeline::run(EncodingContext &EC, EncodingStats &Stats) const {
+  for (const std::unique_ptr<EncodingPass> &Pass : Passes) {
+    Timer PassTime;
+    uint64_t Before = EC.Ctx.literalCount();
+    Pass->run(EC);
+    EC.Asserts.flush(); // No-op in Immediate mode; batch in Conjoin.
+    Stats.Passes.push_back(
+        {Pass->name(), EC.Ctx.literalCount() - Before, PassTime.seconds()});
+  }
+}
+
+EncoderPipeline EncoderPipeline::forOptions(const PredictOptions &Opts) {
+  EncoderPipeline P;
+  P.add(std::make_unique<DeclarePass>());
+  P.add(std::make_unique<FeasibilityPass>());
+
+  if (Opts.Strat == Strategy::ExactStrict)
+    P.add(std::make_unique<ExactStrictPass>());
+  else if (Opts.Pco == PcoEncoding::Rank)
+    P.add(std::make_unique<ApproxRankPass>());
+  else
+    P.add(std::make_unique<ApproxLayeredPass>());
+
+  switch (Opts.Level) {
+  case IsolationLevel::Causal:
+    P.add(std::make_unique<CausalPass>());
+    break;
+  case IsolationLevel::ReadAtomic:
+    P.add(std::make_unique<ReadAtomicPass>());
+    break;
+  case IsolationLevel::ReadCommitted:
+    P.add(std::make_unique<ReadCommittedPass>());
+    break;
+  case IsolationLevel::Serializable:
+    break; // Rejected by predict()'s precondition.
+  }
+  return P;
+}

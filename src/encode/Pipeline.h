@@ -1,0 +1,58 @@
+//===- Pipeline.h - Encoding-pass pipeline --------------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a sequence of encoding passes over one EncodingContext, flushing
+/// the assertion buffer at every pass boundary and attributing literals
+/// and wall-clock to each pass (EncodingStats::Passes — the breakdown
+/// bench/micro_encoding reports). The prediction pipeline asserts in
+/// Immediate mode — see AssertionBuffer for why batching is reserved
+/// for verdict-only queries.
+///
+/// predict() assembles the standard pipeline from its options through
+/// forOptions(); nothing stops callers from composing their own pass
+/// sequence for experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENCODE_PIPELINE_H
+#define ISOPREDICT_ENCODE_PIPELINE_H
+
+#include "encode/Passes.h"
+
+#include <memory>
+#include <vector>
+
+namespace isopredict {
+namespace encode {
+
+class EncoderPipeline {
+public:
+  EncoderPipeline() = default;
+  EncoderPipeline(EncoderPipeline &&) = default;
+  EncoderPipeline &operator=(EncoderPipeline &&) = default;
+
+  EncoderPipeline &add(std::unique_ptr<EncodingPass> Pass) {
+    Passes.push_back(std::move(Pass));
+    return *this;
+  }
+
+  /// Runs every pass in order; appends one PassStats entry per pass to
+  /// \p Stats (literals sum to the context's asserted-literal delta).
+  void run(EncodingContext &EC, EncodingStats &Stats) const;
+
+  /// The standard Appendix-B pipeline for \p Opts:
+  /// declare → feasibility → strategy (B.2) → isolation (B.3).
+  static EncoderPipeline forOptions(const PredictOptions &Opts);
+
+private:
+  std::vector<std::unique_ptr<EncodingPass>> Passes;
+};
+
+} // namespace encode
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENCODE_PIPELINE_H

@@ -1,0 +1,35 @@
+//===- Serializable.h - ∃co serializability encoding ----------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ∃co serializability constraint system (§2.2, Eq. 1) as a reusable
+/// encoding on the shared src/encode utilities (interned atoms, batched
+/// assertion). The serializability checker (Checkers.cpp) solves it
+/// directly; the exact-strict prediction pass (Passes.h) asserts its
+/// negation under a universal quantifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENCODE_SERIALIZABLE_H
+#define ISOPREDICT_ENCODE_SERIALIZABLE_H
+
+#include "history/History.h"
+#include "smt/Smt.h"
+
+namespace isopredict {
+namespace encode {
+
+/// Emits the ∃co serializability constraints for \p H into \p Solver as
+/// one batched assertion: distinct integer commit positions, hb ⊆ co
+/// over the so ∪ wr generators, and the arbitration axiom (Eq. 1).
+/// Satisfiable iff \p H is serializable.
+void encodeSerializableCo(const History &H, SmtContext &Ctx,
+                          SmtSolver &Solver);
+
+} // namespace encode
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENCODE_SERIALIZABLE_H

@@ -301,6 +301,21 @@ void emitJob(JsonOut &J, const JobResult &R, size_t Index,
     if (S.Kind == JobKind::Predict) {
       J.num("gen_seconds", R.Stats.GenSeconds);
       J.num("solve_seconds", R.Stats.SolveSeconds);
+      // Per-pass attribution of the encoding pipeline (src/encode/).
+      // Timing-gated with the rest: pass literals are deterministic,
+      // but adding fields to the default report would break its
+      // byte-stability contract across versions.
+      if (!R.Stats.Passes.empty()) {
+        J.openArray("passes");
+        for (const PassStats &P : R.Stats.Passes) {
+          J.openElement();
+          J.str("name", P.Name);
+          J.num("literals", P.Literals);
+          J.num("seconds", P.Seconds);
+          J.closeObject();
+        }
+        J.closeArray();
+      }
     }
     J.num("wall_seconds", R.WallSeconds);
   }

@@ -1,26 +1,17 @@
 //===- Predict.cpp - IsoPredict predictive analysis -----------*- C++ -*-===//
 //
-// The constraint generation below follows Appendix B of the paper
-// clause-for-clause; section references are inlined at each block.
-//
-// Deliberate, sat-equivalent engineering deviations from the paper's
-// Z3Py encoding (see DESIGN.md §6):
-//  - hb is encoded as an exact transitive closure by repeated squaring
-//    instead of a recursive fixpoint equality; hb only occurs positively
-//    in the isolation constraints, so only spurious models are removed.
-//  - A single-writing-transaction fast path decides the causal case
-//    without the solver (the paper's footnote 5).
-//  - An alternative bounded-depth pco realization (PcoEncoding::Layered)
-//    exists for comparison; the paper's rank encoding is the default.
+// The constraint system itself lives in the layered src/encode/ pipeline
+// (EncodingContext + passes; see Passes.cpp for the Appendix-B clause
+// map). This file only assembles the pipeline from the options, runs the
+// solver, and extracts the predicted prefix from the model.
 //
 //===----------------------------------------------------------------------===//
 
 #include "predict/Predict.h"
 
+#include "encode/Pipeline.h"
 #include "support/Env.h"
-#include "support/StrUtil.h"
 
-#include <map>
 
 using namespace isopredict;
 
@@ -48,613 +39,20 @@ const char *isopredict::toString(Strategy S) {
 
 namespace {
 
-/// Builds and solves the Appendix B constraint system for one observed
-/// history.
-class Encoder {
-public:
-  Encoder(const History &H, const PredictOptions &Opts)
-      : H(H), Opts(Opts), Solver(Ctx), N(H.numTxns()),
-        Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {}
-
-  Prediction run();
-
-private:
-  const History &H;
-  const PredictOptions &Opts;
-  SmtContext Ctx;
-  SmtSolver Solver;
-  size_t N;
-  bool Relaxed;
-
-  // Pair-indexed boolean variables ([t1][t2], diagonal unused).
-  std::vector<std::vector<SmtExpr>> So, Wr, Hb;
-  std::vector<std::vector<SmtExpr>> Pco;  // Final pco (for extraction).
-  std::vector<std::vector<SmtExpr>> Rank; // Int vars, rank encoding only.
-
-  /// φwr_k(t1,t2), keyed by (key, writer, reader).
-  std::map<std::tuple<KeyId, TxnId, TxnId>, SmtExpr> WrK;
-
-  /// Integer standing in for the "∞" boundary position: strictly larger
-  /// than every event position.
-  int64_t Inf = 0;
-
-  /// φchoice(s, i): integer variable holding the chosen writer txn id.
-  std::map<std::pair<SessionId, uint32_t>, SmtExpr> Choice;
-  /// φboundary(s): integer variable, a read position or Inf.
-  std::vector<SmtExpr> Boundary;
-  /// Derived cut: last included position (== Boundary when strict; the
-  /// end of the boundary read's transaction when relaxed; Table 1).
-  std::vector<SmtExpr> Cut;
-
-  std::vector<std::vector<SmtExpr>>
-  makePairMatrix(const char *Name, bool IsInt = false);
-
-  SmtExpr &wrkVar(KeyId K, TxnId Writer, TxnId Reader);
-  bool hasWrk(KeyId K, TxnId Writer, TxnId Reader) const;
-
-  /// The atom φchoice(s,i) = W.
-  SmtExpr choiceIs(SessionId S, uint32_t Pos, TxnId W);
-
-  /// "t writes k" over the *observed* transactions; t0 writes every key.
-  bool writes(TxnId T, KeyId K) const { return H.writesKey(T, K); }
-
-  /// i ≤ cut(s): the event at (S, Pos) is part of the prediction.
-  SmtExpr eventIncluded(SessionId S, uint32_t Pos);
-
-  /// i < boundary(s): the read keeps its observed writer.
-  SmtExpr beforeBoundary(SessionId S, uint32_t Pos);
-
-  /// wrpos_k(t) < cut(s_t): t's write to k is part of the prediction.
-  /// True outright for t0.
-  SmtExpr writeIncluded(TxnId T, KeyId K);
-
-  void declareVars();
-  void encodeFeasibility();   // B.1
-  void encodeExact();         // B.2.1
-  void encodeApproxRank();    // B.2.2, the paper's rank encoding
-  void encodeApproxLayered(); // B.2.2, bounded-depth least fixpoint
-  void encodeCausal();        // B.3.1
-  void encodeRa();            // read atomic (paper §8 future work)
-  void encodeRc();            // B.3.2
-  void extract(Prediction &Out);
-
-  /// One way to justify a ww/rw edge: the condition plus the pco edge
-  /// (RankA, RankB) the derivation consumed (for the rank guards).
-  struct Justification {
-    SmtExpr Cond;
-    TxnId RankA, RankB;
-  };
-
-  std::vector<Justification>
-  wwJust(TxnId A, TxnId B, const std::vector<std::vector<SmtExpr>> &P);
-  std::vector<Justification>
-  rwJust(TxnId A, TxnId B, const std::vector<std::vector<SmtExpr>> &P);
-
-  /// Defines fresh variables <-> transitive closure of Base by repeated
-  /// squaring.
-  std::vector<std::vector<SmtExpr>>
-  defineClosure(const std::vector<std::vector<SmtExpr>> &Base,
-                const char *Prefix);
-
-  void addCycleConstraint(const std::vector<std::vector<SmtExpr>> &P);
-};
-
-std::vector<std::vector<SmtExpr>> Encoder::makePairMatrix(const char *Name,
-                                                          bool IsInt) {
-  std::vector<std::vector<SmtExpr>> M(N, std::vector<SmtExpr>(N));
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      std::string VarName = formatString("%s_%u_%u", Name, A, B);
-      M[A][B] = IsInt ? Ctx.intVar(VarName) : Ctx.boolVar(VarName);
-    }
-  return M;
-}
-
-SmtExpr &Encoder::wrkVar(KeyId K, TxnId Writer, TxnId Reader) {
-  auto It = WrK.find({K, Writer, Reader});
-  assert(It != WrK.end() && "missing wr_k variable");
-  return It->second;
-}
-
-bool Encoder::hasWrk(KeyId K, TxnId Writer, TxnId Reader) const {
-  return WrK.count({K, Writer, Reader}) != 0;
-}
-
-SmtExpr Encoder::choiceIs(SessionId S, uint32_t Pos, TxnId W) {
-  return Ctx.mkEq(Choice.at({S, Pos}), Ctx.intVal(W));
-}
-
-SmtExpr Encoder::eventIncluded(SessionId S, uint32_t Pos) {
-  return Ctx.mkLe(Ctx.intVal(Pos), Cut[S]);
-}
-
-SmtExpr Encoder::beforeBoundary(SessionId S, uint32_t Pos) {
-  return Ctx.mkLt(Ctx.intVal(Pos), Boundary[S]);
-}
-
-SmtExpr Encoder::writeIncluded(TxnId T, KeyId K) {
-  if (T == InitTxn)
-    return Ctx.boolVal(true);
-  return Ctx.mkLt(Ctx.intVal(H.wrPos(T, K)), Cut[H.txn(T).Session]);
-}
-
-void Encoder::declareVars() {
-  // Inf: beyond every position.
-  uint32_t MaxPos = 0;
-  for (SessionId S = 0; S < H.numSessions(); ++S)
-    MaxPos = std::max(MaxPos, H.sessionLastPos(S));
-  Inf = static_cast<int64_t>(MaxPos) + 1;
-
-  So = makePairMatrix("so");
-  Wr = makePairMatrix("wr");
-  Hb = makePairMatrix("hb");
-
-  // φwr_k for every (key, writer, reader-of-k) combination.
-  for (KeyId K : H.keysRead()) {
-    std::vector<TxnId> Readers;
-    for (const ReadRef &R : H.readsOf(K))
-      if (Readers.empty() || Readers.back() != R.Reader)
-        Readers.push_back(R.Reader);
-    for (TxnId Writer : H.writersOf(K))
-      for (TxnId Reader : Readers)
-        if (Writer != Reader)
-          WrK.emplace(std::make_tuple(K, Writer, Reader),
-                      Ctx.boolVar(formatString("wrk_%u_%u_%u", K, Writer,
-                                               Reader)));
-  }
-
-  // φchoice for every read position.
-  for (TxnId T = 1; T < N; ++T)
-    for (const Event &E : H.txn(T).Events)
-      if (E.Kind == EventKind::Read)
-        Choice.emplace(std::make_pair(H.txn(T).Session, E.Pos),
-                       Ctx.intVar(formatString("choice_%u_%u",
-                                               H.txn(T).Session, E.Pos)));
-
-  for (SessionId S = 0; S < H.numSessions(); ++S) {
-    Boundary.push_back(Ctx.intVar(formatString("boundary_%u", S)));
-    if (Relaxed)
-      Cut.push_back(Ctx.intVar(formatString("cut_%u", S)));
-    else
-      Cut.push_back(Boundary.back());
-  }
-}
-
-void Encoder::encodeFeasibility() {
-  // --- Session order (B.1): φso is the observed so, asserted verbatim.
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      Solver.add(H.so(A, B) ? So[A][B] : Ctx.mkNot(So[A][B]));
-    }
-
-  // --- Boundary domain: a read position of the session, or ∞; for the
-  // relaxed boundary the cut is constrained to the end of the boundary
-  // read's transaction (Table 1).
-  for (SessionId S = 0; S < H.numSessions(); ++S) {
-    std::vector<SmtExpr> Options;
-    for (TxnId T : H.sessionTxns(S)) {
-      const Transaction &Txn = H.txn(T);
-      for (const Event &E : Txn.Events) {
-        if (E.Kind != EventKind::Read)
-          continue;
-        Options.push_back(Ctx.mkEq(Boundary[S], Ctx.intVal(E.Pos)));
-        if (Relaxed)
-          Solver.add(Ctx.mkImplies(
-              Ctx.mkEq(Boundary[S], Ctx.intVal(E.Pos)),
-              Ctx.mkEq(Cut[S], Ctx.intVal(Txn.EndPos))));
-      }
-    }
-    Options.push_back(Ctx.mkEq(Boundary[S], Ctx.intVal(Inf)));
-    Solver.add(Ctx.mkOr(Options));
-    if (Relaxed)
-      Solver.add(Ctx.mkImplies(Ctx.mkEq(Boundary[S], Ctx.intVal(Inf)),
-                               Ctx.mkEq(Cut[S], Ctx.intVal(Inf))));
-  }
-
-  // --- Read choices: every read's choice ranges over the writers of
-  // its key, and reads strictly before the boundary keep the observed
-  // writer (B.1).
-  for (KeyId K : H.keysRead()) {
-    const std::vector<TxnId> &Writers = H.writersOf(K);
-    for (const ReadRef &R : H.readsOf(K)) {
-      SessionId S2 = H.txn(R.Reader).Session;
-
-      std::vector<SmtExpr> Domain;
-      for (TxnId W : Writers)
-        if (W != R.Reader)
-          Domain.push_back(choiceIs(S2, R.Pos, W));
-      Solver.add(Ctx.mkOr(Domain)); // Domain (B.1).
-
-      // i < φboundary(s2) ⇒ φchoice(s2,i) = φobs(s2,i).
-      Solver.add(
-          Ctx.mkImplies(beforeBoundary(S2, R.Pos),
-                        choiceIs(S2, R.Pos, R.Writer)));
-
-      // An included read must read an included write:
-      // φchoice = t1 ∧ i ≤ cut(s2) ⇒ wrpos_k(t1) < cut(s1).
-      for (TxnId W : Writers) {
-        if (W == R.Reader || W == InitTxn)
-          continue;
-        Solver.add(Ctx.mkImplies(
-            Ctx.mkAnd({choiceIs(S2, R.Pos, W), eventIncluded(S2, R.Pos)}),
-            writeIncluded(W, K)));
-      }
-    }
-  }
-
-  // --- φwr_k definition (B.1): true iff some included read of t2 to k
-  // chose t1.
-  for (auto &[KeyTuple, Var] : WrK) {
-    auto [K, Writer, Reader] = KeyTuple;
-    SessionId S2 = H.txn(Reader).Session;
-    std::vector<SmtExpr> Terms;
-    for (uint32_t Pos : H.rdPos(Reader, K))
-      Terms.push_back(Ctx.mkAnd(
-          {choiceIs(S2, Pos, Writer), eventIncluded(S2, Pos)}));
-    Solver.add(Ctx.mkIff(Var, Ctx.mkOr(Terms)));
-  }
-
-  // --- φwr(t1,t2) = \/_k φwr_k(t1,t2).
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      std::vector<SmtExpr> Terms;
-      for (KeyId K : H.keysRead())
-        if (hasWrk(K, A, B))
-          Terms.push_back(wrkVar(K, A, B));
-      Solver.add(Ctx.mkIff(Wr[A][B], Ctx.mkOr(Terms)));
-    }
-
-  // --- φhb: transitive closure of so ∪ wr (§4.3), encoded by repeated
-  // squaring so hb is the *exact* least fixpoint. The paper's recursive
-  // equality also admits non-minimal fixpoints; since hb only appears
-  // positively in the isolation constraints, the two encodings are
-  // sat-equivalent, but the exact closure removes a whole dimension of
-  // spurious models the solver would otherwise have to refute.
-  std::vector<std::vector<SmtExpr>> Base(N, std::vector<SmtExpr>(N));
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B)
-      if (A != B)
-        Base[A][B] = Ctx.mkOr({So[A][B], Wr[A][B]});
-  std::vector<std::vector<SmtExpr>> Closed = defineClosure(Base, "hb");
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B)
-      if (A != B)
-        Solver.add(Ctx.mkIff(Hb[A][B], Closed[A][B]));
-}
-
-void Encoder::encodeExact() {
-  // B.2.1: ∀φco. ¬IsSerializable(φco). The bound "function" is one
-  // integer per transaction since T is finite.
-  std::vector<SmtExpr> CoBound;
-  for (TxnId T = 0; T < N; ++T)
-    CoBound.push_back(Ctx.intVar(formatString("coq_%u", T)));
-
-  std::vector<SmtExpr> Conj;
-  Conj.push_back(Ctx.mkDistinct(CoBound));
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      // Arbitration(t1,t2) = \/ φwr_k(t2,t3) ∧ co(t1) < co(t3)
-      //                        ∧ wrpos_k(t1) < boundary(s1).
-      std::vector<SmtExpr> Arb;
-      for (KeyId K : H.keysRead()) {
-        if (!writes(A, K) || !writes(B, K))
-          continue;
-        for (const ReadRef &R : H.readsOf(K)) {
-          TxnId T3 = R.Reader;
-          if (T3 == A || T3 == B || !hasWrk(K, B, T3))
-            continue;
-          Arb.push_back(Ctx.mkAnd({wrkVar(K, B, T3),
-                                   Ctx.mkLt(CoBound[A], CoBound[T3]),
-                                   writeIncluded(A, K)}));
-        }
-      }
-      SmtExpr Ordered = Ctx.mkOr({So[A][B], Wr[A][B], Ctx.mkOr(Arb)});
-      Conj.push_back(
-          Ctx.mkImplies(Ordered, Ctx.mkLt(CoBound[A], CoBound[B])));
-    }
-  Solver.add(Ctx.mkForall(CoBound, Ctx.mkNot(Ctx.mkAnd(Conj))));
-}
-
-std::vector<Encoder::Justification>
-Encoder::wwJust(TxnId A, TxnId B,
-                const std::vector<std::vector<SmtExpr>> &P) {
-  // φww(A,B): B's write to k is read by some t3 that pco-follows A, and
-  // A's write to k lies inside its session's boundary (App. B.2.2).
-  std::vector<Justification> Out;
-  for (KeyId K : H.keysRead()) {
-    if (!writes(A, K) || !writes(B, K))
-      continue;
-    for (const ReadRef &R : H.readsOf(K)) {
-      TxnId T3 = R.Reader;
-      if (T3 == A || T3 == B || !hasWrk(K, B, T3))
-        continue;
-      Out.push_back({Ctx.mkAnd({wrkVar(K, B, T3), P[A][T3],
-                                writeIncluded(A, K)}),
-                     A, T3});
-    }
-  }
-  return Out;
-}
-
-std::vector<Encoder::Justification>
-Encoder::rwJust(TxnId A, TxnId B,
-                const std::vector<std::vector<SmtExpr>> &P) {
-  // φrw(A,B): A reads k from some t3, B also writes k and pco-follows
-  // t3, and B's write to k lies inside its session's boundary.
-  std::vector<Justification> Out;
-  if (!Opts.EnableRw)
-    return Out;
-  for (KeyId K : H.keysRead()) {
-    if (H.rdPos(A, K).empty() || !writes(B, K))
-      continue;
-    for (TxnId T3 : H.writersOf(K)) {
-      if (T3 == A || T3 == B || !hasWrk(K, T3, A))
-        continue;
-      Out.push_back({Ctx.mkAnd({wrkVar(K, T3, A), P[T3][B],
-                                writeIncluded(B, K)}),
-                     T3, B});
-    }
-  }
-  return Out;
-}
-
-std::vector<std::vector<SmtExpr>>
-Encoder::defineClosure(const std::vector<std::vector<SmtExpr>> &Base,
-                       const char *Prefix) {
-  size_t Layers = 1;
-  while ((size_t(1) << Layers) < N)
-    ++Layers;
-  std::vector<std::vector<SmtExpr>> Prev = Base;
-  for (size_t L = 0; L < Layers; ++L) {
-    std::vector<std::vector<SmtExpr>> Next(N, std::vector<SmtExpr>(N));
-    for (TxnId A = 0; A < N; ++A)
-      for (TxnId B = 0; B < N; ++B) {
-        if (A == B)
-          continue;
-        std::vector<SmtExpr> Terms = {Prev[A][B]};
-        for (TxnId M = 0; M < N; ++M)
-          if (M != A && M != B)
-            Terms.push_back(Ctx.mkAnd({Prev[A][M], Prev[M][B]}));
-        SmtExpr Var =
-            Ctx.boolVar(formatString("%s_l%zu_%u_%u", Prefix, L, A, B));
-        Solver.add(Ctx.mkIff(Var, Ctx.mkOr(Terms)));
-        Next[A][B] = Var;
-      }
-    Prev = std::move(Next);
-  }
-  return Prev;
-}
-
-void Encoder::addCycleConstraint(
-    const std::vector<std::vector<SmtExpr>> &P) {
-  std::vector<SmtExpr> CycleTerms;
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = A + 1; B < N; ++B)
-      CycleTerms.push_back(Ctx.mkAnd({P[A][B], P[B][A]}));
-  Solver.add(Ctx.mkOr(CycleTerms));
-}
-
-void Encoder::encodeApproxLayered() {
-  // B.2.2 realized as a bounded-depth least fixpoint: every relation is
-  // a deterministic function of the read choices and boundaries, so
-  // self-justifying edges cannot exist by construction and the solver
-  // only searches the choice space. Depth `PcoDepth` bounds how many
-  // alternations of (derive ww/rw; close transitively) are captured;
-  // deeper cycles are missed — soundly, and never in our experiments
-  // (bench/ablation_pco cross-checks against the rank encoding).
-  std::vector<std::vector<SmtExpr>> Base(N, std::vector<SmtExpr>(N));
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B)
-      if (A != B)
-        Base[A][B] = Ctx.mkOr({So[A][B], Wr[A][B]});
-  std::vector<std::vector<SmtExpr>> P = defineClosure(Base, "pco0");
-
-  unsigned Depth = std::max(1u, Opts.PcoDepth);
-  for (unsigned Round = 1; Round <= Depth; ++Round) {
-    std::vector<std::vector<SmtExpr>> NextBase(N,
-                                               std::vector<SmtExpr>(N));
-    for (TxnId A = 0; A < N; ++A)
-      for (TxnId B = 0; B < N; ++B) {
-        if (A == B)
-          continue;
-        std::vector<SmtExpr> Terms = {P[A][B]};
-        for (Justification &J : wwJust(A, B, P))
-          Terms.push_back(J.Cond);
-        for (Justification &J : rwJust(A, B, P))
-          Terms.push_back(J.Cond);
-        NextBase[A][B] = Ctx.mkOr(Terms);
-      }
-    P = defineClosure(NextBase, formatString("pco%u", Round).c_str());
-  }
-
-  Pco = P; // Witness extraction reads the final matrix.
-  addCycleConstraint(Pco);
-}
-
-void Encoder::encodeApproxRank() {
-  // B.2.2 verbatim: free relation variables with integer rank guards
-  // that forbid self-justifying derivations (§4.2.2, Fig. 6).
-  std::vector<std::vector<SmtExpr>> Ww = makePairMatrix("ww");
-  std::vector<std::vector<SmtExpr>> Rw = makePairMatrix("rw");
-  Pco = makePairMatrix("pco");
-  Rank = makePairMatrix("rank", /*IsInt=*/true);
-
-  // Ranks only need to order derivations, so N² distinct values always
-  // suffice; bounding the domain prunes the unsat search.
-  SmtExpr RankMax = Ctx.intVal(static_cast<int64_t>(N) * N);
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      Solver.add(Ctx.mkLe(Ctx.intVal(0), Rank[A][B]));
-      Solver.add(Ctx.mkLe(Rank[A][B], RankMax));
-    }
-
-  for (TxnId A = 0; A < N; ++A) {
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-
-      std::vector<SmtExpr> WwTerms;
-      for (Justification &J : wwJust(A, B, Pco))
-        WwTerms.push_back(Ctx.mkAnd(
-            {J.Cond, Ctx.mkLt(Rank[J.RankA][J.RankB], Rank[A][B])}));
-      // One-directional definitional implication: ww/rw/pco occur only
-      // positively (in the pco cycle constraint), so requiring every
-      // *asserted* edge to be justified is sat-equivalent to the paper's
-      // "=" form — by rank induction, true edges lie in the least
-      // fixpoint — and leaves the solver free to ignore edges it does
-      // not need.
-      Solver.add(Ctx.mkIff(Ww[A][B], Ctx.mkOr(WwTerms)));
-
-      std::vector<SmtExpr> RwTerms;
-      for (Justification &J : rwJust(A, B, Pco))
-        RwTerms.push_back(Ctx.mkAnd(
-            {J.Cond, Ctx.mkLt(Rank[J.RankA][J.RankB], Rank[A][B])}));
-      Solver.add(Ctx.mkIff(Rw[A][B], Ctx.mkOr(RwTerms)));
-
-      // φpco(A,B) = so ∨ wr ∨ ww ∨ rw ∨ rank-guarded transitivity.
-      std::vector<SmtExpr> PcoTerms = {So[A][B], Wr[A][B], Ww[A][B],
-                                       Rw[A][B]};
-      for (TxnId M = 0; M < N; ++M) {
-        if (M == A || M == B)
-          continue;
-        PcoTerms.push_back(Ctx.mkAnd({Pco[A][M], Pco[M][B],
-                                      Ctx.mkLt(Rank[A][M], Rank[A][B]),
-                                      Ctx.mkLt(Rank[M][B], Rank[A][B])}));
-      }
-      Solver.add(Ctx.mkIff(Pco[A][B], Ctx.mkOr(PcoTerms)));
-    }
-  }
-
-  addCycleConstraint(Pco);
-}
-
-void Encoder::encodeCausal() {
-  // B.3.1: (hb ∪ wwcausal) embeds in a total order φcocausal.
-  std::vector<std::vector<SmtExpr>> WwC = makePairMatrix("wwc");
-  std::vector<SmtExpr> Co;
-  for (TxnId T = 0; T < N; ++T)
-    Co.push_back(Ctx.intVar(formatString("cocausal_%u", T)));
-
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      std::vector<SmtExpr> Terms;
-      for (KeyId K : H.keysRead()) {
-        if (!writes(A, K) || !writes(B, K))
-          continue;
-        for (const ReadRef &R : H.readsOf(K)) {
-          TxnId T3 = R.Reader;
-          if (T3 == A || T3 == B || !hasWrk(K, B, T3))
-            continue;
-          Terms.push_back(Ctx.mkAnd(
-              {wrkVar(K, B, T3), Hb[A][T3], writeIncluded(A, K)}));
-        }
-      }
-      Solver.add(Ctx.mkIff(WwC[A][B], Ctx.mkOr(Terms)));
-      Solver.add(Ctx.mkImplies(Ctx.mkOr({Hb[A][B], WwC[A][B]}),
-                               Ctx.mkLt(Co[A], Co[B])));
-    }
-}
-
-void Encoder::encodeRa() {
-  // Read atomic: like B.3.1 but with one-step visibility (so ∪ wr)
-  // instead of the hb closure — t3 must not read k from t2 while t1's
-  // write to k is directly visible to it. This is the "repeated reads"
-  // extension the paper marks as straightforward (§8).
-  std::vector<std::vector<SmtExpr>> WwRa = makePairMatrix("wwra");
-  std::vector<SmtExpr> Co;
-  for (TxnId T = 0; T < N; ++T)
-    Co.push_back(Ctx.intVar(formatString("cora_%u", T)));
-
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      std::vector<SmtExpr> Terms;
-      for (KeyId K : H.keysRead()) {
-        if (!writes(A, K) || !writes(B, K))
-          continue;
-        for (const ReadRef &R : H.readsOf(K)) {
-          TxnId T3 = R.Reader;
-          if (T3 == A || T3 == B || !hasWrk(K, B, T3))
-            continue;
-          Terms.push_back(
-              Ctx.mkAnd({wrkVar(K, B, T3),
-                         Ctx.mkOr({So[A][T3], Wr[A][T3]}),
-                         writeIncluded(A, K)}));
-        }
-      }
-      Solver.add(Ctx.mkIff(WwRa[A][B], Ctx.mkOr(Terms)));
-      Solver.add(Ctx.mkImplies(Ctx.mkOr({Hb[A][B], WwRa[A][B]}),
-                               Ctx.mkLt(Co[A], Co[B])));
-    }
-}
-
-void Encoder::encodeRc() {
-  // B.3.2: (hb ∪ wwrc) embeds in a total order φcorc.
-  std::vector<std::vector<SmtExpr>> WwRc = makePairMatrix("wwrc");
-  std::vector<SmtExpr> Co;
-  for (TxnId T = 0; T < N; ++T)
-    Co.push_back(Ctx.intVar(formatString("corc_%u", T)));
-
-  for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = 0; B < N; ++B) {
-      if (A == B)
-        continue;
-      std::vector<SmtExpr> Terms;
-      for (TxnId T3 = 1; T3 < N; ++T3) {
-        if (T3 == A || T3 == B)
-          continue;
-        const Transaction &Reader = H.txn(T3);
-        SessionId S3 = Reader.Session;
-        // β at position i reads any key A writes; α at position j > i
-        // reads a key both A and B write, from B.
-        for (size_t AJ = 0; AJ < Reader.Events.size(); ++AJ) {
-          const Event &Alpha = Reader.Events[AJ];
-          if (Alpha.Kind != EventKind::Read)
-            continue;
-          KeyId K = Alpha.Key;
-          if (!writes(A, K) || !writes(B, K))
-            continue;
-          for (size_t BI = 0; BI < AJ; ++BI) {
-            const Event &Beta = Reader.Events[BI];
-            if (Beta.Kind != EventKind::Read)
-              continue;
-            if (!writes(A, Beta.Key))
-              continue;
-            Terms.push_back(
-                Ctx.mkAnd({choiceIs(S3, Beta.Pos, A),
-                           choiceIs(S3, Alpha.Pos, B),
-                           eventIncluded(S3, Alpha.Pos)}));
-          }
-        }
-      }
-      Solver.add(Ctx.mkIff(WwRc[A][B], Ctx.mkOr(Terms)));
-      Solver.add(Ctx.mkImplies(Ctx.mkOr({Hb[A][B], WwRc[A][B]}),
-                               Ctx.mkLt(Co[A], Co[B])));
-    }
-}
-
-void Encoder::extract(Prediction &Out) {
+/// Reads the satisfying model back into a Prediction: per-session
+/// boundary/cut positions, the truncated history with predicted read
+/// choices substituted, and a pco witness cycle (approx strategies).
+void extract(encode::EncodingContext &EC, SmtSolver &Solver,
+             Prediction &Out) {
+  const History &H = EC.H;
   size_t Sessions = H.numSessions();
   Out.BoundaryPos.assign(Sessions, InfPos);
   Out.CutPos.assign(Sessions, InfPos);
   for (SessionId S = 0; S < Sessions; ++S) {
-    int64_t B = Solver.modelInt(Boundary[S]);
-    int64_t C = Solver.modelInt(Cut[S]);
-    Out.BoundaryPos[S] = B >= Inf ? InfPos : static_cast<uint32_t>(B);
-    Out.CutPos[S] = C >= Inf ? InfPos : static_cast<uint32_t>(C);
+    int64_t B = Solver.modelInt(EC.Boundary[S]);
+    int64_t C = Solver.modelInt(EC.Cut[S]);
+    Out.BoundaryPos[S] = B >= EC.Inf ? InfPos : static_cast<uint32_t>(B);
+    Out.CutPos[S] = C >= EC.Inf ? InfPos : static_cast<uint32_t>(C);
   }
 
   // Truncate the observed history at the cuts and substitute the chosen
@@ -672,7 +70,7 @@ void Encoder::extract(Prediction &Out) {
         continue;
       if (E.Kind == EventKind::Read) {
         TxnId W = static_cast<TxnId>(
-            Solver.modelInt(Choice.at({T.Session, E.Pos})));
+            Solver.modelInt(EC.Choice.at({T.Session, E.Pos})));
         if (W != E.Writer) {
           E.Writer = W;
           // Best-effort value: the writer's (last) write to the key.
@@ -694,14 +92,14 @@ void Encoder::extract(Prediction &Out) {
   // Witness cycle from the model's pco relation (approx only). Prefer a
   // cycle that avoids t0 — arbitration cycles through the initial state
   // are correct but less readable than the paper's figures.
-  if (!Pco.empty()) {
-    BitRel R(N);
-    for (TxnId A = 0; A < N; ++A)
-      for (TxnId B = 0; B < N; ++B)
-        if (A != B && Solver.modelBool(Pco[A][B]))
+  if (!EC.Pco.empty()) {
+    BitRel R(EC.N);
+    for (TxnId A = 0; A < EC.N; ++A)
+      for (TxnId B = 0; B < EC.N; ++B)
+        if (A != B && Solver.modelBool(EC.Pco[A][B]))
           R.set(A, B);
     BitRel NoInit = R;
-    for (TxnId T = 1; T < N; ++T) {
+    for (TxnId T = 1; T < EC.N; ++T) {
       NoInit.clear(InitTxn, T);
       NoInit.clear(T, InitTxn);
     }
@@ -710,44 +108,6 @@ void Encoder::extract(Prediction &Out) {
     else if (auto Cycle = R.findCycle())
       Out.Witness = *Cycle;
   }
-}
-
-Prediction Encoder::run() {
-  Prediction Out;
-  Timer Gen;
-  declareVars();
-  encodeFeasibility();
-  if (Opts.Strat == Strategy::ExactStrict)
-    encodeExact();
-  else if (Opts.Pco == PcoEncoding::Rank)
-    encodeApproxRank();
-  else
-    encodeApproxLayered();
-  switch (Opts.Level) {
-  case IsolationLevel::Causal:
-    encodeCausal();
-    break;
-  case IsolationLevel::ReadAtomic:
-    encodeRa();
-    break;
-  case IsolationLevel::ReadCommitted:
-    encodeRc();
-    break;
-  case IsolationLevel::Serializable:
-    break; // Rejected by predict()'s precondition.
-  }
-  Out.Stats.GenSeconds = Gen.seconds();
-  Out.Stats.NumLiterals = Ctx.literalCount();
-
-  if (Opts.TimeoutMs)
-    Solver.setTimeoutMs(Opts.TimeoutMs);
-  Timer Solve;
-  Out.Result = Solver.check();
-  Out.Stats.SolveSeconds = Solve.seconds();
-
-  if (Out.Result == SmtResult::Sat)
-    extract(Out);
-  return Out;
 }
 
 } // namespace
@@ -777,6 +137,28 @@ Prediction isopredict::predict(const History &Observed,
     }
   }
 
-  Encoder E(Observed, Opts);
-  return E.run();
+  Prediction Out;
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  encode::EncodingContext EC(Observed, Opts, Ctx, Solver);
+  encode::EncoderPipeline Pipeline =
+      encode::EncoderPipeline::forOptions(Opts);
+
+  Timer Gen;
+  Pipeline.run(EC, Out.Stats);
+  Out.Stats.GenSeconds = Gen.seconds();
+  Out.Stats.NumLiterals = Ctx.literalCount();
+
+  if (Opts.GenerateOnly)
+    return Out; // Bench-only: Result stays Unknown.
+
+  if (Opts.TimeoutMs)
+    Solver.setTimeoutMs(Opts.TimeoutMs);
+  Timer Solve;
+  Out.Result = Solver.check();
+  Out.Stats.SolveSeconds = Solve.seconds();
+
+  if (Out.Result == SmtResult::Sat)
+    extract(EC, Solver, Out);
+  return Out;
 }

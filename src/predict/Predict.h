@@ -52,13 +52,14 @@ enum class PcoEncoding {
   /// by integer `rank` terms that forbid self-justifying edges (§4.2.2,
   /// Fig. 6). Complete for any derivation depth.
   Rank,
-  /// Experimental alternative: pco computed as a bounded-depth least
-  /// fixpoint (`PcoDepth` rounds of ww/rw derivation + transitive
+  /// Frozen/experimental alternative: pco computed as a bounded-depth
+  /// least fixpoint (`PcoDepth` rounds of ww/rw derivation + transitive
   /// closure by repeated squaring), making every auxiliary relation a
   /// deterministic function of the read choices. Sound (misses cycles
-  /// needing deeper derivations), but the closure-layer CNF turned out
-  /// *harder* for Z3 than the rank encoding on our workloads — kept for
-  /// the bench/ablation_pco comparison.
+  /// needing deeper derivations), but the closure-layer CNF loses to the
+  /// rank encoding on every workload (see bench/ablation_pco), so it is
+  /// frozen: kept compiling and benchmarked for the ablation, not
+  /// developed further.
   Layered,
 };
 
@@ -76,6 +77,29 @@ struct PredictOptions {
   PcoEncoding Pco = PcoEncoding::Rank;
   /// Derivation-depth bound for PcoEncoding::Layered.
   unsigned PcoDepth = 3;
+  /// Bench-only: build and batch-assert the constraint system but skip
+  /// the solver query (Result stays Unknown). Lets bench/micro_encoding
+  /// measure constraint generation in isolation.
+  bool GenerateOnly = false;
+  /// Ablation knob: batch each encoding pass into a single
+  /// Z3_solver_assert (encode::AssertionBuffer Conjoin mode). Identical
+  /// literal counts and sat/unsat outcomes, but Z3 may pick a different
+  /// (equally valid) model, so extracted predictions are not bit-stable
+  /// against the default mode — and measurement (bench/micro_encoding
+  /// BM_Generate*) shows it is *not* faster: Z3's per-assert
+  /// preprocessing dominates generation and flattening one huge
+  /// conjunction costs more than it saves. Kept as the knob that
+  /// records that negative result (ROADMAP "batching Z3 asserts may
+  /// help" — it does not).
+  bool BatchAsserts = false;
+};
+
+/// Literals emitted and wall-clock spent by one encoding pass (the
+/// pipeline stages of src/encode/).
+struct PassStats {
+  std::string Name;
+  uint64_t Literals = 0;
+  double Seconds = 0;
 };
 
 /// Sizing and timing of one predictive-analysis query (the paper's
@@ -84,6 +108,9 @@ struct EncodingStats {
   uint64_t NumLiterals = 0;
   double GenSeconds = 0;
   double SolveSeconds = 0;
+  /// Per-pass attribution, in pipeline order; literals sum to
+  /// NumLiterals and seconds sum to (just under) GenSeconds.
+  std::vector<PassStats> Passes;
 };
 
 /// Outcome of a prediction query.

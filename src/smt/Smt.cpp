@@ -10,6 +10,8 @@
 
 using namespace isopredict;
 
+
+
 const char *isopredict::toString(SmtResult R) {
   switch (R) {
   case SmtResult::Sat:
@@ -100,6 +102,18 @@ SmtExpr SmtContext::mkOr(const std::vector<SmtExpr> &Args) {
           Lits};
 }
 
+SmtExpr SmtContext::mkAnd(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkAnd on invalid expr");
+  Z3_ast Asts[2] = {A.Ast, B.Ast};
+  return {Z3_mk_and(Ctx, 2, Asts), A.Lits + B.Lits};
+}
+
+SmtExpr SmtContext::mkOr(SmtExpr A, SmtExpr B) {
+  assert(A.valid() && B.valid() && "mkOr on invalid expr");
+  Z3_ast Asts[2] = {A.Ast, B.Ast};
+  return {Z3_mk_or(Ctx, 2, Asts), A.Lits + B.Lits};
+}
+
 SmtExpr SmtContext::mkImplies(SmtExpr A, SmtExpr B) {
   assert(A.valid() && B.valid() && "mkImplies on invalid expr");
   return {Z3_mk_implies(Ctx, A.Ast, B.Ast), A.Lits + B.Lits};
@@ -156,6 +170,68 @@ SmtExpr SmtContext::mkForall(const std::vector<SmtExpr> &Bound, SmtExpr Body) {
 }
 
 //===----------------------------------------------------------------------===
+// Atom interning
+//===----------------------------------------------------------------------===
+
+namespace {
+enum InternOp : uint8_t { OpEq, OpLt, OpLe };
+} // namespace
+
+SmtExpr SmtContext::internIntVal(int64_t V) {
+#ifdef ISO_INTERN_OFF
+  return intVal(V);
+#endif
+  ++InternLookups;
+  auto It = IntValCache.find(V);
+  if (It != IntValCache.end()) {
+    ++InternHits;
+    return It->second;
+  }
+  SmtExpr E = intVal(V);
+  IntValCache.emplace(V, E);
+  return E;
+}
+
+SmtExpr SmtContext::internBinary(uint8_t Op, SmtExpr A, SmtExpr B) {
+#ifdef ISO_INTERN_OFF
+  switch (Op) { case OpEq: return mkEq(A, B); case OpLt: return mkLt(A, B); default: return mkLe(A, B); }
+#endif
+  ++InternLookups;
+  AtomKey Key{Op, A.Ast, B.Ast};
+  auto It = AtomCache.find(Key);
+  if (It != AtomCache.end()) {
+    ++InternHits;
+    return It->second;
+  }
+  SmtExpr E;
+  switch (Op) {
+  case OpEq:
+    E = mkEq(A, B);
+    break;
+  case OpLt:
+    E = mkLt(A, B);
+    break;
+  default:
+    E = mkLe(A, B);
+    break;
+  }
+  AtomCache.emplace(Key, E);
+  return E;
+}
+
+SmtExpr SmtContext::internEq(SmtExpr A, SmtExpr B) {
+  return internBinary(OpEq, A, B);
+}
+
+SmtExpr SmtContext::internLt(SmtExpr A, SmtExpr B) {
+  return internBinary(OpLt, A, B);
+}
+
+SmtExpr SmtContext::internLe(SmtExpr A, SmtExpr B) {
+  return internBinary(OpLe, A, B);
+}
+
+//===----------------------------------------------------------------------===
 // SmtSolver
 //===----------------------------------------------------------------------===
 
@@ -183,6 +259,26 @@ void SmtSolver::add(SmtExpr E) {
   releaseModel();
   Z3_solver_assert(Parent.raw(), Solver, E.Ast);
   Parent.AssertedLits += E.Lits;
+}
+
+void SmtSolver::addAll(const std::vector<SmtExpr> &Es) {
+  if (Es.empty())
+    return;
+  if (Es.size() == 1)
+    return add(Es[0]);
+  releaseModel();
+  std::vector<Z3_ast> Asts;
+  Asts.reserve(Es.size());
+  uint64_t Lits = 0;
+  for (const SmtExpr &E : Es) {
+    assert(E.valid() && "asserting invalid expr");
+    Asts.push_back(E.Ast);
+    Lits += E.Lits;
+  }
+  Z3_ast Conj =
+      Z3_mk_and(Parent.raw(), static_cast<unsigned>(Asts.size()), Asts.data());
+  Z3_solver_assert(Parent.raw(), Solver, Conj);
+  Parent.AssertedLits += Lits;
 }
 
 void SmtSolver::setTimeoutMs(unsigned Ms) {

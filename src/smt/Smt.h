@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 typedef struct _Z3_context *Z3_context;
@@ -74,6 +75,9 @@ public:
   SmtExpr mkNot(SmtExpr A);
   SmtExpr mkAnd(const std::vector<SmtExpr> &Args); ///< and([]) == true
   SmtExpr mkOr(const std::vector<SmtExpr> &Args);  ///< or([]) == false
+  /// Binary fast paths: no argument-vector allocation.
+  SmtExpr mkAnd(SmtExpr A, SmtExpr B);
+  SmtExpr mkOr(SmtExpr A, SmtExpr B);
   SmtExpr mkImplies(SmtExpr A, SmtExpr B);
   SmtExpr mkIff(SmtExpr A, SmtExpr B);
   SmtExpr mkEq(SmtExpr A, SmtExpr B); ///< Works for int and bool terms.
@@ -86,19 +90,72 @@ public:
   SmtExpr mkForall(const std::vector<SmtExpr> &Bound, SmtExpr Body);
 
   //===--------------------------------------------------------------------===
+  // Hash-consed atom interning
+  //===--------------------------------------------------------------------===
+  //
+  // Z3 already hash-conses ASTs internally, so rebuilding an atom with
+  // the plain constructors returns a pointer-identical term — but every
+  // rebuild still pays the full C-API crossing (argument checking,
+  // sort lookup, AST-table probe). The encoders rebuild a small set of
+  // atoms (boundary comparisons, choice equalities, integer constants)
+  // thousands of times, so the interned constructors memoize them on a
+  // pointer-keyed table on this side of the API. Interned and plain
+  // constructors yield the same Z3_ast and the same literal count;
+  // interning changes construction cost only, never the formula.
+
+  /// Interned integer constant (the boundary/cut/choice positions).
+  SmtExpr internIntVal(int64_t V);
+  /// Interned A == B (keyed on the operand ASTs).
+  SmtExpr internEq(SmtExpr A, SmtExpr B);
+  /// Interned A < B.
+  SmtExpr internLt(SmtExpr A, SmtExpr B);
+  /// Interned A <= B.
+  SmtExpr internLe(SmtExpr A, SmtExpr B);
+
+  /// Cache-effectiveness counters (tests; bench attribution).
+  uint64_t internLookups() const { return InternLookups; }
+  uint64_t internHits() const { return InternHits; }
+
+  //===--------------------------------------------------------------------===
   // Stats
   //===--------------------------------------------------------------------===
 
   /// Total literals across all formulas asserted on solvers of this
-  /// context (updated by SmtSolver::add).
+  /// context (updated by SmtSolver::add / addAll).
   uint64_t literalCount() const { return AssertedLits; }
 
   Z3_context raw() const { return Ctx; }
 
 private:
   friend class SmtSolver;
+
+  /// Key of one interned binary atom: operator tag plus operand ASTs
+  /// (valid because Z3 ASTs are themselves hash-consed per context).
+  struct AtomKey {
+    uint8_t Op;
+    Z3_ast A, B;
+    bool operator==(const AtomKey &O) const {
+      return Op == O.Op && A == O.A && B == O.B;
+    }
+  };
+  struct AtomKeyHash {
+    size_t operator()(const AtomKey &K) const {
+      // Pointers are aligned, so multiply to spread the entropy into the
+      // bits the bucket index uses (identity hashing collides badly).
+      size_t A = reinterpret_cast<size_t>(K.A) * 0x9e3779b97f4a7c15ULL;
+      size_t B = reinterpret_cast<size_t>(K.B) * 0xc2b2ae3d27d4eb4fULL;
+      return (A ^ (B >> 3)) + K.Op;
+    }
+  };
+
+  SmtExpr internBinary(uint8_t Op, SmtExpr A, SmtExpr B);
+
   Z3_context Ctx;
   uint64_t AssertedLits = 0;
+  std::unordered_map<int64_t, SmtExpr> IntValCache;
+  std::unordered_map<AtomKey, SmtExpr, AtomKeyHash> AtomCache;
+  uint64_t InternLookups = 0;
+  uint64_t InternHits = 0;
 };
 
 /// A satisfiability query; owns a Z3 solver object.
@@ -113,6 +170,15 @@ public:
 
   /// Asserts \p E and accumulates its literal count into the context.
   void add(SmtExpr E);
+
+  /// Asserts every expression of \p Es as a single batched
+  /// Z3_solver_assert (their conjunction): one API crossing instead of
+  /// |Es|. Sat-equivalent to |Es| individual add() calls with identical
+  /// literal accounting — but conjunction packaging can steer Z3 to a
+  /// different (equally valid) model, so callers that extract models
+  /// should assert sequentially (encode::AssertionBuffer picks the
+  /// right mode per use).
+  void addAll(const std::vector<SmtExpr> &Es);
 
   /// Sets the per-check timeout. 0 means no timeout.
   void setTimeoutMs(unsigned Ms);

@@ -54,14 +54,20 @@ bool isopredict::startsWith(std::string_view Text, std::string_view Prefix) {
 }
 
 std::string isopredict::formatString(const char *Fmt, ...) {
+  // Single-pass fast path: almost every caller (SMT variable names, table
+  // cells) fits a small stack buffer; only oversized results pay a second
+  // vsnprintf.
+  char Buf[256];
   va_list Args;
   va_start(Args, Fmt);
   va_list Args2;
   va_copy(Args2, Args);
-  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  int Len = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
   va_end(Args);
   std::string Out;
-  if (Len > 0) {
+  if (Len > 0 && static_cast<size_t>(Len) < sizeof(Buf)) {
+    Out.assign(Buf, static_cast<size_t>(Len));
+  } else if (Len > 0) {
     Out.resize(static_cast<size_t>(Len));
     std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args2);
   }

@@ -1,0 +1,290 @@
+//===- encode_test.cpp - Encoding-pipeline layer tests --------*- C++ -*-===//
+
+#include "encode/EncodingContext.h"
+#include "encode/Passes.h"
+#include "encode/Pipeline.h"
+#include "engine/ReportDiff.h"
+#include "history/BitRel.h"
+#include "predict/Predict.h"
+#include "support/Rng.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace isopredict;
+using namespace isopredict::testutil;
+
+namespace {
+
+PredictOptions opts(IsolationLevel L, Strategy S) {
+  PredictOptions O;
+  O.Level = L;
+  O.Strat = S;
+  O.TimeoutMs = 60000;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Transitive closure by repeated squaring
+//===----------------------------------------------------------------------===
+
+TEST(Encode, ClosureBySquaringMatchesNaiveClosure) {
+  // Fix the base relation as boolean constants; the closure variables'
+  // model values must equal the word-parallel Warshall closure.
+  Rng Rand(42);
+  for (size_t N : {2, 3, 5, 9, 12}) {
+    for (int Round = 0; Round < 3; ++Round) {
+      BitRel R(N);
+      for (size_t I = 0; I < 2 * N; ++I)
+        R.set(Rand.below(N), Rand.below(N));
+
+      SmtContext Ctx;
+      SmtSolver Solver(Ctx);
+      encode::AssertionBuffer Asserts(Solver);
+      encode::PairMatrix Base(N, std::vector<SmtExpr>(N));
+      for (size_t A = 0; A < N; ++A)
+        for (size_t B = 0; B < N; ++B)
+          if (A != B)
+            Base[A][B] = Ctx.boolVal(R.test(A, B));
+      encode::PairMatrix Closed =
+          encode::defineClosure(Ctx, Asserts, Base, "t");
+      Asserts.flush();
+
+      BitRel Expect = R;
+      // Warshall produces reflexive pairs only on cycles; the squaring
+      // closure never defines diagonal entries, so compare off-diagonal.
+      Expect.closeTransitively();
+
+      ASSERT_EQ(Solver.check(), SmtResult::Sat);
+      for (size_t A = 0; A < N; ++A)
+        for (size_t B = 0; B < N; ++B) {
+          if (A == B)
+            continue;
+          EXPECT_EQ(Solver.modelBool(Closed[A][B]), Expect.test(A, B))
+              << "N=" << N << " edge " << A << "->" << B;
+        }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Atom interning
+//===----------------------------------------------------------------------===
+
+TEST(Encode, SmtContextInterningReturnsIdenticalAsts) {
+  SmtContext Ctx;
+  SmtExpr X = Ctx.intVar("x");
+  SmtExpr Y = Ctx.intVar("y");
+
+  SmtExpr Five1 = Ctx.internIntVal(5);
+  SmtExpr Five2 = Ctx.internIntVal(5);
+  EXPECT_EQ(Five1.Ast, Five2.Ast);
+
+  SmtExpr Lt1 = Ctx.internLt(X, Y);
+  SmtExpr Lt2 = Ctx.internLt(X, Y);
+  EXPECT_EQ(Lt1.Ast, Lt2.Ast);
+  EXPECT_EQ(Lt1.Lits, Lt2.Lits);
+
+  // Distinct operators over the same operands are distinct atoms.
+  EXPECT_NE(Ctx.internLt(X, Y).Ast, Ctx.internLe(X, Y).Ast);
+  EXPECT_NE(Ctx.internEq(X, Y).Ast, Ctx.internLe(X, Y).Ast);
+
+  // The cache observed the repeats.
+  EXPECT_GT(Ctx.internHits(), 0u);
+  EXPECT_GT(Ctx.internLookups(), Ctx.internHits());
+
+  // Interned and plain construction agree (Z3 hash-conses ASTs).
+  EXPECT_EQ(Ctx.internLt(X, Y).Ast, Ctx.mkLt(X, Y).Ast);
+}
+
+TEST(Encode, ContextAtomsAreInterned) {
+  History H = depositObserved();
+  PredictOptions O = opts(IsolationLevel::Causal, Strategy::ApproxRelaxed);
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  encode::EncodingContext EC(H, O, Ctx, Solver);
+  encode::DeclarePass().run(EC);
+
+  SessionId S = H.txn(1).Session;
+  uint32_t Pos = H.txn(1).Events.at(0).Pos;
+
+  EXPECT_EQ(EC.choiceIs(S, Pos, InitTxn).Ast,
+            EC.choiceIs(S, Pos, InitTxn).Ast);
+  EXPECT_EQ(EC.eventIncluded(S, Pos).Ast, EC.eventIncluded(S, Pos).Ast);
+  EXPECT_EQ(EC.beforeBoundary(S, Pos).Ast, EC.beforeBoundary(S, Pos).Ast);
+
+  KeyId K = H.keysRead().at(0);
+  ASSERT_TRUE(H.writesKey(1, K));
+  EXPECT_EQ(EC.writeIncluded(1, K).Ast, EC.writeIncluded(1, K).Ast);
+}
+
+//===----------------------------------------------------------------------===
+// Per-pass accounting
+//===----------------------------------------------------------------------===
+
+TEST(Encode, PassLiteralsSumToTotal) {
+  for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
+                     Strategy::ApproxRelaxed})
+    for (IsolationLevel L :
+         {IsolationLevel::Causal, IsolationLevel::ReadAtomic,
+          IsolationLevel::ReadCommitted}) {
+      History H = crossReadObserved();
+      PredictOptions O = opts(L, S);
+      O.GenerateOnly = true;
+      Prediction P = predict(H, O);
+
+      ASSERT_EQ(P.Stats.Passes.size(), 4u) << toString(S);
+      EXPECT_EQ(P.Stats.Passes[0].Name, "declare");
+      EXPECT_EQ(P.Stats.Passes[0].Literals, 0u)
+          << "declaration asserts nothing";
+      EXPECT_EQ(P.Stats.Passes[1].Name, "feasibility");
+
+      uint64_t Sum = 0;
+      for (const PassStats &PS : P.Stats.Passes) {
+        EXPECT_GE(PS.Seconds, 0.0);
+        Sum += PS.Literals;
+      }
+      EXPECT_EQ(Sum, P.Stats.NumLiterals)
+          << toString(S) << "/" << toString(L);
+    }
+}
+
+TEST(Encode, PipelineSelectsPassesFromOptions) {
+  PredictOptions O = opts(IsolationLevel::ReadCommitted,
+                          Strategy::ApproxStrict);
+  O.GenerateOnly = true;
+  Prediction P = predict(crossReadObserved(), O);
+  ASSERT_EQ(P.Stats.Passes.size(), 4u);
+  EXPECT_EQ(P.Stats.Passes[2].Name, "approx-rank");
+  EXPECT_EQ(P.Stats.Passes[3].Name, "read-committed");
+
+  O.Pco = PcoEncoding::Layered;
+  P = predict(crossReadObserved(), O);
+  ASSERT_EQ(P.Stats.Passes.size(), 4u);
+  EXPECT_EQ(P.Stats.Passes[2].Name, "approx-layered");
+
+  O.Strat = Strategy::ExactStrict;
+  O.Level = IsolationLevel::Causal;
+  P = predict(crossReadObserved(), O);
+  ASSERT_EQ(P.Stats.Passes.size(), 4u);
+  EXPECT_EQ(P.Stats.Passes[2].Name, "exact-strict");
+  EXPECT_EQ(P.Stats.Passes[3].Name, "causal");
+}
+
+//===----------------------------------------------------------------------===
+// Batched assertion (the ablation knob)
+//===----------------------------------------------------------------------===
+
+TEST(Encode, BatchedAssertsKeepLiteralsAndVerdict) {
+  for (int HistIdx = 0; HistIdx < 3; ++HistIdx) {
+    History H = HistIdx == 0   ? depositObserved()
+                : HistIdx == 1 ? crossReadObserved()
+                               : selfJustifyTrap();
+    PredictOptions O = opts(IsolationLevel::Causal, Strategy::ApproxStrict);
+    Prediction Plain = predict(H, O);
+    O.BatchAsserts = true;
+    Prediction Batched = predict(H, O);
+    EXPECT_EQ(Plain.Result, Batched.Result);
+    EXPECT_EQ(Plain.Stats.NumLiterals, Batched.Stats.NumLiterals);
+  }
+}
+
+TEST(Encode, AddAllAccountsLiteralsLikeAdd) {
+  SmtContext C1, C2;
+  auto build = [](SmtContext &Ctx) {
+    std::vector<SmtExpr> Es;
+    SmtExpr X = Ctx.intVar("x");
+    Es.push_back(Ctx.mkLt(Ctx.intVal(0), X));
+    Es.push_back(Ctx.mkOr({Ctx.boolVar("a"), Ctx.boolVar("b")}));
+    Es.push_back(Ctx.mkEq(X, Ctx.intVal(7)));
+    return Es;
+  };
+  SmtSolver S1(C1), S2(C2);
+  for (SmtExpr E : build(C1))
+    S1.add(E);
+  S2.addAll(build(C2));
+  EXPECT_EQ(C1.literalCount(), C2.literalCount());
+  EXPECT_EQ(S1.check(), S2.check());
+}
+
+//===----------------------------------------------------------------------===
+// Report diffing (the regression-gate tool)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+std::string jobJson(const char *Seed, const char *Result, const char *Val) {
+  return std::string("{\"kind\": \"predict\", \"app\": \"smallbank\", "
+                     "\"workload\": \"3x4\", \"seed\": ") +
+         Seed + ", \"level\": \"causal\", \"strategy\": \"Approx-Relaxed\", "
+                "\"pco\": \"rank\", \"ok\": true, \"result\": \"" +
+         Result + "\", \"validation\": \"" + Val + "\"}";
+}
+
+std::string reportJson(const std::vector<std::string> &Jobs) {
+  std::string Out = "{\"schema\": \"isopredict-campaign-report/1\", "
+                    "\"campaign\": \"t\", \"jobs\": [";
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Out += (I ? ", " : "") + Jobs[I];
+  return Out + "]}";
+}
+
+} // namespace
+
+TEST(ReportDiff, FlagsOutcomeRegressions) {
+  using namespace isopredict::engine;
+  std::string A = reportJson({jobJson("1", "sat", "validated-unserializable"),
+                              jobJson("2", "unsat", "no-prediction")});
+  std::string B = reportJson({jobJson("1", "unsat", "no-prediction"),
+                              jobJson("2", "unsat", "no-prediction")});
+  std::string Error;
+  auto D = diffReports(A, B, &Error);
+  ASSERT_TRUE(D.has_value()) << Error;
+  EXPECT_EQ(D->MatchedJobs, 2u);
+  EXPECT_TRUE(D->hasRegressions());
+  EXPECT_EQ(D->numRegressions(), 2u); // result + validation on seed 1.
+
+  // The reverse direction is a change, not a regression.
+  auto Rev = diffReports(B, A, &Error);
+  ASSERT_TRUE(Rev.has_value()) << Error;
+  EXPECT_FALSE(Rev->hasRegressions());
+  EXPECT_EQ(Rev->Deltas.size(), 2u);
+}
+
+TEST(ReportDiff, MatchesJobsByIdentityNotOrder) {
+  using namespace isopredict::engine;
+  std::string A = reportJson({jobJson("1", "sat", "validated-unserializable"),
+                              jobJson("2", "unsat", "no-prediction")});
+  std::string B = reportJson({jobJson("2", "unsat", "no-prediction"),
+                              jobJson("1", "sat",
+                                      "validated-unserializable")});
+  auto D = diffReports(A, B);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->MatchedJobs, 2u);
+  EXPECT_TRUE(D->Deltas.empty());
+  EXPECT_TRUE(D->OnlyInA.empty());
+  EXPECT_TRUE(D->OnlyInB.empty());
+}
+
+TEST(ReportDiff, RejectsNonReports) {
+  using namespace isopredict::engine;
+  std::string Error;
+  EXPECT_FALSE(diffReports("not json", "{}", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(diffReports("{\"jobs\": 3}", "{\"jobs\": []}", &Error)
+                   .has_value());
+}
+
+TEST(ReportDiff, UnmatchedJobsAreReportedNotRegressions) {
+  using namespace isopredict::engine;
+  std::string A = reportJson({jobJson("1", "sat", "validated-unserializable")});
+  std::string B = reportJson({jobJson("2", "unsat", "no-prediction")});
+  auto D = diffReports(A, B);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->MatchedJobs, 0u);
+  EXPECT_EQ(D->OnlyInA.size(), 1u);
+  EXPECT_EQ(D->OnlyInB.size(), 1u);
+  EXPECT_FALSE(D->hasRegressions());
+}
