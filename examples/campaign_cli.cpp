@@ -7,8 +7,8 @@
 //   campaign_cli [--apps a,b] [--levels causal,rc,ra]
 //                [--strategies exact,strict,relaxed] [--sizes small,large]
 //                [--seeds N] [--jobs N] [--timeout-ms N] [--pco rank|layered]
-//                [--no-validate] [--timings] [--quiet] [--name NAME]
-//                [--out report.json]
+//                [--share-encodings] [--no-validate] [--timings] [--quiet]
+//                [--name NAME] [--out report.json]
 //
 // Defaults run every app under causal with Approx-Relaxed, small
 // workload, 5 seeds, on one worker. `--jobs 0` uses all hardware
@@ -46,6 +46,10 @@ int usage(const char *Msg = nullptr) {
       "  --jobs N              worker threads, 0 = all cores (default: 1)\n"
       "  --timeout-ms N        per-query solver timeout (default: 5000)\n"
       "  --pco rank|layered    pco encoding (default: rank)\n"
+      "  --share-encodings     one PredictSession per observed execution:\n"
+      "                        reuse the declare+feasibility encoding across\n"
+      "                        that execution's queries (same sat/unsat\n"
+      "                        outcomes; witnesses/validation may differ)\n"
       "  --no-validate         skip validation replay of Sat predictions\n"
       "  --timings             include run-dependent timing fields in JSON\n"
       "  --quiet               suppress per-job progress on stderr\n"
@@ -73,6 +77,7 @@ int main(int argc, char **argv) {
   unsigned Jobs = 1;
   unsigned TimeoutMs = 5000;
   PcoEncoding Pco = PcoEncoding::Rank;
+  bool ShareEncodings = false;
   bool Validate = true;
   bool Timings = false;
   bool Quiet = false;
@@ -86,6 +91,8 @@ int main(int argc, char **argv) {
     };
     if (Flag == "--no-validate") {
       Validate = false;
+    } else if (Flag == "--share-encodings") {
+      ShareEncodings = true;
     } else if (Flag == "--timings") {
       Timings = true;
     } else if (Flag == "--quiet") {
@@ -110,16 +117,17 @@ int main(int argc, char **argv) {
         return usage("--levels needs a value");
       Levels.clear();
       for (const std::string &L : splitList(V)) {
-        if (L == "causal")
-          Levels.push_back(IsolationLevel::Causal);
-        else if (L == "rc")
-          Levels.push_back(IsolationLevel::ReadCommitted);
-        else if (L == "ra")
-          Levels.push_back(IsolationLevel::ReadAtomic);
-        else
-          return usage(("unknown level '" + L +
-                        "' (valid: causal, rc, ra)")
+        auto Level = isolationLevelFromString(L);
+        if (!Level)
+          return usage(("unknown level '" + L + "' (valid: " +
+                        isolationLevelValidNames() + ")")
                            .c_str());
+        if (*Level == IsolationLevel::Serializable)
+          return usage(("prediction targets weak isolation levels; "
+                        "'" + L + "' is not one (valid: " +
+                        isolationLevelValidNames() + ")")
+                           .c_str());
+        Levels.push_back(*Level);
       }
     } else if (Flag == "--strategies") {
       const char *V = next();
@@ -127,16 +135,12 @@ int main(int argc, char **argv) {
         return usage("--strategies needs a value");
       Strategies.clear();
       for (const std::string &S : splitList(V)) {
-        if (S == "exact")
-          Strategies.push_back(Strategy::ExactStrict);
-        else if (S == "strict")
-          Strategies.push_back(Strategy::ApproxStrict);
-        else if (S == "relaxed")
-          Strategies.push_back(Strategy::ApproxRelaxed);
-        else
-          return usage(("unknown strategy '" + S +
-                        "' (valid: exact, strict, relaxed)")
+        auto Strat = strategyFromString(S);
+        if (!Strat)
+          return usage(("unknown strategy '" + S + "' (valid: " +
+                        strategyValidNames() + ")")
                            .c_str());
+        Strategies.push_back(*Strat);
       }
     } else if (Flag == "--sizes") {
       const char *V = next();
@@ -168,12 +172,12 @@ int main(int argc, char **argv) {
       const char *V = next();
       if (!V)
         return usage("--pco needs a value");
-      if (std::strcmp(V, "rank") == 0)
-        Pco = PcoEncoding::Rank;
-      else if (std::strcmp(V, "layered") == 0)
-        Pco = PcoEncoding::Layered;
-      else
-        return usage("--pco must be rank or layered");
+      auto Parsed = pcoEncodingFromString(V);
+      if (!Parsed)
+        return usage(("--pco must be one of: " +
+                      std::string(pcoEncodingValidNames()))
+                         .c_str());
+      Pco = *Parsed;
     } else if (Flag == "--name") {
       const char *V = next();
       if (!V)
@@ -198,6 +202,7 @@ int main(int argc, char **argv) {
 
   EngineOptions EO;
   EO.NumWorkers = Jobs;
+  EO.ShareEncodings = ShareEncodings;
   if (!Quiet)
     EO.OnJobDone = [](size_t Done, size_t Total, const JobResult &R) {
       std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s%s\n", Done,

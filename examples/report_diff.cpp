@@ -7,11 +7,18 @@
 // re-runs / report diffing" tool.
 //
 // Usage:
-//   report_diff [--regressions-only] [--quiet] before.json after.json
+//   report_diff [--regressions-only] [--outcomes-only] [--quiet]
+//               before.json after.json
 //
 // Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage or
 // parse error. Neutral changes (new predictions, literal-count shifts)
-// are listed but do not affect the exit code.
+// are listed but do not affect the exit code. --outcomes-only stops
+// validation-replay differences on Predict jobs from gating — the
+// comparison for reports produced under different engine modes (e.g.
+// --share-encodings on/off), where sat/unsat outcomes are
+// contractually identical but models, and therefore validation
+// replays, may legitimately differ; every other job kind's fields
+// still gate.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,12 +38,16 @@ int usage(const char *Msg = nullptr) {
   if (Msg)
     std::fprintf(stderr, "error: %s\n", Msg);
   std::fprintf(stderr,
-               "usage: report_diff [--regressions-only] [--quiet] "
-               "before.json after.json\n"
+               "usage: report_diff [--regressions-only] [--outcomes-only] "
+               "[--quiet] before.json after.json\n"
                "  exit 0: no outcome regressions\n"
                "  exit 1: regressions (sat->unsat, validated->diverged, "
                "ok->failed, ...)\n"
-               "  exit 2: usage or parse error\n");
+               "  exit 2: usage or parse error\n"
+               "  --outcomes-only: don't gate on Predict validation-replay "
+               "differences (for\n"
+               "    diffs across engine modes where models may "
+               "legitimately differ)\n");
   return 2;
 }
 
@@ -54,11 +65,14 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int main(int argc, char **argv) {
   bool RegressionsOnly = false;
+  bool OutcomesOnly = false;
   bool Quiet = false;
   std::vector<std::string> Paths;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--regressions-only") == 0)
       RegressionsOnly = true;
+    else if (std::strcmp(argv[I], "--outcomes-only") == 0)
+      OutcomesOnly = true;
     else if (std::strcmp(argv[I], "--quiet") == 0)
       Quiet = true;
     else if (argv[I][0] == '-' && argv[I][1] != '\0')
@@ -80,6 +94,21 @@ int main(int argc, char **argv) {
   if (!Diff) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 2;
+  }
+
+  if (OutcomesOnly) {
+    // Demote regressions on exactly the fields that may legitimately
+    // differ across engine modes to neutral changes (listed, but not
+    // gating): validation and — for Predict jobs, where it comes from
+    // the model-dependent validation replay — assertion_failed. Other
+    // job kinds never run through shared sessions, so their fields
+    // (serializability, assertion_failed) keep gating.
+    for (JobDelta &D : Diff->Deltas) {
+      bool PredictJob = D.Job.rfind("predict|", 0) == 0; // jobKey prefix
+      if (D.Field == "validation" ||
+          (D.Field == "assertion_failed" && PredictJob))
+        D.Regression = false;
+    }
   }
 
   if (!Quiet) {

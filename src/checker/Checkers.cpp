@@ -4,8 +4,10 @@
 
 #include "encode/Serializable.h"
 #include "smt/Smt.h"
+#include "support/StrUtil.h"
 
 #include <algorithm>
+#include <string>
 
 using namespace isopredict;
 
@@ -21,6 +23,24 @@ const char *isopredict::toString(IsolationLevel Level) {
     return "rc";
   }
   return "?";
+}
+
+std::optional<IsolationLevel>
+isopredict::isolationLevelFromString(std::string_view Name) {
+  std::string N = toLowerAscii(Name);
+  if (N == "causal")
+    return IsolationLevel::Causal;
+  if (N == "rc" || N == "read-committed")
+    return IsolationLevel::ReadCommitted;
+  if (N == "ra" || N == "read-atomic")
+    return IsolationLevel::ReadAtomic;
+  if (N == "serializable")
+    return IsolationLevel::Serializable;
+  return std::nullopt;
+}
+
+const char *isopredict::isolationLevelValidNames() {
+  return "causal, rc, ra";
 }
 
 //===----------------------------------------------------------------------===

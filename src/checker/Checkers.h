@@ -22,6 +22,7 @@
 #include "history/History.h"
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 namespace isopredict {
@@ -35,6 +36,15 @@ enum class IsolationLevel { Serializable, Causal, ReadAtomic,
                             ReadCommitted };
 
 const char *toString(IsolationLevel Level);
+
+/// Parses an isolation-level name: the canonical toString spellings
+/// plus the CLI short forms ("ra" for read-atomic), ASCII
+/// case-insensitively. std::nullopt on anything else.
+std::optional<IsolationLevel> isolationLevelFromString(std::string_view Name);
+
+/// The *predictable* (weak) level spellings, for CLI error lists —
+/// isolationLevelFromString additionally accepts "serializable".
+const char *isolationLevelValidNames(); // "causal, rc, ra"
 
 //===----------------------------------------------------------------------===
 // Concrete relations

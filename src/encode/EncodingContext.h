@@ -101,25 +101,56 @@ private:
 PairMatrix defineClosure(SmtContext &Ctx, AssertionBuffer &Asserts,
                          const PairMatrix &Base, const char *Prefix);
 
-/// Shared state of one predictive-encoding query. Construction declares
-/// nothing; EncoderPipeline runs the DeclarePass first, which builds the
-/// variable tables below in the same order the monolithic encoder did.
+/// Shared state of one predictive-encoding query — or, in session mode,
+/// of a whole multi-query PredictSession. Construction declares nothing;
+/// EncoderPipeline runs the DeclarePass first, which builds the variable
+/// tables below in the same order the monolithic encoder did.
+///
+/// Session mode (\p SessionMode true) marks the reuse boundary of the
+/// incremental-query design: everything DeclarePass and FeasibilityPass
+/// build is query-invariant (the boundary/cut *linkage*, which depends
+/// on the strategy's boundary mode, moves into the per-query
+/// BoundaryLinkPass), so a PredictSession encodes that prefix once and
+/// answers each query inside a solver push/pop scope. To make the
+/// prefix strategy-independent, session mode always materializes the
+/// per-session Cut variables instead of aliasing them to Boundary for
+/// strict boundaries — sat-equivalent, but not bit-identical, which is
+/// why one-shot predict() keeps SessionMode off.
 class EncodingContext {
 public:
   EncodingContext(const History &H, const PredictOptions &Opts,
-                  SmtContext &Ctx, SmtSolver &Solver)
+                  SmtContext &Ctx, SmtSolver &Solver,
+                  bool SessionMode = false)
       : H(H), Opts(Opts), Ctx(Ctx),
         Asserts(Solver, Opts.BatchAsserts
                             ? AssertionBuffer::FlushMode::Conjoin
                             : AssertionBuffer::FlushMode::Immediate),
-        N(H.numTxns()), Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {}
+        N(H.numTxns()), SessionMode(SessionMode),
+        Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {}
 
   const History &H;
   const PredictOptions &Opts;
   SmtContext &Ctx;
   AssertionBuffer Asserts;
   const size_t N;
-  const bool Relaxed;
+  const bool SessionMode;
+  /// Boundary mode of the current query (strict aliases cut to
+  /// boundary). Fixed for a one-shot encoding; updated per query by
+  /// beginQuery() in session mode.
+  bool Relaxed;
+
+  /// Resets the per-query state (the strategy-pass outputs below) ahead
+  /// of the next session query; the base tables built by DeclarePass /
+  /// FeasibilityPass are untouched. Stale Pco/Rank matrices from an
+  /// earlier query must not leak into extraction — an ExactStrict query
+  /// after an Approx one would otherwise read a witness from relation
+  /// variables its own scope never constrained.
+  void beginQuery(Strategy Strat) {
+    assert(SessionMode && "beginQuery is a session-mode operation");
+    Relaxed = Strat == Strategy::ApproxRelaxed;
+    Pco.clear();
+    Rank.clear();
+  }
 
   //===--------------------------------------------------------------------===
   // Variable tables (built by DeclarePass)

@@ -20,6 +20,30 @@
 using namespace isopredict;
 using namespace isopredict::encode;
 
+namespace {
+
+// The Table-1 relaxed-boundary linkage, built in exactly one place so
+// the one-shot (FeasibilityPass) and session (BoundaryLinkPass) callers
+// cannot drift apart: a boundary at this read extends the cut to the
+// end of the read's transaction; a boundary at ∞ leaves everything in.
+
+SmtExpr relaxedCutAtRead(EncodingContext &EC, SessionId S, uint32_t Pos,
+                         uint32_t EndPos) {
+  SmtContext &Ctx = EC.Ctx;
+  return Ctx.mkImplies(
+      Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(Pos)),
+      Ctx.internEq(EC.Cut[S], Ctx.internIntVal(EndPos)));
+}
+
+SmtExpr relaxedCutAtInf(EncodingContext &EC, SessionId S) {
+  SmtContext &Ctx = EC.Ctx;
+  return Ctx.mkImplies(
+      Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(EC.Inf)),
+      Ctx.internEq(EC.Cut[S], Ctx.internIntVal(EC.Inf)));
+}
+
+} // namespace
+
 void DeclarePass::run(EncodingContext &EC) {
   const History &H = EC.H;
   SmtContext &Ctx = EC.Ctx;
@@ -57,9 +81,12 @@ void DeclarePass::run(EncodingContext &EC) {
                           Ctx.intVar(formatString("choice_%u_%u",
                                                   H.txn(T).Session, E.Pos)));
 
+  // Session mode always materializes Cut so the declarations do not
+  // depend on the query's boundary mode (BoundaryLinkPass asserts the
+  // strict Cut == Boundary aliasing per query instead).
   for (SessionId S = 0; S < H.numSessions(); ++S) {
     EC.Boundary.push_back(Ctx.intVar(formatString("boundary_%u", S)));
-    if (EC.Relaxed)
+    if (EC.Relaxed || EC.SessionMode)
       EC.Cut.push_back(Ctx.intVar(formatString("cut_%u", S)));
     else
       EC.Cut.push_back(EC.Boundary.back());
@@ -83,7 +110,10 @@ void FeasibilityPass::run(EncodingContext &EC) {
 
   // --- Boundary domain: a read position of the session, or ∞; for the
   // relaxed boundary the cut is constrained to the end of the boundary
-  // read's transaction (Table 1).
+  // read's transaction (Table 1). In session mode the boundary↔cut
+  // linkage is query-dependent and asserted by BoundaryLinkPass inside
+  // each query's solver scope.
+  bool LinkCut = EC.Relaxed && !EC.SessionMode;
   for (SessionId S = 0; S < H.numSessions(); ++S) {
     std::vector<SmtExpr> Options;
     for (TxnId T : H.sessionTxns(S)) {
@@ -93,19 +123,15 @@ void FeasibilityPass::run(EncodingContext &EC) {
           continue;
         Options.push_back(
             Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(E.Pos)));
-        if (EC.Relaxed)
-          EC.assertExpr(Ctx.mkImplies(
-              Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(E.Pos)),
-              Ctx.internEq(EC.Cut[S], Ctx.internIntVal(Txn.EndPos))));
+        if (LinkCut)
+          EC.assertExpr(relaxedCutAtRead(EC, S, E.Pos, Txn.EndPos));
       }
     }
     Options.push_back(
         Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(EC.Inf)));
     EC.assertExpr(Ctx.mkOr(Options));
-    if (EC.Relaxed)
-      EC.assertExpr(Ctx.mkImplies(
-          Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(EC.Inf)),
-          Ctx.internEq(EC.Cut[S], Ctx.internIntVal(EC.Inf))));
+    if (LinkCut)
+      EC.assertExpr(relaxedCutAtInf(EC, S));
   }
 
   // --- Read choices: every read's choice ranges over the writers of
@@ -184,6 +210,39 @@ void FeasibilityPass::run(EncodingContext &EC) {
     for (TxnId B = 0; B < N; ++B)
       if (A != B)
         EC.assertExpr(Ctx.mkIff(EC.Hb[A][B], Closed[A][B]));
+}
+
+void BoundaryLinkPass::run(EncodingContext &EC) {
+  const History &H = EC.H;
+  SmtContext &Ctx = EC.Ctx;
+  assert(EC.SessionMode && "BoundaryLinkPass is session-mode only");
+
+  if (!EC.Relaxed) {
+    // Strict boundary: the cut *is* the boundary read. One-shot
+    // encodings alias the terms; here the materialized cut variable is
+    // pinned instead, which is sat-equivalent in every constraint that
+    // compares against it.
+    for (SessionId S = 0; S < H.numSessions(); ++S)
+      EC.assertExpr(Ctx.internEq(EC.Cut[S], EC.Boundary[S]));
+    return;
+  }
+
+  // Relaxed boundary: the cut extends to the end of the boundary read's
+  // transaction (Table 1) — the same implications FeasibilityPass emits
+  // inline for one-shot relaxed encodings. The boundary atoms already
+  // exist in the intern tables from the shared prefix, so re-entering
+  // this pass per query only rebuilds the implication shells.
+  for (SessionId S = 0; S < H.numSessions(); ++S) {
+    for (TxnId T : H.sessionTxns(S)) {
+      const Transaction &Txn = H.txn(T);
+      for (const Event &E : Txn.Events) {
+        if (E.Kind != EventKind::Read)
+          continue;
+        EC.assertExpr(relaxedCutAtRead(EC, S, E.Pos, Txn.EndPos));
+      }
+    }
+    EC.assertExpr(relaxedCutAtInf(EC, S));
+  }
 }
 
 void ExactStrictPass::run(EncodingContext &EC) {

@@ -62,6 +62,19 @@ public:
   void run(EncodingContext &EC) override;
 };
 
+/// Session-mode only: links each session's cut to its boundary according
+/// to the *current query's* boundary mode (Table 1) — Cut == Boundary
+/// under a strict boundary, the end of the boundary read's transaction
+/// under the relaxed one. One-shot encodings bake this linkage into
+/// DeclarePass/FeasibilityPass; session mode hoists it here so the
+/// declare+feasibility prefix is query-invariant and reusable across
+/// solver scopes.
+class BoundaryLinkPass : public EncodingPass {
+public:
+  const char *name() const override { return "boundary-link"; }
+  void run(EncodingContext &EC) override;
+};
+
 /// B.2.1: exact unserializability via a universally quantified commit
 /// order.
 class ExactStrictPass : public EncodingPass {

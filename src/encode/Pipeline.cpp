@@ -19,11 +19,9 @@ void EncoderPipeline::run(EncodingContext &EC, EncodingStats &Stats) const {
   }
 }
 
-EncoderPipeline EncoderPipeline::forOptions(const PredictOptions &Opts) {
-  EncoderPipeline P;
-  P.add(std::make_unique<DeclarePass>());
-  P.add(std::make_unique<FeasibilityPass>());
-
+/// Appends the strategy (B.2) and isolation (B.3) passes \p Opts
+/// selects — the query-dependent tail shared by forOptions and forQuery.
+static void addQueryPasses(EncoderPipeline &P, const PredictOptions &Opts) {
   if (Opts.Strat == Strategy::ExactStrict)
     P.add(std::make_unique<ExactStrictPass>());
   else if (Opts.Pco == PcoEncoding::Rank)
@@ -44,5 +42,26 @@ EncoderPipeline EncoderPipeline::forOptions(const PredictOptions &Opts) {
   case IsolationLevel::Serializable:
     break; // Rejected by predict()'s precondition.
   }
+}
+
+EncoderPipeline EncoderPipeline::forOptions(const PredictOptions &Opts) {
+  EncoderPipeline P;
+  P.add(std::make_unique<DeclarePass>());
+  P.add(std::make_unique<FeasibilityPass>());
+  addQueryPasses(P, Opts);
+  return P;
+}
+
+EncoderPipeline EncoderPipeline::forSessionBase(const PredictOptions &) {
+  EncoderPipeline P;
+  P.add(std::make_unique<DeclarePass>());
+  P.add(std::make_unique<FeasibilityPass>());
+  return P;
+}
+
+EncoderPipeline EncoderPipeline::forQuery(const PredictOptions &Opts) {
+  EncoderPipeline P;
+  P.add(std::make_unique<BoundaryLinkPass>());
+  addQueryPasses(P, Opts);
   return P;
 }

@@ -48,6 +48,16 @@ public:
   /// declare → feasibility → strategy (B.2) → isolation (B.3).
   static EncoderPipeline forOptions(const PredictOptions &Opts);
 
+  /// The query-invariant prefix of a PredictSession (session-mode
+  /// EncodingContext): declare → feasibility. Encoded once per session,
+  /// below every solver scope.
+  static EncoderPipeline forSessionBase(const PredictOptions &Opts);
+
+  /// The per-query suffix of a PredictSession: boundary-link →
+  /// strategy (B.2) → isolation (B.3), asserted inside one push/pop
+  /// scope on top of the forSessionBase prefix.
+  static EncoderPipeline forQuery(const PredictOptions &Opts);
+
 private:
   std::vector<std::unique_ptr<EncodingPass>> Passes;
 };

@@ -2,6 +2,8 @@
 
 #include "engine/Campaign.h"
 
+#include "support/StrUtil.h"
+
 using namespace isopredict;
 using namespace isopredict::engine;
 
@@ -17,6 +19,31 @@ const char *isopredict::engine::toString(JobKind K) {
     return "locking-rc";
   }
   return "unknown";
+}
+
+std::string isopredict::engine::canonicalSpec(const JobSpec &S) {
+  // Every outcome-determining field, in a fixed order with explicit
+  // key= prefixes so no two specs can serialize identically. Keep this
+  // stable: SpecHash values are persisted in JSON reports and matched
+  // across runs (report_diff) and, eventually, cache generations.
+  return formatString(
+      "kind=%s;app=%s;sessions=%u;txns=%u;seed=%llu;level=%s;strat=%s;"
+      "pco=%s;store_seed=%llu;timeout_ms=%u;validate=%u;check_ser=%u",
+      toString(S.Kind), S.App.c_str(), S.Cfg.Sessions, S.Cfg.TxnsPerSession,
+      static_cast<unsigned long long>(S.Cfg.Seed), toString(S.Level),
+      toString(S.Strat), toString(S.Pco),
+      static_cast<unsigned long long>(S.StoreSeed), S.TimeoutMs,
+      S.Validate ? 1u : 0u, S.CheckSerializability ? 1u : 0u);
+}
+
+uint64_t isopredict::engine::specHash(const JobSpec &S) {
+  // FNV-1a 64-bit over the canonical serialization.
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : canonicalSpec(S)) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
 }
 
 Campaign Campaign::predictGrid(std::string Name,

@@ -79,6 +79,17 @@ struct JobSpec {
   bool CheckSerializability = true;
 };
 
+/// Canonical one-line serialization of every outcome-determining JobSpec
+/// field ("kind=predict;app=smallbank;..."): the hash input of
+/// specHash, exposed for tests and debugging.
+std::string canonicalSpec(const JobSpec &S);
+
+/// Stable 64-bit identity of a job: FNV-1a over canonicalSpec(S). Jobs
+/// are pure functions of their spec (modulo solver timeouts), so this
+/// hash keys result caches, shard manifests, and cross-report job
+/// matching (report_diff) independent of campaign ordering.
+uint64_t specHash(const JobSpec &S);
+
 /// A named list of jobs. Job order is the report order; the engine may
 /// execute jobs in any order but results are always delivered in this
 /// one.

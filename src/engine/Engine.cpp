@@ -3,10 +3,13 @@
 #include "engine/Engine.h"
 
 #include "checker/Checkers.h"
+#include "predict/PredictSession.h"
 #include "support/Env.h"
+#include "support/StrUtil.h"
 #include "validate/Validate.h"
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -49,6 +52,80 @@ RunResult runWorkload(Application &App, const WorkloadConfig &Cfg,
   return WorkloadRunner::run(App, Store, Cfg);
 }
 
+/// Fills the validation fields of \p R from replaying \p P (§5) — the
+/// common tail of the share-nothing and shared Predict paths.
+void validateInto(JobResult &R, const JobSpec &Spec, const History &Observed,
+                  const Prediction &P) {
+  auto Replay = makeApplication(Spec.App);
+  ValidationResult V = validatePrediction(*Replay, Spec.Cfg, Observed, P,
+                                          Spec.Level, Spec.TimeoutMs);
+  R.ValStatus = V.St;
+  R.Diverged = V.Diverged;
+  // Assertions tripped by the *validating* execution (the observed
+  // run is serializable and cannot trip any).
+  R.AssertionFailed = V.Run.assertionFailed();
+  R.FailedAssertions = V.Run.FailedAssertions;
+}
+
+/// Key of one encoding-share group: the fields that determine the
+/// observed execution a Predict job encodes against.
+std::string shareKey(const JobSpec &S) {
+  return formatString("%s|%u|%u|%llu|%llu", S.App.c_str(), S.Cfg.Sessions,
+                      S.Cfg.TxnsPerSession,
+                      static_cast<unsigned long long>(S.Cfg.Seed),
+                      static_cast<unsigned long long>(S.StoreSeed));
+}
+
+/// Runs one encoding-share group of Predict jobs through a single
+/// PredictSession, in campaign order; \p Finished is invoked after each
+/// job's result slot is written.
+void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
+                     std::vector<JobResult> &Results,
+                     const std::function<void(size_t)> &Finished) {
+  const JobSpec &First = C.Jobs[Indices.front()];
+  auto App = makeApplication(First.App);
+  if (!App) {
+    for (size_t I : Indices) {
+      JobResult R;
+      R.Spec = C.Jobs[I];
+      R.Error = "unknown application '" + C.Jobs[I].App + "'";
+      Results[I] = std::move(R);
+      Finished(I);
+    }
+    return;
+  }
+
+  RunResult Observed =
+      runWorkload(*App, First.Cfg, StoreMode::SerialObserved,
+                  IsolationLevel::Serializable, First.Cfg.Seed);
+  PredictSession Session(Observed.Hist);
+
+  for (size_t I : Indices) {
+    const JobSpec &Spec = C.Jobs[I];
+    JobResult R;
+    R.Spec = Spec;
+    Timer Wall;
+    R.Ok = true;
+    fillWorkloadStats(R, Observed);
+
+    PredictSession::QueryOptions Q;
+    Q.Level = Spec.Level;
+    Q.Strat = Spec.Strat;
+    Q.Pco = Spec.Pco;
+    Q.TimeoutMs = Spec.TimeoutMs;
+    Prediction P = Session.query(Q);
+    R.Outcome = P.Result;
+    R.Stats = P.Stats;
+    R.Witness = P.Witness;
+    if (P.Result == SmtResult::Sat && Spec.Validate)
+      validateInto(R, Spec, Observed.Hist, P);
+
+    R.WallSeconds = Wall.seconds();
+    Results[I] = std::move(R);
+    Finished(I);
+  }
+}
+
 } // namespace
 
 JobResult Engine::runJob(const JobSpec &Spec) {
@@ -88,17 +165,8 @@ JobResult Engine::runJob(const JobSpec &Spec) {
     R.Stats = P.Stats;
     R.Witness = P.Witness;
 
-    if (P.Result == SmtResult::Sat && Spec.Validate) {
-      auto Replay = makeApplication(Spec.App);
-      ValidationResult V = validatePrediction(
-          *Replay, Spec.Cfg, Observed.Hist, P, Spec.Level, Spec.TimeoutMs);
-      R.ValStatus = V.St;
-      R.Diverged = V.Diverged;
-      // Assertions tripped by the *validating* execution (the observed
-      // run is serializable and cannot trip any).
-      R.AssertionFailed = V.Run.assertionFailed();
-      R.FailedAssertions = V.Run.FailedAssertions;
-    }
+    if (P.Result == SmtResult::Sat && Spec.Validate)
+      validateInto(R, Spec, Observed.Hist, P);
     break;
   }
 
@@ -136,27 +204,67 @@ Engine::Engine(EngineOptions O) : Opts(std::move(O)) {
 Report Engine::run(const Campaign &C) const {
   Timer Wall;
   std::vector<JobResult> Results(C.Jobs.size());
+
+  // The scheduling unit is a *group* of job indices. Share-nothing mode
+  // (the default): one group per job. ShareEncodings: Predict jobs with
+  // the same observed execution coalesce into one group (first-
+  // appearance order; within-group order = campaign order) and run
+  // through a single PredictSession; everything else stays singleton.
+  // Grouping is deterministic, and group execution is sequential, so
+  // reports remain byte-identical across worker counts in both modes.
+  std::vector<std::vector<size_t>> Groups;
+  if (!Opts.ShareEncodings) {
+    Groups.reserve(C.Jobs.size());
+    for (size_t I = 0; I < C.Jobs.size(); ++I)
+      Groups.push_back({I});
+  } else {
+    std::map<std::string, size_t> GroupIndex;
+    for (size_t I = 0; I < C.Jobs.size(); ++I) {
+      if (C.Jobs[I].Kind != JobKind::Predict) {
+        Groups.push_back({I});
+        continue;
+      }
+      auto [It, New] = GroupIndex.emplace(shareKey(C.Jobs[I]), Groups.size());
+      if (New)
+        Groups.emplace_back();
+      Groups[It->second].push_back(I);
+    }
+  }
+
   std::atomic<size_t> Next{0};
   std::atomic<size_t> Done{0};
   std::mutex ProgressMutex;
 
+  auto Finished = [&](size_t I) {
+    size_t F = Done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Opts.OnJobDone) {
+      std::lock_guard<std::mutex> Lock(ProgressMutex);
+      Opts.OnJobDone(F, C.Jobs.size(), Results[I]);
+    }
+  };
+
   auto Worker = [&]() {
     for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= C.Jobs.size())
+      size_t G = Next.fetch_add(1, std::memory_order_relaxed);
+      if (G >= Groups.size())
         return;
-      Results[I] = runJob(C.Jobs[I]);
-      size_t Finished = Done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (Opts.OnJobDone) {
-        std::lock_guard<std::mutex> Lock(ProgressMutex);
-        Opts.OnJobDone(Finished, C.Jobs.size(), Results[I]);
+      const std::vector<size_t> &Indices = Groups[G];
+      bool SharedPredict = Opts.ShareEncodings &&
+                           C.Jobs[Indices.front()].Kind == JobKind::Predict;
+      if (SharedPredict) {
+        runPredictGroup(C, Indices, Results, Finished);
+        continue;
+      }
+      for (size_t I : Indices) {
+        Results[I] = runJob(C.Jobs[I]);
+        Finished(I);
       }
     }
   };
 
-  // Never spawn more threads than jobs; one worker runs inline.
+  // Never spawn more threads than groups; one worker runs inline.
   unsigned NumThreads =
-      static_cast<unsigned>(std::min<size_t>(Workers, C.Jobs.size()));
+      static_cast<unsigned>(std::min<size_t>(Workers, Groups.size()));
   if (NumThreads <= 1) {
     Worker();
   } else {

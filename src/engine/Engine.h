@@ -5,15 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes a Campaign on a fixed-size worker pool. Workers pull job
-/// indices from a shared atomic cursor (the queue is the campaign's job
-/// vector, so "popping" is a fetch_add) and run each job end to end with
-/// private state: every job builds its own DataStore, applications, and
-/// — inside predict()/checkSerializableSmt() — its own Z3 SmtContext
-/// (Smt.h's one-context-per-query design is what makes jobs
-/// share-nothing). The only shared write is each worker storing results
-/// into its jobs' pre-allocated slots, so reports are ordered by
-/// campaign position and byte-identical regardless of worker count.
+/// Executes a Campaign on a fixed-size worker pool. Workers pull *group*
+/// indices from a shared atomic cursor (without ShareEncodings every job
+/// is its own group, so the queue degenerates to the campaign's job
+/// vector) and run each group end to end with private state: every job
+/// builds its own DataStore, applications, and — inside
+/// predict()/checkSerializableSmt() — its own Z3 SmtContext; with
+/// ShareEncodings, Predict jobs on the same observed execution share
+/// one PredictSession (and its Z3 context) but nothing crosses a group
+/// boundary. The only shared write is each worker storing results into
+/// its jobs' pre-allocated slots, so reports are ordered by campaign
+/// position and byte-identical regardless of worker count.
 ///
 /// runJob() is also the single place the observe → predict → validate
 /// pipeline of Figure 4 is spelled out; the bench harnesses and CLIs
@@ -36,6 +38,17 @@ struct EngineOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency(). 1 runs
   /// everything inline on the calling thread (no threads spawned).
   unsigned NumWorkers = 1;
+  /// Share constraint encodings across Predict jobs on the same
+  /// observed execution (same App, workload Cfg, StoreSeed): each such
+  /// group runs through one PredictSession, which encodes the
+  /// declare+feasibility prefix once and answers every (level ×
+  /// strategy × pco) query in a solver scope. Groups become the
+  /// scheduling unit — jobs within a group run sequentially in
+  /// campaign order — so reports stay deterministic across worker
+  /// counts. Outcomes (sat/unsat) match the share-nothing mode;
+  /// extracted models (witnesses, boundaries, validation) may
+  /// legitimately differ, which is why this is opt-in.
+  bool ShareEncodings = false;
   /// Called after each job completes, serialized under an internal
   /// mutex: (completed so far, total, result just finished).
   std::function<void(size_t, size_t, const JobResult &)> OnJobDone;

@@ -239,6 +239,12 @@ void emitJob(JsonOut &J, const JobResult &R, size_t Index,
   const JobSpec &S = R.Spec;
   J.openElement();
   J.num("index", static_cast<uint64_t>(Index));
+  // Stable job identity (FNV-1a of the canonical spec): report_diff
+  // matches jobs on it when both reports carry one; hex string rather
+  // than a number so 64-bit values survive lossy JSON readers.
+  J.str("spec_hash", formatString("%016llx",
+                                  static_cast<unsigned long long>(
+                                      specHash(S))));
   J.str("kind", toString(S.Kind));
   J.str("app", S.App);
   J.str("workload", workloadLabel(S.Cfg));
@@ -271,6 +277,13 @@ void emitJob(JsonOut &J, const JobResult &R, size_t Index,
   if (S.Kind == JobKind::Predict) {
     J.str("result", toString(R.Outcome));
     J.num("literals", R.Stats.NumLiterals);
+    // Present only under EngineOptions::ShareEncodings, where literal
+    // counts cover just the per-query passes: the declare+feasibility
+    // prefix was already on the shared session's solver. Deterministic
+    // (groups schedule as a unit), and emitted only when true so
+    // share-nothing reports carry no trace of the sharing feature.
+    if (R.Stats.BasePrefixReused)
+      J.boolean("base_prefix_reused", true);
     if (R.Outcome == SmtResult::Sat) {
       J.openArray("witness");
       for (TxnId T : R.Witness)

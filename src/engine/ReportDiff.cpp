@@ -2,6 +2,7 @@
 
 #include "engine/ReportDiff.h"
 
+#include "smt/Smt.h"
 #include "support/StrUtil.h"
 
 #include <cstdlib>
@@ -256,11 +257,15 @@ std::string jobKey(const JsonValue &Job) {
 /// Ranks a predict result for regression direction: losing a prediction
 /// (sat → anything) or losing a verdict (unsat → unknown) regresses.
 int resultRank(const std::string &R) {
-  if (R == "sat")
+  switch (smtResultFromString(R).value_or(SmtResult::Unknown)) {
+  case SmtResult::Sat:
     return 2;
-  if (R == "unsat")
+  case SmtResult::Unsat:
     return 1;
-  return 0; // unknown
+  case SmtResult::Unknown:
+    return 0;
+  }
+  return 0;
 }
 
 void compareJobs(const std::string &Key, const JsonValue &A,
@@ -337,10 +342,25 @@ isopredict::engine::diffReports(const std::string &JsonA,
   if (!DocB)
     return std::nullopt;
 
-  auto index = [](const JsonValue &Doc) {
+  // Match on the stable spec hash when *both* reports carry one on
+  // every job (reports from before the field fall back to the
+  // reconstructed identity key). The hash is the ground-truth identity
+  // — one FNV-1a over the full canonical JobSpec — so hash matching
+  // also distinguishes specs whose reconstructed keys would collide
+  // (e.g. jobs differing only in a field jobKey omits).
+  auto allHashed = [](const JsonValue &Doc) {
+    for (const JsonValue &Job : Doc.field("jobs")->Items)
+      if (scalarField(Job, "spec_hash").empty())
+        return false;
+    return true;
+  };
+  bool ByHash = allHashed(*DocA) && allHashed(*DocB);
+
+  auto index = [&](const JsonValue &Doc) {
     std::map<std::string, const JsonValue *> Index;
     for (const JsonValue &Job : Doc.field("jobs")->Items)
-      Index.emplace(jobKey(Job), &Job);
+      Index.emplace(ByHash ? scalarField(Job, "spec_hash") : jobKey(Job),
+                    &Job);
     return Index;
   };
   std::map<std::string, const JsonValue *> IndexA = index(*DocA);
@@ -350,16 +370,15 @@ isopredict::engine::diffReports(const std::string &JsonA,
   for (const auto &[Key, JobA] : IndexA) {
     auto It = IndexB.find(Key);
     if (It == IndexB.end()) {
-      R.OnlyInA.push_back(Key);
+      R.OnlyInA.push_back(jobKey(*JobA)); // human-readable identity
       continue;
     }
     ++R.MatchedJobs;
-    compareJobs(Key, *JobA, *It->second, R.Deltas);
+    compareJobs(jobKey(*JobA), *JobA, *It->second, R.Deltas);
   }
   for (const auto &[Key, JobB] : IndexB) {
-    (void)JobB;
     if (!IndexA.count(Key))
-      R.OnlyInB.push_back(Key);
+      R.OnlyInB.push_back(jobKey(*JobB));
   }
   return R;
 }

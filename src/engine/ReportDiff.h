@@ -11,10 +11,13 @@
 /// (validated → diverged/failed), a job that stopped running — so CI
 /// and incremental re-runs can gate on them (ROADMAP "report diffing").
 ///
-/// Jobs are matched on their identity key (kind, app, workload, seed,
-/// level, strategy, pco, store seed) — the same fields that make a
-/// JobSpec a pure function of its outcome — so two reports produced
-/// from different campaign orderings still diff correctly.
+/// Jobs are matched on the stable `spec_hash` (engine::specHash's
+/// FNV-1a over the canonical JobSpec) when both reports carry it on
+/// every job; older reports fall back to a reconstructed identity key
+/// (kind, app, workload, seed, level, strategy, pco, store seed). Both
+/// cover the fields that make a JobSpec a pure function of its outcome,
+/// so two reports produced from different campaign orderings still
+/// diff correctly.
 ///
 //===----------------------------------------------------------------------===//
 

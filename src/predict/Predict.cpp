@@ -1,17 +1,18 @@
 //===- Predict.cpp - IsoPredict predictive analysis -----------*- C++ -*-===//
 //
-// The constraint system itself lives in the layered src/encode/ pipeline
+// The constraint system lives in the layered src/encode/ pipeline
 // (EncodingContext + passes; see Passes.cpp for the Appendix-B clause
-// map). This file only assembles the pipeline from the options, runs the
-// solver, and extracts the predicted prefix from the model.
+// map) and the query machinery in PredictSession. predict() is the
+// one-shot compatibility entry point: a thin one-query session with
+// session mode off, bit-identical to the pre-session encoder (the
+// golden fixtures pin that).
 //
 //===----------------------------------------------------------------------===//
 
 #include "predict/Predict.h"
 
-#include "encode/Pipeline.h"
-#include "support/Env.h"
-
+#include "predict/PredictSession.h"
+#include "support/StrUtil.h"
 
 using namespace isopredict;
 
@@ -37,128 +38,35 @@ const char *isopredict::toString(Strategy S) {
   return "?";
 }
 
-namespace {
-
-/// Reads the satisfying model back into a Prediction: per-session
-/// boundary/cut positions, the truncated history with predicted read
-/// choices substituted, and a pco witness cycle (approx strategies).
-void extract(encode::EncodingContext &EC, SmtSolver &Solver,
-             Prediction &Out) {
-  const History &H = EC.H;
-  size_t Sessions = H.numSessions();
-  Out.BoundaryPos.assign(Sessions, InfPos);
-  Out.CutPos.assign(Sessions, InfPos);
-  for (SessionId S = 0; S < Sessions; ++S) {
-    int64_t B = Solver.modelInt(EC.Boundary[S]);
-    int64_t C = Solver.modelInt(EC.Cut[S]);
-    Out.BoundaryPos[S] = B >= EC.Inf ? InfPos : static_cast<uint32_t>(B);
-    Out.CutPos[S] = C >= EC.Inf ? InfPos : static_cast<uint32_t>(C);
-  }
-
-  // Truncate the observed history at the cuts and substitute the chosen
-  // writers; transaction ids stay aligned with the observed history.
-  Out.Predicted.Txns = H.Txns;
-  Out.Predicted.Keys = H.Keys;
-  Out.Predicted.DeclaredSessions = static_cast<uint32_t>(Sessions);
-  for (Transaction &T : Out.Predicted.Txns) {
-    if (T.isInit())
-      continue;
-    uint32_t CutS = Out.CutPos[T.Session];
-    std::vector<Event> Kept;
-    for (Event &E : T.Events) {
-      if (CutS != InfPos && E.Pos > CutS)
-        continue;
-      if (E.Kind == EventKind::Read) {
-        TxnId W = static_cast<TxnId>(
-            Solver.modelInt(EC.Choice.at({T.Session, E.Pos})));
-        if (W != E.Writer) {
-          E.Writer = W;
-          // Best-effort value: the writer's (last) write to the key.
-          E.Val = 0;
-          if (W != InitTxn)
-            for (const Event &WE : H.txn(W).Events)
-              if (WE.Kind == EventKind::Write && WE.Key == E.Key)
-                E.Val = WE.Val;
-        }
-      }
-      Kept.push_back(E);
-    }
-    T.Events = std::move(Kept);
-    if (CutS != InfPos && T.EndPos > CutS)
-      T.EndPos = std::min(T.EndPos, CutS + 1);
-  }
-  Out.Predicted.finalize();
-
-  // Witness cycle from the model's pco relation (approx only). Prefer a
-  // cycle that avoids t0 — arbitration cycles through the initial state
-  // are correct but less readable than the paper's figures.
-  if (!EC.Pco.empty()) {
-    BitRel R(EC.N);
-    for (TxnId A = 0; A < EC.N; ++A)
-      for (TxnId B = 0; B < EC.N; ++B)
-        if (A != B && Solver.modelBool(EC.Pco[A][B]))
-          R.set(A, B);
-    BitRel NoInit = R;
-    for (TxnId T = 1; T < EC.N; ++T) {
-      NoInit.clear(InitTxn, T);
-      NoInit.clear(T, InitTxn);
-    }
-    if (auto Cycle = NoInit.findCycle())
-      Out.Witness = *Cycle;
-    else if (auto Cycle = R.findCycle())
-      Out.Witness = *Cycle;
-  }
+std::optional<Strategy>
+isopredict::strategyFromString(std::string_view Name) {
+  std::string N = toLowerAscii(Name);
+  if (N == "exact" || N == "exact-strict")
+    return Strategy::ExactStrict;
+  if (N == "strict" || N == "approx-strict")
+    return Strategy::ApproxStrict;
+  if (N == "relaxed" || N == "approx-relaxed")
+    return Strategy::ApproxRelaxed;
+  return std::nullopt;
 }
 
-} // namespace
+const char *isopredict::strategyValidNames() {
+  return "exact, strict, relaxed";
+}
+
+std::optional<PcoEncoding>
+isopredict::pcoEncodingFromString(std::string_view Name) {
+  std::string N = toLowerAscii(Name);
+  if (N == "rank")
+    return PcoEncoding::Rank;
+  if (N == "layered")
+    return PcoEncoding::Layered;
+  return std::nullopt;
+}
+
+const char *isopredict::pcoEncodingValidNames() { return "rank, layered"; }
 
 Prediction isopredict::predict(const History &Observed,
                                const PredictOptions &Opts) {
-  assert(Opts.Level != IsolationLevel::Serializable &&
-         "prediction targets a weak isolation level");
-
-  // Fast path (the paper's footnote 5, generalized): with at most one
-  // writing transaction besides t0, every causal execution of the same
-  // program prefix is serializable — each transaction's reads must be
-  // consistently "before" or "after" the writer under causal, so a
-  // commit order always exists. Voter hits this on every seed.
-  if (Opts.Level == IsolationLevel::Causal) {
-    unsigned WritingTxns = 0;
-    for (TxnId T = 1; T < Observed.numTxns(); ++T)
-      for (const Event &E : Observed.txn(T).Events)
-        if (E.Kind == EventKind::Write) {
-          ++WritingTxns;
-          break;
-        }
-    if (WritingTxns <= 1) {
-      Prediction Out;
-      Out.Result = SmtResult::Unsat;
-      return Out;
-    }
-  }
-
-  Prediction Out;
-  SmtContext Ctx;
-  SmtSolver Solver(Ctx);
-  encode::EncodingContext EC(Observed, Opts, Ctx, Solver);
-  encode::EncoderPipeline Pipeline =
-      encode::EncoderPipeline::forOptions(Opts);
-
-  Timer Gen;
-  Pipeline.run(EC, Out.Stats);
-  Out.Stats.GenSeconds = Gen.seconds();
-  Out.Stats.NumLiterals = Ctx.literalCount();
-
-  if (Opts.GenerateOnly)
-    return Out; // Bench-only: Result stays Unknown.
-
-  if (Opts.TimeoutMs)
-    Solver.setTimeoutMs(Opts.TimeoutMs);
-  Timer Solve;
-  Out.Result = Solver.check();
-  Out.Stats.SolveSeconds = Solve.seconds();
-
-  if (Out.Result == SmtResult::Sat)
-    extract(EC, Solver, Out);
-  return Out;
+  return PredictSession::oneShot(Observed, Opts);
 }

@@ -37,6 +37,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace isopredict {
@@ -44,6 +45,14 @@ namespace isopredict {
 enum class Strategy { ExactStrict, ApproxStrict, ApproxRelaxed };
 
 const char *toString(Strategy S);
+
+/// Parses a strategy name: the CLI short forms ("exact", "strict",
+/// "relaxed") and the canonical toString spellings, ASCII
+/// case-insensitively. std::nullopt on anything else.
+std::optional<Strategy> strategyFromString(std::string_view Name);
+
+/// The short spellings strategyFromString accepts, for CLI error lists.
+const char *strategyValidNames(); // "exact, strict, relaxed"
 
 /// How the approximate strategies realize the "minimal relation"
 /// requirement on pco (§4.2.2).
@@ -64,6 +73,13 @@ enum class PcoEncoding {
 };
 
 const char *toString(PcoEncoding E);
+
+/// Parses a pco-encoding name ("rank" / "layered", ASCII
+/// case-insensitively). std::nullopt on anything else.
+std::optional<PcoEncoding> pcoEncodingFromString(std::string_view Name);
+
+/// The spellings pcoEncodingFromString accepts, for CLI error lists.
+const char *pcoEncodingValidNames(); // "rank, layered"
 
 struct PredictOptions {
   IsolationLevel Level = IsolationLevel::Causal;
@@ -108,6 +124,12 @@ struct EncodingStats {
   uint64_t NumLiterals = 0;
   double GenSeconds = 0;
   double SolveSeconds = 0;
+  /// True when this query ran on a PredictSession whose declare +
+  /// feasibility prefix was already on the solver: those literals were
+  /// not re-emitted, so NumLiterals/GenSeconds/Passes cover only the
+  /// per-query passes. False for one-shot queries and for the session
+  /// query that paid for the base (its stats include the base passes).
+  bool BasePrefixReused = false;
   /// Per-pass attribution, in pipeline order; literals sum to
   /// NumLiterals and seconds sum to (just under) GenSeconds.
   std::vector<PassStats> Passes;

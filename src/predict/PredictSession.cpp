@@ -1,0 +1,255 @@
+//===- PredictSession.cpp - Incremental multi-query prediction -----------===//
+//
+// Session lifecycle: the constructor records the history and the causal
+// fast-path precondition; the first query that needs the solver builds
+// the Z3 context and encodes the shared declare+feasibility prefix
+// (EncoderPipeline::forSessionBase on a session-mode EncodingContext);
+// every query then runs the per-query passes inside one solver
+// push/pop scope. One-shot predict() reuses runQuery() with session
+// mode off — no scopes, full pipeline, bit-identical to the
+// pre-session encoder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/PredictSession.h"
+
+#include "encode/Pipeline.h"
+#include "support/Env.h"
+
+#include <cassert>
+
+using namespace isopredict;
+
+namespace {
+
+/// Reads the satisfying model back into a Prediction: per-session
+/// boundary/cut positions, the truncated history with predicted read
+/// choices substituted, and a pco witness cycle (approx strategies).
+void extract(encode::EncodingContext &EC, SmtSolver &Solver,
+             Prediction &Out) {
+  const History &H = EC.H;
+  size_t Sessions = H.numSessions();
+  Out.BoundaryPos.assign(Sessions, InfPos);
+  Out.CutPos.assign(Sessions, InfPos);
+  for (SessionId S = 0; S < Sessions; ++S) {
+    int64_t B = Solver.modelInt(EC.Boundary[S]);
+    int64_t C = Solver.modelInt(EC.Cut[S]);
+    Out.BoundaryPos[S] = B >= EC.Inf ? InfPos : static_cast<uint32_t>(B);
+    Out.CutPos[S] = C >= EC.Inf ? InfPos : static_cast<uint32_t>(C);
+  }
+
+  // Truncate the observed history at the cuts and substitute the chosen
+  // writers; transaction ids stay aligned with the observed history.
+  Out.Predicted.Txns = H.Txns;
+  Out.Predicted.Keys = H.Keys;
+  Out.Predicted.DeclaredSessions = static_cast<uint32_t>(Sessions);
+  for (Transaction &T : Out.Predicted.Txns) {
+    if (T.isInit())
+      continue;
+    uint32_t CutS = Out.CutPos[T.Session];
+    std::vector<Event> Kept;
+    for (Event &E : T.Events) {
+      if (CutS != InfPos && E.Pos > CutS)
+        continue;
+      if (E.Kind == EventKind::Read) {
+        TxnId W = static_cast<TxnId>(
+            Solver.modelInt(EC.Choice.at({T.Session, E.Pos})));
+        if (W != E.Writer) {
+          E.Writer = W;
+          // Best-effort value: the writer's (last) write to the key.
+          E.Val = 0;
+          if (W != InitTxn)
+            for (const Event &WE : H.txn(W).Events)
+              if (WE.Kind == EventKind::Write && WE.Key == E.Key)
+                E.Val = WE.Val;
+        }
+      }
+      Kept.push_back(E);
+    }
+    T.Events = std::move(Kept);
+    if (CutS != InfPos && T.EndPos > CutS)
+      T.EndPos = std::min(T.EndPos, CutS + 1);
+  }
+  Out.Predicted.finalize();
+
+  // Witness cycle from the model's pco relation (approx only). Prefer a
+  // cycle that avoids t0 — arbitration cycles through the initial state
+  // are correct but less readable than the paper's figures.
+  if (!EC.Pco.empty()) {
+    BitRel R(EC.N);
+    for (TxnId A = 0; A < EC.N; ++A)
+      for (TxnId B = 0; B < EC.N; ++B)
+        if (A != B && Solver.modelBool(EC.Pco[A][B]))
+          R.set(A, B);
+    BitRel NoInit = R;
+    for (TxnId T = 1; T < EC.N; ++T) {
+      NoInit.clear(InitTxn, T);
+      NoInit.clear(T, InitTxn);
+    }
+    if (auto Cycle = NoInit.findCycle())
+      Out.Witness = *Cycle;
+    else if (auto Cycle = R.findCycle())
+      Out.Witness = *Cycle;
+  }
+}
+
+/// Session-level knobs as the PredictOptions the passes read.
+PredictOptions toPredictOptions(const PredictSession::Options &SO) {
+  PredictOptions O;
+  O.TimeoutMs = SO.TimeoutMs;
+  O.EnableRw = SO.EnableRw;
+  O.PcoDepth = SO.PcoDepth;
+  return O;
+}
+
+} // namespace
+
+PredictSession::PredictSession(const History &Observed)
+    : PredictSession(Observed, Options()) {}
+
+PredictSession::PredictSession(const History &Observed, Options SO)
+    : PredictSession(Observed, toPredictOptions(SO), /*Shared=*/true) {}
+
+PredictSession::PredictSession(const History &Observed,
+                               const PredictOptions &O, bool Shared)
+    : OwnedH(Shared ? Observed : History()),
+      H(Shared ? OwnedH : Observed), Opts(O), Shared(Shared),
+      DefaultTimeoutMs(O.TimeoutMs) {
+  // Fast-path precondition (the paper's footnote 5, generalized): with
+  // at most one writing transaction besides t0, every causal execution
+  // of the same program prefix is serializable — each transaction's
+  // reads must be consistently "before" or "after" the writer under
+  // causal, so a commit order always exists. Voter hits this on every
+  // seed; counting once per session lets every causal query skip the
+  // solver outright.
+  for (TxnId T = 1; T < H.numTxns(); ++T)
+    for (const Event &E : H.txn(T).Events)
+      if (E.Kind == EventKind::Write) {
+        ++WritingTxns;
+        break;
+      }
+}
+
+PredictSession::~PredictSession() = default;
+
+void PredictSession::ensureSolver() {
+  if (Ctx)
+    return;
+  Ctx = std::make_unique<SmtContext>();
+  Solver = std::make_unique<SmtSolver>(*Ctx);
+  EC = std::make_unique<encode::EncodingContext>(H, Opts, *Ctx, *Solver,
+                                                 /*SessionMode=*/Shared);
+}
+
+void PredictSession::ensureBase() {
+  if (BaseDone)
+    return;
+  ensureSolver();
+  Timer Gen;
+  encode::EncoderPipeline::forSessionBase(Opts).run(*EC, BaseStats);
+  BaseStats.GenSeconds = Gen.seconds();
+  BaseStats.NumLiterals = Ctx->literalCount();
+  BaseDone = true;
+}
+
+void PredictSession::applyTimeout(unsigned TimeoutMs) {
+  if (TimeoutMs == AppliedTimeoutMs)
+    return;
+  Solver->setTimeoutMs(TimeoutMs); // 0 restores "no timeout"
+  AppliedTimeoutMs = TimeoutMs;
+}
+
+Prediction PredictSession::query(const QueryOptions &Q) {
+  assert(Shared && "query() is for shared sessions; use predict()");
+  return runQuery(Q);
+}
+
+Prediction PredictSession::oneShot(const History &Observed,
+                                   const PredictOptions &O) {
+  PredictSession S(Observed, O, /*Shared=*/false);
+  QueryOptions Q;
+  Q.Level = O.Level;
+  Q.Strat = O.Strat;
+  Q.Pco = O.Pco;
+  Q.TimeoutMs = O.TimeoutMs;
+  Q.GenerateOnly = O.GenerateOnly;
+  return S.runQuery(Q);
+}
+
+Prediction PredictSession::runQuery(const QueryOptions &Q) {
+  assert(Q.Level != IsolationLevel::Serializable &&
+         "prediction targets a weak isolation level");
+
+  Prediction Out;
+  if (Q.Level == IsolationLevel::Causal && WritingTxns <= 1) {
+    Out.Result = SmtResult::Unsat;
+    ++Queries;
+    return Out;
+  }
+
+  // Install the query's knobs; the passes read them through the
+  // EncodingContext's reference to Opts.
+  Opts.Level = Q.Level;
+  Opts.Strat = Q.Strat;
+  Opts.Pco = Q.Pco;
+  Opts.TimeoutMs = Q.TimeoutMs ? Q.TimeoutMs : DefaultTimeoutMs;
+
+  if (!Shared) {
+    // One-shot: the exact pre-session predict() sequence on a fresh
+    // context — construction order determines Z3 AST ids, which seed
+    // the solver's search, so this path is bit-identical by keeping
+    // the order identical.
+    ensureSolver();
+    Timer Gen;
+    encode::EncoderPipeline::forOptions(Opts).run(*EC, Out.Stats);
+    Out.Stats.GenSeconds = Gen.seconds();
+    Out.Stats.NumLiterals = Ctx->literalCount();
+    if (Q.GenerateOnly) {
+      ++Queries;
+      return Out; // Bench-only: Result stays Unknown.
+    }
+    if (Opts.TimeoutMs)
+      Solver->setTimeoutMs(Opts.TimeoutMs);
+    Timer Solve;
+    Out.Result = Solver->check();
+    Out.Stats.SolveSeconds = Solve.seconds();
+    if (Out.Result == SmtResult::Sat)
+      extract(*EC, *Solver, Out);
+    ++Queries;
+    return Out;
+  }
+
+  // Shared: base prefix below, one scope per query on top.
+  bool ReusedBase = BaseDone;
+  ensureBase();
+  EC->beginQuery(Q.Strat);
+  Solver->push();
+  uint64_t Before = Ctx->literalCount();
+  Timer Gen;
+  encode::EncoderPipeline::forQuery(Opts).run(*EC, Out.Stats);
+  Out.Stats.GenSeconds = Gen.seconds();
+  Out.Stats.NumLiterals = Ctx->literalCount() - Before;
+  Out.Stats.BasePrefixReused = ReusedBase;
+  if (!ReusedBase) {
+    // This query paid for the shared prefix: fold its cost in so
+    // campaign-wide literal totals still account for every asserted
+    // literal exactly once.
+    Out.Stats.NumLiterals += BaseStats.NumLiterals;
+    Out.Stats.GenSeconds += BaseStats.GenSeconds;
+    Out.Stats.Passes.insert(Out.Stats.Passes.begin(),
+                            BaseStats.Passes.begin(),
+                            BaseStats.Passes.end());
+  }
+
+  if (!Q.GenerateOnly) {
+    applyTimeout(Opts.TimeoutMs);
+    Timer Solve;
+    Out.Result = Solver->check();
+    Out.Stats.SolveSeconds = Solve.seconds();
+    if (Out.Result == SmtResult::Sat)
+      extract(*EC, *Solver, Out); // before pop: the model reads scoped vars
+  }
+  Solver->pop();
+  ++Queries;
+  return Out;
+}

@@ -1,0 +1,172 @@
+//===- PredictSession.h - Incremental multi-query prediction ---*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental prediction API (ROADMAP "incremental predict() across
+/// seeds"). The paper's evaluation (§7) answers hundreds of prediction
+/// queries per workload, and ~95% of each query's constraint-generation
+/// wall-clock sits inside libz3 — re-encoding a nearly identical
+/// constraint system per (level × strategy) query on the *same* observed
+/// history is the dominant avoidable cost. A PredictSession keeps one
+/// SmtContext and solver alive for an observed history, encodes the
+/// query-invariant prefix (DeclarePass + FeasibilityPass, see
+/// EncoderPipeline::forSessionBase) exactly once, and answers each
+/// query(QueryOptions) inside a solver push/pop scope that asserts only
+/// the per-query passes (boundary linkage, strategy, isolation level).
+///
+/// Compatibility contract:
+///  - `query()` returns the same `Prediction::Result` (sat/unsat) as a
+///    one-shot `predict()` with the same options: the session encoding
+///    is sat-equivalent by construction (the only difference is that
+///    strict-boundary cuts are materialized variables pinned to the
+///    boundary instead of term aliases). Models — and therefore
+///    boundary/cut positions, witnesses, and validation outcomes — may
+///    legitimately differ, because the solver's search is seeded by the
+///    incremental state.
+///  - One-shot `predict()` itself is implemented as a session in
+///    one-shot mode (session mode off, no scopes) and stays
+///    bit-identical to the pre-session encoder — the golden fixtures
+///    pin that.
+///
+/// Lifecycle:
+///
+/// \code
+///   PredictSession S(Observed);          // nothing encoded yet
+///   PredictSession::QueryOptions Q;
+///   Q.Level = IsolationLevel::Causal;    // base encoded lazily on the
+///   Prediction P1 = S.query(Q);          //   first non-trivial query
+///   Q.Level = IsolationLevel::ReadCommitted;
+///   Prediction P2 = S.query(Q);          // push; per-query passes; pop
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_PREDICT_PREDICTSESSION_H
+#define ISOPREDICT_PREDICT_PREDICTSESSION_H
+
+#include "predict/Predict.h"
+
+#include <memory>
+
+namespace isopredict {
+
+namespace encode {
+class EncodingContext;
+}
+
+class PredictSession {
+public:
+  /// Knobs fixed for the whole session because they shape the shared
+  /// prefix or every query uniformly.
+  struct Options {
+    /// Default per-query solver timeout (ms); 0 = none. A query can
+    /// override it (QueryOptions::TimeoutMs).
+    unsigned TimeoutMs = 0;
+    /// Ablation knob: include anti-dependency (rw) edges in pco.
+    bool EnableRw = true;
+    /// Derivation-depth bound for PcoEncoding::Layered queries.
+    unsigned PcoDepth = 3;
+  };
+
+  /// Knobs that may vary per query; everything else about the
+  /// constraint system is reused across queries.
+  struct QueryOptions {
+    IsolationLevel Level = IsolationLevel::Causal;
+    Strategy Strat = Strategy::ApproxRelaxed;
+    PcoEncoding Pco = PcoEncoding::Rank;
+    /// Per-query solver timeout (ms); 0 = the session default.
+    unsigned TimeoutMs = 0;
+    /// Bench-only: assert the per-query passes but skip the solver
+    /// query (Result stays Unknown) — lets bench/micro_encoding
+    /// measure steady-state per-query generation cost in isolation.
+    bool GenerateOnly = false;
+  };
+
+  /// Copies \p Observed (sessions outlive the structures campaigns
+  /// build histories in); creates no Z3 state until the first query
+  /// that needs the solver (causal fast-path queries never do).
+  /// (Two overloads rather than a defaulted argument: GCC rejects `=
+  /// {}` for a nested class with member initializers at this point.)
+  explicit PredictSession(const History &Observed);
+  PredictSession(const History &Observed, Options Opts);
+  ~PredictSession();
+  PredictSession(const PredictSession &) = delete;
+  PredictSession &operator=(const PredictSession &) = delete;
+
+  /// Answers one prediction query. Safe to call any number of times;
+  /// each call runs inside its own solver scope.
+  Prediction query(const QueryOptions &Q);
+
+  /// Queries answered so far (including fast-pathed ones).
+  size_t numQueries() const { return Queries; }
+
+  /// True once the shared declare+feasibility prefix is on the solver
+  /// (it is encoded lazily by the first query that needs the solver).
+  bool baseEncoded() const { return BaseDone; }
+
+  /// Literals of the shared prefix (0 until baseEncoded()).
+  uint64_t baseLiterals() const { return BaseStats.NumLiterals; }
+
+  /// Stats of the shared prefix encoding (declare + feasibility).
+  const EncodingStats &baseStats() const { return BaseStats; }
+
+  const History &observed() const { return H; }
+
+  /// One-shot compatibility path: runs the full pipeline on a fresh
+  /// context with session mode off — bit-identical to the pre-session
+  /// predict(), which is now a thin wrapper over this.
+  static Prediction oneShot(const History &Observed,
+                            const PredictOptions &Opts);
+
+private:
+  PredictSession(const History &Observed, const PredictOptions &Opts,
+                 bool Shared);
+
+  /// Creates the Z3 context/solver/encoding context on first use.
+  void ensureSolver();
+
+  /// Encodes the shared declare+feasibility prefix if not done yet.
+  void ensureBase();
+
+  /// Applies \p TimeoutMs (0 = none) only when it differs from the
+  /// timeout currently installed on the solver.
+  void applyTimeout(unsigned TimeoutMs);
+
+  /// The common query path; \p Shared decides scoped vs one-shot.
+  Prediction runQuery(const QueryOptions &Q);
+
+  /// Shared sessions own a copy of the observed history (the session
+  /// outlives the structures campaigns build histories in); the
+  /// one-shot path leaves this empty and references the caller's
+  /// history directly — it never outlives the predict() call, so the
+  /// pre-session no-copy behaviour is preserved.
+  const History OwnedH;
+  const History &H;
+  /// Effective options handed to the encoding passes; the query-varying
+  /// fields (Level/Strat/Pco/TimeoutMs) are rewritten per query.
+  PredictOptions Opts;
+  const bool Shared;
+  /// Session-default solver timeout (Opts.TimeoutMs is rewritten per
+  /// query, so the default lives here).
+  const unsigned DefaultTimeoutMs;
+
+  /// Number of transactions (besides t0) that write: the causal
+  /// fast-path precondition (footnote 5), computed once per history.
+  unsigned WritingTxns = 0;
+
+  std::unique_ptr<SmtContext> Ctx;
+  std::unique_ptr<SmtSolver> Solver;
+  std::unique_ptr<encode::EncodingContext> EC;
+
+  EncodingStats BaseStats;
+  bool BaseDone = false;
+  size_t Queries = 0;
+  unsigned AppliedTimeoutMs = 0;
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_PREDICT_PREDICTSESSION_H

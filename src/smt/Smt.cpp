@@ -24,6 +24,17 @@ const char *isopredict::toString(SmtResult R) {
   return "unknown";
 }
 
+std::optional<SmtResult>
+isopredict::smtResultFromString(std::string_view Name) {
+  if (Name == "sat")
+    return SmtResult::Sat;
+  if (Name == "unsat")
+    return SmtResult::Unsat;
+  if (Name == "unknown")
+    return SmtResult::Unknown;
+  return std::nullopt;
+}
+
 /// Z3 errors indicate a malformed term or an internal failure; both are
 /// programmatic errors for this code base, so die loudly.
 static void errorHandler(Z3_context Ctx, Z3_error_code Code) {
@@ -285,9 +296,27 @@ void SmtSolver::setTimeoutMs(unsigned Ms) {
   Z3_params Params = Z3_mk_params(Parent.raw());
   Z3_params_inc_ref(Parent.raw(), Params);
   Z3_symbol Sym = Z3_mk_string_symbol(Parent.raw(), "timeout");
-  Z3_params_set_uint(Parent.raw(), Params, Sym, Ms);
+  // Z3's timeout default is UINT_MAX ("none"); 0 would mean "give up
+  // immediately", so map the documented 0 = no timeout onto the default.
+  // This lets sessions clear a timeout a previous query installed.
+  Z3_params_set_uint(Parent.raw(), Params, Sym,
+                     Ms == 0 ? ~0u : Ms);
   Z3_solver_set_params(Parent.raw(), Solver, Params);
   Z3_params_dec_ref(Parent.raw(), Params);
+}
+
+void SmtSolver::push() {
+  releaseModel();
+  ScopeLits.push_back(Parent.AssertedLits);
+  Z3_solver_push(Parent.raw(), Solver);
+}
+
+void SmtSolver::pop() {
+  assert(!ScopeLits.empty() && "pop without a matching push");
+  releaseModel();
+  Z3_solver_pop(Parent.raw(), Solver, 1);
+  Parent.AssertedLits = ScopeLits.back();
+  ScopeLits.pop_back();
 }
 
 SmtResult SmtSolver::check() {

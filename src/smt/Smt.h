@@ -28,7 +28,9 @@
 #define ISOPREDICT_SMT_SMT_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,10 @@ enum class SmtResult { Sat, Unsat, Unknown };
 
 /// Returns "sat", "unsat", or "unknown".
 const char *toString(SmtResult R);
+
+/// Inverse of toString: parses "sat" / "unsat" / "unknown" (exactly the
+/// spellings campaign reports carry). std::nullopt on anything else.
+std::optional<SmtResult> smtResultFromString(std::string_view Name);
 
 /// Owns a Z3 context and provides the term constructors the encoders use.
 class SmtContext {
@@ -183,6 +189,30 @@ public:
   /// Sets the per-check timeout. 0 means no timeout.
   void setTimeoutMs(unsigned Ms);
 
+  //===--------------------------------------------------------------------===
+  // Solver scopes (incremental solving)
+  //===--------------------------------------------------------------------===
+  //
+  // push()/pop() bracket a backtrackable scope: assertions added inside
+  // it vanish at pop(), while every AST built meanwhile stays valid (the
+  // legacy Z3 context owns terms until destruction), so the context's
+  // atom-intern tables survive pops unchanged. Literal accounting is
+  // scope-aware: pop() rewinds the context's asserted-literal counter to
+  // its value at the matching push(), keeping literalCount() equal to
+  // "literals currently on the solver". This is what lets PredictSession
+  // encode the declare+feasibility prefix once and answer many queries
+  // by pushing a scope per query.
+
+  /// Opens a backtrackable assertion scope.
+  void push();
+
+  /// Discards every assertion since the matching push() and rewinds the
+  /// context's literal counter to its value at that push().
+  void pop();
+
+  /// Current scope depth (0 = root).
+  size_t scopeDepth() const { return ScopeLits.size(); }
+
   SmtResult check();
 
   //===--------------------------------------------------------------------===
@@ -200,6 +230,8 @@ private:
   SmtContext &Parent;
   Z3_solver Solver;
   Z3_model Model = nullptr;
+  /// Asserted-literal count of the context at each open push().
+  std::vector<uint64_t> ScopeLits;
 
   void releaseModel();
 };

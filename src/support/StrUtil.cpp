@@ -53,6 +53,13 @@ bool isopredict::startsWith(std::string_view Text, std::string_view Prefix) {
          Text.substr(0, Prefix.size()) == Prefix;
 }
 
+std::string isopredict::toLowerAscii(std::string_view Text) {
+  std::string Out(Text);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
 std::string isopredict::formatString(const char *Fmt, ...) {
   // Single-pass fast path: almost every caller (SMT variable names, table
   // cells) fits a small stack buffer; only oversized results pay a second

@@ -34,6 +34,9 @@ std::optional<int64_t> parseInt(std::string_view Text);
 /// Returns true if \p Text begins with \p Prefix.
 bool startsWith(std::string_view Text, std::string_view Prefix);
 
+/// ASCII-lowercased copy (no locale), for case-insensitive name parsers.
+std::string toLowerAscii(std::string_view Text);
+
 /// printf-style formatting into a std::string.
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -277,6 +277,41 @@ TEST(ReportDiff, RejectsNonReports) {
                    .has_value());
 }
 
+TEST(ReportDiff, MatchesBySpecHashWhenBothReportsCarryIt) {
+  using namespace isopredict::engine;
+  auto hashed = [](const char *Hash, const char *Seed, const char *Result) {
+    return std::string("{\"spec_hash\": \"") + Hash + "\", " +
+           jobJson(Seed, Result, "no-prediction").substr(1);
+  };
+  // Reordered jobs match by hash, independent of position.
+  std::string A = reportJson({hashed("00000000000000aa", "1", "sat"),
+                              hashed("00000000000000bb", "2", "unsat")});
+  std::string B = reportJson({hashed("00000000000000bb", "2", "unsat"),
+                              hashed("00000000000000aa", "1", "sat")});
+  auto D = diffReports(A, B);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->MatchedJobs, 2u);
+  EXPECT_TRUE(D->Deltas.empty());
+
+  // Hashes are the ground truth: identical identity fields but distinct
+  // hashes (a spec field jobKey omits changed) do not match.
+  std::string C1 = reportJson({hashed("00000000000000aa", "1", "sat")});
+  std::string C2 = reportJson({hashed("00000000000000cc", "1", "sat")});
+  auto D2 = diffReports(C1, C2);
+  ASSERT_TRUE(D2.has_value());
+  EXPECT_EQ(D2->MatchedJobs, 0u);
+  EXPECT_EQ(D2->OnlyInA.size(), 1u);
+  EXPECT_EQ(D2->OnlyInB.size(), 1u);
+
+  // A report from before the field falls back to identity-key matching.
+  std::string Old = reportJson({jobJson("1", "unsat", "no-prediction")});
+  auto D3 = diffReports(C1, Old);
+  ASSERT_TRUE(D3.has_value());
+  EXPECT_EQ(D3->MatchedJobs, 1u);
+  EXPECT_EQ(D3->Deltas.size(), 1u); // sat -> unsat, matched by key
+  EXPECT_TRUE(D3->hasRegressions());
+}
+
 TEST(ReportDiff, UnmatchedJobsAreReportedNotRegressions) {
   using namespace isopredict::engine;
   std::string A = reportJson({jobJson("1", "sat", "validated-unserializable")});

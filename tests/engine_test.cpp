@@ -2,6 +2,8 @@
 
 #include "engine/Engine.h"
 
+#include "support/StrUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <set>
@@ -157,6 +159,110 @@ TEST(Engine, PredictGridCrossProduct) {
     EXPECT_GE(J.Cfg.Seed, 1u);
     EXPECT_LE(J.Cfg.Seed, 3u);
   }
+}
+
+TEST(Engine, SharedEncodingsDeterministicAcrossWorkerCounts) {
+  // Two share-groups (one per seed), each spanning levels × strategies:
+  // the group is the scheduling unit, so shared-mode reports must stay
+  // byte-identical no matter how many workers execute the groups.
+  Campaign C = Campaign::predictGrid(
+      "shared", {"smallbank"},
+      {IsolationLevel::Causal, IsolationLevel::ReadCommitted},
+      {Strategy::ApproxStrict, Strategy::ApproxRelaxed}, {false}, 2, 60000);
+
+  auto runShared = [&](unsigned Workers) {
+    EngineOptions O;
+    O.NumWorkers = Workers;
+    O.ShareEncodings = true;
+    return Engine(O).run(C);
+  };
+  std::string Json1 = runShared(1).toJson();
+  std::string Json2 = runShared(2).toJson();
+  std::string Json4 = runShared(4).toJson();
+  EXPECT_EQ(Json1, Json2);
+  EXPECT_EQ(Json1, Json4);
+  // At least one query per group reused the shared prefix.
+  EXPECT_NE(Json1.find("\"base_prefix_reused\": true"), std::string::npos);
+}
+
+TEST(Engine, SharedEncodingsPreserveOutcomes) {
+  // Sat/unsat outcomes are part of the session sat-equivalence
+  // contract; models (witnesses, validation) may differ, so only the
+  // outcome fields are compared against the share-nothing engine.
+  Campaign C = Campaign::predictGrid(
+      "shared-vs-oneshot", {"smallbank", "voter"},
+      {IsolationLevel::Causal, IsolationLevel::ReadCommitted},
+      {Strategy::ApproxStrict, Strategy::ApproxRelaxed}, {false}, 2, 60000);
+
+  EngineOptions Off;
+  Off.NumWorkers = 2;
+  Report Baseline = Engine(Off).run(C);
+  EngineOptions On = Off;
+  On.ShareEncodings = true;
+  Report Shared = Engine(On).run(C);
+
+  ASSERT_EQ(Baseline.size(), Shared.size());
+  for (size_t I = 0; I < Baseline.size(); ++I) {
+    const JobResult &A = Baseline.results()[I];
+    const JobResult &B = Shared.results()[I];
+    EXPECT_EQ(specHash(A.Spec), specHash(B.Spec));
+    EXPECT_TRUE(B.Ok);
+    EXPECT_EQ(A.Outcome, B.Outcome)
+        << "outcome changed under --share-encodings for "
+        << canonicalSpec(A.Spec);
+  }
+}
+
+TEST(Campaign, SpecHashIsStableAndDiscriminating) {
+  JobSpec A;
+  A.Kind = JobKind::Predict;
+  A.App = "smallbank";
+  A.Cfg = WorkloadConfig::small(3);
+  A.Level = IsolationLevel::Causal;
+  A.Strat = Strategy::ApproxRelaxed;
+
+  // Equal specs hash equally (the map key property result caching and
+  // report matching rely on).
+  JobSpec B = A;
+  EXPECT_EQ(specHash(A), specHash(B));
+  EXPECT_EQ(canonicalSpec(A), canonicalSpec(B));
+
+  // Every outcome-determining field perturbs the hash.
+  B = A;
+  B.App = "voter";
+  EXPECT_NE(specHash(A), specHash(B));
+  B = A;
+  B.Cfg.Seed = 4;
+  EXPECT_NE(specHash(A), specHash(B));
+  B = A;
+  B.Level = IsolationLevel::ReadCommitted;
+  EXPECT_NE(specHash(A), specHash(B));
+  B = A;
+  B.Strat = Strategy::ExactStrict;
+  EXPECT_NE(specHash(A), specHash(B));
+  B = A;
+  B.Pco = PcoEncoding::Layered;
+  EXPECT_NE(specHash(A), specHash(B));
+  B = A;
+  B.StoreSeed = 7;
+  EXPECT_NE(specHash(A), specHash(B));
+}
+
+TEST(Report, EmitsSpecHashPerJob) {
+  Campaign C;
+  C.Name = "hash";
+  JobSpec J;
+  J.Kind = JobKind::Observe;
+  J.App = "voter";
+  J.Cfg = WorkloadConfig::small(1);
+  C.Jobs.push_back(J);
+  Report R = runWith(C, 1);
+  std::string Expected =
+      "\"spec_hash\": \"" +
+      formatString("%016llx",
+                   static_cast<unsigned long long>(specHash(J))) +
+      "\"";
+  EXPECT_NE(R.toJson().find(Expected), std::string::npos);
 }
 
 TEST(Report, JsonEscape) {

@@ -2,6 +2,8 @@
 
 #include "predict/Predict.h"
 
+#include "predict/PredictSession.h"
+
 #include "TestUtil.h"
 #include <gtest/gtest.h>
 
@@ -196,6 +198,125 @@ TEST(Predict, StatsArePopulated) {
   EXPECT_GT(P.Stats.NumLiterals, 0u);
   EXPECT_GE(P.Stats.GenSeconds, 0.0);
   EXPECT_GE(P.Stats.SolveSeconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===
+// PredictSession: incremental multi-query behaviour on the canned
+// histories (the golden suite sweeps the full fixture grid).
+//===----------------------------------------------------------------------===
+
+TEST(PredictSession, MatchesOneShotResultsAcrossQueries) {
+  History H = crossReadObserved();
+  PredictSession Session(H);
+  for (IsolationLevel L :
+       {IsolationLevel::Causal, IsolationLevel::ReadCommitted})
+    for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
+                       Strategy::ApproxRelaxed}) {
+      PredictSession::QueryOptions Q;
+      Q.Level = L;
+      Q.Strat = S;
+      Q.TimeoutMs = 60000;
+      Prediction Incremental = Session.query(Q);
+      Prediction OneShot = predict(H, opts(L, S));
+      EXPECT_EQ(Incremental.Result, OneShot.Result)
+          << toString(L) << " " << toString(S);
+      if (Incremental.Result == SmtResult::Sat &&
+          S != Strategy::ExactStrict)
+        expectWellFormedPrediction(H, Incremental, L);
+    }
+  EXPECT_EQ(Session.numQueries(), 6u);
+}
+
+TEST(PredictSession, BasePrefixEncodedOnceAndReused) {
+  History H = crossReadObserved();
+  PredictSession Session(H);
+  EXPECT_FALSE(Session.baseEncoded()); // lazy: nothing until a query
+
+  PredictSession::QueryOptions Q;
+  Q.Level = IsolationLevel::Causal;
+  Q.Strat = Strategy::ApproxStrict;
+  Q.TimeoutMs = 60000;
+  Prediction First = Session.query(Q);
+  ASSERT_TRUE(Session.baseEncoded());
+  uint64_t BaseLits = Session.baseLiterals();
+  EXPECT_GT(BaseLits, 0u);
+  EXPECT_FALSE(First.Stats.BasePrefixReused);
+  EXPECT_GT(First.Stats.NumLiterals, BaseLits); // base folded in
+
+  // The acceptance criterion made checkable: a reused query's literal
+  // count excludes the declare+feasibility prefix entirely.
+  Prediction Second = Session.query(Q);
+  EXPECT_TRUE(Second.Stats.BasePrefixReused);
+  EXPECT_EQ(Second.Result, First.Result);
+  EXPECT_EQ(Second.Stats.NumLiterals, First.Stats.NumLiterals - BaseLits);
+  EXPECT_EQ(Session.baseLiterals(), BaseLits); // not re-encoded
+
+  // And the per-query pass list starts after the shared prefix.
+  ASSERT_FALSE(Second.Stats.Passes.empty());
+  EXPECT_EQ(Second.Stats.Passes.front().Name, "boundary-link");
+  for (const PassStats &P : Second.Stats.Passes) {
+    EXPECT_NE(P.Name, "declare");
+    EXPECT_NE(P.Name, "feasibility");
+  }
+}
+
+TEST(PredictSession, CausalFastPathSkipsTheSolver) {
+  // depositObserved has two writers, so causal queries encode; a
+  // single-writer history (Voter's shape) must fast-path to Unsat
+  // without ever touching Z3.
+  HistoryBuilder B(2);
+  B.beginTxn(0);
+  B.write("x", 1);
+  B.commit();
+  B.beginTxn(1);
+  B.read("x", 1, 1);
+  B.commit();
+  History H = B.finish();
+
+  PredictSession Session(H);
+  PredictSession::QueryOptions Q;
+  Q.Level = IsolationLevel::Causal;
+  Q.Strat = Strategy::ApproxRelaxed;
+  EXPECT_EQ(Session.query(Q).Result, SmtResult::Unsat);
+  EXPECT_EQ(Session.numQueries(), 1u);
+  EXPECT_FALSE(Session.baseEncoded());
+  EXPECT_EQ(predict(H, opts(IsolationLevel::Causal,
+                            Strategy::ApproxRelaxed))
+                .Result,
+            SmtResult::Unsat);
+}
+
+TEST(PredictSession, StrategyNamesRoundTrip) {
+  // The fromString parsers accept both CLI short forms and canonical
+  // spellings, case-insensitively.
+  EXPECT_EQ(strategyFromString("exact"), Strategy::ExactStrict);
+  EXPECT_EQ(strategyFromString("Exact-Strict"), Strategy::ExactStrict);
+  EXPECT_EQ(strategyFromString("strict"), Strategy::ApproxStrict);
+  EXPECT_EQ(strategyFromString("relaxed"), Strategy::ApproxRelaxed);
+  EXPECT_EQ(strategyFromString("APPROX-RELAXED"), Strategy::ApproxRelaxed);
+  EXPECT_FALSE(strategyFromString("bogus").has_value());
+  for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
+                     Strategy::ApproxRelaxed})
+    EXPECT_EQ(strategyFromString(toString(S)), S);
+
+  EXPECT_EQ(pcoEncodingFromString("rank"), PcoEncoding::Rank);
+  EXPECT_EQ(pcoEncodingFromString("Layered"), PcoEncoding::Layered);
+  EXPECT_FALSE(pcoEncodingFromString("").has_value());
+  for (PcoEncoding E : {PcoEncoding::Rank, PcoEncoding::Layered})
+    EXPECT_EQ(pcoEncodingFromString(toString(E)), E);
+
+  EXPECT_EQ(isolationLevelFromString("causal"), IsolationLevel::Causal);
+  EXPECT_EQ(isolationLevelFromString("rc"), IsolationLevel::ReadCommitted);
+  EXPECT_EQ(isolationLevelFromString("read-committed"),
+            IsolationLevel::ReadCommitted);
+  EXPECT_EQ(isolationLevelFromString("ra"), IsolationLevel::ReadAtomic);
+  EXPECT_EQ(isolationLevelFromString("serializable"),
+            IsolationLevel::Serializable);
+  EXPECT_FALSE(isolationLevelFromString("snapshot").has_value());
+  for (IsolationLevel L :
+       {IsolationLevel::Causal, IsolationLevel::ReadAtomic,
+        IsolationLevel::ReadCommitted, IsolationLevel::Serializable})
+    EXPECT_EQ(isolationLevelFromString(toString(L)), L);
 }
 
 //===----------------------------------------------------------------------===

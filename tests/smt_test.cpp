@@ -96,6 +96,14 @@ TEST(Smt, ForallTautologyIsSat) {
   EXPECT_EQ(Solver.check(), SmtResult::Sat);
 }
 
+TEST(Smt, ResultFromStringRoundTrips) {
+  for (SmtResult R :
+       {SmtResult::Sat, SmtResult::Unsat, SmtResult::Unknown})
+    EXPECT_EQ(smtResultFromString(toString(R)), R);
+  EXPECT_FALSE(smtResultFromString("maybe").has_value());
+  EXPECT_FALSE(smtResultFromString("").has_value());
+}
+
 TEST(Smt, LiteralCounting) {
   SmtContext Ctx;
   SmtSolver Solver(Ctx);
@@ -118,6 +126,102 @@ TEST(Smt, ModelInvalidatedByAdd) {
   Solver.add(Ctx.mkLe(X, Ctx.intVal(10)));
   ASSERT_EQ(Solver.check(), SmtResult::Sat);
   EXPECT_EQ(Solver.modelInt(X), 10);
+}
+
+TEST(Smt, PushPopDiscardsScopedAssertions) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr B = Ctx.boolVar("b");
+  Solver.add(B);
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+
+  EXPECT_EQ(Solver.scopeDepth(), 0u);
+  Solver.push();
+  EXPECT_EQ(Solver.scopeDepth(), 1u);
+  Solver.add(Ctx.mkNot(B));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+  Solver.pop();
+  EXPECT_EQ(Solver.scopeDepth(), 0u);
+
+  // The scoped contradiction vanished; the root assertion survives.
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_TRUE(Solver.modelBool(B));
+}
+
+TEST(Smt, NestedScopesBacktrackIndependently) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr X = Ctx.intVar("x");
+  Solver.add(Ctx.mkLe(Ctx.intVal(0), X));
+
+  Solver.push();
+  Solver.add(Ctx.mkLe(X, Ctx.intVal(10)));
+  Solver.push();
+  Solver.add(Ctx.mkLe(Ctx.intVal(20), X)); // contradicts x <= 10
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+  Solver.pop();
+  ASSERT_EQ(Solver.check(), SmtResult::Sat); // x in [0, 10] again
+  EXPECT_LE(Solver.modelInt(X), 10);
+  Solver.pop();
+
+  Solver.add(Ctx.mkLe(Ctx.intVal(20), X)); // fine at the root now
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_GE(Solver.modelInt(X), 20);
+}
+
+TEST(Smt, LiteralCountRewindsAcrossPop) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr A = Ctx.boolVar("a");
+  SmtExpr B = Ctx.boolVar("b");
+  Solver.add(A);
+  uint64_t Root = Ctx.literalCount();
+  EXPECT_EQ(Root, 1u);
+
+  Solver.push();
+  Solver.add(Ctx.mkOr({A, B, Ctx.mkNot(A)})); // 3 literals
+  EXPECT_EQ(Ctx.literalCount(), Root + 3);
+  Solver.push();
+  Solver.add(B);
+  EXPECT_EQ(Ctx.literalCount(), Root + 4);
+  Solver.pop();
+  EXPECT_EQ(Ctx.literalCount(), Root + 3);
+  Solver.pop();
+  EXPECT_EQ(Ctx.literalCount(), Root);
+
+  // A fresh scope accumulates from the rewound count, so literalCount
+  // always equals "literals currently on the solver".
+  Solver.push();
+  Solver.add(Ctx.mkAnd(A, B));
+  EXPECT_EQ(Ctx.literalCount(), Root + 2);
+  Solver.pop();
+  EXPECT_EQ(Ctx.literalCount(), Root);
+}
+
+TEST(Smt, InternedAtomsSurvivePop) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr X = Ctx.intVar("x");
+  SmtExpr Atom = Ctx.internEq(X, Ctx.internIntVal(3));
+
+  Solver.push();
+  // Same atom inside the scope: pointer-identical (cache hit).
+  SmtExpr Scoped = Ctx.internEq(X, Ctx.internIntVal(3));
+  EXPECT_EQ(Atom.Ast, Scoped.Ast);
+  Solver.add(Scoped);
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  Solver.pop();
+
+  // After the pop, the intern tables still hand back the same valid
+  // AST (the legacy context owns terms until destruction), and it is
+  // still usable in new assertions.
+  uint64_t HitsBefore = Ctx.internHits();
+  SmtExpr After = Ctx.internEq(X, Ctx.internIntVal(3));
+  EXPECT_EQ(Atom.Ast, After.Ast);
+  EXPECT_GT(Ctx.internHits(), HitsBefore);
+  Solver.add(After);
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.modelInt(X), 3);
 }
 
 TEST(Smt, TimeoutReturnsUnknownOrAnswer) {
