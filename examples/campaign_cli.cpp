@@ -8,6 +8,8 @@
 //                [--strategies exact,strict,relaxed] [--sizes small,large]
 //                [--seeds N] [--jobs N] [--timeout-ms N] [--pco rank|layered]
 //                [--share-encodings] [--no-validate] [--timings] [--quiet]
+//                [--cache-dir DIR] [--shard K/N] [--write-shards N]
+//                [--campaign FILE] [--dry-run]
 //                [--name NAME] [--out report.json]
 //
 // Defaults run every app under causal with Approx-Relaxed, small
@@ -17,9 +19,29 @@
 // machine-readable. Without --timings the report is byte-identical for
 // any --jobs value (determinism under parallelism).
 //
+// Caching & sharding (src/cache/):
+//   --cache-dir DIR    consult/populate a persistent result cache; a
+//                      warm re-run reproduces the cold report
+//                      byte-for-byte with zero solver calls
+//   --shard K/N        run only shard K of N (deterministic
+//                      round-robin slice); merge the N reports with
+//                      report_merge to recover the unsharded report
+//   --write-shards N   write N self-contained shard campaign files
+//                      (shard-K-of-N.campaign.json) instead of
+//                      running; --out names the directory
+//   --campaign FILE    execute a shard campaign file (grid flags and
+//                      --name then come from the file, not the CLI)
+//   --dry-run          list the expanded jobs with their spec hashes
+//                      (and cache hit/miss status under --cache-dir)
+//                      without solving anything
+//
 //===----------------------------------------------------------------------===//
 
+#include "cache/ResultStore.h"
+#include "cache/Shard.h"
 #include "engine/Engine.h"
+#include "engine/JobIo.h"
+#include "support/Fs.h"
 #include "support/StrUtil.h"
 
 #include <cstdio>
@@ -51,6 +73,16 @@ int usage(const char *Msg = nullptr) {
       "                        that execution's queries (same sat/unsat\n"
       "                        outcomes; witnesses/validation may differ)\n"
       "  --no-validate         skip validation replay of Sat predictions\n"
+      "  --cache-dir DIR       persistent result cache: skip jobs whose\n"
+      "                        results are cached, store the rest\n"
+      "  --shard K/N           run only shard K of N (1-based round-robin\n"
+      "                        slice; merge reports with report_merge)\n"
+      "  --write-shards N      write N shard campaign files into the --out\n"
+      "                        directory instead of running\n"
+      "  --campaign FILE       run a shard campaign file (excludes the\n"
+      "                        grid flags above)\n"
+      "  --dry-run             list expanded jobs + spec hashes (and cache\n"
+      "                        status under --cache-dir) without solving\n"
       "  --timings             include run-dependent timing fields in JSON\n"
       "  --quiet               suppress per-job progress on stderr\n"
       "  --name NAME           campaign name in the report\n"
@@ -64,6 +96,59 @@ std::vector<std::string> splitList(const std::string &Arg) {
     if (!Part.empty())
       Out.emplace_back(Part);
   return Out;
+}
+
+/// Lists the expanded jobs (spec hash, identity, cache status) without
+/// running anything. stdout, one line per job, machine-greppable.
+/// \p ShareEncodings must match the intended run: the preview
+/// replicates the engine's consumption exactly — same per-entry
+/// encoding mode, and all-or-nothing within encoding-share groups
+/// (Engine::planGroups), so a partially-cached group previews as all
+/// misses just like the run would recompute it.
+int dryRun(const Campaign &C, const std::string &CacheDir,
+           bool ShareEncodings) {
+  std::optional<cache::ResultStore> Store;
+  if (!CacheDir.empty())
+    Store.emplace(CacheDir);
+  std::vector<bool> Hit(C.size(), false);
+  if (Store)
+    for (const std::vector<size_t> &Indices :
+         Engine::planGroups(C, ShareEncodings))
+      if (Store->lookupGroup(C, Indices, ShareEncodings))
+        for (size_t I : Indices)
+          Hit[I] = true;
+
+  unsigned Hits = 0;
+  for (size_t Index = 0; Index < C.size(); ++Index) {
+    const JobSpec &S = C.Jobs[Index];
+    std::string Status;
+    if (Store) {
+      Hits += Hit[Index];
+      Status = Hit[Index] ? "  hit" : "  miss";
+    }
+    std::string Detail;
+    if (S.Kind == JobKind::Predict)
+      Detail = formatString(" %s %s %s", toString(S.Level), toString(S.Strat),
+                            toString(S.Pco));
+    else if (S.Kind == JobKind::RandomWeak)
+      Detail = formatString(" %s store_seed=%llu", toString(S.Level),
+                            static_cast<unsigned long long>(S.StoreSeed));
+    else if (S.Kind == JobKind::LockingRc)
+      Detail = formatString(" store_seed=%llu",
+                            static_cast<unsigned long long>(S.StoreSeed));
+    std::printf("%016llx %s %s %s seed=%llu%s%s\n",
+                static_cast<unsigned long long>(specHash(S)),
+                toString(S.Kind), S.App.c_str(),
+                workloadLabel(S.Cfg).c_str(),
+                static_cast<unsigned long long>(S.Cfg.Seed), Detail.c_str(),
+                Status.c_str());
+  }
+  if (Store)
+    std::fprintf(stderr, "%zu job(s), %u hit(s), %zu miss(es)\n", C.size(),
+                 Hits, C.size() - Hits);
+  else
+    std::fprintf(stderr, "%zu job(s)\n", C.size());
+  return 0;
 }
 
 } // namespace
@@ -81,8 +166,16 @@ int main(int argc, char **argv) {
   bool Validate = true;
   bool Timings = false;
   bool Quiet = false;
+  bool DryRun = false;
+  std::string CacheDir;
+  unsigned ShardIndex = 0, ShardCount = 0; // 0 = no --shard given.
+  unsigned WriteShards = 0;
+  std::string CampaignFile;
   std::string Name = "campaign";
   std::string OutPath = "-";
+  // A campaign file carries its own grid; mixing it with grid flags
+  // would silently change spec hashes, so the two are exclusive.
+  bool GridFlagUsed = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Flag = argv[I];
@@ -91,16 +184,47 @@ int main(int argc, char **argv) {
     };
     if (Flag == "--no-validate") {
       Validate = false;
+      GridFlagUsed = true;
     } else if (Flag == "--share-encodings") {
       ShareEncodings = true;
     } else if (Flag == "--timings") {
       Timings = true;
     } else if (Flag == "--quiet") {
       Quiet = true;
+    } else if (Flag == "--dry-run") {
+      DryRun = true;
+    } else if (Flag == "--cache-dir") {
+      const char *V = next();
+      if (!V)
+        return usage("--cache-dir needs a value");
+      CacheDir = V;
+    } else if (Flag == "--campaign") {
+      const char *V = next();
+      if (!V)
+        return usage("--campaign needs a value");
+      CampaignFile = V;
+    } else if (Flag == "--shard") {
+      const char *V = next();
+      if (!V)
+        return usage("--shard needs a value (K/N)");
+      std::vector<std::string_view> Parts = splitString(V, '/');
+      auto K = Parts.size() == 2 ? parseInt(Parts[0]) : std::nullopt;
+      auto N = Parts.size() == 2 ? parseInt(Parts[1]) : std::nullopt;
+      if (!K || !N || *K < 1 || *N < 1 || *K > *N)
+        return usage("--shard must be K/N with 1 <= K <= N");
+      ShardIndex = static_cast<unsigned>(*K);
+      ShardCount = static_cast<unsigned>(*N);
+    } else if (Flag == "--write-shards") {
+      const char *V = next();
+      auto N = V ? parseInt(V) : std::nullopt;
+      if (!N || *N < 1)
+        return usage("--write-shards needs a positive shard count");
+      WriteShards = static_cast<unsigned>(*N);
     } else if (Flag == "--apps") {
       const char *V = next();
       if (!V)
         return usage("--apps needs a value");
+      GridFlagUsed = true;
       Apps = splitList(V);
       for (const std::string &A : Apps)
         if (!makeApplication(A)) {
@@ -115,6 +239,7 @@ int main(int argc, char **argv) {
       const char *V = next();
       if (!V)
         return usage("--levels needs a value");
+      GridFlagUsed = true;
       Levels.clear();
       for (const std::string &L : splitList(V)) {
         auto Level = isolationLevelFromString(L);
@@ -133,6 +258,7 @@ int main(int argc, char **argv) {
       const char *V = next();
       if (!V)
         return usage("--strategies needs a value");
+      GridFlagUsed = true;
       Strategies.clear();
       for (const std::string &S : splitList(V)) {
         auto Strat = strategyFromString(S);
@@ -146,6 +272,7 @@ int main(int argc, char **argv) {
       const char *V = next();
       if (!V)
         return usage("--sizes needs a value");
+      GridFlagUsed = true;
       Larges.clear();
       for (const std::string &S : splitList(V)) {
         if (S == "small")
@@ -162,16 +289,20 @@ int main(int argc, char **argv) {
       auto N = V ? parseInt(V) : std::nullopt;
       if (!N || *N < 0)
         return usage((Flag + " needs a non-negative integer").c_str());
-      if (Flag == "--seeds")
+      if (Flag == "--seeds") {
         Seeds = static_cast<unsigned>(*N);
-      else if (Flag == "--jobs")
+        GridFlagUsed = true;
+      } else if (Flag == "--jobs") {
         Jobs = static_cast<unsigned>(*N);
-      else
+      } else {
         TimeoutMs = static_cast<unsigned>(*N);
+        GridFlagUsed = true;
+      }
     } else if (Flag == "--pco") {
       const char *V = next();
       if (!V)
         return usage("--pco needs a value");
+      GridFlagUsed = true;
       auto Parsed = pcoEncodingFromString(V);
       if (!Parsed)
         return usage(("--pco must be one of: " +
@@ -182,6 +313,7 @@ int main(int argc, char **argv) {
       const char *V = next();
       if (!V)
         return usage("--name needs a value");
+      GridFlagUsed = true;
       Name = V;
     } else if (Flag == "--out") {
       const char *V = next();
@@ -192,31 +324,114 @@ int main(int argc, char **argv) {
       return usage(("unknown option '" + Flag + "'").c_str());
     }
   }
-  if (Seeds == 0 || Apps.empty())
-    return usage("nothing to do (zero seeds or no apps)");
 
-  Campaign C = Campaign::predictGrid(Name, Apps, Levels, Strategies, Larges,
-                                     Seeds, TimeoutMs, Pco);
-  for (JobSpec &J : C.Jobs)
-    J.Validate = Validate;
+  // --- Assemble the campaign -------------------------------------------
+  Campaign C;
+  unsigned ReportShardIndex = 1, ReportShardCount = 1;
+  if (!CampaignFile.empty()) {
+    if (GridFlagUsed)
+      return usage("--campaign files carry their own grid; drop the "
+                   "--apps/--levels/--strategies/--sizes/--seeds/"
+                   "--timeout-ms/--pco/--no-validate/--name flags");
+    std::string Json, Error;
+    if (!readFile(CampaignFile, Json, &Error))
+      return usage(Error.c_str());
+    auto Sharded = cache::campaignFromJson(Json, &Error);
+    if (!Sharded)
+      return usage(("'" + CampaignFile + "': " + Error).c_str());
+    C = std::move(Sharded->C);
+    ReportShardIndex = Sharded->ShardIndex;
+    ReportShardCount = Sharded->ShardCount;
+    if (ShardCount && ReportShardCount > 1)
+      return usage("'--shard' cannot re-shard an already-sharded "
+                   "campaign file");
+  } else {
+    if (Seeds == 0 || Apps.empty())
+      return usage("nothing to do (zero seeds or no apps)");
+    C = Campaign::predictGrid(Name, Apps, Levels, Strategies, Larges, Seeds,
+                              TimeoutMs, Pco);
+    for (JobSpec &J : C.Jobs)
+      J.Validate = Validate;
+  }
+
+  if (WriteShards) {
+    // Combinations that would silently not do what they say.
+    if (ShardCount)
+      return usage("--write-shards splits the whole campaign; it cannot "
+                   "be combined with --shard (write the files, then run "
+                   "them with --campaign)");
+    if (DryRun)
+      return usage("--write-shards does not run jobs; drop --dry-run");
+    if (ReportShardCount > 1)
+      return usage("--write-shards cannot re-split an already-sharded "
+                   "campaign file");
+    std::string Dir = OutPath == "-" ? "." : OutPath;
+    std::vector<std::string> Paths;
+    std::string Error;
+    if (!cache::writeShardFiles(C, WriteShards, Dir, &Paths, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    for (const std::string &P : Paths)
+      std::fprintf(stderr, "wrote %s\n", P.c_str());
+    return 0;
+  }
+
+  if (ShardCount) {
+    C = cache::shardCampaign(C, ShardIndex, ShardCount);
+    ReportShardIndex = ShardIndex;
+    ReportShardCount = ShardCount;
+  }
+  if (ReportShardCount > 1 && ShareEncodings)
+    std::fprintf(stderr,
+                 "note: sharding splits encoding-share groups, so the "
+                 "merged report will match the concatenation of the "
+                 "shard runs, not an unsharded --share-encodings run "
+                 "(sat/unsat outcomes still agree; literal counts and "
+                 "models may differ)\n");
+
+  // --dry-run only reads the cache, so it skips the write probe below
+  // (a read-only shared cache directory is a fine thing to preview).
+  if (DryRun)
+    return dryRun(C, CacheDir, ShareEncodings);
+
+  // Surface a misconfigured cache directory before spending hours of
+  // solver time whose results would silently fail to persist: create
+  // the version directory and prove it is actually writable (an
+  // existing directory on, say, a read-only mount passes creation but
+  // would swallow every store).
+  if (!CacheDir.empty()) {
+    std::string Error;
+    std::string VersionDir = pathJoin(CacheDir, toolVersion());
+    std::string Probe = pathJoin(VersionDir, ".writable-probe");
+    if (!createDirectories(VersionDir, &Error) ||
+        !writeFileAtomic(Probe, "probe\n", &Error)) {
+      std::fprintf(stderr, "error: --cache-dir: %s\n", Error.c_str());
+      return 1;
+    }
+    std::remove(Probe.c_str());
+  }
 
   EngineOptions EO;
   EO.NumWorkers = Jobs;
   EO.ShareEncodings = ShareEncodings;
+  EO.CacheDir = CacheDir;
   if (!Quiet)
     EO.OnJobDone = [](size_t Done, size_t Total, const JobResult &R) {
-      std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s%s\n", Done,
+      std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s%s%s\n", Done,
                    Total, R.Spec.App.c_str(), toString(R.Spec.Level),
                    toString(R.Spec.Strat),
                    static_cast<unsigned long long>(R.Spec.Cfg.Seed),
                    R.Ok ? toString(R.Outcome) : R.Error.c_str(),
-                   R.validatedUnserializable() ? " (validated)" : "");
+                   R.validatedUnserializable() ? " (validated)" : "",
+                   R.CacheHit ? " (cached)" : "");
     };
   Engine E(EO);
 
   std::fprintf(stderr, "campaign '%s': %zu jobs on %u worker(s)\n",
-               Name.c_str(), C.size(), E.numWorkers());
+               C.Name.c_str(), C.size(), E.numWorkers());
   Report R = E.run(C);
+  R.setShard(ReportShardIndex, ReportShardCount);
 
   ReportOptions RO;
   RO.IncludeTimings = Timings;

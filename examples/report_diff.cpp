@@ -23,13 +23,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/ReportDiff.h"
+#include "support/Fs.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 
+using namespace isopredict;
 using namespace isopredict::engine;
 
 namespace {
@@ -49,16 +49,6 @@ int usage(const char *Msg = nullptr) {
                "    diffs across engine modes where models may "
                "legitimately differ)\n");
   return 2;
-}
-
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return false;
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  Out = Buf.str();
-  return true;
 }
 
 } // namespace
@@ -112,6 +102,11 @@ int main(int argc, char **argv) {
   }
 
   if (!Quiet) {
+    if (Diff->ToolVersionA != Diff->ToolVersionB)
+      std::fprintf(stderr,
+                   "note: tool versions differ ('%s' vs '%s'); outcome "
+                   "changes may stem from the tool, not the campaign\n",
+                   Diff->ToolVersionA.c_str(), Diff->ToolVersionB.c_str());
     for (const JobDelta &D : Diff->Deltas) {
       if (RegressionsOnly && !D.Regression)
         continue;

@@ -1,0 +1,141 @@
+//===- Merge.cpp - Shard-report merging -----------------------------------===//
+
+#include "cache/Merge.h"
+
+#include "engine/JobIo.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+
+using namespace isopredict;
+using namespace isopredict::cache;
+using namespace isopredict::engine;
+
+namespace {
+
+struct ParsedShard {
+  std::string Campaign;
+  std::string ToolVersion;
+  unsigned Index = 1, Count = 1;
+  std::vector<JobResult> Results;
+};
+
+std::optional<ParsedShard> parseShard(const std::string &Doc, size_t Which,
+                                      std::string *Error) {
+  auto fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = formatString("shard report %zu: %s", Which + 1, Msg.c_str());
+    return std::nullopt;
+  };
+  std::string ParseError;
+  std::optional<JsonValue> Json = parseJson(Doc, &ParseError);
+  if (!Json)
+    return fail(ParseError);
+  if (Json->K != JsonValue::Kind::Object)
+    return fail("not a campaign report");
+  const JsonValue *Jobs = Json->field("jobs");
+  if (!Jobs || Jobs->K != JsonValue::Kind::Array)
+    return fail("not a campaign report (no jobs[])");
+
+  ParsedShard S;
+  if (const JsonValue *Name = Json->field("campaign"))
+    S.Campaign = Name->Text;
+  if (const JsonValue *Version = Json->field("tool_version"))
+    S.ToolVersion = Version->Text;
+  // Strict coordinate parsing (see cache/Shard.cpp): lenient
+  // truncation would file the document under the wrong shard slot.
+  auto coordinate = [](const JsonValue *F, unsigned Default) {
+    if (!F)
+      return std::optional<unsigned>(Default);
+    std::optional<int64_t> V = parseInt(F->Text);
+    if (!V || *V < 1 || *V > 1u << 20)
+      return std::optional<unsigned>();
+    return std::optional<unsigned>(static_cast<unsigned>(*V));
+  };
+  std::optional<unsigned> Index = coordinate(Json->field("shard_index"), 1);
+  std::optional<unsigned> Count = coordinate(Json->field("shard_count"), 1);
+  if (!Index || !Count || *Index > *Count)
+    return fail("invalid shard coordinates");
+  S.Index = *Index;
+  S.Count = *Count;
+  for (const JsonValue &Job : Jobs->Items) {
+    std::optional<JobResult> R = jobResultFromJson(Job, &ParseError);
+    if (!R)
+      return fail(ParseError);
+    S.Results.push_back(std::move(*R));
+  }
+  return S;
+}
+
+} // namespace
+
+std::optional<Report>
+isopredict::cache::mergeShardReports(const std::vector<std::string> &Docs,
+                                     std::string *Error) {
+  auto fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+  if (Docs.empty())
+    return fail("no shard reports to merge");
+
+  std::vector<ParsedShard> Shards;
+  for (size_t I = 0; I < Docs.size(); ++I) {
+    std::optional<ParsedShard> S = parseShard(Docs[I], I, Error);
+    if (!S)
+      return std::nullopt;
+    Shards.push_back(std::move(*S));
+  }
+
+  unsigned Count = Shards.front().Count;
+  const std::string &Name = Shards.front().Campaign;
+  if (Count != Docs.size())
+    return fail(formatString(
+        "expected %u shard report(s) (shard_count), got %zu", Count,
+        Docs.size()));
+
+  // One slot per shard index; documents may arrive in any order.
+  std::vector<const ParsedShard *> ByIndex(Count, nullptr);
+  size_t Total = 0;
+  for (const ParsedShard &S : Shards) {
+    if (S.Campaign != Name)
+      return fail("shard reports name different campaigns ('" + Name +
+                  "' vs '" + S.Campaign + "')");
+    // The merged report is re-stamped with *this* binary's
+    // toolVersion() (Report::toJson), so every shard must already
+    // carry exactly that version — merging across versions would
+    // misattribute outcomes and void the byte-identity guarantee.
+    // A stale worker or an upgraded merge host fails loudly here.
+    if (S.ToolVersion != toolVersion())
+      return fail("shard report tool_version '" + S.ToolVersion +
+                  "' does not match this tool ('" + toolVersion() +
+                  "'); re-run the shard or merge with the matching "
+                  "binary");
+    if (S.Count != Count)
+      return fail(formatString("inconsistent shard_count (%u vs %u)", Count,
+                               S.Count));
+    if (ByIndex[S.Index - 1])
+      return fail(formatString("duplicate shard %u/%u", S.Index, Count));
+    ByIndex[S.Index - 1] = &S;
+    Total += S.Results.size();
+  }
+
+  // Invert the round-robin split: campaign position i lives in shard
+  // (i % Count) at offset i / Count.
+  std::vector<JobResult> Merged;
+  Merged.reserve(Total);
+  for (size_t I = 0; I < Total; ++I) {
+    const ParsedShard &S = *ByIndex[I % Count];
+    size_t Offset = I / Count;
+    if (Offset >= S.Results.size())
+      return fail(formatString(
+          "shard %zu/%u is short: round-robin needs element %zu", I % Count + 1,
+          Count, Offset));
+    Merged.push_back(S.Results[Offset]);
+  }
+
+  double WallSeconds = 0; // Run metadata is not meaningfully mergeable.
+  return Report(Name, std::move(Merged), 0, WallSeconds);
+}

@@ -1,0 +1,178 @@
+//===- ResultStore.cpp - Persistent job-result cache ----------------------===//
+
+#include "cache/ResultStore.h"
+
+#include "engine/JobIo.h"
+#include "support/Fs.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+
+using namespace isopredict;
+using namespace isopredict::cache;
+using namespace isopredict::engine;
+
+namespace {
+
+constexpr const char *EntrySchema = "isopredict-cache-entry/1";
+
+const char *modeName(EncodingMode M) {
+  return M == EncodingMode::Session ? "session" : "one-shot";
+}
+
+} // namespace
+
+EncodingMode isopredict::cache::encodingModeFor(const JobSpec &S,
+                                                bool ShareEncodings) {
+  return ShareEncodings && S.Kind == JobKind::Predict ? EncodingMode::Session
+                                                      : EncodingMode::OneShot;
+}
+
+uint64_t isopredict::cache::shareGroupHash(const Campaign &C,
+                                           const std::vector<size_t> &Indices) {
+  // FNV-1a over the members' canonical specs, separator-delimited
+  // (0x1f never occurs in a canonical spec) so no two member lists
+  // can serialize identically.
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (size_t I : Indices) {
+    for (unsigned char Ch : canonicalSpec(C.Jobs[I])) {
+      Hash ^= Ch;
+      Hash *= 0x100000001b3ULL;
+    }
+    Hash ^= 0x1f;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+bool isopredict::cache::cacheable(const JobResult &R) {
+  if (!R.Ok)
+    return false;
+  const JobSpec &S = R.Spec;
+  if (S.Kind == JobKind::Predict) {
+    if (R.Outcome == SmtResult::Unknown)
+      return false; // Solver timeout: a longer run may still decide it.
+    // A Sat prediction whose validation check timed out is equally
+    // transient — the replay's serializability query gave up.
+    if (S.Validate && R.Outcome == SmtResult::Sat &&
+        R.ValStatus == ValidationResult::Status::Unknown)
+      return false;
+  }
+  if (S.Kind == JobKind::RandomWeak && S.CheckSerializability &&
+      R.Serializability == SerResult::Unknown)
+    return false;
+  return true;
+}
+
+ResultStore::ResultStore(std::string RootDir) : Root(std::move(RootDir)) {}
+
+std::string ResultStore::entryPath(const JobSpec &S,
+                                   EncodingMode Mode) const {
+  return pathJoin(
+      pathJoin(Root, toolVersion()),
+      formatString("%016llx%s.json",
+                   static_cast<unsigned long long>(specHash(S)),
+                   Mode == EncodingMode::Session ? ".session" : ""));
+}
+
+std::optional<JobResult> ResultStore::lookup(const JobSpec &S,
+                                             EncodingMode Mode,
+                                             uint64_t GroupHash) const {
+  std::string Raw;
+  if (!readFile(entryPath(S, Mode), Raw))
+    return std::nullopt;
+  std::optional<JsonValue> Doc = parseJson(Raw);
+  if (!Doc || Doc->K != JsonValue::Kind::Object)
+    return std::nullopt;
+
+  // Version pinning is defense in depth: the directory name already
+  // namespaces versions, but an entry copied across directories (or a
+  // future layout change) must still never cross versions.
+  const JsonValue *Schema = Doc->field("schema");
+  const JsonValue *Version = Doc->field("tool_version");
+  if (!Schema || Schema->Text != EntrySchema || !Version ||
+      Version->Text != toolVersion())
+    return std::nullopt;
+
+  // Same-mode only: a session-encoded Predict result has different
+  // default-report bytes (literals, base_prefix_reused) than a
+  // one-shot one, so serving it into the other mode would fabricate
+  // reports no cache-off run of that mode could write.
+  const JsonValue *Encoding = Doc->field("encoding_mode");
+  if (!Encoding || Encoding->Text != modeName(Mode))
+    return std::nullopt;
+
+  // Session entries are valid only within the exact group
+  // constellation that produced them: which member paid the shared
+  // prefix decides every member's literal attribution, and those are
+  // default-report bytes (see shareGroupHash).
+  if (Mode == EncodingMode::Session) {
+    const JsonValue *Group = Doc->field("share_group");
+    if (!Group ||
+        Group->Text !=
+            formatString("%016llx",
+                         static_cast<unsigned long long>(GroupHash)))
+      return std::nullopt;
+  }
+
+  // The entry must be *for this spec*, not merely for this hash:
+  // canonicalSpec comparison rejects FNV-1a collisions and corrupt
+  // spec fields in one check.
+  const JsonValue *Canonical = Doc->field("canonical_spec");
+  if (!Canonical || Canonical->Text != canonicalSpec(S))
+    return std::nullopt;
+
+  const JsonValue *Job = Doc->field("job");
+  if (!Job || Job->K != JsonValue::Kind::Object)
+    return std::nullopt;
+  std::optional<JobResult> R = jobResultFromJson(*Job);
+  if (!R || canonicalSpec(R->Spec) != canonicalSpec(S))
+    return std::nullopt;
+  R->CacheHit = true;
+  return R;
+}
+
+std::optional<std::vector<JobResult>>
+ResultStore::lookupGroup(const Campaign &C, const std::vector<size_t> &Indices,
+                         bool ShareEncodings) const {
+  // Session entries only exist within their group constellation, so
+  // encoding-share groups carry the fingerprint; singleton/one-shot
+  // members ignore it (see encodingModeFor).
+  uint64_t GroupHash =
+      ShareEncodings ? shareGroupHash(C, Indices) : 0;
+  std::vector<JobResult> Hits;
+  Hits.reserve(Indices.size());
+  for (size_t I : Indices) {
+    std::optional<JobResult> Hit =
+        lookup(C.Jobs[I], encodingModeFor(C.Jobs[I], ShareEncodings),
+               GroupHash);
+    if (!Hit)
+      return std::nullopt;
+    Hits.push_back(std::move(*Hit));
+  }
+  return Hits;
+}
+
+bool ResultStore::store(const JobResult &R, EncodingMode Mode,
+                        uint64_t GroupHash, std::string *Error) const {
+  if (!createDirectories(pathJoin(Root, toolVersion()), Error))
+    return false;
+
+  JsonWriter J;
+  J.openObject();
+  J.str("schema", EntrySchema);
+  J.str("tool_version", toolVersion());
+  J.str("encoding_mode", modeName(Mode));
+  if (Mode == EncodingMode::Session)
+    J.str("share_group",
+          formatString("%016llx",
+                       static_cast<unsigned long long>(GroupHash)));
+  J.str("canonical_spec", canonicalSpec(R.Spec));
+  J.openObjectIn("job");
+  ReportOptions Opts;
+  Opts.IncludeTimings = true; // Preserve the original compute cost.
+  writeJobFields(J, R, Opts);
+  J.closeObject();
+  J.closeObject();
+
+  return writeFileAtomic(entryPath(R.Spec, Mode), J.take(), Error);
+}

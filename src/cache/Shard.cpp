@@ -1,0 +1,124 @@
+//===- Shard.cpp - Deterministic campaign sharding ------------------------===//
+
+#include "cache/Shard.h"
+
+#include "engine/JobIo.h"
+#include "support/Fs.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+
+using namespace isopredict;
+using namespace isopredict::cache;
+using namespace isopredict::engine;
+
+namespace {
+
+constexpr const char *CampaignSchema = "isopredict-campaign/1";
+
+} // namespace
+
+Campaign isopredict::cache::shardCampaign(const Campaign &C, unsigned Index,
+                                          unsigned Count) {
+  Campaign Shard;
+  Shard.Name = C.Name;
+  for (size_t I = Index - 1; I < C.Jobs.size(); I += Count)
+    Shard.Jobs.push_back(C.Jobs[I]);
+  return Shard;
+}
+
+std::string isopredict::cache::campaignToJson(const Campaign &C,
+                                              unsigned Index,
+                                              unsigned Count) {
+  JsonWriter J;
+  J.openObject();
+  J.str("schema", CampaignSchema);
+  J.str("tool_version", toolVersion());
+  J.str("campaign", C.Name);
+  J.num("shard_index", static_cast<uint64_t>(Index));
+  J.num("shard_count", static_cast<uint64_t>(Count));
+  J.num("num_jobs", static_cast<uint64_t>(C.Jobs.size()));
+  J.openArray("jobs");
+  for (const JobSpec &S : C.Jobs) {
+    J.openElement();
+    writeJobSpecFields(J, S);
+    J.closeObject();
+  }
+  J.closeArray();
+  J.closeObject();
+  return J.take();
+}
+
+std::optional<ShardedCampaign>
+isopredict::cache::campaignFromJson(const std::string &Json,
+                                    std::string *Error) {
+  std::optional<JsonValue> Doc = parseJson(Json, Error);
+  if (!Doc)
+    return std::nullopt;
+  auto fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+  if (Doc->K != JsonValue::Kind::Object)
+    return fail("not a campaign document");
+  const JsonValue *Schema = Doc->field("schema");
+  if (!Schema || Schema->Text != CampaignSchema)
+    return fail("not a campaign document (schema != " +
+                std::string(CampaignSchema) + ")");
+
+  ShardedCampaign Out;
+  if (const JsonValue *Name = Doc->field("campaign"))
+    Out.C.Name = Name->Text;
+  // Strict coordinate parsing: the number scan passes '.'/exponents
+  // through as text, and truncating "2.9" to shard 2 would silently
+  // run the wrong slice.
+  auto coordinate = [](const JsonValue *F, unsigned Default) {
+    if (!F)
+      return std::optional<unsigned>(Default);
+    std::optional<int64_t> V = parseInt(F->Text);
+    if (!V || *V < 1 || *V > 1u << 20)
+      return std::optional<unsigned>();
+    return std::optional<unsigned>(static_cast<unsigned>(*V));
+  };
+  std::optional<unsigned> Index = coordinate(Doc->field("shard_index"), 1);
+  std::optional<unsigned> Count = coordinate(Doc->field("shard_count"), 1);
+  if (!Index || !Count || *Index > *Count)
+    return fail("invalid shard coordinates");
+  Out.ShardIndex = *Index;
+  Out.ShardCount = *Count;
+
+  const JsonValue *Jobs = Doc->field("jobs");
+  if (!Jobs || Jobs->K != JsonValue::Kind::Array)
+    return fail("campaign document has no jobs[]");
+  for (const JsonValue &Job : Jobs->Items) {
+    // jobSpecFromJson verifies each recorded spec_hash against the
+    // reconstructed spec, so a file written by a tool whose canonical
+    // serialization disagrees with ours is rejected here rather than
+    // silently filed under wrong cache identities.
+    std::optional<JobSpec> S = jobSpecFromJson(Job, Error);
+    if (!S)
+      return std::nullopt;
+    Out.C.Jobs.push_back(std::move(*S));
+  }
+  return Out;
+}
+
+bool isopredict::cache::writeShardFiles(const Campaign &C, unsigned Count,
+                                        const std::string &Dir,
+                                        std::vector<std::string> *Paths,
+                                        std::string *Error) {
+  if (!createDirectories(Dir, Error))
+    return false;
+  for (unsigned K = 1; K <= Count; ++K) {
+    Campaign Shard = shardCampaign(C, K, Count);
+    std::string Path = pathJoin(
+        Dir, formatString("shard-%u-of-%u.campaign.json", K, Count));
+    if (!writeFileAtomic(Path, campaignToJson(Shard, K, Count), Error))
+      return false;
+    if (Paths)
+      Paths->push_back(std::move(Path));
+  }
+  return true;
+}

@@ -1,0 +1,71 @@
+//===- Shard.h - Deterministic campaign sharding --------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a Campaign into N shards for distributed execution. The split
+/// is deterministic round-robin — shard K of N (1-based) takes the jobs
+/// whose campaign index i satisfies i % N == K - 1 — so shards are
+/// load-balanced across a grid's cost gradient (strategies and seeds
+/// vary fastest) and the merge (Merge.h) is pure arithmetic: merged
+/// position i is shard (i % N) + 1, element i / N.
+///
+/// Shard *files* are self-contained campaign JSON documents (name,
+/// shard coordinates, full JobSpecs with their spec hashes) that any
+/// `campaign_cli --campaign` on any machine can execute; the spec
+/// hashes double as an integrity check that writer and reader agree on
+/// the canonical spec serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_CACHE_SHARD_H
+#define ISOPREDICT_CACHE_SHARD_H
+
+#include "engine/Campaign.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+namespace cache {
+
+/// Returns shard \p Index of \p Count (1-based) of \p C: the jobs at
+/// campaign positions i with i % Count == Index - 1, in campaign
+/// order, under the same campaign name.
+engine::Campaign shardCampaign(const engine::Campaign &C, unsigned Index,
+                               unsigned Count);
+
+/// Serializes \p C as a shard campaign file
+/// ("isopredict-campaign/1" schema) covering shard \p Index of
+/// \p Count.
+std::string campaignToJson(const engine::Campaign &C, unsigned Index,
+                           unsigned Count);
+
+/// A campaign read back from a shard file.
+struct ShardedCampaign {
+  engine::Campaign C;
+  unsigned ShardIndex = 1;
+  unsigned ShardCount = 1;
+};
+
+/// Parses a shard campaign file. Returns std::nullopt (and sets
+/// \p Error when non-null) on malformed documents, unknown enum names,
+/// or spec-hash mismatches (a file from an incompatible tool).
+std::optional<ShardedCampaign> campaignFromJson(const std::string &Json,
+                                                std::string *Error = nullptr);
+
+/// Writes \p Count shard files "shard-K-of-N.campaign.json" into
+/// \p Dir (created if missing). Appends the written paths to \p Paths
+/// when non-null. Returns false (and sets \p Error) on I/O failure.
+bool writeShardFiles(const engine::Campaign &C, unsigned Count,
+                     const std::string &Dir,
+                     std::vector<std::string> *Paths = nullptr,
+                     std::string *Error = nullptr);
+
+} // namespace cache
+} // namespace isopredict
+
+#endif // ISOPREDICT_CACHE_SHARD_H

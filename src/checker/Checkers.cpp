@@ -43,6 +43,30 @@ const char *isopredict::isolationLevelValidNames() {
   return "causal, rc, ra";
 }
 
+const char *isopredict::toString(SerResult R) {
+  switch (R) {
+  case SerResult::Serializable:
+    return "serializable";
+  case SerResult::Unserializable:
+    return "unserializable";
+  case SerResult::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::optional<SerResult>
+isopredict::serResultFromString(std::string_view Name) {
+  std::string N = toLowerAscii(Name);
+  if (N == "serializable")
+    return SerResult::Serializable;
+  if (N == "unserializable")
+    return SerResult::Unserializable;
+  if (N == "unknown")
+    return SerResult::Unknown;
+  return std::nullopt;
+}
+
 //===----------------------------------------------------------------------===
 // Concrete relations
 //===----------------------------------------------------------------------===

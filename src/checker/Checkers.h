@@ -90,6 +90,12 @@ bool isReadAtomic(const History &H);
 /// Result of a serializability query.
 enum class SerResult { Serializable, Unserializable, Unknown };
 
+const char *toString(SerResult R);
+
+/// Inverse of toString: parses "serializable" / "unserializable" /
+/// "unknown" (ASCII case-insensitively). std::nullopt on anything else.
+std::optional<SerResult> serResultFromString(std::string_view Name);
+
 /// Decides serializability with an ∃co SMT query (§5 "Checking
 /// serializability"): an integer commit position per transaction,
 /// Distinct, hb ⊆ co, and the Eq. 1 arbitration implications. A solver

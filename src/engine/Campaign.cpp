@@ -21,6 +21,20 @@ const char *isopredict::engine::toString(JobKind K) {
   return "unknown";
 }
 
+std::optional<JobKind>
+isopredict::engine::jobKindFromString(std::string_view Name) {
+  std::string N = toLowerAscii(Name);
+  if (N == "observe")
+    return JobKind::Observe;
+  if (N == "predict")
+    return JobKind::Predict;
+  if (N == "random-weak")
+    return JobKind::RandomWeak;
+  if (N == "locking-rc")
+    return JobKind::LockingRc;
+  return std::nullopt;
+}
+
 std::string isopredict::engine::canonicalSpec(const JobSpec &S) {
   // Every outcome-determining field, in a fixed order with explicit
   // key= prefixes so no two specs can serialize identically. Keep this

@@ -54,6 +54,10 @@ enum class JobKind : uint8_t {
 
 const char *toString(JobKind K);
 
+/// Inverse of toString: parses "observe" / "predict" / "random-weak" /
+/// "locking-rc" (ASCII case-insensitively). std::nullopt otherwise.
+std::optional<JobKind> jobKindFromString(std::string_view Name);
+
 /// One fully-specified pipeline job.
 struct JobSpec {
   JobKind Kind = JobKind::Predict;

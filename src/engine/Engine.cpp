@@ -2,6 +2,7 @@
 
 #include "engine/Engine.h"
 
+#include "cache/ResultStore.h"
 #include "checker/Checkers.h"
 #include "predict/PredictSession.h"
 #include "support/Env.h"
@@ -10,7 +11,9 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 using namespace isopredict;
@@ -76,12 +79,79 @@ std::string shareKey(const JobSpec &S) {
                       static_cast<unsigned long long>(S.StoreSeed));
 }
 
+/// Result-cache context of one engine run: the store (null when
+/// caching is off), the engine mode (entries only answer lookups from
+/// the mode that produced them — see cache::EncodingMode), and the
+/// run's hit/miss tally.
+struct CacheCtx {
+  const cache::ResultStore *Store = nullptr;
+  bool ShareEncodings = false;
+  std::atomic<unsigned> Hits{0};
+  std::atomic<unsigned> Misses{0};
+
+  cache::EncodingMode mode(const JobSpec &Spec) const {
+    return cache::encodingModeFor(Spec, ShareEncodings);
+  }
+
+  /// Consults the store for \p Spec, counting the outcome. The hit
+  /// (CacheHit already set by the store) or std::nullopt on miss/off.
+  std::optional<JobResult> lookup(const JobSpec &Spec) {
+    if (!Store)
+      return std::nullopt;
+    std::optional<JobResult> Hit = Store->lookup(Spec, mode(Spec));
+    if (Hit)
+      Hits.fetch_add(1, std::memory_order_relaxed);
+    else
+      Misses.fetch_add(1, std::memory_order_relaxed);
+    return Hit;
+  }
+
+  /// Persists a freshly computed result when the policy allows
+  /// (\p GroupHash scopes Session-mode entries to their share group).
+  /// Write failures are deliberately swallowed: a broken cache
+  /// degrades to recomputation, never to a failed campaign (the CLI
+  /// validates the directory up front to catch misconfiguration).
+  void maybeStore(const JobResult &R, uint64_t GroupHash = 0) {
+    if (Store && cache::cacheable(R))
+      Store->store(R, mode(R.Spec), GroupHash);
+  }
+};
+
 /// Runs one encoding-share group of Predict jobs through a single
 /// PredictSession, in campaign order; \p Finished is invoked after each
 /// job's result slot is written.
+///
+/// Cache consumption is all-or-nothing per group: a job's default-
+/// report bytes under shared encodings depend on *which* group member
+/// paid the base prefix (literals / base_prefix_reused attribution in
+/// PredictSession::query), so answering some members from the cache
+/// and recomputing others would shift that attribution and break the
+/// cold/warm byte-identity contract. Either every member hits — the
+/// group is skipped wholesale, no session, no Z3 — or the group runs
+/// exactly as a cache-off run would (every member tallied as a miss,
+/// computed results stored back).
 void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
-                     std::vector<JobResult> &Results,
+                     std::vector<JobResult> &Results, CacheCtx &Cache,
                      const std::function<void(size_t)> &Finished) {
+  // Session entries are scoped to this exact group constellation
+  // (cache::shareGroupHash): entries written under a different
+  // grouping of the same specs miss, because their literal
+  // attribution would not match what this campaign's cold run writes.
+  uint64_t GroupHash =
+      Cache.Store ? cache::shareGroupHash(C, Indices) : 0;
+  if (Cache.Store) {
+    if (std::optional<std::vector<JobResult>> Hits =
+            Cache.Store->lookupGroup(C, Indices, /*ShareEncodings=*/true)) {
+      Cache.Hits.fetch_add(Indices.size(), std::memory_order_relaxed);
+      for (size_t J = 0; J < Indices.size(); ++J) {
+        Results[Indices[J]] = std::move((*Hits)[J]);
+        Finished(Indices[J]);
+      }
+      return;
+    }
+    Cache.Misses.fetch_add(Indices.size(), std::memory_order_relaxed);
+  }
+
   const JobSpec &First = C.Jobs[Indices.front()];
   auto App = makeApplication(First.App);
   if (!App) {
@@ -121,6 +191,7 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
       validateInto(R, Spec, Observed.Hist, P);
 
     R.WallSeconds = Wall.seconds();
+    Cache.maybeStore(R, GroupHash);
     Results[I] = std::move(R);
     Finished(I);
   }
@@ -192,6 +263,29 @@ JobResult Engine::runJob(const JobSpec &Spec) {
   return R;
 }
 
+std::vector<std::vector<size_t>> Engine::planGroups(const Campaign &C,
+                                                    bool ShareEncodings) {
+  std::vector<std::vector<size_t>> Groups;
+  if (!ShareEncodings) {
+    Groups.reserve(C.Jobs.size());
+    for (size_t I = 0; I < C.Jobs.size(); ++I)
+      Groups.push_back({I});
+    return Groups;
+  }
+  std::map<std::string, size_t> GroupIndex;
+  for (size_t I = 0; I < C.Jobs.size(); ++I) {
+    if (C.Jobs[I].Kind != JobKind::Predict) {
+      Groups.push_back({I});
+      continue;
+    }
+    auto [It, New] = GroupIndex.emplace(shareKey(C.Jobs[I]), Groups.size());
+    if (New)
+      Groups.emplace_back();
+    Groups[It->second].push_back(I);
+  }
+  return Groups;
+}
+
 Engine::Engine(EngineOptions O) : Opts(std::move(O)) {
   Workers = Opts.NumWorkers;
   if (Workers == 0) {
@@ -205,31 +299,18 @@ Report Engine::run(const Campaign &C) const {
   Timer Wall;
   std::vector<JobResult> Results(C.Jobs.size());
 
-  // The scheduling unit is a *group* of job indices. Share-nothing mode
-  // (the default): one group per job. ShareEncodings: Predict jobs with
-  // the same observed execution coalesce into one group (first-
-  // appearance order; within-group order = campaign order) and run
-  // through a single PredictSession; everything else stays singleton.
+  std::optional<cache::ResultStore> Store;
+  if (!Opts.CacheDir.empty())
+    Store.emplace(Opts.CacheDir);
+  CacheCtx Cache;
+  Cache.Store = Store ? &*Store : nullptr;
+  Cache.ShareEncodings = Opts.ShareEncodings;
+
+  // The scheduling unit is a *group* of job indices (planGroups).
   // Grouping is deterministic, and group execution is sequential, so
   // reports remain byte-identical across worker counts in both modes.
-  std::vector<std::vector<size_t>> Groups;
-  if (!Opts.ShareEncodings) {
-    Groups.reserve(C.Jobs.size());
-    for (size_t I = 0; I < C.Jobs.size(); ++I)
-      Groups.push_back({I});
-  } else {
-    std::map<std::string, size_t> GroupIndex;
-    for (size_t I = 0; I < C.Jobs.size(); ++I) {
-      if (C.Jobs[I].Kind != JobKind::Predict) {
-        Groups.push_back({I});
-        continue;
-      }
-      auto [It, New] = GroupIndex.emplace(shareKey(C.Jobs[I]), Groups.size());
-      if (New)
-        Groups.emplace_back();
-      Groups[It->second].push_back(I);
-    }
-  }
+  std::vector<std::vector<size_t>> Groups =
+      planGroups(C, Opts.ShareEncodings);
 
   std::atomic<size_t> Next{0};
   std::atomic<size_t> Done{0};
@@ -252,11 +333,16 @@ Report Engine::run(const Campaign &C) const {
       bool SharedPredict = Opts.ShareEncodings &&
                            C.Jobs[Indices.front()].Kind == JobKind::Predict;
       if (SharedPredict) {
-        runPredictGroup(C, Indices, Results, Finished);
+        runPredictGroup(C, Indices, Results, Cache, Finished);
         continue;
       }
       for (size_t I : Indices) {
-        Results[I] = runJob(C.Jobs[I]);
+        if (std::optional<JobResult> Hit = Cache.lookup(C.Jobs[I])) {
+          Results[I] = std::move(*Hit);
+        } else {
+          Results[I] = runJob(C.Jobs[I]);
+          Cache.maybeStore(Results[I]);
+        }
         Finished(I);
       }
     }
@@ -276,5 +362,8 @@ Report Engine::run(const Campaign &C) const {
       T.join();
   }
 
-  return Report(C.Name, std::move(Results), Workers, Wall.seconds());
+  Report R(C.Name, std::move(Results), Workers, Wall.seconds());
+  if (Store)
+    R.setCacheStats(Cache.Hits.load(), Cache.Misses.load());
+  return R;
 }

@@ -49,6 +49,18 @@ struct EngineOptions {
   /// extracted models (witnesses, boundaries, validation) may
   /// legitimately differ, which is why this is opt-in.
   bool ShareEncodings = false;
+  /// Root directory of the persistent result cache (src/cache/
+  /// ResultStore); empty = no caching. Workers consult the store
+  /// before running a job — a hit skips the whole pipeline (no store
+  /// build, no solver call) and is delivered with JobResult::CacheHit
+  /// set — and persist every cacheable() result they compute. Under
+  /// ShareEncodings a group consumes the cache all-or-nothing: stats
+  /// attribution depends on which member paid the shared prefix, so a
+  /// partially-cached group recomputes wholesale (every member counts
+  /// as a miss) rather than skew recomputed jobs' literal counts. The
+  /// cache never changes report bytes (cache_hit fields are
+  /// timing-gated), so warm re-runs reproduce cold reports exactly.
+  std::string CacheDir;
   /// Called after each job completes, serialized under an internal
   /// mutex: (completed so far, total, result just finished).
   std::function<void(size_t, size_t, const JobResult &)> OnJobDone;
@@ -68,6 +80,17 @@ public:
   /// Executes one job in isolation — the full pipeline for its kind.
   /// Deterministic: depends only on \p Spec (modulo solver timeouts).
   static JobResult runJob(const JobSpec &Spec);
+
+  /// The scheduling plan run() executes: job indices partitioned into
+  /// groups, in first-appearance order. Share-nothing (\p
+  /// ShareEncodings false): one singleton group per job. Shared:
+  /// Predict jobs on the same observed execution coalesce (within-
+  /// group order = campaign order); everything else stays singleton.
+  /// Exposed so tools that predict the engine's behavior — the
+  /// campaign_cli --dry-run cache preview, group-scoped cache
+  /// identities — agree with the real execution exactly.
+  static std::vector<std::vector<size_t>> planGroups(const Campaign &C,
+                                                     bool ShareEncodings);
 
 private:
   EngineOptions Opts;

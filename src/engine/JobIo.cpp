@@ -1,0 +1,424 @@
+//===- JobIo.cpp - JobSpec / JobResult JSON round-trip --------------------===//
+
+#include "engine/JobIo.h"
+
+#include "support/StrUtil.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+std::string isopredict::engine::workloadLabel(const WorkloadConfig &Cfg) {
+  return formatString("%ux%u", Cfg.Sessions, Cfg.TxnsPerSession);
+}
+
+//===----------------------------------------------------------------------===
+// Writing
+//===----------------------------------------------------------------------===
+
+void isopredict::engine::writeJobSpecFields(JsonWriter &J, const JobSpec &S) {
+  // Stable job identity (FNV-1a of the canonical spec): report_diff
+  // matches jobs on it and the result cache names entries after it; hex
+  // string rather than a number so 64-bit values survive lossy JSON
+  // readers.
+  J.str("spec_hash",
+        formatString("%016llx", static_cast<unsigned long long>(specHash(S))));
+  J.str("kind", toString(S.Kind));
+  J.str("app", S.App);
+  J.str("workload", workloadLabel(S.Cfg));
+  J.num("sessions", static_cast<uint64_t>(S.Cfg.Sessions));
+  J.num("txns_per_session", static_cast<uint64_t>(S.Cfg.TxnsPerSession));
+  J.num("seed", S.Cfg.Seed);
+  // Since schema 2 the spec serializes completely — level/strategy/pco
+  // and the validation flags appear for every kind, not just the kinds
+  // that consume them — so jobSpecFromJson reconstructs a spec whose
+  // canonical serialization (and therefore spec_hash) is exactly the
+  // original's.
+  J.str("level", toString(S.Level));
+  J.str("strategy", toString(S.Strat));
+  J.str("pco", toString(S.Pco));
+  J.num("store_seed", S.StoreSeed);
+  J.num("timeout_ms", static_cast<uint64_t>(S.TimeoutMs));
+  J.boolean("validate", S.Validate);
+  J.boolean("check_serializability", S.CheckSerializability);
+}
+
+void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
+                                        const ReportOptions &Opts) {
+  const JobSpec &S = R.Spec;
+  writeJobSpecFields(J, S);
+
+  J.boolean("ok", R.Ok);
+  if (!R.Ok) {
+    J.str("error", R.Error);
+    return;
+  }
+
+  J.num("committed_txns", static_cast<uint64_t>(R.CommittedTxns));
+  J.num("reads", static_cast<uint64_t>(R.Reads));
+  J.num("writes", static_cast<uint64_t>(R.Writes));
+  J.num("read_only_txns", static_cast<uint64_t>(R.ReadOnlyTxns));
+  J.num("aborted_txns", static_cast<uint64_t>(R.AbortedTxns));
+
+  if (S.Kind == JobKind::Predict) {
+    J.str("result", toString(R.Outcome));
+    J.num("literals", R.Stats.NumLiterals);
+    // Present only under EngineOptions::ShareEncodings, where literal
+    // counts cover just the per-query passes: the declare+feasibility
+    // prefix was already on the shared session's solver. Deterministic
+    // (groups schedule as a unit), and emitted only when true so
+    // share-nothing reports carry no trace of the sharing feature.
+    if (R.Stats.BasePrefixReused)
+      J.boolean("base_prefix_reused", true);
+    if (R.Outcome == SmtResult::Sat) {
+      J.openArray("witness");
+      for (TxnId T : R.Witness)
+        J.numElement(T);
+      J.closeArray();
+    }
+    if (S.Validate) {
+      J.str("validation", toString(R.ValStatus));
+      J.boolean("diverged", R.Diverged);
+    }
+  }
+  if (S.Kind == JobKind::RandomWeak) {
+    J.boolean("assertion_failed", R.AssertionFailed);
+    if (S.CheckSerializability)
+      J.str("serializability", toString(R.Serializability));
+  }
+  if (S.Kind == JobKind::LockingRc) {
+    J.boolean("assertion_failed", R.AssertionFailed);
+    J.num("deadlock_aborts", static_cast<uint64_t>(R.DeadlockAborts));
+  }
+  if (!R.FailedAssertions.empty()) {
+    J.openArray("failed_assertions");
+    for (const std::string &Msg : R.FailedAssertions)
+      J.strElement(Msg);
+    J.closeArray();
+  }
+  if (Opts.IncludeTimings) {
+    if (S.Kind == JobKind::Predict) {
+      J.num("gen_seconds", R.Stats.GenSeconds);
+      J.num("solve_seconds", R.Stats.SolveSeconds);
+      // Per-pass attribution of the encoding pipeline (src/encode/).
+      // Timing-gated with the rest: pass literals are deterministic,
+      // but adding fields to the default report would break its
+      // byte-stability contract across versions.
+      if (!R.Stats.Passes.empty()) {
+        J.openArray("passes");
+        for (const PassStats &P : R.Stats.Passes) {
+          J.openElement();
+          J.str("name", P.Name);
+          J.num("literals", P.Literals);
+          J.num("seconds", P.Seconds);
+          J.closeObject();
+        }
+        J.closeArray();
+      }
+    }
+    // Whether this run answered the job from the result cache. A
+    // property of the run, not of the job (the same campaign is all
+    // misses cold and all hits warm), so it rides with the other
+    // run-dependent fields: default reports stay byte-identical across
+    // cold and warm runs.
+    if (R.CacheHit)
+      J.boolean("cache_hit", true);
+    J.num("wall_seconds", R.WallSeconds);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Parsing
+//===----------------------------------------------------------------------===
+
+namespace {
+
+bool setError(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+  return false;
+}
+
+const JsonValue *want(const JsonValue &Obj, const char *Key,
+                      JsonValue::Kind K, std::string *Error) {
+  const JsonValue *F = Obj.field(Key);
+  if (!F || F->K != K) {
+    setError(Error, formatString("job entry: missing or ill-typed '%s'", Key));
+    return nullptr;
+  }
+  return F;
+}
+
+std::optional<uint64_t> wantU64(const JsonValue &Obj, const char *Key,
+                                std::string *Error) {
+  const JsonValue *F = want(Obj, Key, JsonValue::Kind::Number, Error);
+  if (!F)
+    return std::nullopt;
+  // Strict: the JSON number grammar scan passes '-'/'.'/exponents
+  // through as text, and strtoull would silently wrap "-1" — parseInt
+  // rejects every non-plain-decimal spelling (and negatives below).
+  std::optional<int64_t> V = parseInt(F->Text);
+  if (!V || *V < 0) {
+    setError(Error,
+             formatString("job entry: '%s' is not a non-negative integer",
+                          Key));
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(*V);
+}
+
+std::optional<bool> wantBool(const JsonValue &Obj, const char *Key,
+                             std::string *Error) {
+  const JsonValue *F = want(Obj, Key, JsonValue::Kind::Bool, Error);
+  if (!F)
+    return std::nullopt;
+  return F->B;
+}
+
+std::optional<std::string> wantStr(const JsonValue &Obj, const char *Key,
+                                   std::string *Error) {
+  const JsonValue *F = want(Obj, Key, JsonValue::Kind::String, Error);
+  if (!F)
+    return std::nullopt;
+  return F->Text;
+}
+
+/// Optional double field (timing entries); 0 when absent.
+double optDouble(const JsonValue &Obj, const char *Key) {
+  const JsonValue *F = Obj.field(Key);
+  if (!F || F->K != JsonValue::Kind::Number)
+    return 0;
+  return std::strtod(F->Text.c_str(), nullptr);
+}
+
+} // namespace
+
+std::optional<JobSpec>
+isopredict::engine::jobSpecFromJson(const JsonValue &Obj, std::string *Error) {
+  JobSpec S;
+
+  std::optional<std::string> Kind = wantStr(Obj, "kind", Error);
+  if (!Kind)
+    return std::nullopt;
+  std::optional<JobKind> K = jobKindFromString(*Kind);
+  if (!K) {
+    setError(Error, "job entry: unknown kind '" + *Kind + "'");
+    return std::nullopt;
+  }
+  S.Kind = *K;
+
+  std::optional<std::string> App = wantStr(Obj, "app", Error);
+  if (!App)
+    return std::nullopt;
+  S.App = *App;
+
+  std::optional<uint64_t> Sessions = wantU64(Obj, "sessions", Error);
+  std::optional<uint64_t> Txns = wantU64(Obj, "txns_per_session", Error);
+  std::optional<uint64_t> Seed = wantU64(Obj, "seed", Error);
+  if (!Sessions || !Txns || !Seed)
+    return std::nullopt;
+  S.Cfg.Sessions = static_cast<unsigned>(*Sessions);
+  S.Cfg.TxnsPerSession = static_cast<unsigned>(*Txns);
+  S.Cfg.Seed = *Seed;
+
+  std::optional<std::string> Level = wantStr(Obj, "level", Error);
+  std::optional<std::string> Strat = wantStr(Obj, "strategy", Error);
+  std::optional<std::string> Pco = wantStr(Obj, "pco", Error);
+  if (!Level || !Strat || !Pco)
+    return std::nullopt;
+  std::optional<IsolationLevel> L = isolationLevelFromString(*Level);
+  std::optional<Strategy> St = strategyFromString(*Strat);
+  std::optional<PcoEncoding> P = pcoEncodingFromString(*Pco);
+  if (!L || !St || !P) {
+    setError(Error, "job entry: unknown level/strategy/pco name");
+    return std::nullopt;
+  }
+  S.Level = *L;
+  S.Strat = *St;
+  S.Pco = *P;
+
+  std::optional<uint64_t> StoreSeed = wantU64(Obj, "store_seed", Error);
+  std::optional<uint64_t> TimeoutMs = wantU64(Obj, "timeout_ms", Error);
+  std::optional<bool> Validate = wantBool(Obj, "validate", Error);
+  std::optional<bool> CheckSer =
+      wantBool(Obj, "check_serializability", Error);
+  if (!StoreSeed || !TimeoutMs || !Validate || !CheckSer)
+    return std::nullopt;
+  S.StoreSeed = *StoreSeed;
+  S.TimeoutMs = static_cast<unsigned>(*TimeoutMs);
+  S.Validate = *Validate;
+  S.CheckSerializability = *CheckSer;
+
+  // The recorded hash must re-derive from the reconstructed spec: a
+  // mismatch means the entry was written by an incompatible
+  // serialization (or corrupted), and trusting it would file results
+  // under the wrong identity.
+  std::optional<std::string> Hash = wantStr(Obj, "spec_hash", Error);
+  if (!Hash)
+    return std::nullopt;
+  std::string Expected =
+      formatString("%016llx", static_cast<unsigned long long>(specHash(S)));
+  if (*Hash != Expected) {
+    setError(Error, "job entry: spec_hash '" + *Hash +
+                        "' does not match reconstructed spec (" + Expected +
+                        ")");
+    return std::nullopt;
+  }
+  return S;
+}
+
+std::optional<JobResult>
+isopredict::engine::jobResultFromJson(const JsonValue &Obj,
+                                      std::string *Error) {
+  std::optional<JobSpec> Spec = jobSpecFromJson(Obj, Error);
+  if (!Spec)
+    return std::nullopt;
+  JobResult R;
+  R.Spec = *Spec;
+  const JobSpec &S = R.Spec;
+
+  std::optional<bool> Ok = wantBool(Obj, "ok", Error);
+  if (!Ok)
+    return std::nullopt;
+  R.Ok = *Ok;
+  if (!R.Ok) {
+    std::optional<std::string> Err = wantStr(Obj, "error", Error);
+    if (!Err)
+      return std::nullopt;
+    R.Error = *Err;
+    return R;
+  }
+
+  std::optional<uint64_t> Committed = wantU64(Obj, "committed_txns", Error);
+  std::optional<uint64_t> Reads = wantU64(Obj, "reads", Error);
+  std::optional<uint64_t> Writes = wantU64(Obj, "writes", Error);
+  std::optional<uint64_t> ReadOnly = wantU64(Obj, "read_only_txns", Error);
+  std::optional<uint64_t> Aborted = wantU64(Obj, "aborted_txns", Error);
+  if (!Committed || !Reads || !Writes || !ReadOnly || !Aborted)
+    return std::nullopt;
+  R.CommittedTxns = static_cast<unsigned>(*Committed);
+  R.Reads = static_cast<unsigned>(*Reads);
+  R.Writes = static_cast<unsigned>(*Writes);
+  R.ReadOnlyTxns = static_cast<unsigned>(*ReadOnly);
+  R.AbortedTxns = static_cast<unsigned>(*Aborted);
+
+  if (S.Kind == JobKind::Predict) {
+    std::optional<std::string> Result = wantStr(Obj, "result", Error);
+    std::optional<uint64_t> Literals = wantU64(Obj, "literals", Error);
+    if (!Result || !Literals)
+      return std::nullopt;
+    std::optional<SmtResult> Outcome = smtResultFromString(*Result);
+    if (!Outcome) {
+      setError(Error, "job entry: unknown result '" + *Result + "'");
+      return std::nullopt;
+    }
+    R.Outcome = *Outcome;
+    R.Stats.NumLiterals = *Literals;
+    if (const JsonValue *Reused = Obj.field("base_prefix_reused"))
+      R.Stats.BasePrefixReused =
+          Reused->K == JsonValue::Kind::Bool && Reused->B;
+    if (R.Outcome == SmtResult::Sat) {
+      const JsonValue *Witness =
+          want(Obj, "witness", JsonValue::Kind::Array, Error);
+      if (!Witness)
+        return std::nullopt;
+      for (const JsonValue &T : Witness->Items) {
+        // Witness ids land in default-report bytes, so a damaged
+        // array must reject the whole entry (a cache miss), never be
+        // served as zeros or wrapped negatives.
+        std::optional<int64_t> Id = T.K == JsonValue::Kind::Number
+                                        ? parseInt(T.Text)
+                                        : std::nullopt;
+        if (!Id || *Id < 0) {
+          setError(Error, "job entry: ill-typed witness element");
+          return std::nullopt;
+        }
+        R.Witness.push_back(static_cast<TxnId>(*Id));
+      }
+    }
+    if (S.Validate) {
+      std::optional<std::string> Val = wantStr(Obj, "validation", Error);
+      std::optional<bool> Diverged = wantBool(Obj, "diverged", Error);
+      if (!Val || !Diverged)
+        return std::nullopt;
+      std::optional<ValidationResult::Status> VS =
+          validationStatusFromString(*Val);
+      if (!VS) {
+        setError(Error, "job entry: unknown validation '" + *Val + "'");
+        return std::nullopt;
+      }
+      R.ValStatus = *VS;
+      R.Diverged = *Diverged;
+    }
+  }
+
+  if (S.Kind == JobKind::RandomWeak && S.CheckSerializability) {
+    std::optional<std::string> Ser = wantStr(Obj, "serializability", Error);
+    if (!Ser)
+      return std::nullopt;
+    std::optional<SerResult> SR = serResultFromString(*Ser);
+    if (!SR) {
+      setError(Error, "job entry: unknown serializability '" + *Ser + "'");
+      return std::nullopt;
+    }
+    R.Serializability = *SR;
+  }
+  if (S.Kind == JobKind::LockingRc) {
+    std::optional<uint64_t> Deadlocks = wantU64(Obj, "deadlock_aborts", Error);
+    if (!Deadlocks)
+      return std::nullopt;
+    R.DeadlockAborts = static_cast<unsigned>(*Deadlocks);
+  }
+
+  if (const JsonValue *Failed = Obj.field("failed_assertions")) {
+    if (Failed->K != JsonValue::Kind::Array) {
+      setError(Error, "job entry: ill-typed 'failed_assertions'");
+      return std::nullopt;
+    }
+    for (const JsonValue &Msg : Failed->Items) {
+      if (Msg.K != JsonValue::Kind::String) {
+        setError(Error, "job entry: ill-typed failed_assertions element");
+        return std::nullopt;
+      }
+      R.FailedAssertions.push_back(Msg.Text);
+    }
+  }
+  // RandomWeak / LockingRc carry the flag explicitly; Predict entries
+  // derive it (a validating replay fails assertions iff it recorded
+  // their messages — see WorkloadRunner's RunResult::assertionFailed).
+  if (const JsonValue *AF = Obj.field("assertion_failed"))
+    R.AssertionFailed = AF->K == JsonValue::Kind::Bool && AF->B;
+  else
+    R.AssertionFailed = !R.FailedAssertions.empty();
+
+  // Run-dependent fields, present only in entries written with
+  // IncludeTimings (the result cache stores them so a warm --timings
+  // report can still attribute the original compute cost).
+  R.Stats.GenSeconds = optDouble(Obj, "gen_seconds");
+  R.Stats.SolveSeconds = optDouble(Obj, "solve_seconds");
+  R.WallSeconds = optDouble(Obj, "wall_seconds");
+  if (const JsonValue *Hit = Obj.field("cache_hit"))
+    R.CacheHit = Hit->K == JsonValue::Kind::Bool && Hit->B;
+  if (const JsonValue *Passes = Obj.field("passes"))
+    if (Passes->K == JsonValue::Kind::Array)
+      for (const JsonValue &P : Passes->Items) {
+        if (P.K != JsonValue::Kind::Object) {
+          setError(Error, "job entry: ill-typed passes element");
+          return std::nullopt;
+        }
+        PassStats PS;
+        if (const JsonValue *Name = P.field("name"))
+          if (Name->K == JsonValue::Kind::String)
+            PS.Name = Name->Text;
+        if (const JsonValue *Lits = P.field("literals"))
+          if (Lits->K == JsonValue::Kind::Number)
+            PS.Literals = std::strtoull(Lits->Text.c_str(), nullptr, 10);
+        if (const JsonValue *Secs = P.field("seconds"))
+          if (Secs->K == JsonValue::Kind::Number)
+            PS.Seconds = std::strtod(Secs->Text.c_str(), nullptr);
+        R.Stats.Passes.push_back(std::move(PS));
+      }
+  return R;
+}

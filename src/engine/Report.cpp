@@ -2,163 +2,20 @@
 
 #include "engine/Report.h"
 
+#include "engine/JobIo.h"
+#include "support/Json.h"
 #include "support/StrUtil.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
 #include <map>
-#include <sstream>
 
 using namespace isopredict;
 using namespace isopredict::engine;
 
-std::string isopredict::engine::jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (C < 0x20)
-        Out += formatString("\\u%04x", C);
-      else
-        Out += static_cast<char>(C);
-    }
-  }
-  return Out;
-}
+const char *isopredict::engine::toolVersion() { return "isopredict-4"; }
 
 namespace {
-
-static const char *toString(SerResult R) {
-  switch (R) {
-  case SerResult::Serializable:
-    return "serializable";
-  case SerResult::Unserializable:
-    return "unserializable";
-  case SerResult::Unknown:
-    return "unknown";
-  }
-  return "unknown";
-}
-
-/// Minimal ordered JSON emitter: keys appear exactly in call order, so
-/// output bytes are a pure function of the emitted values.
-class JsonOut {
-public:
-  explicit JsonOut(unsigned Indent) : IndentWidth(Indent) {}
-
-  void openObject() {
-    element();
-    open('{');
-  }
-  void closeObject() { close('}'); }
-  void openArray(const char *Key) {
-    field(Key);
-    open('[');
-  }
-  void openObjectIn(const char *Key) {
-    field(Key);
-    open('{');
-  }
-  /// Opens an anonymous object as an array element.
-  void openElement() {
-    element();
-    open('{');
-  }
-  void closeArray() { close(']'); }
-
-  void str(const char *Key, const std::string &V) {
-    field(Key);
-    Out << '"' << jsonEscape(V) << '"';
-  }
-  void num(const char *Key, uint64_t V) {
-    field(Key);
-    Out << V;
-  }
-  void num(const char *Key, double V) {
-    field(Key);
-    Out << formatString("%.6f", V);
-  }
-  void boolean(const char *Key, bool V) {
-    field(Key);
-    Out << (V ? "true" : "false");
-  }
-  /// Bare numeric array element.
-  void numElement(uint64_t V) {
-    element();
-    Out << V;
-  }
-  /// Bare string array element.
-  void strElement(const std::string &V) {
-    element();
-    Out << '"' << jsonEscape(V) << '"';
-  }
-
-  std::string take() {
-    Out << '\n';
-    return Out.str();
-  }
-
-private:
-  /// Emits the opening bracket at the current position; the caller has
-  /// already placed it (field() for keyed containers, element() for
-  /// array elements).
-  void open(char C) {
-    Out << C;
-    Stack.push_back(C == '{' ? '}' : ']');
-    First = true;
-  }
-  void close(char C) {
-    Stack.pop_back();
-    if (!First)
-      newline();
-    Out << C;
-    First = false;
-  }
-  void field(const char *Key) {
-    element();
-    Out << '"' << Key << "\": ";
-  }
-  /// Comma/indent bookkeeping before any value at the current depth.
-  void element() {
-    if (Stack.empty())
-      return;
-    if (!First)
-      Out << ',';
-    newline();
-    First = false;
-  }
-  void newline() {
-    Out << '\n';
-    for (size_t I = 0; I < Stack.size() * IndentWidth; ++I)
-      Out << ' ';
-  }
-
-  std::ostringstream Out;
-  std::vector<char> Stack;
-  bool First = true;
-  unsigned IndentWidth;
-};
-
-/// Human/JSON label for a workload shape ("3x4", "3x8", ...).
-std::string workloadLabel(const WorkloadConfig &Cfg) {
-  return formatString("%ux%u", Cfg.Sessions, Cfg.TxnsPerSession);
-}
 
 /// Per-configuration aggregate for the summary section and table.
 struct Group {
@@ -234,108 +91,7 @@ groupResults(const std::vector<JobResult> &Results) {
   return Groups;
 }
 
-void emitJob(JsonOut &J, const JobResult &R, size_t Index,
-             const ReportOptions &Opts) {
-  const JobSpec &S = R.Spec;
-  J.openElement();
-  J.num("index", static_cast<uint64_t>(Index));
-  // Stable job identity (FNV-1a of the canonical spec): report_diff
-  // matches jobs on it when both reports carry one; hex string rather
-  // than a number so 64-bit values survive lossy JSON readers.
-  J.str("spec_hash", formatString("%016llx",
-                                  static_cast<unsigned long long>(
-                                      specHash(S))));
-  J.str("kind", toString(S.Kind));
-  J.str("app", S.App);
-  J.str("workload", workloadLabel(S.Cfg));
-  J.num("sessions", static_cast<uint64_t>(S.Cfg.Sessions));
-  J.num("txns_per_session", static_cast<uint64_t>(S.Cfg.TxnsPerSession));
-  J.num("seed", S.Cfg.Seed);
-  if (S.Kind == JobKind::Predict || S.Kind == JobKind::RandomWeak)
-    J.str("level", toString(S.Level));
-  if (S.Kind == JobKind::Predict) {
-    J.str("strategy", toString(S.Strat));
-    J.str("pco", toString(S.Pco));
-  }
-  if (S.Kind == JobKind::RandomWeak || S.Kind == JobKind::LockingRc)
-    J.num("store_seed", S.StoreSeed);
-  J.num("timeout_ms", static_cast<uint64_t>(S.TimeoutMs));
-
-  J.boolean("ok", R.Ok);
-  if (!R.Ok) {
-    J.str("error", R.Error);
-    J.closeObject();
-    return;
-  }
-
-  J.num("committed_txns", static_cast<uint64_t>(R.CommittedTxns));
-  J.num("reads", static_cast<uint64_t>(R.Reads));
-  J.num("writes", static_cast<uint64_t>(R.Writes));
-  J.num("read_only_txns", static_cast<uint64_t>(R.ReadOnlyTxns));
-  J.num("aborted_txns", static_cast<uint64_t>(R.AbortedTxns));
-
-  if (S.Kind == JobKind::Predict) {
-    J.str("result", toString(R.Outcome));
-    J.num("literals", R.Stats.NumLiterals);
-    // Present only under EngineOptions::ShareEncodings, where literal
-    // counts cover just the per-query passes: the declare+feasibility
-    // prefix was already on the shared session's solver. Deterministic
-    // (groups schedule as a unit), and emitted only when true so
-    // share-nothing reports carry no trace of the sharing feature.
-    if (R.Stats.BasePrefixReused)
-      J.boolean("base_prefix_reused", true);
-    if (R.Outcome == SmtResult::Sat) {
-      J.openArray("witness");
-      for (TxnId T : R.Witness)
-        J.numElement(T);
-      J.closeArray();
-    }
-    if (S.Validate) {
-      J.str("validation", toString(R.ValStatus));
-      J.boolean("diverged", R.Diverged);
-    }
-  }
-  if (S.Kind == JobKind::RandomWeak) {
-    J.boolean("assertion_failed", R.AssertionFailed);
-    if (S.CheckSerializability)
-      J.str("serializability", toString(R.Serializability));
-  }
-  if (S.Kind == JobKind::LockingRc) {
-    J.boolean("assertion_failed", R.AssertionFailed);
-    J.num("deadlock_aborts", static_cast<uint64_t>(R.DeadlockAborts));
-  }
-  if (!R.FailedAssertions.empty()) {
-    J.openArray("failed_assertions");
-    for (const std::string &Msg : R.FailedAssertions)
-      J.strElement(Msg);
-    J.closeArray();
-  }
-  if (Opts.IncludeTimings) {
-    if (S.Kind == JobKind::Predict) {
-      J.num("gen_seconds", R.Stats.GenSeconds);
-      J.num("solve_seconds", R.Stats.SolveSeconds);
-      // Per-pass attribution of the encoding pipeline (src/encode/).
-      // Timing-gated with the rest: pass literals are deterministic,
-      // but adding fields to the default report would break its
-      // byte-stability contract across versions.
-      if (!R.Stats.Passes.empty()) {
-        J.openArray("passes");
-        for (const PassStats &P : R.Stats.Passes) {
-          J.openElement();
-          J.str("name", P.Name);
-          J.num("literals", P.Literals);
-          J.num("seconds", P.Seconds);
-          J.closeObject();
-        }
-        J.closeArray();
-      }
-    }
-    J.num("wall_seconds", R.WallSeconds);
-  }
-  J.closeObject();
-}
-
-void emitGroup(JsonOut &J, const std::string &Key, const Group &G,
+void emitGroup(JsonWriter &J, const std::string &Key, const Group &G,
                const ReportOptions &Opts) {
   J.openElement();
   J.str("config", Key);
@@ -367,19 +123,35 @@ void emitGroup(JsonOut &J, const std::string &Key, const Group &G,
 } // namespace
 
 std::string Report::toJson(const ReportOptions &Opts) const {
-  JsonOut J(Opts.Indent);
+  JsonWriter J(Opts.Indent);
   J.openObject();
-  J.str("schema", "isopredict-campaign-report/1");
+  J.str("schema", "isopredict-campaign-report/2");
+  // Cache-invalidation stamp (see toolVersion): reports from different
+  // tool versions are comparable only advisorily, and cached results
+  // never cross versions. report_diff tolerates reports without it.
+  J.str("tool_version", toolVersion());
   J.str("campaign", CampaignName);
   J.num("num_jobs", static_cast<uint64_t>(Results.size()));
+  if (ShardCount > 1) {
+    J.num("shard_index", static_cast<uint64_t>(ShardIndex));
+    J.num("shard_count", static_cast<uint64_t>(ShardCount));
+  }
   if (Opts.IncludeTimings) {
     J.num("workers", static_cast<uint64_t>(NumWorkers));
     J.num("wall_seconds", WallSeconds);
+    if (CacheHits || CacheMisses) {
+      J.num("cache_hits", static_cast<uint64_t>(CacheHits));
+      J.num("cache_misses", static_cast<uint64_t>(CacheMisses));
+    }
   }
 
   J.openArray("jobs");
-  for (size_t I = 0; I < Results.size(); ++I)
-    emitJob(J, Results[I], I, Opts);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    J.openElement();
+    J.num("index", static_cast<uint64_t>(I));
+    writeJobFields(J, Results[I], Opts);
+    J.closeObject();
+  }
   J.closeArray();
 
   J.openArray("summary");
@@ -425,4 +197,7 @@ void Report::printSummary(FILE *Out) const {
   std::fprintf(Out, "campaign '%s': %zu jobs, %u workers, %.2fs wall\n",
                CampaignName.c_str(), Results.size(), NumWorkers,
                WallSeconds);
+  if (CacheHits || CacheMisses)
+    std::fprintf(Out, "cache: %u hit(s), %u miss(es)\n", CacheHits,
+                 CacheMisses);
 }

@@ -33,6 +33,14 @@
 namespace isopredict {
 namespace engine {
 
+/// Version stamp of the tool's outcome-affecting behavior: the
+/// encoding pipeline, solver configuration, applications, and job
+/// semantics. Emitted as "tool_version" in every report and used as
+/// the result cache's top-level directory, so bumping it atomically
+/// invalidates every cached result. Bump whenever a change can alter
+/// any job's outcome for an unchanged JobSpec.
+const char *toolVersion();
+
 /// Everything one job produced. Fields beyond the workload counters are
 /// meaningful only for the job kinds noted.
 struct JobResult {
@@ -76,6 +84,13 @@ struct JobResult {
   /// deterministic JSON).
   double WallSeconds = 0;
 
+  /// This run answered the job from the result cache (src/cache/)
+  /// instead of computing it. Run-dependent by nature — the identical
+  /// campaign is all misses cold and all hits warm — so it is emitted
+  /// only under ReportOptions::IncludeTimings, keeping default reports
+  /// byte-identical across cold and warm runs.
+  bool CacheHit = false;
+
   bool validatedUnserializable() const {
     return ValStatus == ValidationResult::Status::ValidatedUnserializable;
   }
@@ -106,6 +121,29 @@ public:
   unsigned numWorkers() const { return NumWorkers; }
   double wallSeconds() const { return WallSeconds; }
 
+  /// Marks this report as covering shard \p Index of \p Count
+  /// (1-based). A sharded report records "shard_index"/"shard_count"
+  /// in its JSON so report_merge can reassemble the campaign; with
+  /// Count == 1 nothing is emitted and the report is byte-identical to
+  /// an unsharded run's.
+  void setShard(unsigned Index, unsigned Count) {
+    ShardIndex = Index;
+    ShardCount = Count;
+  }
+  unsigned shardIndex() const { return ShardIndex; }
+  unsigned shardCount() const { return ShardCount; }
+
+  /// Result-cache traffic of the producing run (zero/zero when the
+  /// cache was off). Run-dependent: emitted in JSON only under
+  /// IncludeTimings; printSummary always shows it when the cache was
+  /// consulted.
+  void setCacheStats(unsigned Hits, unsigned Misses) {
+    CacheHits = Hits;
+    CacheMisses = Misses;
+  }
+  unsigned cacheHits() const { return CacheHits; }
+  unsigned cacheMisses() const { return CacheMisses; }
+
   /// Serializes the full report (jobs + per-configuration summary) as a
   /// JSON document. Deterministic and stably ordered: jobs in campaign
   /// order, summary groups in order of first appearance, object keys
@@ -125,11 +163,9 @@ private:
   std::vector<JobResult> Results;
   unsigned NumWorkers = 0;
   double WallSeconds = 0;
+  unsigned ShardIndex = 1, ShardCount = 1;
+  unsigned CacheHits = 0, CacheMisses = 0;
 };
-
-/// Escapes \p S for inclusion in a JSON string literal (quotes not
-/// included). Exposed for tests.
-std::string jsonEscape(const std::string &S);
 
 } // namespace engine
 } // namespace isopredict

@@ -3,6 +3,7 @@
 #include "engine/ReportDiff.h"
 
 #include "smt/Smt.h"
+#include "support/Json.h"
 #include "support/StrUtil.h"
 
 #include <cstdlib>
@@ -14,225 +15,6 @@ using namespace isopredict::engine;
 namespace {
 
 //===----------------------------------------------------------------------===
-// Minimal JSON reader
-//===----------------------------------------------------------------------===
-//
-// Just enough of a recursive-descent parser for the documents
-// Report::toJson emits (objects, arrays, strings, numbers, booleans,
-// null). Numbers are kept as their source text: the diff only compares
-// values for equality and prints them, so parsing them would only lose
-// formatting.
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind K = Kind::Null;
-  bool B = false;
-  std::string Text; ///< Number spelling or string contents.
-  std::vector<JsonValue> Items;
-  std::vector<std::pair<std::string, JsonValue>> Fields;
-
-  const JsonValue *field(const std::string &Name) const {
-    for (const auto &F : Fields)
-      if (F.first == Name)
-        return &F.second;
-    return nullptr;
-  }
-
-  /// Scalar rendering for diff output ("sat", "true", "12").
-  std::string scalar() const {
-    switch (K) {
-    case Kind::Null:
-      return "null";
-    case Kind::Bool:
-      return B ? "true" : "false";
-    default:
-      return Text;
-    }
-  }
-};
-
-class JsonParser {
-public:
-  explicit JsonParser(const std::string &Src) : Src(Src) {}
-
-  std::optional<JsonValue> parse(std::string *Error) {
-    std::optional<JsonValue> V = value();
-    skipWs();
-    if (!V || Pos != Src.size()) {
-      if (Error)
-        *Error = formatString("JSON parse error at offset %zu",
-                              Fail ? FailPos : Pos);
-      return std::nullopt;
-    }
-    return V;
-  }
-
-private:
-  const std::string &Src;
-  size_t Pos = 0;
-  bool Fail = false;
-  size_t FailPos = 0;
-
-  std::nullopt_t fail() {
-    if (!Fail) {
-      Fail = true;
-      FailPos = Pos;
-    }
-    return std::nullopt;
-  }
-
-  void skipWs() {
-    while (Pos < Src.size() && (Src[Pos] == ' ' || Src[Pos] == '\t' ||
-                                Src[Pos] == '\n' || Src[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool eat(char C) {
-    skipWs();
-    if (Pos < Src.size() && Src[Pos] == C) {
-      ++Pos;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(const char *Word) {
-    size_t Len = std::char_traits<char>::length(Word);
-    if (Src.compare(Pos, Len, Word) == 0) {
-      Pos += Len;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<std::string> string() {
-    if (!eat('"'))
-      return fail();
-    std::string Out;
-    while (Pos < Src.size()) {
-      char C = Src[Pos++];
-      if (C == '"')
-        return Out;
-      if (C != '\\') {
-        Out += C;
-        continue;
-      }
-      if (Pos >= Src.size())
-        break;
-      char E = Src[Pos++];
-      switch (E) {
-      case '"':
-      case '\\':
-      case '/':
-        Out += E;
-        break;
-      case 'n':
-        Out += '\n';
-        break;
-      case 't':
-        Out += '\t';
-        break;
-      case 'r':
-        Out += '\r';
-        break;
-      case 'b':
-        Out += '\b';
-        break;
-      case 'f':
-        Out += '\f';
-        break;
-      case 'u': {
-        if (Pos + 4 > Src.size())
-          return fail();
-        // Report strings are ASCII; render non-ASCII escapes literally.
-        unsigned Code = std::strtoul(Src.substr(Pos, 4).c_str(), nullptr, 16);
-        Pos += 4;
-        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
-        break;
-      }
-      default:
-        return fail();
-      }
-    }
-    return fail();
-  }
-
-  std::optional<JsonValue> value() {
-    skipWs();
-    if (Pos >= Src.size())
-      return fail();
-    JsonValue V;
-    char C = Src[Pos];
-    if (C == '{') {
-      ++Pos;
-      V.K = JsonValue::Kind::Object;
-      if (eat('}'))
-        return V;
-      do {
-        skipWs();
-        std::optional<std::string> Key = string();
-        if (!Key || !eat(':'))
-          return fail();
-        std::optional<JsonValue> Val = value();
-        if (!Val)
-          return fail();
-        V.Fields.emplace_back(std::move(*Key), std::move(*Val));
-      } while (eat(','));
-      if (!eat('}'))
-        return fail();
-      return V;
-    }
-    if (C == '[') {
-      ++Pos;
-      V.K = JsonValue::Kind::Array;
-      if (eat(']'))
-        return V;
-      do {
-        std::optional<JsonValue> Item = value();
-        if (!Item)
-          return fail();
-        V.Items.push_back(std::move(*Item));
-      } while (eat(','));
-      if (!eat(']'))
-        return fail();
-      return V;
-    }
-    if (C == '"') {
-      std::optional<std::string> S = string();
-      if (!S)
-        return fail();
-      V.K = JsonValue::Kind::String;
-      V.Text = std::move(*S);
-      return V;
-    }
-    if (literal("true")) {
-      V.K = JsonValue::Kind::Bool;
-      V.B = true;
-      return V;
-    }
-    if (literal("false")) {
-      V.K = JsonValue::Kind::Bool;
-      V.B = false;
-      return V;
-    }
-    if (literal("null"))
-      return V;
-    // Number: consume the JSON number grammar's character set.
-    size_t Start = Pos;
-    while (Pos < Src.size() &&
-           (std::isdigit(static_cast<unsigned char>(Src[Pos])) ||
-            Src[Pos] == '-' || Src[Pos] == '+' || Src[Pos] == '.' ||
-            Src[Pos] == 'e' || Src[Pos] == 'E'))
-      ++Pos;
-    if (Pos == Start)
-      return fail();
-    V.K = JsonValue::Kind::Number;
-    V.Text = Src.substr(Start, Pos - Start);
-    return V;
-  }
-};
-
-//===----------------------------------------------------------------------===
 // Job matching and classification
 //===----------------------------------------------------------------------===
 
@@ -242,15 +24,28 @@ std::string scalarField(const JsonValue &Job, const char *Name) {
 }
 
 /// Identity key of one job: everything that determines its outcome.
+/// Built from the fields *relevant to the job's kind* — not the fields
+/// present in the entry — because schema 2 serializes the complete
+/// spec while schema 1 emitted only kind-relevant fields, and the
+/// fallback key must match across both.
 std::string jobKey(const JsonValue &Job) {
-  std::string Key = scalarField(Job, "kind") + "|" + scalarField(Job, "app") +
-                    "|" + scalarField(Job, "workload") + "|seed=" +
+  std::string Kind = scalarField(Job, "kind");
+  std::string Key = Kind + "|" + scalarField(Job, "app") + "|" +
+                    scalarField(Job, "workload") + "|seed=" +
                     scalarField(Job, "seed");
-  for (const char *F : {"level", "strategy", "pco", "store_seed"}) {
+  auto append = [&](const char *F) {
     std::string V = scalarField(Job, F);
     if (!V.empty())
       Key += "|" + V;
+  };
+  if (Kind == "predict" || Kind == "random-weak")
+    append("level");
+  if (Kind == "predict") {
+    append("strategy");
+    append("pco");
   }
+  if (Kind == "random-weak" || Kind == "locking-rc")
+    append("store_seed");
   return Key;
 }
 
@@ -318,7 +113,7 @@ isopredict::engine::diffReports(const std::string &JsonA,
                                 std::string *Error) {
   auto parse = [&](const std::string &Src,
                    const char *Which) -> std::optional<JsonValue> {
-    std::optional<JsonValue> Doc = JsonParser(Src).parse(Error);
+    std::optional<JsonValue> Doc = parseJson(Src, Error);
     if (!Doc) {
       if (Error)
         *Error = std::string(Which) + ": " + *Error;
@@ -367,6 +162,11 @@ isopredict::engine::diffReports(const std::string &JsonA,
   std::map<std::string, const JsonValue *> IndexB = index(*DocB);
 
   ReportDiffResult R;
+  // Tolerated to be absent (reports from before the tool_version
+  // field): comparison proceeds either way, the stamps are only
+  // surfaced for context.
+  R.ToolVersionA = scalarField(*DocA, "tool_version");
+  R.ToolVersionB = scalarField(*DocB, "tool_version");
   for (const auto &[Key, JobA] : IndexA) {
     auto It = IndexB.find(Key);
     if (It == IndexB.end()) {

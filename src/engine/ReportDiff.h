@@ -49,6 +49,11 @@ struct ReportDiffResult {
   unsigned MatchedJobs = 0;
   /// Jobs present in only one report (identity keys).
   std::vector<std::string> OnlyInA, OnlyInB;
+  /// "tool_version" stamps of the two documents; empty for reports
+  /// from before the field existed (schema 1). Purely informational —
+  /// a mismatch never gates, but callers may want to surface that
+  /// outcome changes across versions are expected.
+  std::string ToolVersionA, ToolVersionB;
 
   bool hasRegressions() const {
     for (const JobDelta &D : Deltas)

@@ -1,0 +1,109 @@
+//===- Fs.cpp - Filesystem helpers ----------------------------------------===//
+
+#include "support/Fs.h"
+
+#include "support/StrUtil.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace isopredict;
+
+namespace {
+
+void setError(std::string *Error, const std::string &What,
+              const std::string &Path) {
+  if (Error)
+    *Error = What + " '" + Path + "': " + std::strerror(errno);
+}
+
+} // namespace
+
+bool isopredict::readFile(const std::string &Path, std::string &Out,
+                          std::string *Error) {
+  FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    setError(Error, "cannot open", Path);
+    return false;
+  }
+  Out.clear();
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(In);
+  if (!Ok)
+    setError(Error, "cannot read", Path);
+  std::fclose(In);
+  return Ok;
+}
+
+bool isopredict::writeFileAtomic(const std::string &Path,
+                                 const std::string &Contents,
+                                 std::string *Error) {
+  // Unique within and across processes: pid + a process-wide counter.
+  // The temporary lives next to the target so the final rename cannot
+  // cross a filesystem boundary.
+  static std::atomic<unsigned> Counter{0};
+  std::string Tmp = Path + formatString(".tmp.%ld.%u",
+                                        static_cast<long>(::getpid()),
+                                        Counter.fetch_add(1));
+  FILE *Out = std::fopen(Tmp.c_str(), "wb");
+  if (!Out) {
+    setError(Error, "cannot create", Tmp);
+    return false;
+  }
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), Out);
+  bool Ok = Written == Contents.size();
+  Ok = std::fflush(Out) == 0 && Ok;
+  // Flush file contents to disk before publishing the name, so a crash
+  // never renames an empty or partial entry into place.
+  Ok = ::fsync(::fileno(Out)) == 0 && Ok;
+  Ok = std::fclose(Out) == 0 && Ok;
+  if (!Ok) {
+    setError(Error, "short write to", Tmp);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error, "cannot rename into", Path);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool isopredict::createDirectories(const std::string &Path,
+                                   std::string *Error) {
+  if (Path.empty() || pathExists(Path))
+    return true;
+  // Create parents first ("a/b/c": a, then a/b, then a/b/c).
+  for (size_t Pos = 0; Pos != std::string::npos;) {
+    Pos = Path.find('/', Pos + 1);
+    std::string Prefix = Pos == std::string::npos ? Path : Path.substr(0, Pos);
+    if (Prefix.empty() || pathExists(Prefix))
+      continue;
+    if (::mkdir(Prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      setError(Error, "cannot create directory", Prefix);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool isopredict::pathExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+std::string isopredict::pathJoin(const std::string &A, const std::string &B) {
+  if (A.empty())
+    return B;
+  if (!A.empty() && A.back() == '/')
+    return A + B;
+  return A + "/" + B;
+}

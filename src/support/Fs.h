@@ -1,0 +1,48 @@
+//===- Fs.h - Filesystem helpers ------------------------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small set of filesystem operations the tool suite needs: whole-
+/// file reads, *atomic* whole-file writes (the result cache's integrity
+/// story: a crash mid-write must never leave a half-entry that a later
+/// run could mistake for a result), and mkdir -p. POSIX underneath;
+/// everything reports failure via a bool + optional error string, never
+/// exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SUPPORT_FS_H
+#define ISOPREDICT_SUPPORT_FS_H
+
+#include <string>
+
+namespace isopredict {
+
+/// Reads the whole file at \p Path into \p Out (binary). Returns false
+/// (and sets \p Error when non-null) when the file cannot be read.
+bool readFile(const std::string &Path, std::string &Out,
+              std::string *Error = nullptr);
+
+/// Writes \p Contents to \p Path atomically: the bytes land in a
+/// same-directory temporary file first and are rename(2)d into place,
+/// so concurrent readers (and writers of the same path — last rename
+/// wins) never observe a partial file.
+bool writeFileAtomic(const std::string &Path, const std::string &Contents,
+                     std::string *Error = nullptr);
+
+/// mkdir -p: creates \p Path and any missing parents. Existing
+/// directories are not an error.
+bool createDirectories(const std::string &Path, std::string *Error = nullptr);
+
+/// True when \p Path names an existing file or directory.
+bool pathExists(const std::string &Path);
+
+/// Joins two path components with exactly one '/' between them.
+std::string pathJoin(const std::string &A, const std::string &B);
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_SUPPORT_FS_H

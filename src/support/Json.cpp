@@ -1,0 +1,235 @@
+//===- Json.cpp - Minimal JSON reading and writing ------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StrUtil.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace isopredict;
+
+std::string isopredict::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::num(const char *Key, double V) {
+  field(Key);
+  Out << formatString("%.6f", V);
+}
+
+namespace {
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Src) : Src(Src) {}
+
+  std::optional<JsonValue> parse(std::string *Error) {
+    std::optional<JsonValue> V = value();
+    skipWs();
+    if (!V || Pos != Src.size()) {
+      if (Error)
+        *Error = formatString("JSON parse error at offset %zu",
+                              Fail ? FailPos : Pos);
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  const std::string &Src;
+  size_t Pos = 0;
+  bool Fail = false;
+  size_t FailPos = 0;
+
+  std::nullopt_t fail() {
+    if (!Fail) {
+      Fail = true;
+      FailPos = Pos;
+    }
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (Pos < Src.size() && (Src[Pos] == ' ' || Src[Pos] == '\t' ||
+                                Src[Pos] == '\n' || Src[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Src.size() && Src[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Src.compare(Pos, Len, Word) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"'))
+      return fail();
+    std::string Out;
+    while (Pos < Src.size()) {
+      char C = Src[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Src.size())
+        break;
+      char E = Src[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Src.size())
+          return fail();
+        // Our documents are ASCII; render non-ASCII escapes literally.
+        unsigned Code = std::strtoul(Src.substr(Pos, 4).c_str(), nullptr, 16);
+        Pos += 4;
+        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return fail();
+      }
+    }
+    return fail();
+  }
+
+  std::optional<JsonValue> value() {
+    skipWs();
+    if (Pos >= Src.size())
+      return fail();
+    JsonValue V;
+    char C = Src[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = JsonValue::Kind::Object;
+      if (eat('}'))
+        return V;
+      do {
+        skipWs();
+        std::optional<std::string> Key = string();
+        if (!Key || !eat(':'))
+          return fail();
+        std::optional<JsonValue> Val = value();
+        if (!Val)
+          return fail();
+        V.Fields.emplace_back(std::move(*Key), std::move(*Val));
+      } while (eat(','));
+      if (!eat('}'))
+        return fail();
+      return V;
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = JsonValue::Kind::Array;
+      if (eat(']'))
+        return V;
+      do {
+        std::optional<JsonValue> Item = value();
+        if (!Item)
+          return fail();
+        V.Items.push_back(std::move(*Item));
+      } while (eat(','));
+      if (!eat(']'))
+        return fail();
+      return V;
+    }
+    if (C == '"') {
+      std::optional<std::string> S = string();
+      if (!S)
+        return fail();
+      V.K = JsonValue::Kind::String;
+      V.Text = std::move(*S);
+      return V;
+    }
+    if (literal("true")) {
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      return V;
+    }
+    if (literal("false")) {
+      V.K = JsonValue::Kind::Bool;
+      V.B = false;
+      return V;
+    }
+    if (literal("null"))
+      return V;
+    // Number: consume the JSON number grammar's character set.
+    size_t Start = Pos;
+    while (Pos < Src.size() &&
+           (std::isdigit(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == '-' || Src[Pos] == '+' || Src[Pos] == '.' ||
+            Src[Pos] == 'e' || Src[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return fail();
+    V.K = JsonValue::Kind::Number;
+    V.Text = Src.substr(Start, Pos - Start);
+    return V;
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> isopredict::parseJson(const std::string &Src,
+                                               std::string *Error) {
+  return JsonParser(Src).parse(Error);
+}

@@ -1,0 +1,177 @@
+//===- Json.h - Minimal JSON reading and writing --------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough JSON for the documents this tool suite exchanges:
+/// campaign reports (Report::toJson), shard campaign files, and result
+/// cache entries.
+///
+/// JsonWriter is an *ordered* emitter — keys appear exactly in call
+/// order and formatting is fixed (two-space indentation, "%.6f"
+/// doubles) — so output bytes are a pure function of the emitted
+/// values. That property is what the determinism contracts lean on:
+/// reports are byte-identical across worker counts, and a merged
+/// sharded report is byte-identical to an unsharded run because both
+/// are re-emitted through the same writer.
+///
+/// JsonValue / parseJson are the reading side: a recursive-descent
+/// parser for objects, arrays, strings, numbers, booleans and null.
+/// Numbers keep their source spelling — consumers compare and reprint
+/// them, or parse them with parseInt, and round-tripping the text never
+/// loses formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SUPPORT_JSON_H
+#define ISOPREDICT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace isopredict {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(const std::string &S);
+
+/// One parsed JSON value. Object fields preserve document order.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  std::string Text; ///< Number spelling or string contents.
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  const JsonValue *field(const std::string &Name) const {
+    for (const auto &F : Fields)
+      if (F.first == Name)
+        return &F.second;
+    return nullptr;
+  }
+
+  /// Scalar rendering ("sat", "true", "12"); empty for containers.
+  std::string scalar() const {
+    switch (K) {
+    case Kind::Null:
+      return "null";
+    case Kind::Bool:
+      return B ? "true" : "false";
+    case Kind::Number:
+    case Kind::String:
+      return Text;
+    default:
+      return std::string();
+    }
+  }
+};
+
+/// Parses a complete JSON document. Returns std::nullopt (and sets
+/// \p Error when non-null) on malformed input or trailing garbage.
+std::optional<JsonValue> parseJson(const std::string &Src,
+                                   std::string *Error = nullptr);
+
+/// Minimal ordered JSON emitter; see file comment for the byte-stability
+/// contract.
+class JsonWriter {
+public:
+  explicit JsonWriter(unsigned Indent = 2) : IndentWidth(Indent) {}
+
+  void openObject() {
+    element();
+    open('{');
+  }
+  void closeObject() { close('}'); }
+  void openArray(const char *Key) {
+    field(Key);
+    open('[');
+  }
+  void openObjectIn(const char *Key) {
+    field(Key);
+    open('{');
+  }
+  /// Opens an anonymous object as an array element.
+  void openElement() {
+    element();
+    open('{');
+  }
+  void closeArray() { close(']'); }
+
+  void str(const char *Key, const std::string &V) {
+    field(Key);
+    Out << '"' << jsonEscape(V) << '"';
+  }
+  void num(const char *Key, uint64_t V) {
+    field(Key);
+    Out << V;
+  }
+  void num(const char *Key, double V);
+  void boolean(const char *Key, bool V) {
+    field(Key);
+    Out << (V ? "true" : "false");
+  }
+  /// Bare numeric array element.
+  void numElement(uint64_t V) {
+    element();
+    Out << V;
+  }
+  /// Bare string array element.
+  void strElement(const std::string &V) {
+    element();
+    Out << '"' << jsonEscape(V) << '"';
+  }
+  std::string take() {
+    Out << '\n';
+    return Out.str();
+  }
+
+private:
+  /// Emits the opening bracket at the current position; the caller has
+  /// already placed it (field() for keyed containers, element() for
+  /// array elements).
+  void open(char C) {
+    Out << C;
+    Stack.push_back(C == '{' ? '}' : ']');
+    First = true;
+  }
+  void close(char C) {
+    Stack.pop_back();
+    if (!First)
+      newline();
+    Out << C;
+    First = false;
+  }
+  void field(const char *Key) {
+    element();
+    Out << '"' << Key << "\": ";
+  }
+  /// Comma/indent bookkeeping before any value at the current depth.
+  void element() {
+    if (Stack.empty())
+      return;
+    if (!First)
+      Out << ',';
+    newline();
+    First = false;
+  }
+  void newline() {
+    Out << '\n';
+    for (size_t I = 0; I < Stack.size() * IndentWidth; ++I)
+      Out << ' ';
+  }
+
+  std::ostringstream Out;
+  std::vector<char> Stack;
+  bool First = true;
+  unsigned IndentWidth;
+};
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_SUPPORT_JSON_H

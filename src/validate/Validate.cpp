@@ -2,6 +2,8 @@
 
 #include "validate/Validate.h"
 
+#include "support/StrUtil.h"
+
 #include <map>
 
 using namespace isopredict;
@@ -18,6 +20,20 @@ const char *isopredict::toString(ValidationResult::Status St) {
     return "no-prediction";
   }
   return "?";
+}
+
+std::optional<ValidationResult::Status>
+isopredict::validationStatusFromString(std::string_view Name) {
+  std::string N = toLowerAscii(Name);
+  if (N == "validated-unserializable")
+    return ValidationResult::Status::ValidatedUnserializable;
+  if (N == "serializable")
+    return ValidationResult::Status::Serializable;
+  if (N == "unknown")
+    return ValidationResult::Status::Unknown;
+  if (N == "no-prediction")
+    return ValidationResult::Status::NoPrediction;
+  return std::nullopt;
 }
 
 namespace {

@@ -54,6 +54,12 @@ struct ValidationResult {
 
 const char *toString(ValidationResult::Status St);
 
+/// Inverse of toString: parses the canonical spellings
+/// ("validated-unserializable", "serializable", "unknown",
+/// "no-prediction"), ASCII case-insensitively. std::nullopt otherwise.
+std::optional<ValidationResult::Status>
+validationStatusFromString(std::string_view Name);
+
 /// Validates \p Pred (produced from \p Observed, which \p App generated
 /// under \p Cfg) by replaying \p App on a ControlledReplay store at
 /// isolation level \p Level. \p TimeoutMs bounds the final

@@ -265,9 +265,78 @@ TEST(Report, EmitsSpecHashPerJob) {
   EXPECT_NE(R.toJson().find(Expected), std::string::npos);
 }
 
-TEST(Report, JsonEscape) {
-  EXPECT_EQ(jsonEscape("plain"), "plain");
-  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
-  EXPECT_EQ(jsonEscape("x\ny\t"), "x\\ny\\t");
-  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+TEST(Report, EmitsToolVersionAndSchema) {
+  Campaign C;
+  C.Name = "version";
+  Report R = runWith(C, 1);
+  std::string Json = R.toJson();
+  EXPECT_NE(Json.find("\"schema\": \"isopredict-campaign-report/2\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"tool_version\": \"" + std::string(toolVersion()) +
+                      "\""),
+            std::string::npos);
+  // Unsharded reports carry no shard coordinates: byte-identity with
+  // merged and 1/1-shard reports depends on their absence.
+  EXPECT_EQ(Json.find("\"shard_index\""), std::string::npos);
+}
+
+// Golden spec hashes: these exact values are persisted in JSON reports,
+// name result-cache entries (<cache>/<tool_version>/<hash>.json), and
+// key cross-report job matching. If this test fails, a change to
+// canonicalSpec (or the hash) has silently invalidated every existing
+// cache and broken report_diff against historical reports — either
+// revert the change or bump engine::toolVersion() *and* regenerate
+// these constants deliberately.
+TEST(Campaign, GoldenSpecHashes) {
+  auto hash = [](const JobSpec &S) {
+    return formatString("%016llx",
+                        static_cast<unsigned long long>(specHash(S)));
+  };
+
+  JobSpec Predict; // The all-defaults Predict job.
+  Predict.Kind = JobKind::Predict;
+  Predict.App = "smallbank";
+  Predict.Cfg = WorkloadConfig::small(1);
+  EXPECT_EQ(canonicalSpec(Predict),
+            "kind=predict;app=smallbank;sessions=3;txns=4;seed=1;"
+            "level=causal;strat=Approx-Relaxed;pco=rank;store_seed=1;"
+            "timeout_ms=0;validate=1;check_ser=1");
+  EXPECT_EQ(hash(Predict), "494a3c990630bec8");
+
+  JobSpec Tpcc;
+  Tpcc.Kind = JobKind::Predict;
+  Tpcc.App = "tpcc";
+  Tpcc.Cfg = WorkloadConfig::large(3);
+  Tpcc.Level = IsolationLevel::ReadCommitted;
+  Tpcc.Strat = Strategy::ApproxStrict;
+  Tpcc.TimeoutMs = 5000;
+  EXPECT_EQ(hash(Tpcc), "0598d1c0972f26ca");
+
+  JobSpec Exact = Predict;
+  Exact.Strat = Strategy::ExactStrict;
+  Exact.Pco = PcoEncoding::Layered;
+  Exact.Validate = false;
+  EXPECT_EQ(hash(Exact), "b437fa7c8bcc12f0");
+
+  JobSpec Observe;
+  Observe.Kind = JobKind::Observe;
+  Observe.App = "voter";
+  Observe.Cfg = WorkloadConfig::small(2);
+  EXPECT_EQ(hash(Observe), "2d062343d2065733");
+
+  JobSpec Weak;
+  Weak.Kind = JobKind::RandomWeak;
+  Weak.App = "wikipedia";
+  Weak.Cfg = WorkloadConfig::small(1);
+  Weak.Level = IsolationLevel::ReadAtomic;
+  Weak.StoreSeed = 1007;
+  EXPECT_EQ(hash(Weak), "c347994f2638d77b");
+
+  JobSpec Locking;
+  Locking.Kind = JobKind::LockingRc;
+  Locking.App = "smallbank";
+  Locking.Cfg = WorkloadConfig::small(5);
+  Locking.StoreSeed = 99;
+  Locking.CheckSerializability = false;
+  EXPECT_EQ(hash(Locking), "5df553085dffd5b8");
 }

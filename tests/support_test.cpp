@@ -1,12 +1,15 @@
 //===- support_test.cpp - Support library tests ---------------*- C++ -*-===//
 
 #include "support/Env.h"
+#include "support/Fs.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/StrUtil.h"
 #include "support/TablePrinter.h"
 
 #include <cstdlib>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 using namespace isopredict;
 
@@ -114,6 +117,95 @@ TEST(Env, TimerAdvances) {
   EXPECT_GE(B, A);
   T.reset();
   EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("x\ny\t"), "x\\ny\\t");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ParsesDocumentsAndPreservesNumberSpellings) {
+  std::string Error;
+  std::optional<JsonValue> Doc = parseJson(
+      "{\"a\": [1, 2.50, -3], \"b\": {\"c\": true, \"d\": null}, "
+      "\"e\": \"x\\ny\"}",
+      &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const JsonValue *A = Doc->field("a");
+  ASSERT_TRUE(A && A->K == JsonValue::Kind::Array);
+  ASSERT_EQ(A->Items.size(), 3u);
+  EXPECT_EQ(A->Items[1].Text, "2.50"); // source spelling kept
+  const JsonValue *B = Doc->field("b");
+  ASSERT_TRUE(B && B->K == JsonValue::Kind::Object);
+  EXPECT_EQ(B->field("c")->scalar(), "true");
+  EXPECT_EQ(B->field("d")->scalar(), "null");
+  EXPECT_EQ(Doc->field("e")->Text, "x\ny");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseJson("{\"a\": }", &Error).has_value());
+  EXPECT_NE(Error.find("offset"), std::string::npos);
+  EXPECT_FALSE(parseJson("[1, 2,]", nullptr).has_value());
+  EXPECT_FALSE(parseJson("{} trailing", nullptr).has_value());
+  EXPECT_FALSE(parseJson("", nullptr).has_value());
+}
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  JsonWriter W;
+  W.openObject();
+  W.str("name", "a \"quoted\" value");
+  W.num("count", static_cast<uint64_t>(7));
+  W.num("ratio", 0.5);
+  W.boolean("flag", true);
+  W.openArray("items");
+  W.numElement(1);
+  W.strElement("two");
+  W.closeArray();
+  W.closeObject();
+  std::string Out = W.take();
+
+  std::optional<JsonValue> Doc = parseJson(Out);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->field("name")->Text, "a \"quoted\" value");
+  EXPECT_EQ(Doc->field("count")->Text, "7");
+  EXPECT_EQ(Doc->field("ratio")->Text, "0.500000"); // fixed %.6f render
+  EXPECT_TRUE(Doc->field("flag")->B);
+  ASSERT_EQ(Doc->field("items")->Items.size(), 2u);
+}
+
+TEST(Fs, ReadWriteRoundTrip) {
+  std::string Dir = testing::TempDir() + formatString("isopredict-fs-%ld",
+                                                      (long)::getpid());
+  ASSERT_TRUE(createDirectories(pathJoin(Dir, "a/b/c")));
+  EXPECT_TRUE(pathExists(pathJoin(Dir, "a/b/c")));
+  // Idempotent on existing directories.
+  EXPECT_TRUE(createDirectories(pathJoin(Dir, "a/b")));
+
+  std::string Path = pathJoin(Dir, "a/b/c/file.json");
+  std::string Contents("line1\nline2\0binary", 18), Back;
+  ASSERT_TRUE(writeFileAtomic(Path, Contents));
+  ASSERT_TRUE(readFile(Path, Back));
+  EXPECT_EQ(Back, Contents);
+
+  // Atomic overwrite replaces the old bytes completely.
+  ASSERT_TRUE(writeFileAtomic(Path, "v2"));
+  ASSERT_TRUE(readFile(Path, Back));
+  EXPECT_EQ(Back, "v2");
+
+  std::string Error;
+  EXPECT_FALSE(readFile(pathJoin(Dir, "missing"), Back, &Error));
+  EXPECT_NE(Error.find("missing"), std::string::npos);
+  // Writes into a non-existent directory fail cleanly.
+  EXPECT_FALSE(writeFileAtomic(pathJoin(Dir, "no/such/dir/f"), "x", &Error));
+}
+
+TEST(Fs, PathJoin) {
+  EXPECT_EQ(pathJoin("a", "b"), "a/b");
+  EXPECT_EQ(pathJoin("a/", "b"), "a/b");
+  EXPECT_EQ(pathJoin("", "b"), "b");
 }
 
 TEST(TablePrinter, AlignsAndSeparates) {
