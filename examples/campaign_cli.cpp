@@ -72,6 +72,9 @@ int usage(const char *Msg = nullptr) {
       "                        reuse the declare+feasibility encoding across\n"
       "                        that execution's queries (same sat/unsat\n"
       "                        outcomes; witnesses/validation may differ)\n"
+      "  --prune               formula minimization: relevance-pruned\n"
+      "                        encoding plan (same sat/unsat outcomes;\n"
+      "                        fewer literals, models may differ)\n"
       "  --no-validate         skip validation replay of Sat predictions\n"
       "  --cache-dir DIR       persistent result cache: skip jobs whose\n"
       "                        results are cached, store the rest\n"
@@ -128,8 +131,9 @@ int dryRun(const Campaign &C, const std::string &CacheDir,
     }
     std::string Detail;
     if (S.Kind == JobKind::Predict)
-      Detail = formatString(" %s %s %s", toString(S.Level), toString(S.Strat),
-                            toString(S.Pco));
+      Detail = formatString(" %s %s %s%s", toString(S.Level),
+                            toString(S.Strat), toString(S.Pco),
+                            S.Prune ? " prune" : "");
     else if (S.Kind == JobKind::RandomWeak)
       Detail = formatString(" %s store_seed=%llu", toString(S.Level),
                             static_cast<unsigned long long>(S.StoreSeed));
@@ -163,6 +167,7 @@ int main(int argc, char **argv) {
   unsigned TimeoutMs = 5000;
   PcoEncoding Pco = PcoEncoding::Rank;
   bool ShareEncodings = false;
+  bool Prune = false;
   bool Validate = true;
   bool Timings = false;
   bool Quiet = false;
@@ -187,6 +192,11 @@ int main(int argc, char **argv) {
       GridFlagUsed = true;
     } else if (Flag == "--share-encodings") {
       ShareEncodings = true;
+    } else if (Flag == "--prune") {
+      // Changes every job's spec (and hash), so it is a grid flag:
+      // campaign files carry their own prune decision per job.
+      Prune = true;
+      GridFlagUsed = true;
     } else if (Flag == "--timings") {
       Timings = true;
     } else if (Flag == "--quiet") {
@@ -350,8 +360,10 @@ int main(int argc, char **argv) {
       return usage("nothing to do (zero seeds or no apps)");
     C = Campaign::predictGrid(Name, Apps, Levels, Strategies, Larges, Seeds,
                               TimeoutMs, Pco);
-    for (JobSpec &J : C.Jobs)
+    for (JobSpec &J : C.Jobs) {
       J.Validate = Validate;
+      J.Prune = Prune;
+    }
   }
 
   if (WriteShards) {

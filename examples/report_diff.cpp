@@ -7,8 +7,8 @@
 // re-runs / report diffing" tool.
 //
 // Usage:
-//   report_diff [--regressions-only] [--outcomes-only] [--quiet]
-//               before.json after.json
+//   report_diff [--regressions-only] [--outcomes-only] [--match-by-key]
+//               [--quiet] before.json after.json
 //
 // Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage or
 // parse error. Neutral changes (new predictions, literal-count shifts)
@@ -39,7 +39,7 @@ int usage(const char *Msg = nullptr) {
     std::fprintf(stderr, "error: %s\n", Msg);
   std::fprintf(stderr,
                "usage: report_diff [--regressions-only] [--outcomes-only] "
-               "[--quiet] before.json after.json\n"
+               "[--match-by-key] [--quiet] before.json after.json\n"
                "  exit 0: no outcome regressions\n"
                "  exit 1: regressions (sat->unsat, validated->diverged, "
                "ok->failed, ...)\n"
@@ -47,7 +47,12 @@ int usage(const char *Msg = nullptr) {
                "  --outcomes-only: don't gate on Predict validation-replay "
                "differences (for\n"
                "    diffs across engine modes where models may "
-               "legitimately differ)\n");
+               "legitimately differ)\n"
+               "  --match-by-key: match jobs on the identity key even when "
+               "both reports\n"
+               "    carry spec hashes (for diffs across spec knobs like "
+               "--prune, whose\n"
+               "    hashes differ by design)\n");
   return 2;
 }
 
@@ -56,6 +61,7 @@ int usage(const char *Msg = nullptr) {
 int main(int argc, char **argv) {
   bool RegressionsOnly = false;
   bool OutcomesOnly = false;
+  bool MatchByKey = false;
   bool Quiet = false;
   std::vector<std::string> Paths;
   for (int I = 1; I < argc; ++I) {
@@ -63,6 +69,8 @@ int main(int argc, char **argv) {
       RegressionsOnly = true;
     else if (std::strcmp(argv[I], "--outcomes-only") == 0)
       OutcomesOnly = true;
+    else if (std::strcmp(argv[I], "--match-by-key") == 0)
+      MatchByKey = true;
     else if (std::strcmp(argv[I], "--quiet") == 0)
       Quiet = true;
     else if (argv[I][0] == '-' && argv[I][1] != '\0')
@@ -80,7 +88,8 @@ int main(int argc, char **argv) {
     return usage(("cannot read '" + Paths[1] + "'").c_str());
 
   std::string Error;
-  std::optional<ReportDiffResult> Diff = diffReports(JsonA, JsonB, &Error);
+  std::optional<ReportDiffResult> Diff =
+      diffReports(JsonA, JsonB, &Error, MatchByKey);
   if (!Diff) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 2;

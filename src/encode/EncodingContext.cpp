@@ -32,11 +32,14 @@ uint64_t packTK(TxnId T, KeyId K) {
 PairMatrix isopredict::encode::defineClosure(SmtContext &Ctx,
                                              AssertionBuffer &Asserts,
                                              const PairMatrix &Base,
-                                             const char *Prefix) {
+                                             const char *Prefix, bool Fold,
+                                             uint64_t *PrunedVars,
+                                             uint64_t *PrunedLits) {
   size_t N = Base.size();
   size_t Layers = 1;
   while ((size_t(1) << Layers) < N)
     ++Layers;
+  uint64_t PV = 0, PL = 0;
   PairMatrix Prev = Base;
   std::vector<SmtExpr> Terms;
   Terms.reserve(N);
@@ -46,11 +49,51 @@ PairMatrix isopredict::encode::defineClosure(SmtContext &Ctx,
       for (TxnId B = 0; B < N; ++B) {
         if (A == B)
           continue;
+        if (Fold && Ctx.isTrue(Prev[A][B])) {
+          // A constant-true path stays true through every later layer.
+          Next[A][B] = Prev[A][B];
+          ++PV;
+          continue;
+        }
         Terms.clear();
-        Terms.push_back(Prev[A][B]);
-        for (TxnId M = 0; M < N; ++M)
-          if (M != A && M != B)
+        bool True = false;
+        if (Fold && Ctx.isFalse(Prev[A][B]))
+          ++PL;
+        else
+          Terms.push_back(Prev[A][B]);
+        for (TxnId M = 0; M < N; ++M) {
+          if (M == A || M == B)
+            continue;
+          if (!Fold) {
             Terms.push_back(Ctx.mkAnd(Prev[A][M], Prev[M][B]));
+            continue;
+          }
+          SmtExpr Lhs = Prev[A][M], Rhs = Prev[M][B];
+          if (Ctx.isFalse(Lhs) || Ctx.isFalse(Rhs)) {
+            PL += 2; // The whole two-atom conjunct is unsatisfiable.
+            continue;
+          }
+          if (Ctx.isTrue(Lhs) && Ctx.isTrue(Rhs)) {
+            True = true;
+            break;
+          }
+          if (Ctx.isTrue(Lhs)) {
+            Terms.push_back(Rhs);
+            ++PL;
+          } else if (Ctx.isTrue(Rhs)) {
+            Terms.push_back(Lhs);
+            ++PL;
+          } else {
+            Terms.push_back(Ctx.mkAnd(Lhs, Rhs));
+          }
+        }
+        if (Fold && (True || Terms.empty() || Terms.size() == 1)) {
+          // Constant or pass-through: no layer variable, no definition.
+          Next[A][B] = True ? Ctx.boolVal(true)
+                            : Terms.empty() ? Ctx.boolVal(false) : Terms[0];
+          ++PV;
+          continue;
+        }
         SmtExpr Var =
             Ctx.boolVar(formatString("%s_l%zu_%u_%u", Prefix, L, A, B));
         Asserts.add(Ctx.mkIff(Var, Ctx.mkOr(Terms)));
@@ -58,6 +101,10 @@ PairMatrix isopredict::encode::defineClosure(SmtContext &Ctx,
       }
     Prev = std::move(Next);
   }
+  if (PrunedVars)
+    *PrunedVars += PV;
+  if (PrunedLits)
+    *PrunedLits += PL;
   return Prev;
 }
 
@@ -84,6 +131,11 @@ bool EncodingContext::hasWrk(KeyId K, TxnId Writer, TxnId Reader) const {
 }
 
 SmtExpr EncodingContext::choiceIs(SessionId S, uint32_t Pos, TxnId W) {
+  // A fixed read (EncodingPlan::Fixed) has no choice variable: the
+  // equality is a constant, folded by the caller.
+  if (Plan)
+    if (const TxnId *F = Plan->fixedChoice(S, Pos))
+      return Ctx.boolVal(*F == W);
   auto [It, New] = ChoiceAtomCache.try_emplace(packSPW(S, Pos, W));
   if (New)
     It->second = Ctx.mkEq(Choice.at({S, Pos}), Ctx.internIntVal(W));
@@ -162,6 +214,33 @@ EncodingContext::wwJust(TxnId A, TxnId B, const PairMatrix &P) {
   for (const JustEntry &E : WwByWriter[B]) {
     if (E.Other == A || !writes(A, E.K))
       continue;
+    if (pruning()) {
+      // Fold constant conjuncts: a constant-false pco edge (layered
+      // encoding) kills the justification; a constant-true one grounds
+      // the derivation — no rank guard needed (Justification::
+      // Grounded) — and writeIncluded is constant true for t0's writes.
+      SmtExpr Edge = P[A][E.Other];
+      if (isFalse(Edge)) {
+        notePrunedLits(3);
+        continue;
+      }
+      std::vector<SmtExpr> Conj{E.Wrk};
+      bool Grounded = isTrue(Edge);
+      if (Grounded)
+        notePrunedLits(1); // The folded pco conjunct. (The rank guard a
+                           // grounded justification also sheds is
+                           // counted by the rank pass — the layered
+                           // encoding has no guards to shed.)
+      else
+        Conj.push_back(Edge);
+      SmtExpr WInc = writeIncluded(A, E.K);
+      if (isTrue(WInc))
+        notePrunedLits(1);
+      else
+        Conj.push_back(WInc);
+      Out.push_back({Ctx.mkAnd(Conj), A, E.Other, Grounded});
+      continue;
+    }
     Out.push_back({Ctx.mkAnd({E.Wrk, P[A][E.Other], writeIncluded(A, E.K)}),
                    A, E.Other});
   }
@@ -178,6 +257,26 @@ EncodingContext::rwJust(TxnId A, TxnId B, const PairMatrix &P) {
   for (const JustEntry &E : RwByReader[A]) {
     if (E.Other == B || !writes(B, E.K))
       continue;
+    if (pruning()) {
+      SmtExpr Edge = P[E.Other][B];
+      if (isFalse(Edge)) {
+        notePrunedLits(3);
+        continue;
+      }
+      std::vector<SmtExpr> Conj{E.Wrk};
+      bool Grounded = isTrue(Edge);
+      if (Grounded)
+        notePrunedLits(1); // Pco conjunct only; see wwJust.
+      else
+        Conj.push_back(Edge);
+      SmtExpr WInc = writeIncluded(B, E.K);
+      if (isTrue(WInc))
+        notePrunedLits(1);
+      else
+        Conj.push_back(WInc);
+      Out.push_back({Ctx.mkAnd(Conj), E.Other, B, Grounded});
+      continue;
+    }
     Out.push_back({Ctx.mkAnd({E.Wrk, P[E.Other][B], writeIncluded(B, E.K)}),
                    E.Other, B});
   }
@@ -187,7 +286,33 @@ EncodingContext::rwJust(TxnId A, TxnId B, const PairMatrix &P) {
 void EncodingContext::addCycleConstraint(const PairMatrix &P) {
   std::vector<SmtExpr> CycleTerms;
   for (TxnId A = 0; A < N; ++A)
-    for (TxnId B = A + 1; B < N; ++B)
-      CycleTerms.push_back(Ctx.mkAnd(P[A][B], P[B][A]));
+    for (TxnId B = A + 1; B < N; ++B) {
+      if (!pruning()) {
+        CycleTerms.push_back(Ctx.mkAnd(P[A][B], P[B][A]));
+        continue;
+      }
+      // Folded: a constant-false side kills the term; a constant-true
+      // side (so edges under the rank encoding, derived layers under
+      // the layered one) reduces it to the other side. Both sides true
+      // cannot happen for pco ⊇ so (so is acyclic), but an empty
+      // disjunction still asserts false — "no cycle is possible" is a
+      // legitimate (unsat) outcome.
+      SmtExpr Fwd = P[A][B], Bwd = P[B][A];
+      if (isFalse(Fwd) || isFalse(Bwd)) {
+        notePrunedLits(2);
+        continue;
+      }
+      if (isTrue(Fwd) && isTrue(Bwd)) {
+        CycleTerms.push_back(Ctx.boolVal(true));
+      } else if (isTrue(Fwd)) {
+        notePrunedLits(1);
+        CycleTerms.push_back(Bwd);
+      } else if (isTrue(Bwd)) {
+        notePrunedLits(1);
+        CycleTerms.push_back(Fwd);
+      } else {
+        CycleTerms.push_back(Ctx.mkAnd(Fwd, Bwd));
+      }
+    }
   assertExpr(Ctx.mkOr(CycleTerms));
 }

@@ -30,11 +30,13 @@
 #ifndef ISOPREDICT_ENCODE_ENCODINGCONTEXT_H
 #define ISOPREDICT_ENCODE_ENCODINGCONTEXT_H
 
+#include "encode/Prune.h"
 #include "history/History.h"
 #include "predict/Predict.h"
 #include "smt/Smt.h"
 
 #include <map>
+#include <memory>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
@@ -98,8 +100,19 @@ private:
 /// squaring (ceil(log2 N) layers); definitions go through \p Asserts.
 /// Exposed as a free function so the closure machinery is testable in
 /// isolation and reusable outside a prediction query.
+///
+/// With \p Fold set (the pruned encoding), base entries may be boolean
+/// constants and the layers constant-fold through them: a pair with a
+/// constant-true path stays constant true, a pair with no non-false
+/// term stays constant false, and a single surviving term is passed
+/// through instead of defining a layer variable. Skipped declarations
+/// and folded-out atoms are tallied into \p PrunedVars / \p PrunedLits
+/// when non-null. Sat-equivalent; with \p Fold off the construction is
+/// bit-identical to the original.
 PairMatrix defineClosure(SmtContext &Ctx, AssertionBuffer &Asserts,
-                         const PairMatrix &Base, const char *Prefix);
+                         const PairMatrix &Base, const char *Prefix,
+                         bool Fold = false, uint64_t *PrunedVars = nullptr,
+                         uint64_t *PrunedLits = nullptr);
 
 /// Shared state of one predictive-encoding query — or, in session mode,
 /// of a whole multi-query PredictSession. Construction declares nothing;
@@ -126,7 +139,13 @@ public:
                             ? AssertionBuffer::FlushMode::Conjoin
                             : AssertionBuffer::FlushMode::Immediate),
         N(H.numTxns()), SessionMode(SessionMode),
-        Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {}
+        Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {
+    if (Opts.PruneFormula) {
+      PlanStorage =
+          std::make_unique<EncodingPlan>(computeEncodingPlan(H));
+      Plan = PlanStorage.get();
+    }
+  }
 
   const History &H;
   const PredictOptions &Opts;
@@ -134,10 +153,63 @@ public:
   AssertionBuffer Asserts;
   const size_t N;
   const bool SessionMode;
+  /// Relevance plan of the pruned encoding (PredictOptions::
+  /// PruneFormula); null when pruning is off. Computed once per context
+  /// — once per one-shot query, or once per PredictSession — because it
+  /// depends only on the observed history.
+  const EncodingPlan *Plan = nullptr;
   /// Boundary mode of the current query (strict aliases cut to
   /// boundary). Fixed for a one-shot encoding; updated per query by
   /// beginQuery() in session mode.
   bool Relaxed;
+
+  //===--------------------------------------------------------------------===
+  // Pruning (PredictOptions::PruneFormula)
+  //===--------------------------------------------------------------------===
+
+  bool pruning() const { return Plan != nullptr; }
+  bool isTrue(SmtExpr E) const { return Ctx.isTrue(E); }
+  bool isFalse(SmtExpr E) const { return Ctx.isFalse(E); }
+
+  /// Cumulative pruning counters (the pipeline attributes per-pass
+  /// deltas into PassStats, mirroring literalCount()). PrunedVars is
+  /// exact; PrunedLits is a lower-bound estimate — each skip site adds
+  /// the literals its unpruned counterpart would have emitted where
+  /// that count is statically known, and one literal per folded-out
+  /// atom otherwise.
+  uint64_t PrunedVars = 0;
+  uint64_t PrunedLits = 0;
+  void notePrunedVars(uint64_t K) { PrunedVars += K; }
+  void notePrunedLits(uint64_t K) { PrunedLits += K; }
+
+  /// Disjunct folding for the pruned passes: appends \p E to \p Terms
+  /// unless it is constant false (dropped, one pruned literal);
+  /// returns true when \p E is constant true — the disjunction is then
+  /// trivially true and the caller short-circuits.
+  bool orTerm(std::vector<SmtExpr> &Terms, SmtExpr E) {
+    if (isFalse(E)) {
+      notePrunedLits(1);
+      return false;
+    }
+    if (isTrue(E))
+      return true;
+    Terms.push_back(E);
+    return false;
+  }
+
+  /// Conjunct folding: appends \p E unless constant true (dropped, one
+  /// pruned literal); returns true when \p E is constant false — the
+  /// conjunction is then trivially false and the caller drops it.
+  bool andTerm(std::vector<SmtExpr> &Terms, SmtExpr E) {
+    if (isTrue(E)) {
+      notePrunedLits(1);
+      return false;
+    }
+    if (isFalse(E))
+      return true;
+    Terms.push_back(E);
+    return false;
+  }
 
   /// Resets the per-query state (the strategy-pass outputs below) ahead
   /// of the next session query; the base tables built by DeclarePass /
@@ -240,9 +312,11 @@ public:
   /// True outright for t0. Interned.
   SmtExpr writeIncluded(TxnId T, KeyId K);
 
-  /// Member shorthand for the free defineClosure above.
+  /// Member shorthand for the free defineClosure above (folding — and
+  /// tallying into the pruning counters — exactly when pruning is on).
   PairMatrix closure(const PairMatrix &Base, const char *Prefix) {
-    return defineClosure(Ctx, Asserts, Base, Prefix);
+    return defineClosure(Ctx, Asserts, Base, Prefix, pruning(),
+                         &PrunedVars, &PrunedLits);
   }
 
   /// One way to justify a ww/rw edge: the condition plus the pco edge
@@ -250,6 +324,11 @@ public:
   struct Justification {
     SmtExpr Cond;
     TxnId RankA, RankB;
+    /// Pruned encodings only: the consumed pco edge is a constant-true
+    /// so edge, i.e. the derivation is grounded at base level and
+    /// cannot be self-justifying — ApproxRankPass omits its rank guard
+    /// (the constant conjunct is already folded out of Cond).
+    bool Grounded = false;
   };
 
   /// φww(A,B) justifications: B's write to k is read by some t3 that
@@ -271,6 +350,7 @@ public:
   void buildIndexes();
 
 private:
+  std::unique_ptr<EncodingPlan> PlanStorage;
   size_t NumKeys = 0;
   /// Dense N×numKeys "t writes k" bitset (t0 writes every key).
   std::vector<uint8_t> WritesBit;

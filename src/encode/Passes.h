@@ -89,6 +89,12 @@ class ApproxRankPass : public EncodingPass {
 public:
   const char *name() const override { return "approx-rank"; }
   void run(EncodingContext &EC) override;
+
+private:
+  /// The plan-driven realization (PredictOptions::PruneFormula):
+  /// observed-so pairs substitute constant-true pco and lose their
+  /// ww/rw/rank variables; grounded justifications lose their guards.
+  void runPruned(EncodingContext &EC);
 };
 
 /// B.2.2 realized as a bounded-depth least fixpoint (frozen ablation

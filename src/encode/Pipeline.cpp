@@ -12,10 +12,12 @@ void EncoderPipeline::run(EncodingContext &EC, EncodingStats &Stats) const {
   for (const std::unique_ptr<EncodingPass> &Pass : Passes) {
     Timer PassTime;
     uint64_t Before = EC.Ctx.literalCount();
+    uint64_t PVBefore = EC.PrunedVars, PLBefore = EC.PrunedLits;
     Pass->run(EC);
     EC.Asserts.flush(); // No-op in Immediate mode; batch in Conjoin.
-    Stats.Passes.push_back(
-        {Pass->name(), EC.Ctx.literalCount() - Before, PassTime.seconds()});
+    Stats.Passes.push_back({Pass->name(), EC.Ctx.literalCount() - Before,
+                            PassTime.seconds(), EC.PrunedVars - PVBefore,
+                            EC.PrunedLits - PLBefore});
   }
 }
 

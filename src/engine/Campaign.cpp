@@ -42,12 +42,14 @@ std::string isopredict::engine::canonicalSpec(const JobSpec &S) {
   // across runs (report_diff) and, eventually, cache generations.
   return formatString(
       "kind=%s;app=%s;sessions=%u;txns=%u;seed=%llu;level=%s;strat=%s;"
-      "pco=%s;store_seed=%llu;timeout_ms=%u;validate=%u;check_ser=%u",
+      "pco=%s;store_seed=%llu;timeout_ms=%u;validate=%u;check_ser=%u;"
+      "prune=%u",
       toString(S.Kind), S.App.c_str(), S.Cfg.Sessions, S.Cfg.TxnsPerSession,
       static_cast<unsigned long long>(S.Cfg.Seed), toString(S.Level),
       toString(S.Strat), toString(S.Pco),
       static_cast<unsigned long long>(S.StoreSeed), S.TimeoutMs,
-      S.Validate ? 1u : 0u, S.CheckSerializability ? 1u : 0u);
+      S.Validate ? 1u : 0u, S.CheckSerializability ? 1u : 0u,
+      S.Prune ? 1u : 0u);
 }
 
 uint64_t isopredict::engine::specHash(const JobSpec &S) {

@@ -81,6 +81,13 @@ struct JobSpec {
   bool Validate = true;
   /// RandomWeak: run the ∃co serializability check on the history.
   bool CheckSerializability = true;
+  /// Predict: relevance-pruned encoding (PredictOptions::PruneFormula).
+  /// Sat/unsat outcomes match the default encoding, but models,
+  /// witnesses, validation replays, and literal counts may differ — all
+  /// of which land in default report bytes — so the flag is part of the
+  /// canonical spec: pruned and unpruned runs never answer each other's
+  /// cache lookups or match in report_diff.
+  bool Prune = false;
 };
 
 /// Canonical one-line serialization of every outcome-determining JobSpec

@@ -71,12 +71,16 @@ void validateInto(JobResult &R, const JobSpec &Spec, const History &Observed,
 }
 
 /// Key of one encoding-share group: the fields that determine the
-/// observed execution a Predict job encodes against.
+/// observed execution a Predict job encodes against — plus the prune
+/// flag, because the relevance plan shapes the session's shared
+/// declare+feasibility prefix (pruned and unpruned jobs must not share
+/// a PredictSession).
 std::string shareKey(const JobSpec &S) {
-  return formatString("%s|%u|%u|%llu|%llu", S.App.c_str(), S.Cfg.Sessions,
-                      S.Cfg.TxnsPerSession,
+  return formatString("%s|%u|%u|%llu|%llu|%u", S.App.c_str(),
+                      S.Cfg.Sessions, S.Cfg.TxnsPerSession,
                       static_cast<unsigned long long>(S.Cfg.Seed),
-                      static_cast<unsigned long long>(S.StoreSeed));
+                      static_cast<unsigned long long>(S.StoreSeed),
+                      S.Prune ? 1u : 0u);
 }
 
 /// Result-cache context of one engine run: the store (null when
@@ -168,7 +172,9 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
   RunResult Observed =
       runWorkload(*App, First.Cfg, StoreMode::SerialObserved,
                   IsolationLevel::Serializable, First.Cfg.Seed);
-  PredictSession Session(Observed.Hist);
+  PredictSession::Options SO;
+  SO.PruneFormula = First.Prune;
+  PredictSession Session(Observed.Hist, SO);
 
   for (size_t I : Indices) {
     const JobSpec &Spec = C.Jobs[I];
@@ -231,6 +237,7 @@ JobResult Engine::runJob(const JobSpec &Spec) {
     Opts.Strat = Spec.Strat;
     Opts.Pco = Spec.Pco;
     Opts.TimeoutMs = Spec.TimeoutMs;
+    Opts.PruneFormula = Spec.Prune;
     Prediction P = predict(Observed.Hist, Opts);
     R.Outcome = P.Result;
     R.Stats = P.Stats;

@@ -43,6 +43,7 @@ void isopredict::engine::writeJobSpecFields(JsonWriter &J, const JobSpec &S) {
   J.num("timeout_ms", static_cast<uint64_t>(S.TimeoutMs));
   J.boolean("validate", S.Validate);
   J.boolean("check_serializability", S.CheckSerializability);
+  J.boolean("prune", S.Prune);
 }
 
 void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
@@ -102,6 +103,14 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
     if (S.Kind == JobKind::Predict) {
       J.num("gen_seconds", R.Stats.GenSeconds);
       J.num("solve_seconds", R.Stats.SolveSeconds);
+      // Pruning attribution (--prune jobs only; deterministic, but
+      // timing-gated so default report bytes keep their shape, and
+      // emitted only when present so unpruned --timings reports do
+      // too).
+      if (R.Stats.PrunedVars || R.Stats.PrunedLits) {
+        J.num("pruned_vars", R.Stats.PrunedVars);
+        J.num("pruned_lits", R.Stats.PrunedLits);
+      }
       // Per-pass attribution of the encoding pipeline (src/encode/).
       // Timing-gated with the rest: pass literals are deterministic,
       // but adding fields to the default report would break its
@@ -113,6 +122,10 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
           J.str("name", P.Name);
           J.num("literals", P.Literals);
           J.num("seconds", P.Seconds);
+          if (P.PrunedVars || P.PrunedLits) {
+            J.num("pruned_vars", P.PrunedVars);
+            J.num("pruned_lits", P.PrunedLits);
+          }
           J.closeObject();
         }
         J.closeArray();
@@ -250,6 +263,11 @@ isopredict::engine::jobSpecFromJson(const JsonValue &Obj, std::string *Error) {
   S.TimeoutMs = static_cast<unsigned>(*TimeoutMs);
   S.Validate = *Validate;
   S.CheckSerializability = *CheckSer;
+  // Added with the prune field (tool version 5); absent in older
+  // entries, whose default-false reconstruction then fails the hash
+  // re-derivation below — exactly the stale-entry rejection we want.
+  if (const JsonValue *Prune = Obj.field("prune"))
+    S.Prune = Prune->K == JsonValue::Kind::Bool && Prune->B;
 
   // The recorded hash must re-derive from the reconstructed spec: a
   // mismatch means the entry was written by an incompatible
@@ -401,6 +419,14 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
   R.WallSeconds = optDouble(Obj, "wall_seconds");
   if (const JsonValue *Hit = Obj.field("cache_hit"))
     R.CacheHit = Hit->K == JsonValue::Kind::Bool && Hit->B;
+  auto optU64 = [](const JsonValue &O, const char *Key) -> uint64_t {
+    const JsonValue *F = O.field(Key);
+    if (!F || F->K != JsonValue::Kind::Number)
+      return 0;
+    return std::strtoull(F->Text.c_str(), nullptr, 10);
+  };
+  R.Stats.PrunedVars = optU64(Obj, "pruned_vars");
+  R.Stats.PrunedLits = optU64(Obj, "pruned_lits");
   if (const JsonValue *Passes = Obj.field("passes"))
     if (Passes->K == JsonValue::Kind::Array)
       for (const JsonValue &P : Passes->Items) {
@@ -418,6 +444,8 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
         if (const JsonValue *Secs = P.field("seconds"))
           if (Secs->K == JsonValue::Kind::Number)
             PS.Seconds = std::strtod(Secs->Text.c_str(), nullptr);
+        PS.PrunedVars = optU64(P, "pruned_vars");
+        PS.PrunedLits = optU64(P, "pruned_lits");
         R.Stats.Passes.push_back(std::move(PS));
       }
   return R;

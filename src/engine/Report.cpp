@@ -13,7 +13,10 @@
 using namespace isopredict;
 using namespace isopredict::engine;
 
-const char *isopredict::engine::toolVersion() { return "isopredict-4"; }
+// 5: JobSpec gained Prune (canonicalSpec "prune=" field), so every
+// spec hash moved — older cache entries and shard files are orphaned
+// wholesale rather than mismatched one by one.
+const char *isopredict::engine::toolVersion() { return "isopredict-5"; }
 
 namespace {
 
@@ -27,6 +30,7 @@ struct Group {
   unsigned CommittedTxns = 0, Reads = 0, Writes = 0, ReadOnlyTxns = 0,
            AbortedTxns = 0, DeadlockAborts = 0;
   uint64_t Literals = 0;
+  uint64_t PrunedVars = 0, PrunedLits = 0;
   double GenSeconds = 0, SolveSeconds = 0, WallSeconds = 0;
 };
 
@@ -67,6 +71,8 @@ void accumulate(Group &G, const JobResult &R) {
     G.Validated += R.validatedUnserializable();
     G.Diverged += R.Diverged;
     G.Literals += R.Stats.NumLiterals;
+    G.PrunedVars += R.Stats.PrunedVars;
+    G.PrunedLits += R.Stats.PrunedLits;
     G.GenSeconds += R.Stats.GenSeconds;
     G.SolveSeconds += R.Stats.SolveSeconds;
   }
@@ -113,6 +119,12 @@ void emitGroup(JsonWriter &J, const std::string &Key, const Group &G,
   J.num("deadlock_aborts", static_cast<uint64_t>(G.DeadlockAborts));
   J.num("literals", G.Literals);
   if (Opts.IncludeTimings) {
+    // Pruning attribution (--prune jobs only): emitted when present so
+    // unpruned --timings reports keep their previous shape.
+    if (G.PrunedVars || G.PrunedLits) {
+      J.num("pruned_vars", G.PrunedVars);
+      J.num("pruned_lits", G.PrunedLits);
+    }
     J.num("gen_seconds", G.GenSeconds);
     J.num("solve_seconds", G.SolveSeconds);
     J.num("wall_seconds", G.WallSeconds);
@@ -200,4 +212,14 @@ void Report::printSummary(FILE *Out) const {
   if (CacheHits || CacheMisses)
     std::fprintf(Out, "cache: %u hit(s), %u miss(es)\n", CacheHits,
                  CacheMisses);
+  uint64_t PrunedVars = 0, PrunedLits = 0;
+  for (const JobResult &R : Results) {
+    PrunedVars += R.Stats.PrunedVars;
+    PrunedLits += R.Stats.PrunedLits;
+  }
+  if (PrunedVars || PrunedLits)
+    std::fprintf(Out,
+                 "prune: %llu variable(s) and >= %llu literal(s) avoided\n",
+                 static_cast<unsigned long long>(PrunedVars),
+                 static_cast<unsigned long long>(PrunedLits));
 }

@@ -110,7 +110,7 @@ void compareJobs(const std::string &Key, const JsonValue &A,
 std::optional<ReportDiffResult>
 isopredict::engine::diffReports(const std::string &JsonA,
                                 const std::string &JsonB,
-                                std::string *Error) {
+                                std::string *Error, bool MatchByKey) {
   auto parse = [&](const std::string &Src,
                    const char *Which) -> std::optional<JsonValue> {
     std::optional<JsonValue> Doc = parseJson(Src, Error);
@@ -149,7 +149,7 @@ isopredict::engine::diffReports(const std::string &JsonA,
         return false;
     return true;
   };
-  bool ByHash = allHashed(*DocA) && allHashed(*DocB);
+  bool ByHash = !MatchByKey && allHashed(*DocA) && allHashed(*DocB);
 
   auto index = [&](const JsonValue &Doc) {
     std::map<std::string, const JsonValue *> Index;

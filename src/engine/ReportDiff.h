@@ -72,9 +72,17 @@ struct ReportDiffResult {
 /// Parses two campaign-report JSON documents and diffs their jobs.
 /// Returns std::nullopt (and sets \p Error when non-null) when either
 /// document is not a parseable campaign report.
+///
+/// \p MatchByKey forces the reconstructed identity-key matching even
+/// when both reports carry spec hashes. That is the right mode for
+/// comparing the same grid run under different *spec* knobs — e.g. the
+/// CI prune gate diffs --prune against default runs, whose hashes
+/// differ by design (prune is part of the canonical spec) while their
+/// identity keys, which deliberately omit encoding knobs, coincide.
 std::optional<ReportDiffResult> diffReports(const std::string &JsonA,
                                             const std::string &JsonB,
-                                            std::string *Error = nullptr);
+                                            std::string *Error = nullptr,
+                                            bool MatchByKey = false);
 
 } // namespace engine
 } // namespace isopredict

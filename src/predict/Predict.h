@@ -108,6 +108,17 @@ struct PredictOptions {
   /// records that negative result (ROADMAP "batching Z3 asserts may
   /// help" — it does not).
   bool BatchAsserts = false;
+  /// Formula minimization (src/encode/Prune.h): run a relevance
+  /// analysis over the observed history and skip declarations and
+  /// assertions no model can distinguish — observed-so pair variables
+  /// become constants, wr/hb pairs outside the skeleton become false,
+  /// single-writer reads lose their choice atoms, and the strategy and
+  /// isolation passes fold the constants out of their terms. The pruned
+  /// encoding is sat/unsat-equivalent to the default one (validated
+  /// against the golden fixtures with replay-validated Sat models) but
+  /// *not* bit-identical: models, witnesses, and literal counts differ,
+  /// which is why it is opt-in.
+  bool PruneFormula = false;
 };
 
 /// Literals emitted and wall-clock spent by one encoding pass (the
@@ -116,6 +127,13 @@ struct PassStats {
   std::string Name;
   uint64_t Literals = 0;
   double Seconds = 0;
+  /// Declarations and literals this pass avoided under
+  /// PredictOptions::PruneFormula (zero with pruning off). PrunedVars
+  /// is exact; PrunedLits is a lower-bound estimate accumulated at the
+  /// fold sites (each folded-out atom or skipped assertion counts the
+  /// literals its unpruned counterpart would have emitted).
+  uint64_t PrunedVars = 0;
+  uint64_t PrunedLits = 0;
 };
 
 /// Sizing and timing of one predictive-analysis query (the paper's
@@ -130,6 +148,11 @@ struct EncodingStats {
   /// per-query passes. False for one-shot queries and for the session
   /// query that paid for the base (its stats include the base passes).
   bool BasePrefixReused = false;
+  /// Totals of the per-pass pruning counters (PassStats): variable
+  /// declarations skipped and literals avoided (estimated) under
+  /// PredictOptions::PruneFormula. Zero with pruning off.
+  uint64_t PrunedVars = 0;
+  uint64_t PrunedLits = 0;
   /// Per-pass attribution, in pipeline order; literals sum to
   /// NumLiterals and seconds sum to (just under) GenSeconds.
   std::vector<PassStats> Passes;

@@ -52,8 +52,13 @@ void extract(encode::EncodingContext &EC, SmtSolver &Solver,
       if (CutS != InfPos && E.Pos > CutS)
         continue;
       if (E.Kind == EventKind::Read) {
-        TxnId W = static_cast<TxnId>(
-            Solver.modelInt(EC.Choice.at({T.Session, E.Pos})));
+        // Fixed single-writer reads (pruned encodings) have no choice
+        // variable; their writer is the plan's constant.
+        const TxnId *Fixed =
+            EC.Plan ? EC.Plan->fixedChoice(T.Session, E.Pos) : nullptr;
+        TxnId W = Fixed ? *Fixed
+                        : static_cast<TxnId>(Solver.modelInt(
+                              EC.Choice.at({T.Session, E.Pos})));
         if (W != E.Writer) {
           E.Writer = W;
           // Best-effort value: the writer's (last) write to the key.
@@ -99,6 +104,7 @@ PredictOptions toPredictOptions(const PredictSession::Options &SO) {
   O.TimeoutMs = SO.TimeoutMs;
   O.EnableRw = SO.EnableRw;
   O.PcoDepth = SO.PcoDepth;
+  O.PruneFormula = SO.PruneFormula;
   return O;
 }
 
@@ -149,6 +155,8 @@ void PredictSession::ensureBase() {
   encode::EncoderPipeline::forSessionBase(Opts).run(*EC, BaseStats);
   BaseStats.GenSeconds = Gen.seconds();
   BaseStats.NumLiterals = Ctx->literalCount();
+  BaseStats.PrunedVars = EC->PrunedVars;
+  BaseStats.PrunedLits = EC->PrunedLits;
   BaseDone = true;
 }
 
@@ -204,6 +212,8 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
     encode::EncoderPipeline::forOptions(Opts).run(*EC, Out.Stats);
     Out.Stats.GenSeconds = Gen.seconds();
     Out.Stats.NumLiterals = Ctx->literalCount();
+    Out.Stats.PrunedVars = EC->PrunedVars;
+    Out.Stats.PrunedLits = EC->PrunedLits;
     if (Q.GenerateOnly) {
       ++Queries;
       return Out; // Bench-only: Result stays Unknown.
@@ -225,10 +235,13 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
   EC->beginQuery(Q.Strat);
   Solver->push();
   uint64_t Before = Ctx->literalCount();
+  uint64_t PVBefore = EC->PrunedVars, PLBefore = EC->PrunedLits;
   Timer Gen;
   encode::EncoderPipeline::forQuery(Opts).run(*EC, Out.Stats);
   Out.Stats.GenSeconds = Gen.seconds();
   Out.Stats.NumLiterals = Ctx->literalCount() - Before;
+  Out.Stats.PrunedVars = EC->PrunedVars - PVBefore;
+  Out.Stats.PrunedLits = EC->PrunedLits - PLBefore;
   Out.Stats.BasePrefixReused = ReusedBase;
   if (!ReusedBase) {
     // This query paid for the shared prefix: fold its cost in so
@@ -236,6 +249,8 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
     // literal exactly once.
     Out.Stats.NumLiterals += BaseStats.NumLiterals;
     Out.Stats.GenSeconds += BaseStats.GenSeconds;
+    Out.Stats.PrunedVars += BaseStats.PrunedVars;
+    Out.Stats.PrunedLits += BaseStats.PrunedLits;
     Out.Stats.Passes.insert(Out.Stats.Passes.begin(),
                             BaseStats.Passes.begin(),
                             BaseStats.Passes.end());

@@ -69,6 +69,12 @@ public:
     bool EnableRw = true;
     /// Derivation-depth bound for PcoEncoding::Layered queries.
     unsigned PcoDepth = 3;
+    /// Formula minimization (PredictOptions::PruneFormula). Session-
+    /// wide because the relevance plan shapes the shared declare +
+    /// feasibility prefix: it is computed once per session (it depends
+    /// only on the observed history) and every query's scope encodes
+    /// against the same pruned base.
+    bool PruneFormula = false;
   };
 
   /// Knobs that may vary per query; everything else about the

@@ -50,6 +50,8 @@ SmtContext::SmtContext() {
   Ctx = Z3_mk_context(Cfg);
   Z3_del_config(Cfg);
   Z3_set_error_handler(Ctx, errorHandler);
+  TrueAst = Z3_mk_true(Ctx);
+  FalseAst = Z3_mk_false(Ctx);
 }
 
 SmtContext::~SmtContext() { Z3_del_context(Ctx); }

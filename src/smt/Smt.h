@@ -78,6 +78,13 @@ public:
   SmtExpr boolVal(bool V);
   SmtExpr intVal(int64_t V);
 
+  /// Constant recognition (Z3 hash-conses per context, so the true/false
+  /// ASTs are stable pointers). The pruned encoding path
+  /// (PredictOptions::PruneFormula) folds these constants out of the
+  /// formulas it builds; invalid expressions are neither.
+  bool isTrue(SmtExpr E) const { return E.Ast == TrueAst; }
+  bool isFalse(SmtExpr E) const { return E.Ast == FalseAst; }
+
   SmtExpr mkNot(SmtExpr A);
   SmtExpr mkAnd(const std::vector<SmtExpr> &Args); ///< and([]) == true
   SmtExpr mkOr(const std::vector<SmtExpr> &Args);  ///< or([]) == false
@@ -157,6 +164,7 @@ private:
   SmtExpr internBinary(uint8_t Op, SmtExpr A, SmtExpr B);
 
   Z3_context Ctx;
+  Z3_ast TrueAst = nullptr, FalseAst = nullptr;
   uint64_t AssertedLits = 0;
   std::unordered_map<int64_t, SmtExpr> IntValCache;
   std::unordered_map<AtomKey, SmtExpr, AtomKeyHash> AtomCache;

@@ -415,6 +415,66 @@ TEST(EngineCache, SessionEntriesAreScopedToTheirShareGroup) {
             Combined.size());
 }
 
+TEST(EngineCache, PrunedAndUnprunedEntriesNeverCrossAnswer) {
+  // JobSpec::Prune rides in canonicalSpec (and therefore in the spec
+  // hash): pruned and unpruned runs of the same grid file under
+  // different identities, so neither answers the other's lookups —
+  // their default-report bytes (literal counts, possibly models)
+  // legitimately differ.
+  Campaign Plain = Campaign::predictGrid(
+      "prune-x", {"smallbank"},
+      {IsolationLevel::Causal, IsolationLevel::ReadCommitted},
+      {Strategy::ApproxStrict, Strategy::ApproxRelaxed}, {false}, 1, 60000);
+  Campaign Pruned = Plain;
+  for (JobSpec &J : Pruned.Jobs)
+    J.Prune = true;
+  for (size_t I = 0; I < Plain.size(); ++I)
+    EXPECT_NE(specHash(Plain.Jobs[I]), specHash(Pruned.Jobs[I]));
+
+  std::string Dir = scratchDir("prunecross");
+  Report PlainCold = run(Plain, Dir);
+  EXPECT_EQ(PlainCold.cacheMisses(), Plain.size());
+
+  // A pruned run against the unpruned-filled cache: all misses.
+  Report PrunedCold = run(Pruned, Dir);
+  EXPECT_EQ(PrunedCold.cacheHits(), 0u);
+  EXPECT_EQ(PrunedCold.cacheMisses(), Pruned.size());
+
+  // Both are now warm from their own entries.
+  EXPECT_EQ(run(Plain, Dir).cacheHits(), Plain.size());
+  EXPECT_EQ(run(Pruned, Dir).cacheHits(), Pruned.size());
+}
+
+TEST(EngineCache, PrunedWarmRunReplaysPrunedBytes) {
+  // A pruned cold run and its warm replay must be byte-identical —
+  // including the pruned literal counts in default bytes and the
+  // pruned_vars/pruned_lits attribution under timings — and identical
+  // to a cache-less pruned run.
+  Campaign C = Campaign::predictGrid(
+      "prune-warm", {"smallbank"}, {IsolationLevel::ReadCommitted},
+      {Strategy::ApproxStrict, Strategy::ApproxRelaxed}, {false}, 2, 60000);
+  for (JobSpec &J : C.Jobs)
+    J.Prune = true;
+  std::string Dir = scratchDir("prunewarm");
+
+  Report Cold = run(C, Dir);
+  EXPECT_EQ(Cold.cacheMisses(), C.size());
+  Report Warm = run(C, Dir);
+  EXPECT_EQ(Warm.cacheHits(), C.size());
+  for (const JobResult &R : Warm.results()) {
+    EXPECT_TRUE(R.CacheHit);
+    EXPECT_GT(R.Stats.PrunedVars, 0u) << "warm result lost its pruning "
+                                         "attribution";
+  }
+  EXPECT_EQ(Cold.toJson(), Warm.toJson());
+  EXPECT_EQ(run(C).toJson(), Warm.toJson());
+  // Timings-included bytes carry the pruning attribution through the
+  // cache round-trip (the entry preserves the full JSON job entry).
+  ReportOptions RO;
+  RO.IncludeTimings = true;
+  EXPECT_NE(Warm.toJson(RO).find("\"pruned_vars\""), std::string::npos);
+}
+
 TEST(ResultStore, CorruptWitnessIsAMiss) {
   // An entry that survives the schema/version/spec checks but carries
   // a damaged witness array must degrade to a miss, not be served

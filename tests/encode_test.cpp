@@ -1,12 +1,17 @@
 //===- encode_test.cpp - Encoding-pipeline layer tests --------*- C++ -*-===//
 
+#include "apps/AppFramework.h"
 #include "encode/EncodingContext.h"
 #include "encode/Passes.h"
 #include "encode/Pipeline.h"
+#include "encode/Prune.h"
 #include "engine/ReportDiff.h"
 #include "history/BitRel.h"
 #include "predict/Predict.h"
+#include "predict/PredictSession.h"
 #include "support/Rng.h"
+#include "support/StrUtil.h"
+#include "validate/Validate.h"
 
 #include "TestUtil.h"
 #include <gtest/gtest.h>
@@ -312,6 +317,27 @@ TEST(ReportDiff, MatchesBySpecHashWhenBothReportsCarryIt) {
   EXPECT_TRUE(D3->hasRegressions());
 }
 
+TEST(ReportDiff, MatchByKeyOverridesHashMatching) {
+  using namespace isopredict::engine;
+  auto hashed = [](const char *Hash, const char *Seed, const char *Result) {
+    return std::string("{\"spec_hash\": \"") + Hash + "\", " +
+           jobJson(Seed, Result, "no-prediction").substr(1);
+  };
+  // Same identity key, different hashes (a spec knob like prune
+  // changed): hash matching finds nothing, key matching pairs them —
+  // the CI prune gate depends on this.
+  std::string A = reportJson({hashed("00000000000000aa", "1", "sat")});
+  std::string B = reportJson({hashed("00000000000000cc", "1", "unsat")});
+  auto ByHash = diffReports(A, B);
+  ASSERT_TRUE(ByHash.has_value());
+  EXPECT_EQ(ByHash->MatchedJobs, 0u);
+
+  auto ByKey = diffReports(A, B, nullptr, /*MatchByKey=*/true);
+  ASSERT_TRUE(ByKey.has_value());
+  EXPECT_EQ(ByKey->MatchedJobs, 1u);
+  EXPECT_TRUE(ByKey->hasRegressions()); // sat -> unsat, now visible
+}
+
 TEST(ReportDiff, UnmatchedJobsAreReportedNotRegressions) {
   using namespace isopredict::engine;
   std::string A = reportJson({jobJson("1", "sat", "validated-unserializable")});
@@ -322,4 +348,269 @@ TEST(ReportDiff, UnmatchedJobsAreReportedNotRegressions) {
   EXPECT_EQ(D->OnlyInA.size(), 1u);
   EXPECT_EQ(D->OnlyInB.size(), 1u);
   EXPECT_FALSE(D->hasRegressions());
+}
+
+//===----------------------------------------------------------------------===
+// Formula minimization (PredictOptions::PruneFormula)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A history with fixed single-writer reads. t0 implicitly writes every
+/// key, so a read's choice domain (writersOf(k) minus the reader) is a
+/// singleton only when no transaction other than the reader itself
+/// writes k: t1 read-modify-writes priv (the key's only transactional
+/// writer is t1, so its own pre-write read can only observe t0), and t3
+/// reads a key nobody ever writes. t2's read of priv has domain
+/// {t0, t1} and stays free. The second session works disjoint keys,
+/// making every cross-session pair unreachable in the hb skeleton.
+History privateKeyObserved() {
+  HistoryBuilder B(2);
+  B.beginTxn(0); // t1: RMW of priv — its read is fixed to t0.
+  B.read("priv", InitTxn, 0);
+  B.write("priv", 2);
+  B.commit();
+  B.beginTxn(0); // t2: reads priv from t1 — domain {t0, t1}, free.
+  B.read("priv", 1, 2);
+  B.commit();
+  B.beginTxn(1); // t3: reads a never-written key — fixed to t0.
+  B.read("other", InitTxn, 0);
+  B.write("other2", 7);
+  B.commit();
+  return B.finish();
+}
+
+PredictOptions prunedOpts(IsolationLevel L, Strategy S) {
+  PredictOptions O = opts(L, S);
+  O.PruneFormula = true;
+  return O;
+}
+
+} // namespace
+
+TEST(Prune, PlanSubstitutesObservedSessionOrder) {
+  History H = crossReadObserved();
+  encode::EncodingPlan Plan = encode::computeEncodingPlan(H);
+  ASSERT_EQ(Plan.N, H.numTxns());
+  for (TxnId A = 0; A < H.numTxns(); ++A)
+    for (TxnId B = 0; B < H.numTxns(); ++B)
+      if (A != B)
+        EXPECT_EQ(Plan.soPair(A, B), H.so(A, B))
+            << A << "->" << B;
+}
+
+TEST(Prune, PlanMarksWrImpossiblePairs) {
+  // crossReadObserved: t1 writes x (read by t4), t2 writes y (read by
+  // t3); t3/t4 write nothing, so nothing can ever wr-follow them.
+  History H = crossReadObserved();
+  encode::EncodingPlan Plan = encode::computeEncodingPlan(H);
+  EXPECT_TRUE(Plan.wrPossible(1, 4));  // t1 -> t4 via x
+  EXPECT_TRUE(Plan.wrPossible(2, 3));  // t2 -> t3 via y
+  EXPECT_FALSE(Plan.wrPossible(3, 1)); // t3 writes nothing
+  EXPECT_FALSE(Plan.wrPossible(4, 2));
+  EXPECT_FALSE(Plan.wrPossible(1, 3)); // t3 never reads x
+  // t0 implicitly writes every key, so it can justify any reader.
+  EXPECT_TRUE(Plan.wrPossible(InitTxn, 3));
+  EXPECT_TRUE(Plan.wrPossible(InitTxn, 4));
+}
+
+TEST(Prune, PlanFixesSingleWriterReads) {
+  History H = privateKeyObserved();
+  encode::EncodingPlan Plan = encode::computeEncodingPlan(H);
+
+  // t1's pre-write read of priv: t1 is priv's only transactional
+  // writer, so the domain is {t0} — fixed.
+  const Transaction &T1 = H.txn(1);
+  ASSERT_EQ(T1.Events.at(0).Kind, EventKind::Read);
+  const TxnId *Fixed = Plan.fixedChoice(T1.Session, T1.Events.at(0).Pos);
+  ASSERT_NE(Fixed, nullptr);
+  EXPECT_EQ(*Fixed, InitTxn);
+
+  // t3's read of other (a key nobody writes): fixed to t0 as well.
+  const Transaction &T3 = H.txn(3);
+  const TxnId *Fixed3 = Plan.fixedChoice(T3.Session, T3.Events.at(0).Pos);
+  ASSERT_NE(Fixed3, nullptr);
+  EXPECT_EQ(*Fixed3, InitTxn);
+
+  // t2's read of priv has domain {t0, t1}: free. So is every
+  // multi-writer read (both deposit transactions write acct).
+  const Transaction &T2 = H.txn(2);
+  EXPECT_EQ(Plan.fixedChoice(T2.Session, T2.Events.at(0).Pos), nullptr);
+  History D = depositObserved();
+  encode::EncodingPlan DPlan = encode::computeEncodingPlan(D);
+  const Transaction &DT2 = D.txn(2);
+  EXPECT_EQ(DPlan.fixedChoice(DT2.Session, DT2.Events.at(0).Pos), nullptr);
+}
+
+TEST(Prune, PlanMarksHbUnreachablePairs) {
+  // privateKeyObserved: the sessions touch disjoint keys, so no hb path
+  // can cross between them; t0 still reaches everything through so.
+  History H = privateKeyObserved();
+  encode::EncodingPlan Plan = encode::computeEncodingPlan(H);
+  EXPECT_FALSE(Plan.hbPossible(1, 3));
+  EXPECT_FALSE(Plan.hbPossible(3, 1));
+  EXPECT_FALSE(Plan.hbPossible(2, 3));
+  EXPECT_TRUE(Plan.hbPossible(InitTxn, 3));
+  EXPECT_TRUE(Plan.hbPossible(1, 2)); // so within s0
+}
+
+TEST(Prune, PrunedEncodingShrinksAndCounts) {
+  for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
+                     Strategy::ApproxRelaxed})
+    for (IsolationLevel L :
+         {IsolationLevel::Causal, IsolationLevel::ReadAtomic,
+          IsolationLevel::ReadCommitted}) {
+      SCOPED_TRACE(std::string(toString(S)) + "/" + toString(L));
+      History H = crossReadObserved();
+      PredictOptions O = opts(L, S);
+      O.GenerateOnly = true;
+      Prediction Plain = predict(H, O);
+      O.PruneFormula = true;
+      Prediction Pruned = predict(H, O);
+
+      // The plain encoding reports no pruning; the pruned one reports
+      // some and emits strictly fewer literals.
+      EXPECT_EQ(Plain.Stats.PrunedVars, 0u);
+      EXPECT_EQ(Plain.Stats.PrunedLits, 0u);
+      EXPECT_GT(Pruned.Stats.PrunedVars, 0u);
+      EXPECT_GT(Pruned.Stats.PrunedLits, 0u);
+      EXPECT_LT(Pruned.Stats.NumLiterals, Plain.Stats.NumLiterals);
+
+      // Per-pass counters sum to the totals (same contract as
+      // PassStats literals vs NumLiterals).
+      uint64_t Lits = 0, PV = 0, PL = 0;
+      for (const PassStats &PS : Pruned.Stats.Passes) {
+        Lits += PS.Literals;
+        PV += PS.PrunedVars;
+        PL += PS.PrunedLits;
+      }
+      EXPECT_EQ(Lits, Pruned.Stats.NumLiterals);
+      EXPECT_EQ(PV, Pruned.Stats.PrunedVars);
+      EXPECT_EQ(PL, Pruned.Stats.PrunedLits);
+    }
+}
+
+TEST(Prune, PrunedVerdictsMatchOnHandBuiltHistories) {
+  // Every canned history, every strategy/level, both pco encodings:
+  // the pruned encoding must agree with the default on sat/unsat.
+  for (int HistIdx = 0; HistIdx < 5; ++HistIdx) {
+    History H = HistIdx == 0   ? depositObserved()
+                : HistIdx == 1 ? depositUnserializable()
+                : HistIdx == 2 ? crossReadObserved()
+                : HistIdx == 3 ? selfJustifyTrap()
+                               : privateKeyObserved();
+    for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
+                       Strategy::ApproxRelaxed})
+      for (IsolationLevel L :
+           {IsolationLevel::Causal, IsolationLevel::ReadAtomic,
+            IsolationLevel::ReadCommitted})
+        for (PcoEncoding Pco : {PcoEncoding::Rank, PcoEncoding::Layered}) {
+          if (S == Strategy::ExactStrict && Pco == PcoEncoding::Layered)
+            continue; // Exact ignores the pco encoding.
+          SCOPED_TRACE(formatString("hist=%d %s %s %s", HistIdx,
+                                    toString(S), toString(L),
+                                    toString(Pco)));
+          PredictOptions O = opts(L, S);
+          O.Pco = Pco;
+          Prediction Plain = predict(H, O);
+          O.PruneFormula = true;
+          Prediction Pruned = predict(H, O);
+          EXPECT_EQ(Plain.Result, Pruned.Result);
+        }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Pruning-equivalence sweep over the golden fixtures
+//===----------------------------------------------------------------------===
+
+namespace {
+
+struct PruneGoldenCase {
+  const char *App;
+  IsolationLevel Level;
+  Strategy Strat;
+  uint64_t Seed;
+  const char *Result;
+  const char *Boundary;
+  const char *Cut;
+  const char *Witness;
+};
+
+const PruneGoldenCase PruneGoldenCases[] = {
+#include "golden_predictions.inc"
+};
+
+History fixtureHistory(const std::string &App, uint64_t Seed) {
+  auto Application = makeApplication(App);
+  DataStore::Options O;
+  O.Mode = StoreMode::SerialObserved;
+  O.Level = IsolationLevel::Serializable;
+  O.Seed = Seed;
+  DataStore Store(O);
+  return WorkloadRunner::run(*Application, Store,
+                             WorkloadConfig::small(Seed))
+      .Hist;
+}
+
+} // namespace
+
+// The pruned encoding's correctness contract: sat/unsat-equivalence
+// with the default encoding on every golden fixture, and every pruned
+// Sat model must replay-validate — a non-diverged validating execution
+// follows the predicted reads exactly and is therefore unserializable,
+// so a "serializable" verdict without divergence would expose an
+// unsound pruning rule. (Bit-identity is deliberately NOT part of the
+// contract; boundaries, cuts, and witnesses may differ.)
+TEST(Prune, PrunedPredictionsMatchGoldenVerdictsAndValidate) {
+  constexpr unsigned TimeoutMs = 300000;
+  for (const PruneGoldenCase &C : PruneGoldenCases) {
+    SCOPED_TRACE(formatString("%s %s %s seed=%llu", C.App,
+                              toString(C.Level), toString(C.Strat),
+                              static_cast<unsigned long long>(C.Seed)));
+    History H = fixtureHistory(C.App, C.Seed);
+    PredictOptions O;
+    O.Level = C.Level;
+    O.Strat = C.Strat;
+    O.TimeoutMs = TimeoutMs;
+    O.PruneFormula = true;
+    Prediction P = predict(H, O);
+    EXPECT_STREQ(toString(P.Result), C.Result);
+
+    if (P.Result == SmtResult::Sat) {
+      auto Replay = makeApplication(C.App);
+      ValidationResult V =
+          validatePrediction(*Replay, WorkloadConfig::small(C.Seed), H, P,
+                             C.Level, TimeoutMs);
+      EXPECT_TRUE(V.St ==
+                      ValidationResult::Status::ValidatedUnserializable ||
+                  V.Diverged)
+          << "non-diverged replay of a pruned prediction was "
+             "serializable (validation: "
+          << toString(V.St) << ")";
+    }
+  }
+}
+
+// Pruned sessions: the plan is computed once per session and shared by
+// every query scope; verdicts must still match the fixtures.
+TEST(Prune, PrunedSessionMatchesFixtures) {
+  constexpr unsigned TimeoutMs = 300000;
+  History H = fixtureHistory("smallbank", 1);
+  PredictSession::Options SO;
+  SO.PruneFormula = true;
+  PredictSession Session(H, SO);
+  for (const PruneGoldenCase &C : PruneGoldenCases) {
+    if (std::string(C.App) != "smallbank" || C.Seed != 1)
+      continue;
+    SCOPED_TRACE(formatString("%s %s", toString(C.Level),
+                              toString(C.Strat)));
+    PredictSession::QueryOptions Q;
+    Q.Level = C.Level;
+    Q.Strat = C.Strat;
+    Q.TimeoutMs = TimeoutMs;
+    Prediction P = Session.query(Q);
+    EXPECT_STREQ(toString(P.Result), C.Result);
+  }
+  EXPECT_GT(Session.numQueries(), 0u);
 }

@@ -246,6 +246,12 @@ TEST(Campaign, SpecHashIsStableAndDiscriminating) {
   B = A;
   B.StoreSeed = 7;
   EXPECT_NE(specHash(A), specHash(B));
+  // Pruned and unpruned runs have different default-report bytes
+  // (literal counts, possibly models), so the flag must discriminate:
+  // a pruned run must never answer an unpruned cache lookup.
+  B = A;
+  B.Prune = true;
+  EXPECT_NE(specHash(A), specHash(B));
 }
 
 TEST(Report, EmitsSpecHashPerJob) {
@@ -300,8 +306,8 @@ TEST(Campaign, GoldenSpecHashes) {
   EXPECT_EQ(canonicalSpec(Predict),
             "kind=predict;app=smallbank;sessions=3;txns=4;seed=1;"
             "level=causal;strat=Approx-Relaxed;pco=rank;store_seed=1;"
-            "timeout_ms=0;validate=1;check_ser=1");
-  EXPECT_EQ(hash(Predict), "494a3c990630bec8");
+            "timeout_ms=0;validate=1;check_ser=1;prune=0");
+  EXPECT_EQ(hash(Predict), "0cc7aab949e15986");
 
   JobSpec Tpcc;
   Tpcc.Kind = JobKind::Predict;
@@ -310,19 +316,19 @@ TEST(Campaign, GoldenSpecHashes) {
   Tpcc.Level = IsolationLevel::ReadCommitted;
   Tpcc.Strat = Strategy::ApproxStrict;
   Tpcc.TimeoutMs = 5000;
-  EXPECT_EQ(hash(Tpcc), "0598d1c0972f26ca");
+  EXPECT_EQ(hash(Tpcc), "b0797e50953e05e4");
 
   JobSpec Exact = Predict;
   Exact.Strat = Strategy::ExactStrict;
   Exact.Pco = PcoEncoding::Layered;
   Exact.Validate = false;
-  EXPECT_EQ(hash(Exact), "b437fa7c8bcc12f0");
+  EXPECT_EQ(hash(Exact), "38cbec66d1c1f95e");
 
   JobSpec Observe;
   Observe.Kind = JobKind::Observe;
   Observe.App = "voter";
   Observe.Cfg = WorkloadConfig::small(2);
-  EXPECT_EQ(hash(Observe), "2d062343d2065733");
+  EXPECT_EQ(hash(Observe), "e12e0d590a12dd5d");
 
   JobSpec Weak;
   Weak.Kind = JobKind::RandomWeak;
@@ -330,7 +336,7 @@ TEST(Campaign, GoldenSpecHashes) {
   Weak.Cfg = WorkloadConfig::small(1);
   Weak.Level = IsolationLevel::ReadAtomic;
   Weak.StoreSeed = 1007;
-  EXPECT_EQ(hash(Weak), "c347994f2638d77b");
+  EXPECT_EQ(hash(Weak), "6437d18955e73895");
 
   JobSpec Locking;
   Locking.Kind = JobKind::LockingRc;
@@ -338,5 +344,5 @@ TEST(Campaign, GoldenSpecHashes) {
   Locking.Cfg = WorkloadConfig::small(5);
   Locking.StoreSeed = 99;
   Locking.CheckSerializability = false;
-  EXPECT_EQ(hash(Locking), "5df553085dffd5b8");
+  EXPECT_EQ(hash(Locking), "bfb4b7a047b9d336");
 }
