@@ -17,6 +17,7 @@
 
 #include "BenchUtil.h"
 #include "checker/Checkers.h"
+#include "obs/Tracer.h"
 #include "predict/Predict.h"
 #include "predict/PredictSession.h"
 #include "support/Env.h"
@@ -292,10 +293,17 @@ int writeSnapshot(const std::string &Path) {
   for (const SnapshotCase &C : Cases) {
     History H = observedHistory(C.App, C.TxnsPerSession, 1);
     int Reps = C.TxnsPerSession >= 16 ? 2 : 3;
+    // Span-instrumented: per-phase (category) second totals over this
+    // case's measurement runs land in "span_seconds" below. enable()
+    // clears prior spans, so each case starts fresh.
+    obs::Tracer::global().enable();
     EncodingStats Plain =
         measureGen(H, C.Strat, C.Level, /*Prune=*/false, Reps);
     EncodingStats Pruned =
         measureGen(H, C.Strat, C.Level, /*Prune=*/true, Reps);
+    std::vector<std::pair<std::string, double>> Phases =
+        obs::Tracer::global().categorySeconds();
+    obs::Tracer::global().disable();
     J.openElement();
     J.str("name", C.Name);
     J.str("app", C.App);
@@ -319,6 +327,13 @@ int writeSnapshot(const std::string &Path) {
                              : 0.0;
     J.num("literal_reduction", LitCut);
     J.num("gen_time_reduction", TimeCut);
+    // Per-phase wall-clock from obs spans, summed over every run of
+    // this case (all reps, pruned and unpruned). Generation-only, so
+    // "encode" dominates; machine-dependent like the seconds above.
+    J.openObjectIn("span_seconds");
+    for (const auto &KV : Phases)
+      J.num(KV.first.c_str(), KV.second);
+    J.closeObject();
     J.closeObject();
     std::fprintf(stderr,
                  "%s/%u: %llu -> %llu literals (-%.1f%%), "

@@ -41,6 +41,7 @@
 #include "cache/Shard.h"
 #include "engine/Engine.h"
 #include "engine/JobIo.h"
+#include "obs/Tracer.h"
 #include "support/Fs.h"
 #include "support/StrUtil.h"
 
@@ -87,6 +88,9 @@ int usage(const char *Msg = nullptr) {
       "  --dry-run             list expanded jobs + spec hashes (and cache\n"
       "                        status under --cache-dir) without solving\n"
       "  --timings             include run-dependent timing fields in JSON\n"
+      "  --trace-out FILE      write a Chrome trace-event JSON timeline of\n"
+      "                        the run (open in Perfetto / chrome://tracing);\n"
+      "                        does not change report bytes\n"
       "  --quiet               suppress per-job progress on stderr\n"
       "  --name NAME           campaign name in the report\n"
       "  --out FILE            JSON report path, '-' = stdout (default: -)\n");
@@ -178,6 +182,7 @@ int main(int argc, char **argv) {
   std::string CampaignFile;
   std::string Name = "campaign";
   std::string OutPath = "-";
+  std::string TraceOut;
   // A campaign file carries its own grid; mixing it with grid flags
   // would silently change spec hashes, so the two are exclusive.
   bool GridFlagUsed = false;
@@ -203,6 +208,11 @@ int main(int argc, char **argv) {
       Quiet = true;
     } else if (Flag == "--dry-run") {
       DryRun = true;
+    } else if (Flag == "--trace-out") {
+      const char *V = next();
+      if (!V)
+        return usage("--trace-out needs a value");
+      TraceOut = V;
     } else if (Flag == "--cache-dir") {
       const char *V = next();
       if (!V)
@@ -442,8 +452,22 @@ int main(int argc, char **argv) {
 
   std::fprintf(stderr, "campaign '%s': %zu jobs on %u worker(s)\n",
                C.Name.c_str(), C.size(), E.numWorkers());
+  // Tracing changes only what the tracer records, never what the
+  // engine computes: report bytes with --trace-out are identical to a
+  // run without it.
+  if (!TraceOut.empty())
+    obs::Tracer::global().enable();
   Report R = E.run(C);
   R.setShard(ReportShardIndex, ReportShardCount);
+  if (!TraceOut.empty()) {
+    obs::Tracer::global().disable();
+    std::string Error;
+    if (!obs::Tracer::global().writeChromeTrace(TraceOut, &Error)) {
+      std::fprintf(stderr, "error: --trace-out: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", TraceOut.c_str());
+  }
 
   ReportOptions RO;
   RO.IncludeTimings = Timings;

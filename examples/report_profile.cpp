@@ -1,0 +1,315 @@
+//===- report_profile.cpp - Wall-clock breakdown of a campaign -*- C++ -*-===//
+//
+// Reads a campaign report (campaign_cli --out, ideally with --timings)
+// or a Chrome trace (campaign_cli --trace-out) and prints where the
+// wall-clock went: a per-phase breakdown, a per-(app x level x
+// strategy) table, and the top-N slowest jobs.
+//
+// Usage:
+//   report_profile [--top N] FILE
+//
+// The input kind is detected from the JSON shape: a "traceEvents"
+// array is a Chrome trace (phases are span categories, slow entries
+// are the longest spans); an "isopredict-campaign-report/2" document
+// is a report (phases come from its `metrics` block when present,
+// else from the jobs' gen/solve seconds; slow entries are the jobs by
+// wall-clock). Reports written without --timings carry no timing
+// fields — the tool still prints outcome aggregates but says so.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/JobIo.h"
+#include "engine/Report.h"
+#include "support/Fs.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+namespace {
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    std::fprintf(stderr, "error: %s\n", Msg);
+  std::fprintf(stderr,
+               "usage: report_profile [--top N] FILE\n"
+               "  FILE   campaign report JSON (campaign_cli --out) or\n"
+               "         Chrome trace JSON (campaign_cli --trace-out)\n"
+               "  --top  slowest entries to list (default: 5)\n");
+  return 2;
+}
+
+double numberOf(const JsonValue *V) {
+  if (!V || V->K != JsonValue::Kind::Number)
+    return 0;
+  return std::strtod(V->Text.c_str(), nullptr);
+}
+
+std::string secondsCell(double S) { return formatString("%.3fs", S); }
+
+/// Percentage cell guarded against a zero denominator.
+std::string shareCell(double Part, double Whole) {
+  return Whole > 0 ? formatString("%5.1f%%", 100.0 * Part / Whole)
+                   : std::string("-");
+}
+
+//===----------------------------------------------------------------------===//
+// Trace mode
+//===----------------------------------------------------------------------===//
+
+int profileTrace(const JsonValue &Doc, unsigned TopN) {
+  const JsonValue *Events = Doc.field("traceEvents");
+  if (!Events || Events->K != JsonValue::Kind::Array)
+    return usage("trace document has no traceEvents array");
+
+  struct SpanRow {
+    std::string Name;
+    std::string Cat;
+    double StartUs = 0;
+    double DurUs = 0;
+  };
+  std::vector<SpanRow> Spans;
+  std::map<std::string, std::pair<uint64_t, double>> ByCat; // count, us
+  double EndUs = 0;
+  for (const JsonValue &E : Events->Items) {
+    if (E.K != JsonValue::Kind::Object)
+      continue;
+    const JsonValue *Name = E.field("name");
+    const JsonValue *Cat = E.field("cat");
+    SpanRow R;
+    R.Name = Name ? Name->Text : "?";
+    R.Cat = Cat ? Cat->Text : "?";
+    R.StartUs = numberOf(E.field("ts"));
+    R.DurUs = numberOf(E.field("dur"));
+    auto &Slot = ByCat[R.Cat];
+    ++Slot.first;
+    Slot.second += R.DurUs;
+    EndUs = std::max(EndUs, R.StartUs + R.DurUs);
+    Spans.push_back(std::move(R));
+  }
+
+  // Wall-clock proxy: the latest span end (timestamps are normalized
+  // to campaign start). The leaf categories never nest in each other,
+  // so their shares are comparable; the container categories
+  // (engine/session) overlap them and naturally exceed-or-meet any
+  // leaf's total.
+  double WallS = EndUs * 1e-6;
+  std::printf("trace: %zu spans, %.3fs wall (last span end)\n\n",
+              Spans.size(), WallS);
+
+  TablePrinter T;
+  T.setHeader({"Phase", "Spans", "Seconds", "Share"});
+  for (const auto &KV : ByCat) {
+    double S = KV.second.second * 1e-6;
+    T.addRow({KV.first, formatString("%llu",
+                                     static_cast<unsigned long long>(
+                                         KV.second.first)),
+              secondsCell(S), shareCell(S, WallS)});
+  }
+  T.print(stdout);
+
+  std::sort(Spans.begin(), Spans.end(),
+            [](const SpanRow &A, const SpanRow &B) {
+              return A.DurUs > B.DurUs;
+            });
+  std::printf("\nslowest spans:\n");
+  for (size_t I = 0; I < Spans.size() && I < TopN; ++I)
+    std::printf("  %8.3fs  %-10s %s (at %.3fs)\n", Spans[I].DurUs * 1e-6,
+                Spans[I].Cat.c_str(), Spans[I].Name.c_str(),
+                Spans[I].StartUs * 1e-6);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Report mode
+//===----------------------------------------------------------------------===//
+
+/// Histogram second-sum out of a report's `metrics` block (0 when the
+/// report has none — written without --timings, or by an older tool).
+double metricsHistogramSum(const JsonValue &Doc, const char *Name) {
+  const JsonValue *Metrics = Doc.field("metrics");
+  const JsonValue *Histograms =
+      Metrics ? Metrics->field("histograms") : nullptr;
+  const JsonValue *H = Histograms ? Histograms->field(Name) : nullptr;
+  return H ? numberOf(H->field("sum_seconds")) : 0;
+}
+
+int profileReport(const JsonValue &Doc, unsigned TopN) {
+  const JsonValue *Jobs = Doc.field("jobs");
+  if (!Jobs || Jobs->K != JsonValue::Kind::Array)
+    return usage("report document has no jobs array");
+
+  std::vector<JobResult> Results;
+  for (const JsonValue &JV : Jobs->Items) {
+    if (JV.K != JsonValue::Kind::Object)
+      continue;
+    std::string Error;
+    std::optional<JobResult> R = jobResultFromJson(JV, &Error);
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    Results.push_back(std::move(*R));
+  }
+
+  double TotalWall = 0, TotalGen = 0, TotalSolve = 0;
+  for (const JobResult &R : Results) {
+    TotalWall += R.WallSeconds;
+    TotalGen += R.Stats.GenSeconds;
+    TotalSolve += R.Stats.SolveSeconds;
+  }
+  bool HasTimings = TotalWall > 0 || TotalGen > 0 || TotalSolve > 0;
+
+  const JsonValue *Campaign = Doc.field("campaign");
+  std::printf("report: campaign '%s', %zu jobs\n",
+              Campaign ? Campaign->Text.c_str() : "?", Results.size());
+  if (!HasTimings)
+    std::printf("note: no timing fields — rerun campaign_cli with "
+                "--timings for a wall-clock breakdown\n");
+
+  // Phase totals: the metrics block measures the phases directly
+  // (every encode pass / solver check / cache probe / validation
+  // replay in the run); per-job gen/solve sums are the fallback for
+  // reports predating it.
+  double Encode = metricsHistogramSum(Doc, "encode.pass_seconds");
+  double Solve = metricsHistogramSum(Doc, "solver.check_seconds");
+  double Cache = metricsHistogramSum(Doc, "cache.probe_seconds");
+  double Validate = metricsHistogramSum(Doc, "validate.seconds");
+  if (Encode == 0 && Solve == 0)
+    std::printf("\nper-phase (from per-job timings): encode %.3fs / "
+                "solve %.3fs\n",
+                TotalGen, TotalSolve);
+  else
+    std::printf("\nper-phase (from metrics): encode %.3fs / solve %.3fs "
+                "/ cache %.3fs / validate %.3fs\n",
+                Encode, Solve, Cache, Validate);
+
+  // Per-configuration aggregation (app x level x strategy).
+  struct Agg {
+    unsigned Jobs = 0;
+    double Wall = 0, Gen = 0, Solve = 0;
+    unsigned Sat = 0, Timeouts = 0;
+  };
+  std::vector<std::pair<std::string, Agg>> Groups;
+  std::map<std::string, size_t> Index;
+  for (const JobResult &R : Results) {
+    std::string Key = R.Spec.Kind == JobKind::Predict
+                          ? formatString("%s %s %s", R.Spec.App.c_str(),
+                                         toString(R.Spec.Level),
+                                         toString(R.Spec.Strat))
+                          : formatString("%s %s", toString(R.Spec.Kind),
+                                         R.Spec.App.c_str());
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      It = Index.emplace(Key, Groups.size()).first;
+      Groups.emplace_back(Key, Agg{});
+    }
+    Agg &A = Groups[It->second].second;
+    ++A.Jobs;
+    A.Wall += R.WallSeconds;
+    A.Gen += R.Stats.GenSeconds;
+    A.Solve += R.Stats.SolveSeconds;
+    A.Sat += R.Outcome == SmtResult::Sat && R.Spec.Kind == JobKind::Predict;
+    A.Timeouts += R.TimedOut;
+  }
+  std::sort(Groups.begin(), Groups.end(),
+            [](const auto &A, const auto &B) {
+              return A.second.Wall > B.second.Wall;
+            });
+
+  std::printf("\n");
+  TablePrinter T;
+  T.setHeader({"Config", "Jobs", "Sat", "Timeout", "Gen", "Solve", "Wall",
+               "Share"});
+  for (const auto &KV : Groups) {
+    const Agg &A = KV.second;
+    T.addRow({KV.first, formatString("%u", A.Jobs),
+              formatString("%u", A.Sat), formatString("%u", A.Timeouts),
+              secondsCell(A.Gen), secondsCell(A.Solve), secondsCell(A.Wall),
+              shareCell(A.Wall, TotalWall)});
+  }
+  T.print(stdout);
+
+  // Slowest jobs by wall-clock, with the solver-difficulty signal.
+  std::vector<const JobResult *> ByWall;
+  for (const JobResult &R : Results)
+    ByWall.push_back(&R);
+  std::sort(ByWall.begin(), ByWall.end(),
+            [](const JobResult *A, const JobResult *B) {
+              return A->WallSeconds > B->WallSeconds;
+            });
+  std::printf("\nslowest jobs:\n");
+  for (size_t I = 0; I < ByWall.size() && I < TopN; ++I) {
+    const JobResult &R = *ByWall[I];
+    std::string Extra;
+    if (R.TimedOut)
+      Extra += " TIMEOUT";
+    if (R.CacheHit)
+      Extra += " (cached)";
+    if (R.SolverStats.Collected)
+      Extra += formatString(
+          " [%llu conflicts, %llu decisions, %.0f MB]",
+          static_cast<unsigned long long>(R.SolverStats.Conflicts),
+          static_cast<unsigned long long>(R.SolverStats.Decisions),
+          R.SolverStats.MaxMemoryMb);
+    std::printf("  %8.3fs  %s %s %s %s seed=%llu: %s%s\n", R.WallSeconds,
+                toString(R.Spec.Kind), R.Spec.App.c_str(),
+                toString(R.Spec.Level), toString(R.Spec.Strat),
+                static_cast<unsigned long long>(R.Spec.Cfg.Seed),
+                R.Ok ? toString(R.Outcome) : "failed", Extra.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned TopN = 5;
+  std::string Path;
+  for (int I = 1; I < argc; ++I) {
+    std::string Flag = argv[I];
+    if (Flag == "--top") {
+      const char *V = I + 1 < argc ? argv[++I] : nullptr;
+      auto N = V ? parseInt(V) : std::nullopt;
+      if (!N || *N < 1)
+        return usage("--top needs a positive integer");
+      TopN = static_cast<unsigned>(*N);
+    } else if (!Flag.empty() && Flag[0] == '-') {
+      return usage(("unknown option '" + Flag + "'").c_str());
+    } else if (Path.empty()) {
+      Path = Flag;
+    } else {
+      return usage("exactly one input file expected");
+    }
+  }
+  if (Path.empty())
+    return usage();
+
+  std::string Raw, Error;
+  if (!readFile(Path, Raw, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::optional<JsonValue> Doc = parseJson(Raw, &Error);
+  if (!Doc || Doc->K != JsonValue::Kind::Object) {
+    std::fprintf(stderr, "error: '%s': %s\n", Path.c_str(),
+                 Doc ? "not a JSON object" : Error.c_str());
+    return 1;
+  }
+
+  if (Doc->field("traceEvents"))
+    return profileTrace(*Doc, TopN);
+  const JsonValue *Schema = Doc->field("schema");
+  if (Schema && Schema->Text.rfind("isopredict-campaign-report/", 0) == 0)
+    return profileReport(*Doc, TopN);
+  return usage("input is neither a Chrome trace nor a campaign report");
+}

@@ -3,6 +3,7 @@
 #include "cache/ResultStore.h"
 
 #include "engine/JobIo.h"
+#include "obs/Metrics.h"
 #include "support/Fs.h"
 #include "support/Json.h"
 #include "support/StrUtil.h"
@@ -17,6 +18,17 @@ constexpr const char *EntrySchema = "isopredict-cache-entry/1";
 
 const char *modeName(EncodingMode M) {
   return M == EncodingMode::Session ? "session" : "one-shot";
+}
+
+/// Tallies entries that existed on disk but could not be served —
+/// damaged JSON, wrong schema/version, mode or share-group mismatch,
+/// spec-hash collision. Distinct from a plain miss (no file): a rising
+/// corrupt count on a warm cache points at a damaged or cross-version
+/// cache directory.
+void countUnusableEntry() {
+  static obs::Counter &Corrupt =
+      obs::Metrics::global().counter("cache.corrupt");
+  Corrupt.inc();
 }
 
 } // namespace
@@ -74,12 +86,12 @@ std::string ResultStore::entryPath(const JobSpec &S,
                    Mode == EncodingMode::Session ? ".session" : ""));
 }
 
-std::optional<JobResult> ResultStore::lookup(const JobSpec &S,
-                                             EncodingMode Mode,
-                                             uint64_t GroupHash) const {
-  std::string Raw;
-  if (!readFile(entryPath(S, Mode), Raw))
-    return std::nullopt;
+namespace {
+
+/// The integrity gauntlet over one entry's raw bytes; std::nullopt on
+/// any rejection (the caller has already established the file exists).
+std::optional<JobResult> parseEntry(const std::string &Raw, const JobSpec &S,
+                                    EncodingMode Mode, uint64_t GroupHash) {
   std::optional<JsonValue> Doc = parseJson(Raw);
   if (!Doc || Doc->K != JsonValue::Kind::Object)
     return std::nullopt;
@@ -128,6 +140,20 @@ std::optional<JobResult> ResultStore::lookup(const JobSpec &S,
   if (!R || canonicalSpec(R->Spec) != canonicalSpec(S))
     return std::nullopt;
   R->CacheHit = true;
+  return R;
+}
+
+} // namespace
+
+std::optional<JobResult> ResultStore::lookup(const JobSpec &S,
+                                             EncodingMode Mode,
+                                             uint64_t GroupHash) const {
+  std::string Raw;
+  if (!readFile(entryPath(S, Mode), Raw))
+    return std::nullopt; // Plain miss: nothing on disk for this spec.
+  std::optional<JobResult> R = parseEntry(Raw, S, Mode, GroupHash);
+  if (!R)
+    countUnusableEntry();
   return R;
 }
 

@@ -2,22 +2,34 @@
 
 #include "encode/Pipeline.h"
 
-#include "support/Env.h"
-
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 
 using namespace isopredict;
 using namespace isopredict::encode;
 
 void EncoderPipeline::run(EncodingContext &EC, EncodingStats &Stats) const {
+  static obs::Counter &PassesRun = obs::Metrics::global().counter("encode.passes");
+  static obs::Counter &Literals =
+      obs::Metrics::global().counter("encode.literals");
+  static obs::Histogram &PassSeconds =
+      obs::Metrics::global().histogram("encode.pass_seconds");
   for (const std::unique_ptr<EncodingPass> &Pass : Passes) {
-    Timer PassTime;
+    // The span doubles as the PassStats timer, so `--timings` pass
+    // timings and trace spans are the same measurement.
+    obs::Span S(Pass->name(), obs::CatEncode);
     uint64_t Before = EC.Ctx.literalCount();
     uint64_t PVBefore = EC.PrunedVars, PLBefore = EC.PrunedLits;
     Pass->run(EC);
     EC.Asserts.flush(); // No-op in Immediate mode; batch in Conjoin.
-    Stats.Passes.push_back({Pass->name(), EC.Ctx.literalCount() - Before,
-                            PassTime.seconds(), EC.PrunedVars - PVBefore,
+    S.finish();
+    uint64_t Lits = EC.Ctx.literalCount() - Before;
+    Stats.Passes.push_back({Pass->name(), Lits, S.seconds(),
+                            EC.PrunedVars - PVBefore,
                             EC.PrunedLits - PLBefore});
+    PassesRun.inc();
+    Literals.inc(Lits);
+    PassSeconds.observe(S.seconds());
   }
 }
 

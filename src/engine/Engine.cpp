@@ -4,6 +4,8 @@
 
 #include "cache/ResultStore.h"
 #include "checker/Checkers.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "predict/PredictSession.h"
 #include "support/Env.h"
 #include "support/StrUtil.h"
@@ -102,11 +104,23 @@ struct CacheCtx {
   std::optional<JobResult> lookup(const JobSpec &Spec) {
     if (!Store)
       return std::nullopt;
+    static obs::Counter &MHits = obs::Metrics::global().counter("cache.hits");
+    static obs::Counter &MMisses =
+        obs::Metrics::global().counter("cache.misses");
+    static obs::Histogram &ProbeSeconds =
+        obs::Metrics::global().histogram("cache.probe_seconds");
+    obs::Span S("cache.probe", obs::CatCache);
     std::optional<JobResult> Hit = Store->lookup(Spec, mode(Spec));
-    if (Hit)
+    S.arg("outcome", Hit ? "hit" : "miss");
+    S.finish();
+    ProbeSeconds.observe(S.seconds());
+    if (Hit) {
       Hits.fetch_add(1, std::memory_order_relaxed);
-    else
+      MHits.inc();
+    } else {
       Misses.fetch_add(1, std::memory_order_relaxed);
+      MMisses.inc();
+    }
     return Hit;
   }
 
@@ -141,12 +155,26 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
   // (cache::shareGroupHash): entries written under a different
   // grouping of the same specs miss, because their literal
   // attribution would not match what this campaign's cold run writes.
+  static obs::Counter &MHits = obs::Metrics::global().counter("cache.hits");
+  static obs::Counter &MMisses = obs::Metrics::global().counter("cache.misses");
+  static obs::Histogram &ProbeSeconds =
+      obs::Metrics::global().histogram("cache.probe_seconds");
+  obs::Span GroupSpan("engine.group", obs::CatEngine);
+  GroupSpan.arg("app", C.Jobs[Indices.front()].App);
+  GroupSpan.arg("jobs", formatString("%zu", Indices.size()));
+
   uint64_t GroupHash =
       Cache.Store ? cache::shareGroupHash(C, Indices) : 0;
   if (Cache.Store) {
-    if (std::optional<std::vector<JobResult>> Hits =
-            Cache.Store->lookupGroup(C, Indices, /*ShareEncodings=*/true)) {
+    obs::Span Probe("cache.probe_group", obs::CatCache);
+    std::optional<std::vector<JobResult>> Hits =
+        Cache.Store->lookupGroup(C, Indices, /*ShareEncodings=*/true);
+    Probe.arg("outcome", Hits ? "hit" : "miss");
+    Probe.finish();
+    ProbeSeconds.observe(Probe.seconds());
+    if (Hits) {
       Cache.Hits.fetch_add(Indices.size(), std::memory_order_relaxed);
+      MHits.inc(Indices.size());
       for (size_t J = 0; J < Indices.size(); ++J) {
         Results[Indices[J]] = std::move((*Hits)[J]);
         Finished(Indices[J]);
@@ -154,6 +182,7 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
       return;
     }
     Cache.Misses.fetch_add(Indices.size(), std::memory_order_relaxed);
+    MMisses.inc(Indices.size());
   }
 
   const JobSpec &First = C.Jobs[Indices.front()];
@@ -180,7 +209,11 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
     const JobSpec &Spec = C.Jobs[I];
     JobResult R;
     R.Spec = Spec;
-    Timer Wall;
+    obs::Span JobSpan("engine.job", obs::CatEngine);
+    JobSpan.arg("kind", toString(Spec.Kind));
+    JobSpan.arg("app", Spec.App);
+    JobSpan.arg("level", toString(Spec.Level));
+    JobSpan.arg("strategy", toString(Spec.Strat));
     R.Ok = true;
     fillWorkloadStats(R, Observed);
 
@@ -193,10 +226,13 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
     R.Outcome = P.Result;
     R.Stats = P.Stats;
     R.Witness = P.Witness;
+    R.TimedOut = P.TimedOut;
+    R.SolverStats = P.SolverStats;
     if (P.Result == SmtResult::Sat && Spec.Validate)
       validateInto(R, Spec, Observed.Hist, P);
 
-    R.WallSeconds = Wall.seconds();
+    JobSpan.finish();
+    R.WallSeconds = JobSpan.seconds();
     Cache.maybeStore(R, GroupHash);
     Results[I] = std::move(R);
     Finished(I);
@@ -208,6 +244,9 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
 JobResult Engine::runJob(const JobSpec &Spec) {
   JobResult R;
   R.Spec = Spec;
+  obs::Span JobSpan("engine.job", obs::CatEngine);
+  JobSpan.arg("kind", toString(Spec.Kind));
+  JobSpan.arg("app", Spec.App);
   Timer Wall;
 
   auto App = makeApplication(Spec.App);
@@ -242,6 +281,8 @@ JobResult Engine::runJob(const JobSpec &Spec) {
     R.Outcome = P.Result;
     R.Stats = P.Stats;
     R.Witness = P.Witness;
+    R.TimedOut = P.TimedOut;
+    R.SolverStats = P.SolverStats;
 
     if (P.Result == SmtResult::Sat && Spec.Validate)
       validateInto(R, Spec, Observed.Hist, P);
@@ -303,6 +344,11 @@ Engine::Engine(EngineOptions O) : Opts(std::move(O)) {
 }
 
 Report Engine::run(const Campaign &C) const {
+  // Metrics are process-global; bracketing the run with snapshots makes
+  // the report's metrics block cover exactly this campaign (concurrent
+  // Engine::run calls in one process would cross-attribute — the CLI
+  // never does that).
+  obs::MetricsSnapshot Before = obs::Metrics::global().snapshot();
   Timer Wall;
   std::vector<JobResult> Results(C.Jobs.size());
 
@@ -323,7 +369,16 @@ Report Engine::run(const Campaign &C) const {
   std::atomic<size_t> Done{0};
   std::mutex ProgressMutex;
 
+  static obs::Counter &JobsCompleted =
+      obs::Metrics::global().counter("engine.jobs_completed");
+  static obs::Counter &GroupsDispatched =
+      obs::Metrics::global().counter("engine.groups_dispatched");
+  static obs::Histogram &JobSeconds =
+      obs::Metrics::global().histogram("engine.job_seconds");
+
   auto Finished = [&](size_t I) {
+    JobsCompleted.inc();
+    JobSeconds.observe(Results[I].WallSeconds);
     size_t F = Done.fetch_add(1, std::memory_order_relaxed) + 1;
     if (Opts.OnJobDone) {
       std::lock_guard<std::mutex> Lock(ProgressMutex);
@@ -332,10 +387,12 @@ Report Engine::run(const Campaign &C) const {
   };
 
   auto Worker = [&]() {
+    obs::Span Drain("engine.drain", obs::CatEngine);
     for (;;) {
       size_t G = Next.fetch_add(1, std::memory_order_relaxed);
       if (G >= Groups.size())
         return;
+      GroupsDispatched.inc();
       const std::vector<size_t> &Indices = Groups[G];
       bool SharedPredict = Opts.ShareEncodings &&
                            C.Jobs[Indices.front()].Kind == JobKind::Predict;
@@ -372,5 +429,7 @@ Report Engine::run(const Campaign &C) const {
   Report R(C.Name, std::move(Results), Workers, Wall.seconds());
   if (Store)
     R.setCacheStats(Cache.Hits.load(), Cache.Misses.load());
+  R.setMetrics(obs::MetricsSnapshot::delta(
+      Before, obs::Metrics::global().snapshot()));
   return R;
 }

@@ -65,6 +65,14 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
 
   if (S.Kind == JobKind::Predict) {
     J.str("result", toString(R.Outcome));
+    // Unknown-because-timeout marker (satellite of the obs PR): lets
+    // consumers separate budget exhaustion from genuine solver
+    // incompleteness. Emitted only when set — not timings-gated,
+    // because the distinction must survive shard/cache round-trips —
+    // and timeouts are uncacheable (cache::cacheable rejects Unknown),
+    // so cold/warm byte-identity is unaffected.
+    if (R.TimedOut)
+      J.boolean("timeout", true);
     J.num("literals", R.Stats.NumLiterals);
     // Present only under EngineOptions::ShareEncodings, where literal
     // counts cover just the per-query passes: the declare+feasibility
@@ -103,6 +111,18 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
     if (S.Kind == JobKind::Predict) {
       J.num("gen_seconds", R.Stats.GenSeconds);
       J.num("solve_seconds", R.Stats.SolveSeconds);
+      // Z3 search statistics for this query (SmtSolver::statistics());
+      // absent when the query never reached the solver. Run-dependent
+      // magnitudes, so timings-gated like the seconds fields.
+      if (R.SolverStats.Collected) {
+        J.openObjectIn("solver_stats");
+        J.num("conflicts", R.SolverStats.Conflicts);
+        J.num("decisions", R.SolverStats.Decisions);
+        J.num("restarts", R.SolverStats.Restarts);
+        J.num("propagations", R.SolverStats.Propagations);
+        J.num("max_memory_mb", R.SolverStats.MaxMemoryMb);
+        J.closeObject();
+      }
       // Pruning attribution (--prune jobs only; deterministic, but
       // timing-gated so default report bytes keep their shape, and
       // emitted only when present so unpruned --timings reports do
@@ -334,6 +354,8 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
     }
     R.Outcome = *Outcome;
     R.Stats.NumLiterals = *Literals;
+    if (const JsonValue *TO = Obj.field("timeout"))
+      R.TimedOut = TO->K == JsonValue::Kind::Bool && TO->B;
     if (const JsonValue *Reused = Obj.field("base_prefix_reused"))
       R.Stats.BasePrefixReused =
           Reused->K == JsonValue::Kind::Bool && Reused->B;
@@ -427,6 +449,15 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
   };
   R.Stats.PrunedVars = optU64(Obj, "pruned_vars");
   R.Stats.PrunedLits = optU64(Obj, "pruned_lits");
+  if (const JsonValue *Stats = Obj.field("solver_stats"))
+    if (Stats->K == JsonValue::Kind::Object) {
+      R.SolverStats.Conflicts = optU64(*Stats, "conflicts");
+      R.SolverStats.Decisions = optU64(*Stats, "decisions");
+      R.SolverStats.Restarts = optU64(*Stats, "restarts");
+      R.SolverStats.Propagations = optU64(*Stats, "propagations");
+      R.SolverStats.MaxMemoryMb = optDouble(*Stats, "max_memory_mb");
+      R.SolverStats.Collected = true;
+    }
   if (const JsonValue *Passes = Obj.field("passes"))
     if (Passes->K == JsonValue::Kind::Array)
       for (const JsonValue &P : Passes->Items) {

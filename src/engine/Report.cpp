@@ -155,6 +155,10 @@ std::string Report::toJson(const ReportOptions &Opts) const {
       J.num("cache_hits", static_cast<uint64_t>(CacheHits));
       J.num("cache_misses", static_cast<uint64_t>(CacheMisses));
     }
+    // Per-run metrics delta (obs::Metrics). Timings-gated: second sums
+    // are run-dependent, and default report bytes must stay invariant.
+    if (!Metrics.empty())
+      obs::writeMetricsJson(J, Metrics);
   }
 
   J.openArray("jobs");
@@ -209,6 +213,16 @@ void Report::printSummary(FILE *Out) const {
   std::fprintf(Out, "campaign '%s': %zu jobs, %u workers, %.2fs wall\n",
                CampaignName.c_str(), Results.size(), NumWorkers,
                WallSeconds);
+  // Phase breakdown from the run's metrics delta (histogram second
+  // sums), printed whenever the engine attached one — no --timings
+  // needed; reports reloaded from JSON have no snapshot and skip it.
+  if (!Metrics.empty())
+    std::fprintf(Out, "phases: encode %.2fs / solve %.2fs / cache %.2fs "
+                      "/ validate %.2fs\n",
+                 Metrics.histogramSum("encode.pass_seconds"),
+                 Metrics.histogramSum("solver.check_seconds"),
+                 Metrics.histogramSum("cache.probe_seconds"),
+                 Metrics.histogramSum("validate.seconds"));
   if (CacheHits || CacheMisses)
     std::fprintf(Out, "cache: %u hit(s), %u miss(es)\n", CacheHits,
                  CacheMisses);

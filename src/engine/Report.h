@@ -24,6 +24,7 @@
 #define ISOPREDICT_ENGINE_REPORT_H
 
 #include "engine/Campaign.h"
+#include "obs/Metrics.h"
 #include "validate/Validate.h"
 
 #include <cstdio>
@@ -79,6 +80,18 @@ struct JobResult {
   /// ∃co serializability verdict on the history (RandomWeak with
   /// CheckSerializability; Unknown otherwise).
   SerResult Serializability = SerResult::Unknown;
+
+  /// An Unknown Outcome was caused by the solver hitting the job's
+  /// timeout budget rather than genuine incompleteness. Emitted as
+  /// "timeout": true (only when set) so report consumers — and the
+  /// future solve portfolio — can separate the two; an unchanged
+  /// campaign without timeouts emits unchanged bytes.
+  bool TimedOut = false;
+
+  /// Per-query Z3 search statistics (Predict jobs that reached the
+  /// solver). Run-dependent magnitudes: emitted only under
+  /// ReportOptions::IncludeTimings.
+  SolverStatistics SolverStats;
 
   /// Wall-clock of the whole job (run-dependent; excluded from
   /// deterministic JSON).
@@ -144,6 +157,15 @@ public:
   unsigned cacheHits() const { return CacheHits; }
   unsigned cacheMisses() const { return CacheMisses; }
 
+  /// Metrics delta of the producing run (obs::Metrics snapshot-after
+  /// minus snapshot-before, set by Engine::run). Counter totals are
+  /// deterministic for a campaign; second sums are not, so the JSON
+  /// "metrics" block is emitted only under IncludeTimings, while
+  /// printSummary derives its always-on phase-breakdown line from the
+  /// histogram sums.
+  void setMetrics(obs::MetricsSnapshot S) { Metrics = std::move(S); }
+  const obs::MetricsSnapshot &metrics() const { return Metrics; }
+
   /// Serializes the full report (jobs + per-configuration summary) as a
   /// JSON document. Deterministic and stably ordered: jobs in campaign
   /// order, summary groups in order of first appearance, object keys
@@ -165,6 +187,7 @@ private:
   double WallSeconds = 0;
   unsigned ShardIndex = 1, ShardCount = 1;
   unsigned CacheHits = 0, CacheMisses = 0;
+  obs::MetricsSnapshot Metrics;
 };
 
 } // namespace engine

@@ -1,0 +1,202 @@
+//===- Metrics.cpp - Process-wide metrics registry -----------------------===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace isopredict {
+namespace obs {
+
+constexpr double Histogram::Edges[];
+constexpr size_t Histogram::NumEdges;
+constexpr size_t Histogram::NumBuckets;
+
+void Histogram::observe(double Seconds) {
+  if (Seconds < 0)
+    Seconds = 0;
+  N.fetch_add(1, std::memory_order_relaxed);
+  SumNs.fetch_add(static_cast<uint64_t>(Seconds * 1e9),
+                  std::memory_order_relaxed);
+  Buckets[bucketFor(Seconds)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  N.store(0, std::memory_order_relaxed);
+  SumNs.store(0, std::memory_order_relaxed);
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+uint64_t MetricsSnapshot::counter(const std::string &Name) const {
+  for (const auto &C : Counters)
+    if (C.first == Name)
+      return C.second;
+  return 0;
+}
+
+double MetricsSnapshot::histogramSum(const std::string &Name) const {
+  for (const auto &H : Histograms)
+    if (H.first == Name)
+      return H.second.Sum;
+  return 0;
+}
+
+uint64_t MetricsSnapshot::histogramCount(const std::string &Name) const {
+  for (const auto &H : Histograms)
+    if (H.first == Name)
+      return H.second.Count;
+  return 0;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot &Before,
+                                       const MetricsSnapshot &After) {
+  MetricsSnapshot D;
+  auto CounterBefore = [&](const std::string &Name) {
+    return Before.counter(Name);
+  };
+  for (const auto &C : After.Counters)
+    D.Counters.emplace_back(C.first, C.second - CounterBefore(C.first));
+  D.Gauges = After.Gauges;
+  for (const auto &H : After.Histograms) {
+    const HistogramSnapshot *Prev = nullptr;
+    for (const auto &B : Before.Histograms)
+      if (B.first == H.first) {
+        Prev = &B.second;
+        break;
+      }
+    HistogramSnapshot S = H.second;
+    if (Prev) {
+      S.Count -= Prev->Count;
+      S.Sum -= Prev->Sum;
+      for (size_t I = 0; I < Histogram::NumBuckets; ++I)
+        S.Buckets[I] -= Prev->Buckets[I];
+    }
+    D.Histograms.emplace_back(H.first, S);
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+struct Metrics::Impl {
+  mutable std::mutex Mu;
+  // std::map keeps names sorted, so snapshot order needs no extra sort;
+  // unique_ptr keeps instrument addresses stable across rehash-free
+  // inserts (call sites cache references).
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+Metrics::Metrics() : I(*new Impl) {}
+
+Metrics &Metrics::global() {
+  static Metrics M;
+  return M;
+}
+
+Counter &Metrics::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto &Slot = I.Counters[Name];
+  if (!Slot)
+    Slot.reset(new Counter());
+  return *Slot;
+}
+
+Gauge &Metrics::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto &Slot = I.Gauges[Name];
+  if (!Slot)
+    Slot.reset(new Gauge());
+  return *Slot;
+}
+
+Histogram &Metrics::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto &Slot = I.Histograms[Name];
+  if (!Slot)
+    Slot.reset(new Histogram());
+  return *Slot;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> L(I.Mu);
+  MetricsSnapshot S;
+  for (const auto &C : I.Counters)
+    S.Counters.emplace_back(C.first, C.second->value());
+  for (const auto &G : I.Gauges)
+    S.Gauges.emplace_back(G.first, G.second->value());
+  for (const auto &H : I.Histograms) {
+    HistogramSnapshot HS;
+    HS.Count = H.second->count();
+    HS.Sum = H.second->sum();
+    for (size_t B = 0; B < Histogram::NumBuckets; ++B)
+      HS.Buckets[B] = H.second->bucket(B);
+    S.Histograms.emplace_back(H.first, HS);
+  }
+  return S;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> L(I.Mu);
+  for (auto &C : I.Counters)
+    C.second->reset();
+  for (auto &G : I.Gauges)
+    G.second->reset();
+  for (auto &H : I.Histograms)
+    H.second->reset();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+void writeMetricsJson(JsonWriter &J, const MetricsSnapshot &S) {
+  J.openObjectIn("metrics");
+  if (!S.Counters.empty()) {
+    J.openObjectIn("counters");
+    for (const auto &C : S.Counters)
+      J.num(C.first.c_str(), C.second);
+    J.closeObject();
+  }
+  if (!S.Gauges.empty()) {
+    J.openObjectIn("gauges");
+    for (const auto &G : S.Gauges)
+      J.num(G.first.c_str(), static_cast<uint64_t>(G.second));
+    J.closeObject();
+  }
+  if (!S.Histograms.empty()) {
+    J.openObjectIn("histograms");
+    for (const auto &H : S.Histograms) {
+      J.openObjectIn(H.first.c_str());
+      J.num("count", H.second.Count);
+      J.num("sum_seconds", H.second.Sum);
+      J.openArray("bucket_le");
+      for (size_t B = 0; B < Histogram::NumEdges; ++B)
+        J.numElement(H.second.Buckets[B]);
+      J.closeArray();
+      J.num("overflow", H.second.Buckets[Histogram::NumEdges]);
+      J.closeObject();
+    }
+    J.closeObject();
+  }
+  J.closeObject();
+}
+
+} // namespace obs
+} // namespace isopredict

@@ -1,0 +1,201 @@
+//===- Metrics.h - Process-wide metrics registry ---------------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, lock-free-on-the-hot-path metrics registry: named counters,
+/// gauges, and fixed-bucket latency histograms, instrumented through the
+/// campaign pipeline (engine, encode passes, solver checks, cache
+/// probes, validation replays). The registry is process-global —
+/// instruments are registered once (a mutex-protected name table) and
+/// then updated with plain relaxed atomics, so a disabled-looking hot
+/// path costs one atomic add.
+///
+/// Metric names are part of the tool's stable surface (they appear in
+/// `--timings` campaign reports and the README documents them); add
+/// names, never repurpose them:
+///
+///   engine.jobs_completed      counter   jobs finished (any kind)
+///   engine.groups_dispatched   counter   scheduling groups pulled
+///   engine.job_seconds         histogram per-job wall-clock
+///   cache.hits / cache.misses  counter   result-cache probe outcomes
+///   cache.corrupt              counter   present-but-unusable entries
+///   cache.probe_seconds        histogram per-probe wall-clock
+///   encode.passes              counter   encoding passes run
+///   encode.literals            counter   literals asserted by passes
+///   encode.pass_seconds        histogram per-pass wall-clock
+///   solver.checks              counter   Z3_solver_check calls
+///   solver.sat/unsat/unknown   counter   check outcomes
+///   solver.timeouts            counter   unknowns attributed to timeout
+///   solver.check_seconds       histogram per-check wall-clock
+///   session.base_encodes       counter   shared prefixes encoded
+///   session.queries            counter   session queries answered
+///   session.base_reuses        counter   queries that reused a prefix
+///   validate.replays           counter   validation replays run
+///   validate.seconds           histogram per-replay wall-clock
+///   extract.seconds            histogram model extractions
+///
+/// Determinism: counter totals of one campaign are pure functions of
+/// the campaign and engine flags (identical across worker counts —
+/// tests/obs_test.cpp pins this); histogram *counts* are too, but
+/// second sums and bucket placement are run-dependent. The whole
+/// snapshot is therefore emitted only into `--timings` reports
+/// (Report::toJson "metrics" block), keeping default report bytes
+/// byte-identical with or without instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_OBS_METRICS_H
+#define ISOPREDICT_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isopredict {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed-bucket latency histogram over seconds. Bucket edges are
+/// compile-time constants shared by every histogram so snapshots are
+/// comparable across metrics and across runs; the sum accumulates in
+/// integer nanoseconds (atomic adds — no CAS loop, no double rounding
+/// races).
+class Histogram {
+public:
+  /// Upper bucket edges in seconds; bucket i counts values <= Edges[i],
+  /// plus one overflow bucket for everything larger.
+  static constexpr double Edges[] = {0.0001, 0.001, 0.01, 0.1,
+                                     1.0,    10.0,  60.0};
+  static constexpr size_t NumEdges = sizeof(Edges) / sizeof(Edges[0]);
+  static constexpr size_t NumBuckets = NumEdges + 1; // + overflow
+
+  /// Index of the bucket \p Seconds falls into.
+  static size_t bucketFor(double Seconds) {
+    for (size_t I = 0; I < NumEdges; ++I)
+      if (Seconds <= Edges[I])
+        return I;
+    return NumEdges;
+  }
+
+  void observe(double Seconds);
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(SumNs.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  uint64_t bucket(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+private:
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> SumNs{0};
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  uint64_t Count = 0;
+  double Sum = 0;
+  uint64_t Buckets[Histogram::NumBuckets] = {};
+};
+
+/// Point-in-time copy of the whole registry, name-sorted so emission is
+/// deterministic. Engine::run records the *delta* across one campaign
+/// (snapshot-before vs snapshot-after), so a report's metrics cover
+/// exactly that run even though the registry is process-global.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, int64_t>> Gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> Histograms;
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+
+  /// Counter value by name (0 when absent).
+  uint64_t counter(const std::string &Name) const;
+
+  /// Histogram second-sum / count by name (0 when absent).
+  double histogramSum(const std::string &Name) const;
+  uint64_t histogramCount(const std::string &Name) const;
+
+  /// What happened between \p Before and \p After: counters and
+  /// histogram counts/sums/buckets subtract; gauges take the After
+  /// value. Names union (a metric registered mid-run counts from 0).
+  static MetricsSnapshot delta(const MetricsSnapshot &Before,
+                               const MetricsSnapshot &After);
+};
+
+/// The registry. Instrument handles are stable for the process lifetime,
+/// so call sites cache them in static locals:
+///
+/// \code
+///   static Counter &Hits = Metrics::global().counter("cache.hits");
+///   Hits.inc();
+/// \endcode
+class Metrics {
+public:
+  static Metrics &global();
+
+  /// Returns the instrument registered under \p Name, creating it on
+  /// first use. A name must keep one instrument kind for the process
+  /// lifetime.
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered instrument (registration survives — cached
+  /// references stay valid). Tests only; concurrent updaters see a torn
+  /// but monotone-from-zero state.
+  void reset();
+
+private:
+  struct Impl;
+  Metrics();
+  Impl &I;
+};
+
+/// Emits \p S as the currently-open JSON object's "metrics" member:
+/// name-sorted "counters" / "gauges" / "histograms" sub-objects (each
+/// omitted when empty; histogram objects carry count, sum and the
+/// fixed-edge bucket array).
+void writeMetricsJson(JsonWriter &J, const MetricsSnapshot &S);
+
+} // namespace obs
+} // namespace isopredict
+
+#endif // ISOPREDICT_OBS_METRICS_H

@@ -1,0 +1,187 @@
+//===- Tracer.cpp - RAII spans with a lock-sharded sink ------------------===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+namespace isopredict {
+namespace obs {
+
+namespace {
+
+/// Worker pools are small (NumWorkers defaults to hardware_concurrency);
+/// 16 shards keep record() contention negligible without per-thread
+/// registration.
+constexpr size_t NumShards = 16;
+
+} // namespace
+
+struct Tracer::Impl {
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> EpochNs{0};
+  struct Shard {
+    std::mutex Mu;
+    std::vector<SpanRecord> Spans;
+  };
+  Shard Shards[NumShards];
+};
+
+Tracer::Tracer() : I(*new Impl) {}
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+uint64_t Tracer::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t Tracer::threadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void Tracer::enable() {
+  clear();
+  I.EpochNs.store(nowNs(), std::memory_order_relaxed);
+  I.Enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { I.Enabled.store(false, std::memory_order_release); }
+
+bool Tracer::enabled() const {
+  return I.Enabled.load(std::memory_order_acquire);
+}
+
+void Tracer::clear() {
+  for (auto &S : I.Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.Spans.clear();
+  }
+}
+
+uint64_t Tracer::epochNs() const {
+  return I.EpochNs.load(std::memory_order_relaxed);
+}
+
+void Tracer::record(SpanRecord R) {
+  auto &Shard = I.Shards[R.Tid % NumShards];
+  std::lock_guard<std::mutex> L(Shard.Mu);
+  Shard.Spans.push_back(std::move(R));
+}
+
+std::vector<Tracer::SpanRecord> Tracer::spans() const {
+  std::vector<SpanRecord> All;
+  for (auto &S : I.Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    All.insert(All.end(), S.Spans.begin(), S.Spans.end());
+  }
+  // Earlier first; at equal starts longer first, so an enclosing span
+  // sorts before the spans it contains.
+  std::sort(All.begin(), All.end(),
+            [](const SpanRecord &A, const SpanRecord &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              if (A.DurNs != B.DurNs)
+                return A.DurNs > B.DurNs;
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return std::string_view(A.Name) < std::string_view(B.Name);
+            });
+  return All;
+}
+
+std::vector<std::pair<std::string, double>> Tracer::categorySeconds() const {
+  std::map<std::string, double> Sums;
+  for (const SpanRecord &R : spans())
+    Sums[R.Cat] += static_cast<double>(R.DurNs) * 1e-9;
+  return {Sums.begin(), Sums.end()};
+}
+
+std::string Tracer::toChromeTraceJson() const {
+  JsonWriter J;
+  J.openObject();
+  J.str("displayTimeUnit", "ms");
+  J.openArray("traceEvents");
+  for (const SpanRecord &R : spans()) {
+    J.openElement();
+    J.str("name", R.Name);
+    J.str("cat", R.Cat);
+    J.str("ph", "X");
+    J.num("ts", static_cast<double>(R.StartNs) * 1e-3); // microseconds
+    J.num("dur", static_cast<double>(R.DurNs) * 1e-3);
+    J.num("pid", static_cast<uint64_t>(1));
+    J.num("tid", static_cast<uint64_t>(R.Tid));
+    if (!R.Args.empty()) {
+      J.openObjectIn("args");
+      for (const auto &A : R.Args)
+        J.str(A.first, A.second);
+      J.closeObject();
+    }
+    J.closeObject();
+  }
+  J.closeArray();
+  J.closeObject();
+  return J.take();
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path,
+                              std::string *Error) const {
+  std::string Json = toChromeTraceJson();
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size() && std::fclose(F) == 0;
+  if (!Ok) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    if (Written != Json.size())
+      std::fclose(F);
+  }
+  return Ok;
+}
+
+void Span::finish() {
+  if (Done)
+    return;
+  Done = true;
+  DurNs = Tracer::nowNs() - StartNs;
+  if (!Active)
+    return;
+  Tracer &T = Tracer::global();
+  if (!T.enabled())
+    return;
+  Tracer::SpanRecord R;
+  R.Name = Name;
+  R.Cat = Cat;
+  uint64_t Epoch = T.epochNs();
+  R.StartNs = StartNs > Epoch ? StartNs - Epoch : 0;
+  R.DurNs = DurNs;
+  R.Tid = Tracer::threadId();
+  R.Args = std::move(Args);
+  T.record(std::move(R));
+}
+
+} // namespace obs
+} // namespace isopredict

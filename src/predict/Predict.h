@@ -162,6 +162,14 @@ struct EncodingStats {
 struct Prediction {
   SmtResult Result = SmtResult::Unknown;
   EncodingStats Stats;
+  /// True when Result == Unknown because the solver hit the TimeoutMs
+  /// budget (Z3's reason-unknown says timeout/canceled, or the solve
+  /// time reached the budget) — distinguishing "ran out of time" from a
+  /// genuine incompleteness unknown. Always false for decided results.
+  bool TimedOut = false;
+  /// Z3 search statistics for this query's check() (Collected == false
+  /// when the query skipped the solver, i.e. GenerateOnly).
+  SolverStatistics SolverStats;
 
   // The fields below are meaningful only when Result == Sat.
 

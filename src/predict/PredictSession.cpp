@@ -14,6 +14,8 @@
 #include "predict/PredictSession.h"
 
 #include "encode/Pipeline.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "support/Env.h"
 
 #include <cassert>
@@ -27,6 +29,9 @@ namespace {
 /// choices substituted, and a pco witness cycle (approx strategies).
 void extract(encode::EncodingContext &EC, SmtSolver &Solver,
              Prediction &Out) {
+  static obs::Histogram &ExtractSeconds =
+      obs::Metrics::global().histogram("extract.seconds");
+  obs::Span Sp("model_extract", obs::CatExtract);
   const History &H = EC.H;
   size_t Sessions = H.numSessions();
   Out.BoundaryPos.assign(Sessions, InfPos);
@@ -96,6 +101,28 @@ void extract(encode::EncodingContext &EC, SmtSolver &Solver,
     else if (auto Cycle = R.findCycle())
       Out.Witness = *Cycle;
   }
+  Sp.finish();
+  ExtractSeconds.observe(Sp.seconds());
+}
+
+/// Post-check bookkeeping shared by the one-shot and session paths:
+/// reads the solver's per-query Z3 statistics and classifies an Unknown
+/// as a timeout when Z3 says so or the solve time reached the budget.
+void recordCheckOutcome(SmtSolver &Solver, unsigned TimeoutMs,
+                        Prediction &Out) {
+  Out.SolverStats = Solver.statistics();
+  if (Out.Result != SmtResult::Unknown)
+    return;
+  const std::string &Reason = Solver.reasonUnknown();
+  Out.TimedOut = Reason.find("timeout") != std::string::npos ||
+                 Reason.find("canceled") != std::string::npos ||
+                 (TimeoutMs != 0 &&
+                  Out.Stats.SolveSeconds * 1000.0 >= TimeoutMs);
+  if (Out.TimedOut) {
+    static obs::Counter &Timeouts =
+        obs::Metrics::global().counter("solver.timeouts");
+    Timeouts.inc();
+  }
 }
 
 /// Session-level knobs as the PredictOptions the passes read.
@@ -151,8 +178,12 @@ void PredictSession::ensureBase() {
   if (BaseDone)
     return;
   ensureSolver();
-  Timer Gen;
+  static obs::Counter &BaseEncodes =
+      obs::Metrics::global().counter("session.base_encodes");
+  BaseEncodes.inc();
+  obs::Span Gen("session.base_encode", obs::CatSession);
   encode::EncoderPipeline::forSessionBase(Opts).run(*EC, BaseStats);
+  Gen.finish();
   BaseStats.GenSeconds = Gen.seconds();
   BaseStats.NumLiterals = Ctx->literalCount();
   BaseStats.PrunedVars = EC->PrunedVars;
@@ -223,6 +254,7 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
     Timer Solve;
     Out.Result = Solver->check();
     Out.Stats.SolveSeconds = Solve.seconds();
+    recordCheckOutcome(*Solver, Opts.TimeoutMs, Out);
     if (Out.Result == SmtResult::Sat)
       extract(*EC, *Solver, Out);
     ++Queries;
@@ -230,8 +262,18 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
   }
 
   // Shared: base prefix below, one scope per query on top.
+  static obs::Counter &SessionQueries =
+      obs::Metrics::global().counter("session.queries");
+  static obs::Counter &BaseReuses =
+      obs::Metrics::global().counter("session.base_reuses");
   bool ReusedBase = BaseDone;
   ensureBase();
+  SessionQueries.inc();
+  if (ReusedBase)
+    BaseReuses.inc();
+  obs::Span QSpan("session.query", obs::CatSession);
+  QSpan.arg("level", toString(Q.Level));
+  QSpan.arg("strategy", toString(Q.Strat));
   EC->beginQuery(Q.Strat);
   Solver->push();
   uint64_t Before = Ctx->literalCount();
@@ -261,6 +303,7 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
     Timer Solve;
     Out.Result = Solver->check();
     Out.Stats.SolveSeconds = Solve.seconds();
+    recordCheckOutcome(*Solver, Opts.TimeoutMs, Out);
     if (Out.Result == SmtResult::Sat)
       extract(*EC, *Solver, Out); // before pop: the model reads scoped vars
   }

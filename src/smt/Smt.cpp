@@ -2,6 +2,9 @@
 
 #include "smt/Smt.h"
 
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -323,19 +326,78 @@ void SmtSolver::pop() {
 
 SmtResult SmtSolver::check() {
   releaseModel();
-  switch (Z3_solver_check(Parent.raw(), Solver)) {
+  LastReasonUnknown.clear();
+  static obs::Counter &Checks = obs::Metrics::global().counter("solver.checks");
+  static obs::Counter &Sat = obs::Metrics::global().counter("solver.sat");
+  static obs::Counter &Unsat = obs::Metrics::global().counter("solver.unsat");
+  static obs::Counter &Unknown =
+      obs::Metrics::global().counter("solver.unknown");
+  static obs::Histogram &CheckSeconds =
+      obs::Metrics::global().histogram("solver.check_seconds");
+  Checks.inc();
+  obs::Span S("Z3_solver_check", obs::CatSolver);
+  Z3_lbool R = Z3_solver_check(Parent.raw(), Solver);
+  CheckSeconds.observe(S.seconds());
+  SmtResult Out = SmtResult::Unknown;
+  switch (R) {
   case Z3_L_TRUE: {
     Model = Z3_solver_get_model(Parent.raw(), Solver);
     if (Model)
       Z3_model_inc_ref(Parent.raw(), Model);
-    return SmtResult::Sat;
+    Sat.inc();
+    Out = SmtResult::Sat;
+    break;
   }
   case Z3_L_FALSE:
-    return SmtResult::Unsat;
+    Unsat.inc();
+    Out = SmtResult::Unsat;
+    break;
   case Z3_L_UNDEF:
-    return SmtResult::Unknown;
+    Unknown.inc();
+    // The returned string lives until the next Z3 call; copy it now.
+    if (Z3_string Reason = Z3_solver_get_reason_unknown(Parent.raw(), Solver))
+      LastReasonUnknown = Reason;
+    break;
   }
-  return SmtResult::Unknown;
+  S.arg("result", toString(Out));
+  S.finish();
+  return Out;
+}
+
+SolverStatistics SmtSolver::statistics() const {
+  SolverStatistics Out;
+  Z3_stats Stats = Z3_solver_get_statistics(Parent.raw(), Solver);
+  Z3_stats_inc_ref(Parent.raw(), Stats);
+  unsigned N = Z3_stats_size(Parent.raw(), Stats);
+  auto Value = [&](unsigned I) -> double {
+    if (Z3_stats_is_uint(Parent.raw(), Stats, I))
+      return static_cast<double>(Z3_stats_get_uint_value(Parent.raw(), Stats, I));
+    return Z3_stats_get_double_value(Parent.raw(), Stats, I);
+  };
+  for (unsigned I = 0; I < N; ++I) {
+    std::string_view Key = Z3_stats_get_key(Parent.raw(), Stats, I);
+    // Z3 prefixes keys with the engine that produced them ("sat
+    // conflicts" vs "conflicts"); sum the variants into one field.
+    auto Matches = [&](std::string_view Suffix) {
+      return Key == Suffix ||
+             (Key.size() > Suffix.size() &&
+              Key.substr(Key.size() - Suffix.size()) == Suffix &&
+              Key[Key.size() - Suffix.size() - 1] == ' ');
+    };
+    if (Matches("conflicts"))
+      Out.Conflicts += static_cast<uint64_t>(Value(I));
+    else if (Matches("decisions"))
+      Out.Decisions += static_cast<uint64_t>(Value(I));
+    else if (Matches("restarts"))
+      Out.Restarts += static_cast<uint64_t>(Value(I));
+    else if (Matches("propagations"))
+      Out.Propagations += static_cast<uint64_t>(Value(I));
+    else if (Key == "max memory")
+      Out.MaxMemoryMb = Value(I);
+  }
+  Z3_stats_dec_ref(Parent.raw(), Stats);
+  Out.Collected = true;
+  return Out;
 }
 
 int64_t SmtSolver::modelInt(SmtExpr E) {

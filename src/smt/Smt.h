@@ -54,6 +54,22 @@ struct SmtExpr {
 /// Outcome of a solver query.
 enum class SmtResult { Sat, Unsat, Unknown };
 
+/// Search statistics for one solver, read from Z3 after a check()
+/// (SmtSolver::statistics()). Z3 reports per-engine key variants
+/// ("conflicts" vs "sat conflicts" depending on which engine ran);
+/// matching variants are summed into one field. These are the raw
+/// difficulty signal recorded per query into JobResult / `--timings`
+/// report JSON — values are run-dependent, never part of the default
+/// deterministic report surface.
+struct SolverStatistics {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Restarts = 0;
+  uint64_t Propagations = 0;
+  double MaxMemoryMb = 0; ///< Peak Z3 allocation, megabytes.
+  bool Collected = false; ///< False until statistics() populated this.
+};
+
 /// Returns "sat", "unsat", or "unknown".
 const char *toString(SmtResult R);
 
@@ -223,6 +239,15 @@ public:
 
   SmtResult check();
 
+  /// Z3's explanation for the last Unknown check ("timeout", "canceled",
+  /// "(incomplete ...)"); empty before any check or after a decided one.
+  const std::string &reasonUnknown() const { return LastReasonUnknown; }
+
+  /// Reads the solver's cumulative search statistics
+  /// (Z3_solver_get_statistics). Valid any time; meaningful after a
+  /// check().
+  SolverStatistics statistics() const;
+
   //===--------------------------------------------------------------------===
   // Model access (valid after check() == Sat until the next check/add)
   //===--------------------------------------------------------------------===
@@ -240,6 +265,7 @@ private:
   Z3_model Model = nullptr;
   /// Asserted-literal count of the context at each open push().
   std::vector<uint64_t> ScopeLits;
+  std::string LastReasonUnknown;
 
   void releaseModel();
 };

@@ -2,6 +2,8 @@
 
 #include "validate/Validate.h"
 
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "support/StrUtil.h"
 
 #include <map>
@@ -114,6 +116,20 @@ ValidationResult isopredict::validatePrediction(
   ValidationResult Out;
   if (Pred.Result != SmtResult::Sat)
     return Out;
+  static obs::Counter &Replays =
+      obs::Metrics::global().counter("validate.replays");
+  static obs::Histogram &ReplaySeconds =
+      obs::Metrics::global().histogram("validate.seconds");
+  Replays.inc();
+  obs::Span Sp("validate.replay", obs::CatValidate);
+  struct ObserveReplay {
+    obs::Span &Sp;
+    obs::Histogram &H;
+    ~ObserveReplay() {
+      Sp.finish();
+      H.observe(Sp.seconds());
+    }
+  } ObserveOnExit{Sp, ReplaySeconds};
 
   // Boundary transactions: the transaction containing each session's
   // boundary read, or the session's last transaction when it never

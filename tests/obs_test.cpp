@@ -1,0 +1,282 @@
+//===- obs_test.cpp - Tracer, metrics, and exporter tests ------*- C++ -*-===//
+
+#include "engine/Engine.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+namespace {
+
+/// A small, fast mixed campaign: two cheap Observe jobs plus one real
+/// Predict (touches encode, solver, extract, and validate metrics).
+Campaign smallCampaign() {
+  Campaign C;
+  C.Name = "obs-test";
+  for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+    JobSpec J;
+    J.Kind = JobKind::Observe;
+    J.App = "voter";
+    J.Cfg = WorkloadConfig::small(Seed);
+    C.Jobs.push_back(std::move(J));
+  }
+  {
+    JobSpec J;
+    J.Kind = JobKind::Predict;
+    J.App = "smallbank";
+    J.Cfg = WorkloadConfig::small(2);
+    J.Level = IsolationLevel::Causal;
+    J.Strat = Strategy::ApproxRelaxed;
+    J.TimeoutMs = 60000;
+    C.Jobs.push_back(std::move(J));
+  }
+  return C;
+}
+
+Report runWith(const Campaign &C, unsigned Workers) {
+  EngineOptions O;
+  O.NumWorkers = Workers;
+  return Engine(O).run(C);
+}
+
+/// RAII guard: spans recorded by a test never leak into another.
+struct TracerSession {
+  TracerSession() { obs::Tracer::global().enable(); }
+  ~TracerSession() {
+    obs::Tracer::global().disable();
+    obs::Tracer::global().clear();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Histogram semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, HistogramBucketEdges) {
+  // Edges are upper-inclusive: a value lands in the first bucket whose
+  // edge it does not exceed.
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucketFor(0.0), 0u);
+  EXPECT_EQ(H::bucketFor(0.00005), 0u);
+  EXPECT_EQ(H::bucketFor(0.0001), 0u); // exactly on the first edge
+  EXPECT_EQ(H::bucketFor(0.0002), 1u);
+  EXPECT_EQ(H::bucketFor(1.0), 4u);
+  EXPECT_EQ(H::bucketFor(1.5), 5u);
+  EXPECT_EQ(H::bucketFor(60.0), 6u);
+  EXPECT_EQ(H::bucketFor(61.0), H::NumEdges); // overflow bucket
+}
+
+TEST(Metrics, HistogramObserveAndReset) {
+  obs::Histogram H;
+  H.observe(0.0005);
+  H.observe(0.0005);
+  H.observe(120.0);
+  H.observe(-1.0); // clamped to zero, not dropped
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.bucket(0), 1u); // the clamped negative
+  EXPECT_EQ(H.bucket(1), 2u);
+  EXPECT_EQ(H.bucket(obs::Histogram::NumEdges), 1u);
+  EXPECT_NEAR(H.sum(), 120.001, 1e-6);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0.0);
+  EXPECT_EQ(H.bucket(1), 0u);
+}
+
+TEST(Metrics, RegistryHandlesAreStable) {
+  obs::Counter &A = obs::Metrics::global().counter("obs-test.stable");
+  obs::Counter &B = obs::Metrics::global().counter("obs-test.stable");
+  EXPECT_EQ(&A, &B); // same name, same instrument — call-site caching is safe
+  A.inc(3);
+  EXPECT_EQ(B.value(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TEST(Tracer, SpanNestingAndThreadAttribution) {
+  TracerSession Session;
+
+  uint32_t WorkerTid = 0;
+  {
+    obs::Span Outer("outer", obs::CatEngine);
+    {
+      obs::Span Inner("inner", obs::CatEncode);
+      Inner.arg("detail", "nested");
+    }
+    std::thread T([&] {
+      WorkerTid = obs::Tracer::threadId();
+      obs::Span Side("side", obs::CatSolver);
+    });
+    T.join();
+  }
+
+  std::vector<obs::Tracer::SpanRecord> Spans = obs::Tracer::global().spans();
+  ASSERT_EQ(Spans.size(), 3u);
+  // spans() sorts by start time with longer spans first on ties, so the
+  // enclosing span always precedes what it encloses.
+  EXPECT_STREQ(Spans[0].Name, "outer");
+  EXPECT_STREQ(Spans[1].Name, "inner");
+  EXPECT_STREQ(Spans[2].Name, "side");
+
+  // Containment: children start no earlier and end no later.
+  EXPECT_GE(Spans[1].StartNs, Spans[0].StartNs);
+  EXPECT_LE(Spans[1].StartNs + Spans[1].DurNs,
+            Spans[0].StartNs + Spans[0].DurNs);
+
+  // Thread attribution: main-thread spans share a tid, the worker's
+  // span carries its own.
+  EXPECT_EQ(Spans[0].Tid, obs::Tracer::threadId());
+  EXPECT_EQ(Spans[1].Tid, Spans[0].Tid);
+  EXPECT_EQ(Spans[2].Tid, WorkerTid);
+  EXPECT_NE(Spans[2].Tid, Spans[0].Tid);
+
+  // Args survive into the record.
+  ASSERT_EQ(Spans[1].Args.size(), 1u);
+  EXPECT_STREQ(Spans[1].Args[0].first, "detail");
+  EXPECT_EQ(Spans[1].Args[0].second, "nested");
+
+  // Category roll-up covers exactly the categories that ran.
+  std::map<std::string, double> ByCat;
+  for (const auto &KV : obs::Tracer::global().categorySeconds())
+    ByCat.insert(KV);
+  EXPECT_EQ(ByCat.size(), 3u);
+  EXPECT_EQ(ByCat.count(obs::CatEngine), 1u);
+  EXPECT_EQ(ByCat.count(obs::CatEncode), 1u);
+  EXPECT_EQ(ByCat.count(obs::CatSolver), 1u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+  {
+    obs::Span S("ignored", obs::CatEngine);
+    S.arg("key", "value");
+  }
+  EXPECT_TRUE(obs::Tracer::global().spans().empty());
+  // seconds() still measures — span-as-timer works with tracing off.
+  obs::Span T("timer", obs::CatEngine);
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export
+//===----------------------------------------------------------------------===//
+
+TEST(Tracer, ChromeTraceIsWellFormedJson) {
+  TracerSession Session;
+  {
+    obs::Span A("alpha", obs::CatEngine);
+    A.arg("app", "voter");
+    obs::Span B("beta", obs::CatSolver);
+  }
+
+  std::string Error;
+  std::optional<JsonValue> Doc =
+      parseJson(obs::Tracer::global().toChromeTraceJson(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  ASSERT_EQ(Doc->K, JsonValue::Kind::Object);
+
+  const JsonValue *Unit = Doc->field("displayTimeUnit");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_EQ(Unit->Text, "ms");
+
+  const JsonValue *Events = Doc->field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->K, JsonValue::Kind::Array);
+  ASSERT_EQ(Events->Items.size(), 2u);
+  for (const JsonValue &E : Events->Items) {
+    ASSERT_EQ(E.K, JsonValue::Kind::Object);
+    for (const char *Field : {"name", "cat", "ph", "ts", "dur", "pid", "tid"})
+      EXPECT_NE(E.field(Field), nullptr) << Field;
+    EXPECT_EQ(E.field("ph")->Text, "X"); // complete events
+    // Timestamps are normalized to the enable() epoch: never negative.
+    EXPECT_GE(std::stod(E.field("ts")->Text), 0.0);
+  }
+  // The "alpha" span's arg dictionary survives export.
+  const JsonValue *Args = Events->Items[0].field("args");
+  ASSERT_NE(Args, nullptr);
+  ASSERT_NE(Args->field("app"), nullptr);
+  EXPECT_EQ(Args->field("app")->Text, "voter");
+}
+
+//===----------------------------------------------------------------------===//
+// Engine integration
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, CampaignCountersDeterministicAcrossWorkerCounts) {
+  Campaign C = smallCampaign();
+  Report R1 = runWith(C, 1);
+  Report R2 = runWith(C, 2);
+
+  // The per-run metrics delta attached by Engine::run has identical
+  // counter totals regardless of parallelism: the same jobs run the
+  // same passes, checks, and replays.
+  ASSERT_FALSE(R1.metrics().empty());
+  ASSERT_FALSE(R2.metrics().empty());
+  EXPECT_EQ(R1.metrics().Counters, R2.metrics().Counters);
+
+  // Histogram *counts* are deterministic too (second sums are not).
+  ASSERT_EQ(R1.metrics().Histograms.size(), R2.metrics().Histograms.size());
+  for (size_t I = 0; I < R1.metrics().Histograms.size(); ++I) {
+    EXPECT_EQ(R1.metrics().Histograms[I].first,
+              R2.metrics().Histograms[I].first);
+    EXPECT_EQ(R1.metrics().Histograms[I].second.Count,
+              R2.metrics().Histograms[I].second.Count);
+  }
+
+  // Spot-check the totals against the campaign's shape.
+  EXPECT_EQ(R1.metrics().counter("engine.jobs_completed"), C.size());
+  // The Predict job checks once; its validation replay may check again
+  // (serializability of the replayed history goes through the solver).
+  EXPECT_GE(R1.metrics().counter("solver.checks"), 1u);
+  EXPECT_EQ(R1.metrics().histogramCount("engine.job_seconds"), C.size());
+  EXPECT_GE(R1.metrics().counter("encode.passes"), 1u);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsBaseline) {
+  obs::Counter &Twice = obs::Metrics::global().counter("obs-test.delta");
+  Twice.inc(5);
+  obs::MetricsSnapshot Before = obs::Metrics::global().snapshot();
+  Twice.inc(3);
+  obs::MetricsSnapshot After = obs::Metrics::global().snapshot();
+  obs::MetricsSnapshot D = obs::MetricsSnapshot::delta(Before, After);
+  EXPECT_EQ(D.counter("obs-test.delta"), 3u);
+}
+
+TEST(Report, DefaultBytesInvariantUnderTracing) {
+  Campaign C = smallCampaign();
+  std::string Off = runWith(C, 1).toJson();
+
+  std::string On;
+  {
+    TracerSession Session;
+    On = runWith(C, 1).toJson();
+    // Tracing actually happened: the run produced engine spans.
+    EXPECT_FALSE(obs::Tracer::global().spans().empty());
+  }
+
+  // Instrumentation is invisible in default reports: byte-identical
+  // with the tracer on or off, and no metrics block leaks in.
+  EXPECT_EQ(Off, On);
+  EXPECT_EQ(Off.find("\"metrics\""), std::string::npos);
+
+  // With timings requested, the metrics block appears.
+  ReportOptions Timed;
+  Timed.IncludeTimings = true;
+  std::string Full = runWith(C, 1).toJson(Timed);
+  EXPECT_NE(Full.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(Full.find("\"engine.jobs_completed\""), std::string::npos);
+  EXPECT_NE(Full.find("\"solver.check_seconds\""), std::string::npos);
+  EXPECT_NE(Full.find("\"solver_stats\""), std::string::npos);
+}
