@@ -7,7 +7,8 @@
 //   campaign_cli [--apps a,b] [--levels causal,rc,ra]
 //                [--strategies exact,strict,relaxed] [--sizes small,large]
 //                [--seeds N] [--jobs N] [--timeout-ms N] [--pco rank|layered]
-//                [--share-encodings] [--no-validate] [--timings] [--quiet]
+//                [--share-encodings] [--portfolio[=N]] [--lane-stats-dir DIR]
+//                [--no-validate] [--timings] [--quiet]
 //                [--cache-dir DIR] [--shard K/N] [--write-shards N]
 //                [--campaign FILE] [--dry-run]
 //                [--name NAME] [--out report.json]
@@ -76,6 +77,15 @@ int usage(const char *Msg = nullptr) {
       "  --prune               formula minimization: relevance-pruned\n"
       "                        encoding plan (same sat/unsat outcomes;\n"
       "                        fewer literals, models may differ)\n"
+      "  --portfolio[=N]       race up to N solve lanes per predict query\n"
+      "                        (default 4): strategy/encoding/Z3-preset\n"
+      "                        variants on their own threads, first\n"
+      "                        definitive answer wins, losers interrupted\n"
+      "                        (same sat/unsat outcomes; models may differ).\n"
+      "                        Excludes --share-encodings\n"
+      "  --lane-stats-dir DIR  persist per-query-class lane win/latency\n"
+      "                        stats to seed future lane schedules\n"
+      "                        (default: --cache-dir when racing)\n"
       "  --no-validate         skip validation replay of Sat predictions\n"
       "  --cache-dir DIR       persistent result cache: skip jobs whose\n"
       "                        results are cached, store the rest\n"
@@ -113,7 +123,7 @@ std::vector<std::string> splitList(const std::string &Arg) {
 /// (Engine::planGroups), so a partially-cached group previews as all
 /// misses just like the run would recompute it.
 int dryRun(const Campaign &C, const std::string &CacheDir,
-           bool ShareEncodings) {
+           bool ShareEncodings, bool Portfolio) {
   std::optional<cache::ResultStore> Store;
   if (!CacheDir.empty())
     Store.emplace(CacheDir);
@@ -121,7 +131,7 @@ int dryRun(const Campaign &C, const std::string &CacheDir,
   if (Store)
     for (const std::vector<size_t> &Indices :
          Engine::planGroups(C, ShareEncodings))
-      if (Store->lookupGroup(C, Indices, ShareEncodings))
+      if (Store->lookupGroup(C, Indices, ShareEncodings, Portfolio))
         for (size_t I : Indices)
           Hit[I] = true;
 
@@ -172,6 +182,8 @@ int main(int argc, char **argv) {
   PcoEncoding Pco = PcoEncoding::Rank;
   bool ShareEncodings = false;
   bool Prune = false;
+  unsigned PortfolioLanes = 0;
+  std::string LaneStatsDir;
   bool Validate = true;
   bool Timings = false;
   bool Quiet = false;
@@ -197,6 +209,20 @@ int main(int argc, char **argv) {
       GridFlagUsed = true;
     } else if (Flag == "--share-encodings") {
       ShareEncodings = true;
+    } else if (Flag == "--portfolio" || Flag.rfind("--portfolio=", 0) == 0) {
+      if (Flag == "--portfolio") {
+        PortfolioLanes = 4;
+      } else {
+        auto N = parseInt(Flag.substr(std::strlen("--portfolio=")));
+        if (!N || *N < 2)
+          return usage("--portfolio=N needs at least 2 lanes");
+        PortfolioLanes = static_cast<unsigned>(*N);
+      }
+    } else if (Flag == "--lane-stats-dir") {
+      const char *V = next();
+      if (!V)
+        return usage("--lane-stats-dir needs a value");
+      LaneStatsDir = V;
     } else if (Flag == "--prune") {
       // Changes every job's spec (and hash), so it is a grid flag:
       // campaign files carry their own prune decision per job.
@@ -412,10 +438,17 @@ int main(int argc, char **argv) {
                  "(sat/unsat outcomes still agree; literal counts and "
                  "models may differ)\n");
 
+  // Racing a shared session's solver is not possible: a PredictSession
+  // multiplexes queries over one Z3 solver, while lanes need private
+  // solvers they can interrupt. Rejected rather than silently resolved.
+  if (PortfolioLanes && ShareEncodings)
+    return usage("--portfolio races private solvers per query; it cannot "
+                 "be combined with --share-encodings");
+
   // --dry-run only reads the cache, so it skips the write probe below
   // (a read-only shared cache directory is a fine thing to preview).
   if (DryRun)
-    return dryRun(C, CacheDir, ShareEncodings);
+    return dryRun(C, CacheDir, ShareEncodings, PortfolioLanes >= 2);
 
   // Surface a misconfigured cache directory before spending hours of
   // solver time whose results would silently fail to persist: create
@@ -438,6 +471,8 @@ int main(int argc, char **argv) {
   EO.NumWorkers = Jobs;
   EO.ShareEncodings = ShareEncodings;
   EO.CacheDir = CacheDir;
+  EO.PortfolioLanes = PortfolioLanes;
+  EO.LaneStatsDir = LaneStatsDir;
   if (!Quiet)
     EO.OnJobDone = [](size_t Done, size_t Total, const JobResult &R) {
       std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s%s%s\n", Done,

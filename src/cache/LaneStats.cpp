@@ -1,0 +1,121 @@
+//===- LaneStats.cpp - Persistent portfolio lane statistics ---------------===//
+
+#include "cache/LaneStats.h"
+
+#include "checker/Checkers.h"
+#include "engine/Report.h"
+#include "support/Fs.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+
+using namespace isopredict;
+using namespace isopredict::cache;
+
+namespace {
+
+constexpr const char *StatsSchema = "isopredict-lane-stats/1";
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char Ch : S) {
+    Hash ^= Ch;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+} // namespace
+
+std::string isopredict::cache::laneStatsKey(const engine::JobSpec &S) {
+  return formatString("%s|%s|%s|%ux%u", S.App.c_str(), toString(S.Level),
+                      toString(S.Strat), S.Cfg.Sessions, S.Cfg.TxnsPerSession);
+}
+
+LaneStatsStore::LaneStatsStore(std::string RootDir) : Root(std::move(RootDir)) {}
+
+std::string LaneStatsStore::entryPath(const std::string &Key) const {
+  return pathJoin(
+      pathJoin(pathJoin(Root, engine::toolVersion()), "lanes"),
+      formatString("%016llx.json",
+                   static_cast<unsigned long long>(fnv1a(Key))));
+}
+
+std::vector<LaneTally> LaneStatsStore::load(const std::string &Key) const {
+  std::string Raw;
+  if (!readFile(entryPath(Key), Raw))
+    return {};
+  std::optional<JsonValue> Doc = parseJson(Raw);
+  if (!Doc || Doc->K != JsonValue::Kind::Object)
+    return {};
+
+  // The same gauntlet as cache entries, with the same outcome on every
+  // failure: no usable history. The key echo also disarms fnv1a
+  // collisions — two classes sharing a file would otherwise feed each
+  // other's schedules.
+  const JsonValue *Schema = Doc->field("schema");
+  const JsonValue *Version = Doc->field("tool_version");
+  const JsonValue *KeyField = Doc->field("key");
+  if (!Schema || Schema->Text != StatsSchema || !Version ||
+      Version->Text != engine::toolVersion() || !KeyField ||
+      KeyField->Text != Key)
+    return {};
+
+  const JsonValue *Lanes = Doc->field("lanes");
+  if (!Lanes || Lanes->K != JsonValue::Kind::Array)
+    return {};
+  std::vector<LaneTally> Out;
+  for (const JsonValue &L : Lanes->Items) {
+    if (L.K != JsonValue::Kind::Object)
+      return {};
+    const JsonValue *Name = L.field("lane");
+    if (!Name || Name->K != JsonValue::Kind::String || Name->Text.empty())
+      return {};
+    LaneTally T;
+    T.Lane = Name->Text;
+    auto U64 = [&](const char *F, uint64_t &V) {
+      if (const JsonValue *N = L.field(F))
+        if (N->K == JsonValue::Kind::Number)
+          V = std::strtoull(N->Text.c_str(), nullptr, 10);
+    };
+    U64("runs", T.Runs);
+    U64("wins", T.Wins);
+    U64("losses", T.Losses);
+    U64("timeouts", T.Timeouts);
+    if (const JsonValue *N = L.field("seconds"))
+      if (N->K == JsonValue::Kind::Number)
+        T.Seconds = std::strtod(N->Text.c_str(), nullptr);
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+bool LaneStatsStore::store(const std::string &Key,
+                           const std::vector<LaneTally> &Tallies,
+                           std::string *Error) const {
+  if (!createDirectories(
+          pathJoin(pathJoin(Root, engine::toolVersion()), "lanes"), Error))
+    return false;
+
+  JsonWriter J;
+  J.openObject();
+  J.str("schema", StatsSchema);
+  J.str("tool_version", engine::toolVersion());
+  J.str("key", Key);
+  J.openArray("lanes");
+  for (const LaneTally &T : Tallies) {
+    J.openElement();
+    J.str("lane", T.Lane);
+    J.num("runs", T.Runs);
+    J.num("wins", T.Wins);
+    J.num("losses", T.Losses);
+    J.num("timeouts", T.Timeouts);
+    J.num("seconds", T.Seconds);
+    J.closeObject();
+  }
+  J.closeArray();
+  J.closeObject();
+
+  return writeFileAtomic(entryPath(Key), J.take(), Error);
+}

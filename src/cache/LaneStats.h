@@ -1,0 +1,93 @@
+//===- LaneStats.h - Persistent portfolio lane statistics -----*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable win/loss/latency tallies for portfolio lanes (src/portfolio/),
+/// stored next to the result cache so a campaign that already persists
+/// results also learns which lane answers which query class fastest.
+/// Unlike ResultStore entries, tallies are *advisory*: they only shape
+/// the staggered-start schedule of future races (which lane launches
+/// first, how long the rest are held back), never outcomes — so lost
+/// updates between concurrently-writing campaigns and corrupt files are
+/// benign (the race degrades to launch-everything-at-once).
+///
+/// Layout mirrors the result cache's invalidation story:
+///
+///   <root>/<tool_version>/lanes/<key_hash>.json
+///
+/// keyed by the query *class* — application, isolation level, strategy,
+/// workload shape (laneStatsKey) — not the seed: seeds of one workload
+/// share solver behaviour, and aggregating across them is what gives the
+/// schedule enough samples to mean anything. Writes are atomic
+/// (tmp + rename); reads treat every integrity failure as "no history".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_CACHE_LANESTATS_H
+#define ISOPREDICT_CACHE_LANESTATS_H
+
+#include "engine/Campaign.h"
+
+#include <string>
+#include <vector>
+
+namespace isopredict {
+namespace cache {
+
+/// Cumulative record of one lane within one query class.
+struct LaneTally {
+  /// portfolio::LaneSpec::Name — the join key across races, reports,
+  /// and schedules.
+  std::string Lane;
+  /// Races this lane actually launched in (skipped lanes don't count).
+  uint64_t Runs = 0;
+  /// Races this lane's answer committed.
+  uint64_t Wins = 0;
+  /// Races this lane launched in and lost (canceled or undecided).
+  uint64_t Losses = 0;
+  /// Launched runs that ended in a genuine solver timeout (not an
+  /// interrupt): a chronically timing-out lane ranks last.
+  uint64_t Timeouts = 0;
+  /// Total lane wall-clock over all Runs (encode + solve + in-lane
+  /// validation); Seconds / Runs is the mean used for grace delays.
+  double Seconds = 0;
+};
+
+/// The query class \p S belongs to for lane-statistics purposes:
+/// "app|level|strategy|<sessions>x<txns>" (seed-independent).
+std::string laneStatsKey(const engine::JobSpec &S);
+
+/// Stores per-class lane tallies under the cache layout described in
+/// the file comment.
+class LaneStatsStore {
+public:
+  /// \p RootDir is the same root a ResultStore uses; the lanes/
+  /// subdirectory is created lazily on the first store().
+  explicit LaneStatsStore(std::string RootDir);
+
+  const std::string &root() const { return Root; }
+
+  /// Path of the tally file for \p Key:
+  /// <root>/<toolVersion()>/lanes/<fnv-1a of Key, 16 hex>.json
+  std::string entryPath(const std::string &Key) const;
+
+  /// The recorded tallies for \p Key; empty when there is no usable
+  /// history (no file, damaged JSON, schema/version/key mismatch).
+  std::vector<LaneTally> load(const std::string &Key) const;
+
+  /// Atomically replaces the tallies for \p Key. Returns false (and
+  /// sets \p Error when non-null) on I/O failure.
+  bool store(const std::string &Key, const std::vector<LaneTally> &Tallies,
+             std::string *Error = nullptr) const;
+
+private:
+  std::string Root;
+};
+
+} // namespace cache
+} // namespace isopredict
+
+#endif // ISOPREDICT_CACHE_LANESTATS_H

@@ -17,7 +17,15 @@ namespace {
 constexpr const char *EntrySchema = "isopredict-cache-entry/1";
 
 const char *modeName(EncodingMode M) {
-  return M == EncodingMode::Session ? "session" : "one-shot";
+  switch (M) {
+  case EncodingMode::Session:
+    return "session";
+  case EncodingMode::Portfolio:
+    return "portfolio";
+  case EncodingMode::OneShot:
+    break;
+  }
+  return "one-shot";
 }
 
 /// Tallies entries that existed on disk but could not be served —
@@ -34,9 +42,13 @@ void countUnusableEntry() {
 } // namespace
 
 EncodingMode isopredict::cache::encodingModeFor(const JobSpec &S,
-                                                bool ShareEncodings) {
-  return ShareEncodings && S.Kind == JobKind::Predict ? EncodingMode::Session
-                                                      : EncodingMode::OneShot;
+                                                bool ShareEncodings,
+                                                bool Portfolio) {
+  if (S.Kind != JobKind::Predict)
+    return EncodingMode::OneShot;
+  if (ShareEncodings)
+    return EncodingMode::Session;
+  return Portfolio ? EncodingMode::Portfolio : EncodingMode::OneShot;
 }
 
 uint64_t isopredict::cache::shareGroupHash(const Campaign &C,
@@ -79,11 +91,13 @@ ResultStore::ResultStore(std::string RootDir) : Root(std::move(RootDir)) {}
 
 std::string ResultStore::entryPath(const JobSpec &S,
                                    EncodingMode Mode) const {
+  const char *Suffix = Mode == EncodingMode::Session     ? ".session"
+                       : Mode == EncodingMode::Portfolio ? ".portfolio"
+                                                         : "";
   return pathJoin(
       pathJoin(Root, toolVersion()),
       formatString("%016llx%s.json",
-                   static_cast<unsigned long long>(specHash(S)),
-                   Mode == EncodingMode::Session ? ".session" : ""));
+                   static_cast<unsigned long long>(specHash(S)), Suffix));
 }
 
 namespace {
@@ -159,7 +173,7 @@ std::optional<JobResult> ResultStore::lookup(const JobSpec &S,
 
 std::optional<std::vector<JobResult>>
 ResultStore::lookupGroup(const Campaign &C, const std::vector<size_t> &Indices,
-                         bool ShareEncodings) const {
+                         bool ShareEncodings, bool Portfolio) const {
   // Session entries only exist within their group constellation, so
   // encoding-share groups carry the fingerprint; singleton/one-shot
   // members ignore it (see encodingModeFor).
@@ -169,7 +183,8 @@ ResultStore::lookupGroup(const Campaign &C, const std::vector<size_t> &Indices,
   Hits.reserve(Indices.size());
   for (size_t I : Indices) {
     std::optional<JobResult> Hit =
-        lookup(C.Jobs[I], encodingModeFor(C.Jobs[I], ShareEncodings),
+        lookup(C.Jobs[I],
+               encodingModeFor(C.Jobs[I], ShareEncodings, Portfolio),
                GroupHash);
     if (!Hit)
       return std::nullopt;

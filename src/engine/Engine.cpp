@@ -2,10 +2,12 @@
 
 #include "engine/Engine.h"
 
+#include "cache/LaneStats.h"
 #include "cache/ResultStore.h"
 #include "checker/Checkers.h"
 #include "obs/Metrics.h"
 #include "obs/Tracer.h"
+#include "portfolio/Portfolio.h"
 #include "predict/PredictSession.h"
 #include "support/Env.h"
 #include "support/StrUtil.h"
@@ -92,11 +94,12 @@ std::string shareKey(const JobSpec &S) {
 struct CacheCtx {
   const cache::ResultStore *Store = nullptr;
   bool ShareEncodings = false;
+  bool Portfolio = false;
   std::atomic<unsigned> Hits{0};
   std::atomic<unsigned> Misses{0};
 
   cache::EncodingMode mode(const JobSpec &Spec) const {
-    return cache::encodingModeFor(Spec, ShareEncodings);
+    return cache::encodingModeFor(Spec, ShareEncodings, Portfolio);
   }
 
   /// Consults the store for \p Spec, counting the outcome. The hit
@@ -239,6 +242,142 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
   }
 }
 
+/// Lane-statistics context of one engine run: the store (null when
+/// learning is off) plus the mutex serializing its read-modify-write
+/// updates across workers. Concurrent campaign_cli processes can still
+/// lose each other's updates; that is the documented advisory contract.
+struct LaneStatsCtx {
+  const cache::LaneStatsStore *Store = nullptr;
+  std::mutex Mutex;
+
+  portfolio::Schedule scheduleFor(const JobSpec &Spec,
+                                  const std::vector<portfolio::LaneSpec> &L) {
+    if (!Store)
+      return portfolio::Schedule{std::vector<double>(L.size(), 0.0)};
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return portfolio::scheduleFromStats(
+        L, Store->load(cache::laneStatsKey(Spec)));
+  }
+
+  void record(const JobSpec &Spec, const portfolio::RaceResult &Race) {
+    if (!Store)
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::string Key = cache::laneStatsKey(Spec);
+    std::vector<cache::LaneTally> Tallies = Store->load(Key);
+    portfolio::recordRace(Tallies, Race);
+    Store->store(Key, Tallies); // Failures degrade to not learning.
+  }
+};
+
+/// Runs one Predict job as a portfolio race (EngineOptions::
+/// PortfolioLanes): observe once, race up to \p MaxLanes recipes for
+/// the prediction query, commit the winner's answer — with the
+/// reference lane's generation stats, so literal counts stay the
+/// single-lane ones — and fold the race into the learned lane
+/// statistics.
+JobResult runPortfolioJob(const JobSpec &Spec, unsigned MaxLanes,
+                          LaneStatsCtx &LaneStats) {
+  static obs::Counter &Rescues =
+      obs::Metrics::global().counter("portfolio.rescues");
+
+  JobResult R;
+  R.Spec = Spec;
+  obs::Span JobSpan("engine.job", obs::CatEngine);
+  JobSpan.arg("kind", toString(Spec.Kind));
+  JobSpan.arg("app", Spec.App);
+  Timer Wall;
+
+  auto App = makeApplication(Spec.App);
+  if (!App) {
+    R.Error = "unknown application '" + Spec.App + "'";
+    R.WallSeconds = Wall.seconds();
+    return R;
+  }
+  R.Ok = true;
+
+  RunResult Observed =
+      runWorkload(*App, Spec.Cfg, StoreMode::SerialObserved,
+                  IsolationLevel::Serializable, Spec.Cfg.Seed);
+  fillWorkloadStats(R, Observed);
+
+  PredictOptions Base;
+  Base.Level = Spec.Level;
+  Base.Strat = Spec.Strat;
+  Base.Pco = Spec.Pco;
+  Base.TimeoutMs = Spec.TimeoutMs;
+  Base.PruneFormula = Spec.Prune;
+
+  std::vector<portfolio::LaneSpec> Lanes =
+      portfolio::buildLanes(Base, MaxLanes);
+  portfolio::Schedule Sched = LaneStats.scheduleFor(Spec, Lanes);
+
+  portfolio::Validator Validate;
+  if (Spec.Validate)
+    Validate = [&](const Prediction &P) {
+      auto Replay = makeApplication(Spec.App);
+      return validatePrediction(*Replay, Spec.Cfg, Observed.Hist, P,
+                                Spec.Level, Spec.TimeoutMs);
+    };
+
+  portfolio::RaceResult Race =
+      portfolio::race(Observed.Hist, Base, Lanes, Sched, Validate);
+  LaneStats.record(Spec, Race);
+
+  // Generation stats always come from the reference lane — its
+  // encoding is never interrupted, so the job's literal count is the
+  // single-lane one whatever lane won the solve.
+  const portfolio::LaneRun &Ref = Race.Lanes.front();
+  R.Stats = Ref.P.Stats;
+
+  if (Race.Winner >= 0) {
+    const portfolio::LaneRun &W = Race.Lanes[Race.Winner];
+    R.Outcome = W.P.Result;
+    R.Witness = W.P.Witness;
+    R.SolverStats = W.P.SolverStats;
+    R.Stats.SolveSeconds = W.P.Stats.SolveSeconds;
+    R.WinningLane = W.Spec.Name;
+    if (W.Val) {
+      // The winner's in-lane validation is the job's — never replayed
+      // twice.
+      R.ValStatus = W.Val->St;
+      R.Diverged = W.Val->Diverged;
+      R.AssertionFailed = W.Val->Run.assertionFailed();
+      R.FailedAssertions = W.Val->Run.FailedAssertions;
+    }
+    if (Ref.P.TimedOut)
+      Rescues.inc(); // Single-lane would have timed out; a lane decided.
+  } else {
+    // No lane decided: the job's answer is the reference lane's
+    // unknown (never a canceled one — nothing interrupts when nobody
+    // wins), timeout classification included.
+    R.Outcome = Ref.P.Result;
+    R.SolverStats = Ref.P.SolverStats;
+    R.TimedOut = Ref.P.TimedOut;
+  }
+
+  R.Lanes.reserve(Race.Lanes.size());
+  for (const portfolio::LaneRun &LR : Race.Lanes) {
+    LaneResult L;
+    L.Name = LR.Spec.Name;
+    L.Strat = LR.Spec.Strat;
+    L.Prune = LR.Spec.Prune;
+    L.Outcome = LR.P.Result;
+    L.Skipped = !LR.Launched;
+    L.Canceled = LR.P.Canceled;
+    L.TimedOut = LR.P.TimedOut;
+    L.GenSeconds = LR.P.Stats.GenSeconds;
+    L.SolveSeconds = LR.P.Stats.SolveSeconds;
+    L.Literals = LR.P.Stats.NumLiterals;
+    L.Seconds = LR.Seconds;
+    L.Stats = LR.P.SolverStats;
+    R.Lanes.push_back(std::move(L));
+  }
+
+  R.WallSeconds = Wall.seconds();
+  return R;
+}
+
 } // namespace
 
 JobResult Engine::runJob(const JobSpec &Spec) {
@@ -355,9 +494,23 @@ Report Engine::run(const Campaign &C) const {
   std::optional<cache::ResultStore> Store;
   if (!Opts.CacheDir.empty())
     Store.emplace(Opts.CacheDir);
+  // ShareEncodings wins over racing (a shared session's solver cannot
+  // be raced); the CLI rejects the combination up front.
+  bool PortfolioOn = Opts.PortfolioLanes >= 2 && !Opts.ShareEncodings;
   CacheCtx Cache;
   Cache.Store = Store ? &*Store : nullptr;
   Cache.ShareEncodings = Opts.ShareEncodings;
+  Cache.Portfolio = PortfolioOn;
+
+  std::optional<cache::LaneStatsStore> LaneStore;
+  if (PortfolioOn) {
+    const std::string &Dir =
+        Opts.LaneStatsDir.empty() ? Opts.CacheDir : Opts.LaneStatsDir;
+    if (!Dir.empty())
+      LaneStore.emplace(Dir);
+  }
+  LaneStatsCtx LaneStats;
+  LaneStats.Store = LaneStore ? &*LaneStore : nullptr;
 
   // The scheduling unit is a *group* of job indices (planGroups).
   // Grouping is deterministic, and group execution is sequential, so
@@ -404,7 +557,11 @@ Report Engine::run(const Campaign &C) const {
         if (std::optional<JobResult> Hit = Cache.lookup(C.Jobs[I])) {
           Results[I] = std::move(*Hit);
         } else {
-          Results[I] = runJob(C.Jobs[I]);
+          Results[I] =
+              PortfolioOn && C.Jobs[I].Kind == JobKind::Predict
+                  ? runPortfolioJob(C.Jobs[I], Opts.PortfolioLanes,
+                                    LaneStats)
+                  : runJob(C.Jobs[I]);
           Cache.maybeStore(Results[I]);
         }
         Finished(I);
@@ -413,8 +570,13 @@ Report Engine::run(const Campaign &C) const {
   };
 
   // Never spawn more threads than groups; one worker runs inline.
-  unsigned NumThreads =
-      static_cast<unsigned>(std::min<size_t>(Workers, Groups.size()));
+  // Portfolio lanes multiply each job's thread use, so the pool shrinks
+  // to keep the total thread budget at the single-lane run's Workers
+  // (a --jobs 8 --portfolio 4 run drives 2 jobs × 4 lanes).
+  unsigned EffectiveWorkers =
+      PortfolioOn ? std::max(1u, Workers / Opts.PortfolioLanes) : Workers;
+  unsigned NumThreads = static_cast<unsigned>(
+      std::min<size_t>(EffectiveWorkers, Groups.size()));
   if (NumThreads <= 1) {
     Worker();
   } else {

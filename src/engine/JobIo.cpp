@@ -73,6 +73,12 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
     // so cold/warm byte-identity is unaffected.
     if (R.TimedOut)
       J.boolean("timeout", true);
+    // Unknown-because-interrupted marker (SmtSolver::interrupt), kept
+    // distinct from "timeout" with the same gating rationale. Engine
+    // job results never set it — an interrupted portfolio lane is not
+    // the job's answer — so default report bytes are unaffected.
+    if (R.Canceled)
+      J.boolean("canceled", true);
     J.num("literals", R.Stats.NumLiterals);
     // Present only under EngineOptions::ShareEncodings, where literal
     // counts cover just the per-query passes: the declare+feasibility
@@ -145,6 +151,43 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
           if (P.PrunedVars || P.PrunedLits) {
             J.num("pruned_vars", P.PrunedVars);
             J.num("pruned_lits", P.PrunedLits);
+          }
+          J.closeObject();
+        }
+        J.closeArray();
+      }
+      // Portfolio race record (EngineOptions::PortfolioLanes). Which
+      // lane wins is run-dependent, so the whole block is
+      // timings-gated — single-lane and portfolio runs of the same
+      // campaign emit identical default reports.
+      if (!R.WinningLane.empty())
+        J.str("winning_lane", R.WinningLane);
+      if (!R.Lanes.empty()) {
+        J.openArray("lanes");
+        for (const LaneResult &L : R.Lanes) {
+          J.openElement();
+          J.str("lane", L.Name);
+          J.str("strategy", toString(L.Strat));
+          J.boolean("prune", L.Prune);
+          J.str("result", toString(L.Outcome));
+          if (L.Skipped)
+            J.boolean("skipped", true);
+          if (L.Canceled)
+            J.boolean("canceled", true);
+          if (L.TimedOut)
+            J.boolean("timeout", true);
+          J.num("literals", L.Literals);
+          J.num("gen_seconds", L.GenSeconds);
+          J.num("solve_seconds", L.SolveSeconds);
+          J.num("seconds", L.Seconds);
+          if (L.Stats.Collected) {
+            J.openObjectIn("solver_stats");
+            J.num("conflicts", L.Stats.Conflicts);
+            J.num("decisions", L.Stats.Decisions);
+            J.num("restarts", L.Stats.Restarts);
+            J.num("propagations", L.Stats.Propagations);
+            J.num("max_memory_mb", L.Stats.MaxMemoryMb);
+            J.closeObject();
           }
           J.closeObject();
         }
@@ -356,6 +399,8 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
     R.Stats.NumLiterals = *Literals;
     if (const JsonValue *TO = Obj.field("timeout"))
       R.TimedOut = TO->K == JsonValue::Kind::Bool && TO->B;
+    if (const JsonValue *Can = Obj.field("canceled"))
+      R.Canceled = Can->K == JsonValue::Kind::Bool && Can->B;
     if (const JsonValue *Reused = Obj.field("base_prefix_reused"))
       R.Stats.BasePrefixReused =
           Reused->K == JsonValue::Kind::Bool && Reused->B;
@@ -478,6 +523,51 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
         PS.PrunedVars = optU64(P, "pruned_vars");
         PS.PrunedLits = optU64(P, "pruned_lits");
         R.Stats.Passes.push_back(std::move(PS));
+      }
+  if (const JsonValue *Lane = Obj.field("winning_lane"))
+    if (Lane->K == JsonValue::Kind::String)
+      R.WinningLane = Lane->Text;
+  if (const JsonValue *Lanes = Obj.field("lanes"))
+    if (Lanes->K == JsonValue::Kind::Array)
+      for (const JsonValue &L : Lanes->Items) {
+        if (L.K != JsonValue::Kind::Object) {
+          setError(Error, "job entry: ill-typed lanes element");
+          return std::nullopt;
+        }
+        LaneResult LR;
+        if (const JsonValue *Name = L.field("lane"))
+          if (Name->K == JsonValue::Kind::String)
+            LR.Name = Name->Text;
+        if (const JsonValue *Strat = L.field("strategy"))
+          if (Strat->K == JsonValue::Kind::String)
+            if (std::optional<Strategy> St = strategyFromString(Strat->Text))
+              LR.Strat = *St;
+        auto LaneBool = [&L](const char *Key) {
+          const JsonValue *F = L.field(Key);
+          return F && F->K == JsonValue::Kind::Bool && F->B;
+        };
+        LR.Prune = LaneBool("prune");
+        if (const JsonValue *Res = L.field("result"))
+          if (Res->K == JsonValue::Kind::String)
+            if (std::optional<SmtResult> O = smtResultFromString(Res->Text))
+              LR.Outcome = *O;
+        LR.Skipped = LaneBool("skipped");
+        LR.Canceled = LaneBool("canceled");
+        LR.TimedOut = LaneBool("timeout");
+        LR.Literals = optU64(L, "literals");
+        LR.GenSeconds = optDouble(L, "gen_seconds");
+        LR.SolveSeconds = optDouble(L, "solve_seconds");
+        LR.Seconds = optDouble(L, "seconds");
+        if (const JsonValue *Stats = L.field("solver_stats"))
+          if (Stats->K == JsonValue::Kind::Object) {
+            LR.Stats.Conflicts = optU64(*Stats, "conflicts");
+            LR.Stats.Decisions = optU64(*Stats, "decisions");
+            LR.Stats.Restarts = optU64(*Stats, "restarts");
+            LR.Stats.Propagations = optU64(*Stats, "propagations");
+            LR.Stats.MaxMemoryMb = optDouble(*Stats, "max_memory_mb");
+            LR.Stats.Collected = true;
+          }
+        R.Lanes.push_back(std::move(LR));
       }
   return R;
 }

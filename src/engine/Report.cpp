@@ -236,4 +236,24 @@ void Report::printSummary(FILE *Out) const {
                  "prune: %llu variable(s) and >= %llu literal(s) avoided\n",
                  static_cast<unsigned long long>(PrunedVars),
                  static_cast<unsigned long long>(PrunedLits));
+  unsigned Raced = 0, LanesCanceled = 0, LanesSkipped = 0, Rescued = 0;
+  for (const JobResult &R : Results) {
+    if (R.Lanes.empty())
+      continue;
+    ++Raced;
+    for (const LaneResult &L : R.Lanes) {
+      LanesCanceled += L.Canceled;
+      LanesSkipped += L.Skipped;
+    }
+    // A rescue: the reference lane — the configuration a single-lane
+    // run would have been stuck with — timed out, but some lane still
+    // delivered the definitive answer this result carries.
+    if (!R.WinningLane.empty() && R.Lanes.front().TimedOut)
+      ++Rescued;
+  }
+  if (Raced)
+    std::fprintf(Out,
+                 "portfolio: %u raced job(s), %u canceled / %u skipped "
+                 "lane(s), %u rescued timeout(s)\n",
+                 Raced, LanesCanceled, LanesSkipped, Rescued);
 }

@@ -42,6 +42,34 @@ namespace engine {
 /// any job's outcome for an unchanged JobSpec.
 const char *toolVersion();
 
+/// What one portfolio lane did within a Predict job (src/portfolio/).
+/// Present only on results produced under EngineOptions::PortfolioLanes;
+/// run-dependent (which lane wins is a race), so lanes are emitted only
+/// under ReportOptions::IncludeTimings.
+struct LaneResult {
+  /// portfolio::LaneSpec::Name ("reference", "pruned", ...).
+  std::string Name;
+  Strategy Strat = Strategy::ApproxRelaxed;
+  bool Prune = false;
+  /// The lane's own answer (Unknown for canceled or never-launched
+  /// lanes); the job's Outcome comes from the winning lane only.
+  SmtResult Outcome = SmtResult::Unknown;
+  /// The race ended before this lane's staggered start: it never ran.
+  bool Skipped = false;
+  /// The lane launched and was interrupted by the winner.
+  bool Canceled = false;
+  /// The lane's solver hit the job's timeout budget (a genuine
+  /// timeout, never an interrupt).
+  bool TimedOut = false;
+  double GenSeconds = 0;
+  double SolveSeconds = 0;
+  uint64_t Literals = 0;
+  /// Lane wall-clock from launch to completion.
+  double Seconds = 0;
+  /// The lane's Z3 search statistics.
+  SolverStatistics Stats;
+};
+
 /// Everything one job produced. Fields beyond the workload counters are
 /// meaningful only for the job kinds noted.
 struct JobResult {
@@ -84,9 +112,27 @@ struct JobResult {
   /// An Unknown Outcome was caused by the solver hitting the job's
   /// timeout budget rather than genuine incompleteness. Emitted as
   /// "timeout": true (only when set) so report consumers — and the
-  /// future solve portfolio — can separate the two; an unchanged
-  /// campaign without timeouts emits unchanged bytes.
+  /// solve portfolio — can separate the two; an unchanged campaign
+  /// without timeouts emits unchanged bytes.
   bool TimedOut = false;
+
+  /// An Unknown Outcome was caused by a deliberate interrupt
+  /// (SmtSolver::interrupt) rather than a timeout or incompleteness.
+  /// Never set on job results the engine emits — an interrupted
+  /// portfolio lane is by definition not the job's answer — but
+  /// round-tripped like "timeout" so cache entries and lane records
+  /// keep the distinction.
+  bool Canceled = false;
+
+  //===-- Portfolio (EngineOptions::PortfolioLanes) -----------------------===
+  /// Name of the lane whose answer this result carries; empty for
+  /// single-lane runs and no-winner races. Informational (which lane
+  /// wins is a race): report_diff never treats it as a regression, and
+  /// it is emitted only under IncludeTimings.
+  std::string WinningLane;
+  /// Per-lane records of the race, in lane order (index 0 = the
+  /// reference lane). Emitted only under IncludeTimings.
+  std::vector<LaneResult> Lanes;
 
   /// Per-query Z3 search statistics (Predict jobs that reached the
   /// solver). Run-dependent magnitudes: emitted only under

@@ -38,6 +38,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace isopredict {
@@ -119,6 +120,12 @@ struct PredictOptions {
   /// *not* bit-identical: models, witnesses, and literal counts differ,
   /// which is why it is opt-in.
   bool PruneFormula = false;
+  /// Extra Z3 solver parameters applied after solver creation
+  /// (name = value, via SmtSolver::setOption). Portfolio lanes use these
+  /// for sat/unsat-preserving heuristic presets ("smt.arith.solver",
+  /// "smt.random_seed", ...); they never change the encoded formula, so
+  /// they are not part of the canonical job spec.
+  std::vector<std::pair<std::string, std::string>> SolverParams;
 };
 
 /// Literals emitted and wall-clock spent by one encoding pass (the
@@ -167,6 +174,12 @@ struct Prediction {
   /// time reached the budget) — distinguishing "ran out of time" from a
   /// genuine incompleteness unknown. Always false for decided results.
   bool TimedOut = false;
+  /// True when Result == Unknown because *we* interrupted the solve
+  /// (SmtSolver::interrupt — a losing portfolio lane), never because of
+  /// a timeout or incompleteness. Mutually exclusive with TimedOut: a
+  /// canceled query does not count against solver.timeouts, and a
+  /// canceled lane must never surface as a job's outcome.
+  bool Canceled = false;
   /// Z3 search statistics for this query's check() (Collected == false
   /// when the query skipped the solver, i.e. GenerateOnly).
   SolverStatistics SolverStats;

@@ -113,6 +113,17 @@ void recordCheckOutcome(SmtSolver &Solver, unsigned TimeoutMs,
   Out.SolverStats = Solver.statistics();
   if (Out.Result != SmtResult::Unknown)
     return;
+  if (Solver.interrupted()) {
+    // We canceled this solve ourselves (a losing portfolio lane). Z3's
+    // reason string says "canceled" for interrupts and timeouts alike,
+    // so the solver-side flag is the discriminator: a canceled lane is
+    // not a timeout and must not poison the solver.timeouts metric.
+    Out.Canceled = true;
+    static obs::Counter &Canceled =
+        obs::Metrics::global().counter("solver.interrupts");
+    Canceled.inc();
+    return;
+  }
   const std::string &Reason = Solver.reasonUnknown();
   Out.TimedOut = Reason.find("timeout") != std::string::npos ||
                  Reason.find("canceled") != std::string::npos ||
@@ -170,8 +181,16 @@ void PredictSession::ensureSolver() {
     return;
   Ctx = std::make_unique<SmtContext>();
   Solver = std::make_unique<SmtSolver>(*Ctx);
+  for (const auto &Param : Opts.SolverParams)
+    Solver->setOption(Param.first, Param.second);
   EC = std::make_unique<encode::EncodingContext>(H, Opts, *Ctx, *Solver,
                                                  /*SessionMode=*/Shared);
+  // Publish the solver for cross-thread interrupt(), then re-check the
+  // sticky request: an interrupt that raced solver creation is applied
+  // here instead of being lost.
+  PublishedSolver.store(Solver.get(), std::memory_order_release);
+  if (InterruptRequested.load(std::memory_order_acquire))
+    Solver->interrupt();
 }
 
 void PredictSession::ensureBase() {
@@ -213,6 +232,30 @@ Prediction PredictSession::oneShot(const History &Observed,
   Q.TimeoutMs = O.TimeoutMs;
   Q.GenerateOnly = O.GenerateOnly;
   return S.runQuery(Q);
+}
+
+std::unique_ptr<PredictSession>
+PredictSession::makeLane(const History &Observed, const PredictOptions &O) {
+  // Not make_unique: the one-shot constructor is private.
+  return std::unique_ptr<PredictSession>(
+      new PredictSession(Observed, O, /*Shared=*/false));
+}
+
+Prediction PredictSession::solveLane() {
+  assert(!Shared && "lanes are one-shot sessions");
+  QueryOptions Q;
+  Q.Level = Opts.Level;
+  Q.Strat = Opts.Strat;
+  Q.Pco = Opts.Pco;
+  Q.TimeoutMs = Opts.TimeoutMs;
+  Q.GenerateOnly = Opts.GenerateOnly;
+  return runQuery(Q);
+}
+
+void PredictSession::interrupt() {
+  InterruptRequested.store(true, std::memory_order_release);
+  if (SmtSolver *S = PublishedSolver.load(std::memory_order_acquire))
+    S->interrupt();
 }
 
 Prediction PredictSession::runQuery(const QueryOptions &Q) {

@@ -49,6 +49,7 @@
 
 #include "predict/Predict.h"
 
+#include <atomic>
 #include <memory>
 
 namespace isopredict {
@@ -127,6 +128,35 @@ public:
   static Prediction oneShot(const History &Observed,
                             const PredictOptions &Opts);
 
+  //===--------------------------------------------------------------------===
+  // Portfolio lanes (src/portfolio/)
+  //===--------------------------------------------------------------------===
+  //
+  // A lane is a caller-owned one-shot session: construction is cheap (no
+  // Z3 state until solveLane), solveLane() runs the exact oneShot()
+  // pipeline — so a lane with the query's own options is bit-identical
+  // to single-lane mode — and interrupt() may cancel the solve from
+  // another thread. Unlike oneShot(), a lane does NOT copy the history:
+  // the caller's History must outlive the lane (all lanes of one race
+  // share one read-only observed history).
+
+  /// Creates a lane for \p Observed with the given effective options
+  /// (including PredictOptions::SolverParams presets).
+  static std::unique_ptr<PredictSession> makeLane(const History &Observed,
+                                                  const PredictOptions &Opts);
+
+  /// Runs the one-shot pipeline with the options given to makeLane().
+  /// Generation always runs to completion even when interrupted (the
+  /// literal count stays deterministic); only the solver check is
+  /// skipped or canceled. Call at most once, from the lane's own thread.
+  Prediction solveLane();
+
+  /// Requests cancellation of this lane's solve. Safe from any thread,
+  /// before or during solveLane(): the request is sticky, and the
+  /// underlying SmtSolver::interrupt is issued as soon as the solver
+  /// exists. The canceled query reports Prediction::Canceled.
+  void interrupt();
+
 private:
   PredictSession(const History &Observed, const PredictOptions &Opts,
                  bool Shared);
@@ -166,6 +196,13 @@ private:
   std::unique_ptr<SmtContext> Ctx;
   std::unique_ptr<SmtSolver> Solver;
   std::unique_ptr<encode::EncodingContext> EC;
+
+  /// Cross-thread cancellation handshake: interrupt() sets the sticky
+  /// request and forwards to the solver if it is already published;
+  /// ensureSolver() publishes the solver and then re-checks the request,
+  /// so an interrupt landing between the two is never lost.
+  std::atomic<bool> InterruptRequested{false};
+  std::atomic<SmtSolver *> PublishedSolver{nullptr};
 
   EncodingStats BaseStats;
   bool BaseDone = false;

@@ -310,6 +310,37 @@ void SmtSolver::setTimeoutMs(unsigned Ms) {
   Z3_params_dec_ref(Parent.raw(), Params);
 }
 
+void SmtSolver::setOption(const std::string &Name, const std::string &Value) {
+  Z3_params Params = Z3_mk_params(Parent.raw());
+  Z3_params_inc_ref(Parent.raw(), Params);
+  Z3_symbol Sym = Z3_mk_string_symbol(Parent.raw(), Name.c_str());
+  bool AllDigits = !Value.empty();
+  for (char C : Value)
+    if (C < '0' || C > '9')
+      AllDigits = false;
+  if (AllDigits)
+    Z3_params_set_uint(Parent.raw(), Params, Sym,
+                       static_cast<unsigned>(std::strtoul(Value.c_str(),
+                                                          nullptr, 10)));
+  else if (Value == "true" || Value == "false")
+    Z3_params_set_bool(Parent.raw(), Params, Sym, Value == "true");
+  else
+    Z3_params_set_symbol(Parent.raw(), Params, Sym,
+                         Z3_mk_string_symbol(Parent.raw(), Value.c_str()));
+  Z3_solver_set_params(Parent.raw(), Solver, Params);
+  Z3_params_dec_ref(Parent.raw(), Params);
+}
+
+void SmtSolver::interrupt() {
+  Interrupted.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(InterruptMutex);
+  // Only forward to Z3 while a check is actually running on the owner
+  // thread (the documented safe use of Z3_solver_interrupt); outside
+  // one, the sticky flag alone cancels the next check before it starts.
+  if (InCheck)
+    Z3_solver_interrupt(Parent.raw(), Solver);
+}
+
 void SmtSolver::push() {
   releaseModel();
   ScopeLits.push_back(Parent.AssertedLits);
@@ -335,8 +366,25 @@ SmtResult SmtSolver::check() {
   static obs::Histogram &CheckSeconds =
       obs::Metrics::global().histogram("solver.check_seconds");
   Checks.inc();
+  {
+    std::lock_guard<std::mutex> Lock(InterruptMutex);
+    if (Interrupted.load(std::memory_order_acquire)) {
+      // Canceled before the check started: don't enter Z3 at all
+      // (Z3_solver_interrupt outside a running check would be lost).
+      LastReasonUnknown = "canceled";
+      Unknown.inc();
+      return SmtResult::Unknown;
+    }
+    InCheck = true;
+  }
   obs::Span S("Z3_solver_check", obs::CatSolver);
   Z3_lbool R = Z3_solver_check(Parent.raw(), Solver);
+  {
+    // Re-acquiring the mutex here means an interrupt() that saw InCheck
+    // finishes its Z3_solver_interrupt before we return to the owner.
+    std::lock_guard<std::mutex> Lock(InterruptMutex);
+    InCheck = false;
+  }
   CheckSeconds.observe(S.seconds());
   SmtResult Out = SmtResult::Unknown;
   switch (R) {

@@ -27,7 +27,9 @@
 #ifndef ISOPREDICT_SMT_SMT_H
 #define ISOPREDICT_SMT_SMT_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -213,6 +215,42 @@ public:
   /// Sets the per-check timeout. 0 means no timeout.
   void setTimeoutMs(unsigned Ms);
 
+  /// Sets one solver parameter by name ("smt.arith.solver", "smt.random_seed",
+  /// "smt.relevancy", ...). The value string is sniffed: all-digits becomes a
+  /// uint, "true"/"false" a bool, anything else a symbol. Only
+  /// sat/unsat-preserving heuristic knobs belong here (portfolio lane
+  /// presets); an unknown parameter name is a fatal Z3 error.
+  void setOption(const std::string &Name, const std::string &Value);
+
+  //===--------------------------------------------------------------------===
+  // Cross-thread cancellation (portfolio lanes)
+  //===--------------------------------------------------------------------===
+  //
+  // All other members of SmtSolver/SmtContext are single-owner-thread
+  // only; interrupt() is the one call that may arrive from another
+  // thread. Z3_solver_interrupt is only guaranteed safe against a
+  // concurrently *running* Z3_solver_check, so the handshake below never
+  // issues it outside one: check() publishes an in-check flag under
+  // InterruptMutex, and interrupt() forwards to Z3 only while that flag
+  // is up (clearing the flag re-acquires the mutex, so a forwarding
+  // interrupt finishes before check() returns to the owner). An
+  // interrupt that lands outside a check is not lost — the sticky
+  // Interrupted flag makes the next check() return Unknown ("canceled")
+  // without entering Z3 at all.
+
+  /// Requests cancellation of the current (or next) check(). Sticky:
+  /// once interrupted, every future check on this solver is canceled.
+  /// Safe to call from any thread, any number of times.
+  void interrupt();
+
+  /// True once interrupt() has been called. A check() that returned
+  /// Unknown on an interrupted solver was canceled by us, not by a
+  /// timeout — callers must classify it as canceled (Z3's reason string
+  /// says "canceled" for both, so the flag is the only reliable signal).
+  bool interrupted() const {
+    return Interrupted.load(std::memory_order_acquire);
+  }
+
   //===--------------------------------------------------------------------===
   // Solver scopes (incremental solving)
   //===--------------------------------------------------------------------===
@@ -266,6 +304,11 @@ private:
   /// Asserted-literal count of the context at each open push().
   std::vector<uint64_t> ScopeLits;
   std::string LastReasonUnknown;
+
+  /// Cross-thread cancellation handshake (see interrupt()).
+  std::atomic<bool> Interrupted{false};
+  std::mutex InterruptMutex;
+  bool InCheck = false; ///< Guarded by InterruptMutex.
 
   void releaseModel();
 };

@@ -1,0 +1,603 @@
+//===- portfolio_test.cpp - Lane racing, schedule learning, lane stats ---===//
+//
+// The portfolio's contract is sat/unsat-equivalence with the single-lane
+// pipeline: whichever lane wins the race, the committed outcome must be
+// the one predict() would have produced alone. The golden fixture grid
+// (tests/golden_predictions.inc) pins exactly that surface, so the sweep
+// below races every fixture and holds the winner to the fixture result —
+// and replay-validates every winning Sat model, because a cross-strategy
+// sat is only sound together with a concrete unserializable execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppFramework.h"
+#include "cache/LaneStats.h"
+#include "engine/Engine.h"
+#include "engine/JobIo.h"
+#include "portfolio/Portfolio.h"
+#include "support/Fs.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+#include "validate/Validate.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace isopredict;
+using namespace isopredict::engine;
+using namespace isopredict::portfolio;
+
+namespace {
+
+struct GoldenCase {
+  const char *App;
+  IsolationLevel Level;
+  Strategy Strat;
+  uint64_t Seed;
+  const char *Result;
+  const char *Boundary;
+  const char *Cut;
+  const char *Witness;
+};
+
+const GoldenCase GoldenCases[] = {
+#include "golden_predictions.inc"
+};
+
+/// Same margin as golden_test: fixture configurations solve in seconds.
+constexpr unsigned GoldenTimeoutMs = 300000;
+
+History observedHistory(const std::string &App, uint64_t Seed) {
+  auto Application = makeApplication(App);
+  DataStore::Options O;
+  O.Mode = StoreMode::SerialObserved;
+  O.Level = IsolationLevel::Serializable;
+  O.Seed = Seed;
+  DataStore Store(O);
+  return WorkloadRunner::run(*Application, Store, WorkloadConfig::small(Seed))
+      .Hist;
+}
+
+std::string scratchDir(const char *Tag) {
+  static std::atomic<unsigned> Counter{0};
+  std::string Dir =
+      pathJoin(testing::TempDir(),
+               formatString("isopredict-%s-%ld-%u", Tag,
+                            static_cast<long>(::getpid()),
+                            Counter.fetch_add(1)));
+  EXPECT_TRUE(createDirectories(Dir));
+  return Dir;
+}
+
+class PortfolioGolden : public ::testing::TestWithParam<size_t> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Golden sweep: every fixture, raced, must commit the fixture outcome
+//===----------------------------------------------------------------------===
+
+TEST_P(PortfolioGolden, RaceCommitsFixtureOutcome) {
+  const GoldenCase &C = GoldenCases[GetParam()];
+  SCOPED_TRACE(formatString("%s %s %s seed=%llu", C.App, toString(C.Level),
+                            toString(C.Strat),
+                            static_cast<unsigned long long>(C.Seed)));
+  History H = observedHistory(C.App, C.Seed);
+
+  PredictOptions Base;
+  Base.Level = C.Level;
+  Base.Strat = C.Strat;
+  Base.TimeoutMs = GoldenTimeoutMs;
+
+  std::vector<LaneSpec> Lanes = buildLanes(Base, 4);
+  ASSERT_GE(Lanes.size(), 2u);
+  EXPECT_EQ(Lanes[0].Name, "reference");
+  EXPECT_EQ(Lanes[0].Strat, C.Strat);
+  EXPECT_TRUE(Lanes[0].SameStrategy);
+
+  Validator Validate = [&](const Prediction &P) {
+    auto Replay = makeApplication(C.App);
+    return validatePrediction(*Replay, WorkloadConfig::small(C.Seed), H, P,
+                              C.Level, GoldenTimeoutMs);
+  };
+
+  RaceResult R = race(H, Base, Lanes, Schedule{}, Validate);
+
+  // Every fixture decides well within the timeout, so some lane must
+  // have committed — and committed the single-lane answer.
+  ASSERT_GE(R.Winner, 0);
+  const LaneRun &W = R.Lanes[static_cast<size_t>(R.Winner)];
+  EXPECT_TRUE(W.Definitive);
+  EXPECT_STREQ(toString(W.P.Result), C.Result);
+
+  // The reference lane always launches, and its generation is never
+  // interrupted (only the solver check is): even when another lane wins
+  // first, it carries exactly the single-lane literal count.
+  EXPECT_TRUE(R.Lanes[0].Launched);
+  Prediction Solo = predict(H, Base);
+  EXPECT_EQ(R.Lanes[0].P.Stats.NumLiterals, Solo.Stats.NumLiterals);
+
+  // A winning Sat model must be a concrete unserializability proof: a
+  // non-diverged validating replay follows the predicted reads exactly
+  // and is therefore unserializable.
+  if (W.P.Result == SmtResult::Sat) {
+    ASSERT_TRUE(W.Val.has_value());
+    EXPECT_TRUE(W.Val->St ==
+                    ValidationResult::Status::ValidatedUnserializable ||
+                W.Val->Diverged)
+        << "non-diverged replay of a winning lane's model was "
+           "serializable (validation: "
+        << toString(W.Val->St) << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PortfolioGolden,
+    ::testing::Range<size_t>(0, std::size(GoldenCases)),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      const GoldenCase &C = GoldenCases[Info.param];
+      std::string Name =
+          formatString("%s_%s_%s_s%llu", C.App, toString(C.Level),
+                       toString(C.Strat),
+                       static_cast<unsigned long long>(C.Seed));
+      for (char &Ch : Name)
+        if (!std::isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===
+// Lane taxonomy
+//===----------------------------------------------------------------------===
+
+TEST(PortfolioLanes, ReferenceLaneIsTheQueryConfiguration) {
+  PredictOptions Q;
+  Q.Strat = Strategy::ApproxStrict;
+  Q.PruneFormula = true;
+  std::vector<LaneSpec> Lanes = buildLanes(Q, 8);
+  ASSERT_FALSE(Lanes.empty());
+  EXPECT_EQ(Lanes[0].Name, "reference");
+  EXPECT_EQ(Lanes[0].Strat, Strategy::ApproxStrict);
+  EXPECT_TRUE(Lanes[0].Prune);
+  EXPECT_TRUE(Lanes[0].SolverParams.empty());
+  EXPECT_TRUE(Lanes[0].SameStrategy);
+  EXPECT_TRUE(Lanes[0].AcceptSat);
+  EXPECT_TRUE(Lanes[0].AcceptUnsat);
+  // MaxLanes caps the taxonomy; 1 degenerates to the reference lane.
+  EXPECT_EQ(buildLanes(Q, 1).size(), 1u);
+  EXPECT_LE(buildLanes(Q, 3).size(), 3u);
+}
+
+TEST(PortfolioLanes, CrossStrategyLanesFollowTheSoundnessLattice) {
+  // An Exact query may accept an Approx-Strict lane's sat only (the
+  // approximation is a sufficient condition), never its unsat.
+  PredictOptions Exact;
+  Exact.Strat = Strategy::ExactStrict;
+  for (const LaneSpec &L : buildLanes(Exact, 8)) {
+    if (L.Strat == Strategy::ExactStrict)
+      continue;
+    EXPECT_EQ(L.Strat, Strategy::ApproxStrict) << L.Name;
+    EXPECT_FALSE(L.SameStrategy) << L.Name;
+    EXPECT_TRUE(L.AcceptSat) << L.Name;
+    EXPECT_FALSE(L.AcceptUnsat) << L.Name;
+  }
+
+  // An Approx-Strict query may accept an Exact lane's unsat only (the
+  // exact encoding is complete), never its sat.
+  PredictOptions Approx;
+  Approx.Strat = Strategy::ApproxStrict;
+  for (const LaneSpec &L : buildLanes(Approx, 8)) {
+    if (L.Strat == Strategy::ApproxStrict)
+      continue;
+    EXPECT_EQ(L.Strat, Strategy::ExactStrict) << L.Name;
+    EXPECT_FALSE(L.SameStrategy) << L.Name;
+    EXPECT_FALSE(L.AcceptSat) << L.Name;
+    EXPECT_TRUE(L.AcceptUnsat) << L.Name;
+  }
+
+  // Approx-Relaxed changes the predicted-history semantics: lanes stay
+  // within the strategy.
+  PredictOptions Relaxed;
+  Relaxed.Strat = Strategy::ApproxRelaxed;
+  for (const LaneSpec &L : buildLanes(Relaxed, 8)) {
+    EXPECT_EQ(L.Strat, Strategy::ApproxRelaxed) << L.Name;
+    EXPECT_TRUE(L.SameStrategy) << L.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Schedule learning
+//===----------------------------------------------------------------------===
+
+TEST(PortfolioSchedule, NoHistoryLaunchesEverythingAtOnce) {
+  PredictOptions Q;
+  std::vector<LaneSpec> Lanes = buildLanes(Q, 4);
+  Schedule S = scheduleFromStats(Lanes, {});
+  ASSERT_EQ(S.DelaySeconds.size(), Lanes.size());
+  for (double D : S.DelaySeconds)
+    EXPECT_EQ(D, 0.0);
+}
+
+TEST(PortfolioSchedule, BestLaneLaunchesFirstOthersWaitItsGrace) {
+  PredictOptions Q;
+  std::vector<LaneSpec> Lanes = buildLanes(Q, 4);
+  ASSERT_GE(Lanes.size(), 3u);
+
+  // Lane [1] dominates history: 8 wins averaging 2 s.
+  std::vector<cache::LaneTally> Stats;
+  Stats.push_back({Lanes[1].Name, /*Runs=*/10, /*Wins=*/8, /*Losses=*/2,
+                   /*Timeouts=*/0, /*Seconds=*/20.0});
+  Stats.push_back({Lanes[2].Name, /*Runs=*/10, /*Wins=*/2, /*Losses=*/8,
+                   /*Timeouts=*/0, /*Seconds=*/10.0});
+
+  Schedule S = scheduleFromStats(Lanes, Stats);
+  ASSERT_EQ(S.DelaySeconds.size(), Lanes.size());
+  // The favorite and the reference lane launch immediately; everyone
+  // else is held back by 1.5 x the favorite's 2 s mean.
+  EXPECT_EQ(S.DelaySeconds[0], 0.0);
+  EXPECT_EQ(S.DelaySeconds[1], 0.0);
+  for (size_t I = 2; I < S.DelaySeconds.size(); ++I)
+    EXPECT_NEAR(S.DelaySeconds[I], 3.0, 1e-9) << "lane " << I;
+}
+
+TEST(PortfolioSchedule, GraceDelayIsClamped) {
+  PredictOptions Q;
+  std::vector<LaneSpec> Lanes = buildLanes(Q, 4);
+  ASSERT_GE(Lanes.size(), 3u);
+
+  // A favorite with a 100 s mean must not hold the field back forever.
+  std::vector<cache::LaneTally> Slow;
+  Slow.push_back({Lanes[1].Name, 2, 2, 0, 0, 200.0});
+  Schedule S = scheduleFromStats(Lanes, Slow);
+  for (size_t I = 2; I < S.DelaySeconds.size(); ++I)
+    EXPECT_NEAR(S.DelaySeconds[I], 5.0, 1e-9);
+
+  // A sub-millisecond favorite still gives the field a real stagger.
+  std::vector<cache::LaneTally> Fast;
+  Fast.push_back({Lanes[1].Name, 5, 5, 0, 0, 0.001});
+  S = scheduleFromStats(Lanes, Fast);
+  for (size_t I = 2; I < S.DelaySeconds.size(); ++I)
+    EXPECT_NEAR(S.DelaySeconds[I], 0.05, 1e-9);
+}
+
+TEST(PortfolioSchedule, RecordRaceAccumulatesTallies) {
+  PredictOptions Q;
+  std::vector<LaneSpec> Lanes = buildLanes(Q, 4);
+  ASSERT_GE(Lanes.size(), 3u);
+
+  RaceResult R;
+  R.Lanes.resize(Lanes.size());
+  for (size_t I = 0; I < Lanes.size(); ++I)
+    R.Lanes[I].Spec = Lanes[I];
+  R.Lanes[0].Launched = true;
+  R.Lanes[0].Seconds = 2.0;
+  R.Lanes[0].P.TimedOut = true;
+  R.Lanes[1].Launched = true;
+  R.Lanes[1].Seconds = 0.5;
+  R.Winner = 1;
+  // Lane 2 never launched (staggered out): it must not accumulate.
+
+  std::vector<cache::LaneTally> T;
+  recordRace(T, R);
+  recordRace(T, R);
+
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Lane, Lanes[0].Name);
+  EXPECT_EQ(T[0].Runs, 2u);
+  EXPECT_EQ(T[0].Wins, 0u);
+  EXPECT_EQ(T[0].Losses, 2u);
+  EXPECT_EQ(T[0].Timeouts, 2u);
+  EXPECT_NEAR(T[0].Seconds, 4.0, 1e-9);
+  EXPECT_EQ(T[1].Lane, Lanes[1].Name);
+  EXPECT_EQ(T[1].Wins, 2u);
+  EXPECT_EQ(T[1].Losses, 0u);
+  EXPECT_NEAR(T[1].Seconds, 1.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===
+// Lane-stats persistence
+//===----------------------------------------------------------------------===
+
+namespace {
+
+JobSpec laneStatsSpec() {
+  JobSpec S;
+  S.Kind = JobKind::Predict;
+  S.App = "smallbank";
+  S.Cfg = WorkloadConfig::small(1);
+  S.Level = IsolationLevel::Causal;
+  S.Strat = Strategy::ApproxStrict;
+  return S;
+}
+
+} // namespace
+
+TEST(LaneStats, KeyIsSeedIndependent) {
+  JobSpec A = laneStatsSpec();
+  JobSpec B = laneStatsSpec();
+  B.Cfg = WorkloadConfig::small(7);
+  // Lane performance is a property of the query *class*, not the
+  // concrete workload seed: every seed shares one tally.
+  EXPECT_EQ(cache::laneStatsKey(A), cache::laneStatsKey(B));
+
+  JobSpec C = laneStatsSpec();
+  C.Strat = Strategy::ExactStrict;
+  EXPECT_NE(cache::laneStatsKey(A), cache::laneStatsKey(C));
+  JobSpec D = laneStatsSpec();
+  D.Cfg = WorkloadConfig::large(1);
+  EXPECT_NE(cache::laneStatsKey(A), cache::laneStatsKey(D));
+}
+
+TEST(LaneStats, RoundTripsThroughDisk) {
+  std::string Dir = scratchDir("lanestats");
+  cache::LaneStatsStore Store(Dir);
+  std::string Key = cache::laneStatsKey(laneStatsSpec());
+
+  EXPECT_TRUE(Store.load(Key).empty()) << "cold store must be empty";
+
+  std::vector<cache::LaneTally> T;
+  T.push_back({"reference", 3, 1, 2, 1, 4.5});
+  T.push_back({"exact-refuter", 3, 2, 1, 0, 1.25});
+  ASSERT_TRUE(Store.store(Key, T));
+
+  std::vector<cache::LaneTally> Back = Store.load(Key);
+  ASSERT_EQ(Back.size(), 2u);
+  EXPECT_EQ(Back[0].Lane, "reference");
+  EXPECT_EQ(Back[0].Runs, 3u);
+  EXPECT_EQ(Back[0].Wins, 1u);
+  EXPECT_EQ(Back[0].Losses, 2u);
+  EXPECT_EQ(Back[0].Timeouts, 1u);
+  EXPECT_NEAR(Back[0].Seconds, 4.5, 1e-9);
+  EXPECT_EQ(Back[1].Lane, "exact-refuter");
+  EXPECT_NEAR(Back[1].Seconds, 1.25, 1e-9);
+
+  // Different key: different file, still empty.
+  JobSpec Other = laneStatsSpec();
+  Other.Level = IsolationLevel::ReadAtomic;
+  EXPECT_TRUE(Store.load(cache::laneStatsKey(Other)).empty());
+}
+
+TEST(LaneStats, CorruptionIsBenign) {
+  std::string Dir = scratchDir("lanestats-corrupt");
+  cache::LaneStatsStore Store(Dir);
+  std::string Key = cache::laneStatsKey(laneStatsSpec());
+  std::vector<cache::LaneTally> T;
+  T.push_back({"reference", 1, 1, 0, 0, 0.5});
+  ASSERT_TRUE(Store.store(Key, T));
+  std::string Path = Store.entryPath(Key);
+
+  auto overwrite = [&](const std::string &Content) {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Content;
+  };
+
+  // Truncated JSON, non-JSON garbage, a wrong schema, and a key
+  // mismatch (hash collision shape) all load as "no history" — the
+  // stats are advisory, a broken file only costs the learned stagger.
+  overwrite("{\"schema\": \"isopredict-lane-st");
+  EXPECT_TRUE(Store.load(Key).empty());
+  overwrite("not json at all");
+  EXPECT_TRUE(Store.load(Key).empty());
+  overwrite("{\"schema\": \"some-other-tool/9\", \"lanes\": []}");
+  EXPECT_TRUE(Store.load(Key).empty());
+  ASSERT_TRUE(Store.store(Key, T));
+  std::string Good;
+  {
+    std::ifstream In(Path);
+    Good.assign(std::istreambuf_iterator<char>(In),
+                std::istreambuf_iterator<char>());
+  }
+  std::string Swapped = Good;
+  size_t At = Swapped.find("\"key\"");
+  ASSERT_NE(At, std::string::npos);
+  Swapped.replace(At, 5, "\"kee\"");
+  overwrite(Swapped);
+  EXPECT_TRUE(Store.load(Key).empty());
+
+  // An ill-typed lane entry rejects the whole file, not just the entry.
+  overwrite(Good); // sanity: the pristine bytes still load
+  EXPECT_EQ(Store.load(Key).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// JobResult wire format: lanes, winning_lane, canceled
+//===----------------------------------------------------------------------===
+
+TEST(PortfolioJobIo, LaneRecordsRoundTrip) {
+  JobResult R;
+  R.Spec = laneStatsSpec();
+  R.Ok = true;
+  R.Outcome = SmtResult::Sat;
+  R.WinningLane = "exact-refuter";
+  LaneResult Ref;
+  Ref.Name = "reference";
+  Ref.Strat = Strategy::ApproxStrict;
+  Ref.Outcome = SmtResult::Unknown;
+  Ref.Canceled = true;
+  Ref.GenSeconds = 0.25;
+  Ref.SolveSeconds = 1.5;
+  Ref.Literals = 1234;
+  Ref.Seconds = 1.8;
+  LaneResult Win;
+  Win.Name = "exact-refuter";
+  Win.Strat = Strategy::ExactStrict;
+  Win.Prune = true;
+  Win.Outcome = SmtResult::Sat;
+  Win.Seconds = 0.9;
+  Win.Stats.Collected = true;
+  Win.Stats.Conflicts = 42;
+  LaneResult Held;
+  Held.Name = "arith2";
+  Held.Skipped = true;
+  R.Lanes = {Ref, Win, Held};
+
+  ReportOptions Timed;
+  Timed.IncludeTimings = true;
+  JsonWriter J;
+  J.openObject();
+  writeJobFields(J, R, Timed);
+  J.closeObject();
+  std::string Json = J.take();
+
+  std::string Error;
+  std::optional<JsonValue> Doc = parseJson(Json, &Error);
+  ASSERT_TRUE(Doc) << Error;
+  std::optional<JobResult> Back = jobResultFromJson(*Doc, &Error);
+  ASSERT_TRUE(Back) << Error;
+
+  EXPECT_EQ(Back->WinningLane, "exact-refuter");
+  ASSERT_EQ(Back->Lanes.size(), 3u);
+  EXPECT_EQ(Back->Lanes[0].Name, "reference");
+  EXPECT_EQ(Back->Lanes[0].Strat, Strategy::ApproxStrict);
+  EXPECT_TRUE(Back->Lanes[0].Canceled);
+  EXPECT_FALSE(Back->Lanes[0].Skipped);
+  EXPECT_EQ(Back->Lanes[0].Literals, 1234u);
+  EXPECT_NEAR(Back->Lanes[0].SolveSeconds, 1.5, 1e-9);
+  EXPECT_EQ(Back->Lanes[1].Name, "exact-refuter");
+  EXPECT_TRUE(Back->Lanes[1].Prune);
+  EXPECT_EQ(Back->Lanes[1].Outcome, SmtResult::Sat);
+  EXPECT_TRUE(Back->Lanes[1].Stats.Collected);
+  EXPECT_EQ(Back->Lanes[1].Stats.Conflicts, 42u);
+  EXPECT_TRUE(Back->Lanes[2].Skipped);
+
+  // Re-emitting the parsed result reproduces the original bytes — the
+  // JobIo invariant the cache and shard merger stand on.
+  JsonWriter J2;
+  J2.openObject();
+  writeJobFields(J2, *Back, Timed);
+  J2.closeObject();
+  EXPECT_EQ(J2.take(), Json);
+
+  // Lane records are run-dependent (which lane wins is a race): the
+  // deterministic default format must not carry them.
+  JsonWriter J3;
+  J3.openObject();
+  writeJobFields(J3, R, ReportOptions{});
+  J3.closeObject();
+  std::string Plain = J3.take();
+  EXPECT_EQ(Plain.find("winning_lane"), std::string::npos);
+  EXPECT_EQ(Plain.find("\"lanes\""), std::string::npos);
+}
+
+TEST(PortfolioJobIo, CanceledIsDistinctFromTimeout) {
+  // "canceled" mirrors "timeout": outcome-shaped (not timing-gated),
+  // emitted only when set, and round-trips exactly.
+  JobResult R;
+  R.Spec = laneStatsSpec();
+  R.Ok = true;
+  R.Outcome = SmtResult::Unknown;
+  R.Canceled = true;
+
+  JsonWriter J;
+  J.openObject();
+  writeJobFields(J, R, ReportOptions{});
+  J.closeObject();
+  std::string Json = J.take();
+  EXPECT_NE(Json.find("\"canceled\": true"), std::string::npos);
+  EXPECT_EQ(Json.find("\"timeout\""), std::string::npos);
+
+  std::string Error;
+  std::optional<JsonValue> Doc = parseJson(Json, &Error);
+  ASSERT_TRUE(Doc) << Error;
+  std::optional<JobResult> Back = jobResultFromJson(*Doc, &Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_TRUE(Back->Canceled);
+  EXPECT_FALSE(Back->TimedOut);
+}
+
+//===----------------------------------------------------------------------===
+// Engine integration: determinism across worker counts and vs single-lane
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Unsat-heavy grid (voter under causal is unsat on both seeds): no
+/// witnesses or models in the report, so portfolio and single-lane
+/// default bytes must be *identical*, not merely outcome-equivalent.
+Campaign voterCausalCampaign() {
+  Campaign C;
+  C.Name = "portfolio-test";
+  for (Strategy S : {Strategy::ExactStrict, Strategy::ApproxStrict,
+                     Strategy::ApproxRelaxed})
+    for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+      JobSpec J;
+      J.Kind = JobKind::Predict;
+      J.App = "voter";
+      J.Cfg = WorkloadConfig::small(Seed);
+      J.Level = IsolationLevel::Causal;
+      J.Strat = S;
+      J.TimeoutMs = GoldenTimeoutMs;
+      C.Jobs.push_back(std::move(J));
+    }
+  return C;
+}
+
+Report runEngine(const Campaign &C, unsigned Workers, unsigned Lanes,
+                 const std::string &LaneStatsDir = {}) {
+  EngineOptions O;
+  O.NumWorkers = Workers;
+  O.PortfolioLanes = Lanes;
+  O.LaneStatsDir = LaneStatsDir;
+  return Engine(O).run(C);
+}
+
+} // namespace
+
+TEST(PortfolioEngine, ReportBytesAreWorkerCountAndLaneInvariant) {
+  Campaign C = voterCausalCampaign();
+  std::string J1 = runEngine(C, 1, 4).toJson();
+  std::string J4 = runEngine(C, 4, 4).toJson();
+  EXPECT_EQ(J1, J4) << "portfolio report bytes depend on worker count";
+
+  std::string Single = runEngine(C, 2, 0).toJson();
+  EXPECT_EQ(Single, J1)
+      << "unsat outcomes must serialize identically with and without "
+         "the portfolio";
+}
+
+TEST(PortfolioEngine, RacedJobsCarryLaneRecordsAndLearnStats) {
+  std::string Dir = scratchDir("engine-lanestats");
+  Campaign C = voterCausalCampaign();
+  Report R = runEngine(C, 2, 4, Dir);
+
+  ASSERT_EQ(R.size(), C.size());
+  for (const JobResult &Job : R.results()) {
+    EXPECT_TRUE(Job.Ok);
+    EXPECT_EQ(Job.Outcome, SmtResult::Unsat);
+    EXPECT_FALSE(Job.Canceled) << "engine results never surface an "
+                                  "interrupted lane as the job outcome";
+    EXPECT_FALSE(Job.WinningLane.empty());
+    ASSERT_FALSE(Job.Lanes.empty());
+    EXPECT_EQ(Job.Lanes[0].Name, "reference");
+    bool WinnerListed = false;
+    for (const LaneResult &L : Job.Lanes)
+      WinnerListed |= L.Name == Job.WinningLane;
+    EXPECT_TRUE(WinnerListed);
+  }
+
+  // The race left tallies behind, keyed by query class: the next run
+  // seeds its schedule from them.
+  cache::LaneStatsStore Store(Dir);
+  for (const JobSpec &S : C.Jobs) {
+    std::vector<cache::LaneTally> T = Store.load(cache::laneStatsKey(S));
+    ASSERT_FALSE(T.empty()) << cache::laneStatsKey(S);
+    uint64_t Wins = 0;
+    for (const cache::LaneTally &L : T) {
+      EXPECT_GT(L.Runs, 0u);
+      Wins += L.Wins;
+    }
+    // Both seeds of the class raced and decided: two wins recorded.
+    EXPECT_EQ(Wins, 2u);
+  }
+
+  // A second run over the learned stats must commit the same outcomes
+  // (the stagger may skip lanes, never change answers).
+  Report R2 = runEngine(C, 2, 4, Dir);
+  EXPECT_EQ(R2.toJson(), R.toJson());
+}

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 using namespace isopredict;
 
 TEST(Smt, TrivialSatAndModel) {
@@ -241,4 +244,81 @@ TEST(Smt, TimeoutReturnsUnknownOrAnswer) {
   Solver.setTimeoutMs(1);
   SmtResult R = Solver.check();
   EXPECT_TRUE(R == SmtResult::Unknown || R == SmtResult::Unsat);
+}
+
+TEST(Smt, InterruptUnderLoadCancelsRunningCheck) {
+  // Same hard pigeonhole-ish instance as the timeout test, but no
+  // timeout: a second thread interrupts the running check. The check
+  // must come back — Unknown if the interrupt landed first, Unsat if Z3
+  // finished before it — and the sticky flag must classify the Unknown
+  // as a cancellation, not a timeout.
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  const int N = 9;
+  std::vector<SmtExpr> Vars;
+  for (int I = 0; I < N * N; ++I)
+    Vars.push_back(Ctx.intVar("p" + std::to_string(I)));
+  for (SmtExpr &V : Vars) {
+    Solver.add(Ctx.mkLe(Ctx.intVal(0), V));
+    Solver.add(Ctx.mkLe(V, Ctx.intVal(N - 2)));
+  }
+  Solver.add(Ctx.mkDistinct(Vars));
+
+  std::thread Killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Solver.interrupt();
+  });
+  SmtResult R = Solver.check();
+  Killer.join();
+
+  EXPECT_TRUE(R == SmtResult::Unknown || R == SmtResult::Unsat);
+  EXPECT_TRUE(Solver.interrupted());
+  // Z3's reason string for a mid-check interrupt varies by version
+  // ("canceled" / "interrupted") — which is exactly why callers must
+  // classify through interrupted(), never the string.
+  if (R == SmtResult::Unknown)
+    EXPECT_TRUE(Solver.reasonUnknown() == "canceled" ||
+                Solver.reasonUnknown() == "interrupted")
+        << Solver.reasonUnknown();
+
+  // Sticky: every future check on this solver is canceled up front
+  // (the pre-check path never enters Z3 and stamps its own reason).
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.reasonUnknown(), "canceled");
+}
+
+TEST(Smt, InterruptBeforeCheckCancelsWithoutEnteringZ3) {
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  SmtExpr B = Ctx.boolVar("b");
+  Solver.add(B); // trivially sat — only the interrupt can make it Unknown
+  Solver.interrupt();
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.reasonUnknown(), "canceled");
+  EXPECT_TRUE(Solver.interrupted());
+  // Repeated interrupts are fine (idempotent), from any thread.
+  Solver.interrupt();
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+}
+
+TEST(Smt, SetOptionAcceptsLanePresetParameters) {
+  // The portfolio lane presets (src/portfolio/Portfolio.cpp) stand on
+  // these parameter names existing in Z3's solver descriptor set — an
+  // unknown name is a fatal Z3 error, so this would crash, not fail.
+  SmtContext Ctx;
+  SmtSolver Solver(Ctx);
+  Solver.setOption("arith.solver", "2");
+  Solver.setOption("random_seed", "7");
+  Solver.setOption("sat.random_seed", "7");
+  Solver.setOption("relevancy", "0");
+  Solver.setOption("phase_selection", "5");
+  Solver.setOption("restart_strategy", "1");
+
+  // The knobs are heuristic only: outcomes are unchanged.
+  SmtExpr X = Ctx.intVar("x");
+  Solver.add(Ctx.mkEq(X, Ctx.intVal(41)));
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.modelInt(X), 41);
+  Solver.add(Ctx.mkNot(Ctx.mkEq(X, Ctx.intVal(41))));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
 }
