@@ -43,12 +43,17 @@
 #include "engine/Engine.h"
 #include "engine/JobIo.h"
 #include "obs/Tracer.h"
+#include "smt/Smt.h"
 #include "support/Fs.h"
+#include "support/Signal.h"
 #include "support/StrUtil.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <poll.h>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace isopredict;
@@ -483,6 +488,31 @@ int main(int argc, char **argv) {
                    R.validatedUnserializable() ? " (validated)" : "",
                    R.CacheHit ? " (cached)" : "");
     };
+  // SIGINT/SIGTERM wind the run down instead of killing it: a watcher
+  // thread raises the engine stop flag (remaining jobs come back as
+  // skipped) and interrupts in-flight solver calls, so the partial
+  // report still gets written. A second signal force-kills.
+  static std::atomic<bool> Stop{false};
+  EO.StopFlag = &Stop;
+  StopSignal::install();
+  std::thread Watcher([] {
+    pollfd P;
+    P.fd = StopSignal::fd();
+    P.events = POLLIN;
+    while (!Stop.load(std::memory_order_acquire)) {
+      P.revents = 0;
+      if (::poll(&P, 1, 200) > 0 || StopSignal::requested()) {
+        if (!StopSignal::requested())
+          continue;
+        Stop.store(true, std::memory_order_release);
+        std::fprintf(stderr,
+                     "interrupted: finishing started jobs, skipping the "
+                     "rest (signal again to kill)\n");
+        SmtSolver::interruptAll();
+        return;
+      }
+    }
+  });
   Engine E(EO);
 
   std::fprintf(stderr, "campaign '%s': %zu jobs on %u worker(s)\n",
@@ -493,6 +523,9 @@ int main(int argc, char **argv) {
   if (!TraceOut.empty())
     obs::Tracer::global().enable();
   Report R = E.run(C);
+  Stop.store(true, std::memory_order_release); // Stops an idle watcher.
+  Watcher.join();
+  bool Interrupted = StopSignal::requested();
   R.setShard(ReportShardIndex, ReportShardCount);
   if (!TraceOut.empty()) {
     obs::Tracer::global().disable();
@@ -518,5 +551,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
   }
   R.printSummary(stderr);
+  if (Interrupted) {
+    size_t Skipped = 0;
+    for (const JobResult &J : R.results())
+      Skipped += !J.Ok && J.Canceled;
+    std::fprintf(stderr,
+                 "interrupted: partial report (%zu of %zu jobs skipped)\n",
+                 Skipped, R.size());
+    return 130;
+  }
   return 0;
 }

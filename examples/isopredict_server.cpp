@@ -1,0 +1,149 @@
+//===- isopredict_server.cpp - Prediction-as-a-service daemon ---*- C++ -*-===//
+//
+// A long-lived TCP daemon exposing the IsoPredict pipeline over
+// newline-delimited JSON (src/server/Protocol.h documents the wire
+// format). Tenants upload or observe database histories, then ask
+// prediction queries against them; answers come from the shared result
+// cache, a warm per-(tenant × history) solver session, or a cold run of
+// the same engine pipeline campaign_cli uses — so outcomes match batch
+// runs exactly.
+//
+// Usage:
+//   isopredict_server [--host ADDR] [--port N] [--port-file FILE]
+//                     [--workers N] [--sessions N] [--cache-dir DIR]
+//                     [--tenants FILE]
+//
+// Without --tenants the server runs in open mode: a single implicit
+// admin tenant named "default" with generous quotas, and connections
+// may `auth` as it with no api key. A tenants file locks the server
+// down to exactly the tenants it lists:
+//
+//   {"tenants": [{"name": "acme", "app_id": "acme", "api_key": "s3cret",
+//                 "max_concurrent": 4, "max_queued": 64,
+//                 "max_histories": 64, "admin": false}, ...]}
+//
+// SIGINT/SIGTERM (or an admin `shutdown` verb) drain gracefully:
+// queued-but-unstarted queries receive shutting_down errors, in-flight
+// solver calls are interrupted, every started job still writes its
+// response, then the process exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+#include "support/Fs.h"
+#include "support/StrUtil.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace isopredict;
+using namespace isopredict::server;
+
+namespace {
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    std::fprintf(stderr, "error: %s\n", Msg);
+  std::fprintf(
+      stderr,
+      "usage: isopredict_server [options]\n"
+      "  --host ADDR      listen address (default: 127.0.0.1)\n"
+      "  --port N         TCP port, 0 = ephemeral (default: 0)\n"
+      "  --port-file FILE write the bound port to FILE once listening\n"
+      "  --workers N      job worker threads, 0 = all cores (default: 0)\n"
+      "  --sessions N     warm solver sessions kept (default: 8)\n"
+      "  --cache-dir DIR  persistent result cache shared with batch runs\n"
+      "  --tenants FILE   tenant config JSON (default: open mode, one\n"
+      "                   implicit admin tenant \"default\", no api key)\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  std::string PortFile, TenantsFile;
+  for (int I = 1; I < argc; ++I) {
+    std::string Flag = argv[I];
+    const char *V = I + 1 < argc ? argv[I + 1] : nullptr;
+    auto needValue = [&](const char *Name) -> const char * {
+      if (!V)
+        std::fprintf(stderr, "error: %s needs a value\n", Name);
+      else
+        ++I;
+      return V;
+    };
+    if (Flag == "--host") {
+      if (!needValue("--host"))
+        return 2;
+      Opts.Host = V;
+    } else if (Flag == "--port") {
+      if (!needValue("--port"))
+        return 2;
+      auto N = parseInt(V);
+      if (!N || *N < 0 || *N > 65535)
+        return usage("--port needs a port number");
+      Opts.Port = static_cast<unsigned>(*N);
+    } else if (Flag == "--port-file") {
+      if (!needValue("--port-file"))
+        return 2;
+      PortFile = V;
+    } else if (Flag == "--workers" || Flag == "--jobs") {
+      if (!needValue("--workers"))
+        return 2;
+      auto N = parseInt(V);
+      if (!N || *N < 0)
+        return usage("--workers needs a non-negative integer");
+      Opts.Workers = static_cast<unsigned>(*N);
+    } else if (Flag == "--sessions") {
+      if (!needValue("--sessions"))
+        return 2;
+      auto N = parseInt(V);
+      if (!N || *N < 0)
+        return usage("--sessions needs a non-negative integer");
+      Opts.SessionCapacity = static_cast<size_t>(*N);
+    } else if (Flag == "--cache-dir") {
+      if (!needValue("--cache-dir"))
+        return 2;
+      Opts.CacheDir = V;
+    } else if (Flag == "--tenants") {
+      if (!needValue("--tenants"))
+        return 2;
+      TenantsFile = V;
+    } else {
+      return usage(("unknown option '" + Flag + "'").c_str());
+    }
+  }
+
+  std::string Error;
+  TenantRegistry Registry;
+  if (!TenantsFile.empty()) {
+    std::string Text;
+    if (!readFile(TenantsFile, Text, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::optional<TenantRegistry> R = TenantRegistry::fromJson(Text, &Error);
+    if (!R) {
+      std::fprintf(stderr, "error: %s: %s\n", TenantsFile.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    Registry = std::move(*R);
+  }
+
+  Server S(std::move(Opts), std::move(Registry));
+  if (!S.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!PortFile.empty() &&
+      !writeFileAtomic(PortFile, formatString("%u\n", S.port()), &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "isopredict_server: listening on port %u\n", S.port());
+  S.serve();
+  std::fprintf(stderr, "isopredict_server: drained, exiting\n");
+  return 0;
+}

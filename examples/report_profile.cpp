@@ -1,9 +1,10 @@
 //===- report_profile.cpp - Wall-clock breakdown of a campaign -*- C++ -*-===//
 //
-// Reads a campaign report (campaign_cli --out, ideally with --timings)
-// or a Chrome trace (campaign_cli --trace-out) and prints where the
-// wall-clock went: a per-phase breakdown, a per-(app x level x
-// strategy) table, and the top-N slowest jobs.
+// Reads a campaign report (campaign_cli --out, ideally with --timings),
+// a Chrome trace (campaign_cli --trace-out), or a server status dump
+// (isopredict_client --status-out) and prints where the wall-clock
+// went: a per-phase breakdown, a per-(app x level x strategy) table,
+// and the top-N slowest jobs.
 //
 // Usage:
 //   report_profile [--top N] FILE
@@ -13,8 +14,11 @@
 // are the longest spans); an "isopredict-campaign-report/2" document
 // is a report (phases come from its `metrics` block when present,
 // else from the jobs' gen/solve seconds; slow entries are the jobs by
-// wall-clock). Reports written without --timings carry no timing
-// fields — the tool still prints outcome aggregates but says so.
+// wall-clock); an "isopredict-server-status/1" document is a running
+// server's snapshot (traffic, tenants, warm-session pool, and the same
+// metrics-derived phase breakdown). Reports written without --timings
+// carry no timing fields — the tool still prints outcome aggregates
+// but says so.
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,8 +46,10 @@ int usage(const char *Msg = nullptr) {
     std::fprintf(stderr, "error: %s\n", Msg);
   std::fprintf(stderr,
                "usage: report_profile [--top N] FILE\n"
-               "  FILE   campaign report JSON (campaign_cli --out) or\n"
-               "         Chrome trace JSON (campaign_cli --trace-out)\n"
+               "  FILE   campaign report JSON (campaign_cli --out),\n"
+               "         Chrome trace JSON (campaign_cli --trace-out), or\n"
+               "         server status JSON (isopredict_client "
+               "--status-out)\n"
                "  --top  slowest entries to list (default: 5)\n");
   return 2;
 }
@@ -129,12 +135,8 @@ int profileTrace(const JsonValue &Doc, unsigned TopN) {
   return 0;
 }
 
-//===----------------------------------------------------------------------===//
-// Report mode
-//===----------------------------------------------------------------------===//
-
-/// Histogram second-sum out of a report's `metrics` block (0 when the
-/// report has none — written without --timings, or by an older tool).
+/// Histogram second-sum out of a document's `metrics` block (0 when
+/// absent — a report written without --timings, or an older tool).
 double metricsHistogramSum(const JsonValue &Doc, const char *Name) {
   const JsonValue *Metrics = Doc.field("metrics");
   const JsonValue *Histograms =
@@ -142,6 +144,93 @@ double metricsHistogramSum(const JsonValue &Doc, const char *Name) {
   const JsonValue *H = Histograms ? Histograms->field(Name) : nullptr;
   return H ? numberOf(H->field("sum_seconds")) : 0;
 }
+
+//===----------------------------------------------------------------------===//
+// Server-status mode
+//===----------------------------------------------------------------------===//
+
+/// Profiles a server `status` response line saved by
+/// `isopredict_client --status-out` — uptime, per-tenant traffic, the
+/// warm-session pool, and the same metrics-derived phase breakdown a
+/// report gets. Diff two dumps by hand for interval rates; the solver
+/// counters are the CI signal that a repeated query really answered
+/// from the cache (zero solver.checks delta).
+int profileStatus(const JsonValue &Doc, unsigned TopN) {
+  const JsonValue *Metrics = Doc.field("metrics");
+  const JsonValue *Counters = Metrics ? Metrics->field("counters") : nullptr;
+  auto counter = [&](const char *Name) -> uint64_t {
+    const JsonValue *C = Counters ? Counters->field(Name) : nullptr;
+    return static_cast<uint64_t>(numberOf(C));
+  };
+
+  std::printf("server status: %.1fs up, %.0f worker(s)%s\n",
+              numberOf(Doc.field("uptime_seconds")),
+              numberOf(Doc.field("workers")),
+              Doc.field("draining") && Doc.field("draining")->B
+                  ? ", draining"
+                  : "");
+  std::printf("traffic: %llu request(s) on %llu connection(s), "
+              "%llu error(s)\n",
+              static_cast<unsigned long long>(counter("server.requests")),
+              static_cast<unsigned long long>(counter("server.connections")),
+              static_cast<unsigned long long>(counter("server.errors")));
+  std::printf("queries: %llu total — %llu cache answer(s), %llu warm "
+              "session(s), %llu quota rejection(s)\n",
+              static_cast<unsigned long long>(counter("server.queries")),
+              static_cast<unsigned long long>(
+                  counter("server.cache_answers")),
+              static_cast<unsigned long long>(counter("server.session_hits")),
+              static_cast<unsigned long long>(
+                  counter("server.quota_rejections")));
+  std::printf("solver: %llu check(s), %llu timeout(s)\n",
+              static_cast<unsigned long long>(counter("solver.checks")),
+              static_cast<unsigned long long>(counter("solver.timeouts")));
+
+  if (const JsonValue *P = Doc.field("session_pool"))
+    std::printf("session pool: %.0f/%.0f warm, %.0f hit(s) / %.0f "
+                "miss(es) / %.0f eviction(s)\n",
+                numberOf(P->field("size")), numberOf(P->field("capacity")),
+                numberOf(P->field("hits")), numberOf(P->field("misses")),
+                numberOf(P->field("evictions")));
+
+  if (const JsonValue *Tenants = Doc.field("tenants");
+      Tenants && Tenants->K == JsonValue::Kind::Array &&
+      !Tenants->Items.empty()) {
+    std::printf("\n");
+    TablePrinter T;
+    T.setHeader({"Tenant", "Running", "Queued", "Done", "Rejected", "Cache",
+                 "Warm", "Histories"});
+    for (const JsonValue &TV : Tenants->Items) {
+      if (TV.K != JsonValue::Kind::Object)
+        continue;
+      const JsonValue *Name = TV.field("name");
+      T.addRow({Name ? Name->Text : "?",
+                formatString("%.0f", numberOf(TV.field("running"))),
+                formatString("%.0f", numberOf(TV.field("queued"))),
+                formatString("%.0f", numberOf(TV.field("completed"))),
+                formatString("%.0f", numberOf(TV.field("rejected"))),
+                formatString("%.0f", numberOf(TV.field("cache_hits"))),
+                formatString("%.0f", numberOf(TV.field("session_hits"))),
+                formatString("%.0f", numberOf(TV.field("histories")))});
+    }
+    T.print(stdout);
+  }
+
+  double Encode = metricsHistogramSum(Doc, "encode.pass_seconds");
+  double Solve = metricsHistogramSum(Doc, "solver.check_seconds");
+  double Cache = metricsHistogramSum(Doc, "cache.probe_seconds");
+  double Validate = metricsHistogramSum(Doc, "validate.seconds");
+  double Query = metricsHistogramSum(Doc, "server.query_seconds");
+  std::printf("\nper-phase (since start): query %.3fs — encode %.3fs / "
+              "solve %.3fs / cache %.3fs / validate %.3fs\n",
+              Query, Encode, Solve, Cache, Validate);
+  (void)TopN;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Report mode
+//===----------------------------------------------------------------------===//
 
 int profileReport(const JsonValue &Doc, unsigned TopN) {
   const JsonValue *Jobs = Doc.field("jobs");
@@ -371,5 +460,8 @@ int main(int argc, char **argv) {
   const JsonValue *Schema = Doc->field("schema");
   if (Schema && Schema->Text.rfind("isopredict-campaign-report/", 0) == 0)
     return profileReport(*Doc, TopN);
-  return usage("input is neither a Chrome trace nor a campaign report");
+  if (Schema && Schema->Text.rfind("isopredict-server-status/", 0) == 0)
+    return profileStatus(*Doc, TopN);
+  return usage(
+      "input is not a Chrome trace, campaign report, or server status");
 }

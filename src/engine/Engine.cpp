@@ -3,6 +3,7 @@
 #include "engine/Engine.h"
 
 #include "cache/LaneStats.h"
+#include "engine/TaskPool.h"
 #include "cache/ResultStore.h"
 #include "checker/Checkers.h"
 #include "obs/Metrics.h"
@@ -518,7 +519,6 @@ Report Engine::run(const Campaign &C) const {
   std::vector<std::vector<size_t>> Groups =
       planGroups(C, Opts.ShareEncodings);
 
-  std::atomic<size_t> Next{0};
   std::atomic<size_t> Done{0};
   std::mutex ProgressMutex;
 
@@ -539,37 +539,49 @@ Report Engine::run(const Campaign &C) const {
     }
   };
 
-  auto Worker = [&]() {
-    obs::Span Drain("engine.drain", obs::CatEngine);
-    for (;;) {
-      size_t G = Next.fetch_add(1, std::memory_order_relaxed);
-      if (G >= Groups.size())
-        return;
-      GroupsDispatched.inc();
-      const std::vector<size_t> &Indices = Groups[G];
-      bool SharedPredict = Opts.ShareEncodings &&
-                           C.Jobs[Indices.front()].Kind == JobKind::Predict;
-      if (SharedPredict) {
-        runPredictGroup(C, Indices, Results, Cache, Finished);
-        continue;
-      }
+  // One pool task per scheduling group. Group execution is sequential
+  // and every result lands in its pre-allocated slot, so reports remain
+  // byte-identical across worker counts in both modes.
+  auto RunGroup = [&](size_t G) {
+    const std::vector<size_t> &Indices = Groups[G];
+    // Cooperative stop: once the flag is up, not-yet-started groups
+    // deliver skipped results instead of running (in-flight groups
+    // finish; interruptAll brings their stuck checks back canceled).
+    if (Opts.StopFlag && Opts.StopFlag->load(std::memory_order_acquire)) {
       for (size_t I : Indices) {
-        if (std::optional<JobResult> Hit = Cache.lookup(C.Jobs[I])) {
-          Results[I] = std::move(*Hit);
-        } else {
-          Results[I] =
-              PortfolioOn && C.Jobs[I].Kind == JobKind::Predict
-                  ? runPortfolioJob(C.Jobs[I], Opts.PortfolioLanes,
-                                    LaneStats)
-                  : runJob(C.Jobs[I]);
-          Cache.maybeStore(Results[I]);
-        }
+        JobResult R;
+        R.Spec = C.Jobs[I];
+        R.Canceled = true;
+        R.Error = "skipped: run interrupted";
+        Results[I] = std::move(R);
         Finished(I);
       }
+      return;
+    }
+    GroupsDispatched.inc();
+    bool SharedPredict = Opts.ShareEncodings &&
+                         C.Jobs[Indices.front()].Kind == JobKind::Predict;
+    if (SharedPredict) {
+      runPredictGroup(C, Indices, Results, Cache, Finished);
+      return;
+    }
+    for (size_t I : Indices) {
+      if (std::optional<JobResult> Hit = Cache.lookup(C.Jobs[I])) {
+        Results[I] = std::move(*Hit);
+      } else {
+        Results[I] =
+            PortfolioOn && C.Jobs[I].Kind == JobKind::Predict
+                ? runPortfolioJob(C.Jobs[I], Opts.PortfolioLanes,
+                                  LaneStats)
+                : runJob(C.Jobs[I]);
+        Cache.maybeStore(Results[I]);
+      }
+      Finished(I);
     }
   };
 
-  // Never spawn more threads than groups; one worker runs inline.
+  // Never spawn more threads than groups; one worker runs inline
+  // (TaskPool with zero threads executes submits on this thread).
   // Portfolio lanes multiply each job's thread use, so the pool shrinks
   // to keep the total thread budget at the single-lane run's Workers
   // (a --jobs 8 --portfolio 4 run drives 2 jobs × 4 lanes).
@@ -577,16 +589,10 @@ Report Engine::run(const Campaign &C) const {
       PortfolioOn ? std::max(1u, Workers / Opts.PortfolioLanes) : Workers;
   unsigned NumThreads = static_cast<unsigned>(
       std::min<size_t>(EffectiveWorkers, Groups.size()));
-  if (NumThreads <= 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(NumThreads);
-    for (unsigned T = 0; T < NumThreads; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  TaskPool Pool(NumThreads <= 1 ? 0 : NumThreads);
+  for (size_t G = 0; G < Groups.size(); ++G)
+    Pool.submit([&RunGroup, G] { RunGroup(G); });
+  Pool.drain();
 
   Report R(C.Name, std::move(Results), Workers, Wall.seconds());
   if (Store)

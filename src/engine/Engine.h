@@ -29,6 +29,7 @@
 #include "engine/Campaign.h"
 #include "engine/Report.h"
 
+#include <atomic>
 #include <functional>
 
 namespace isopredict {
@@ -82,6 +83,14 @@ struct EngineOptions {
   /// Called after each job completes, serialized under an internal
   /// mutex: (completed so far, total, result just finished).
   std::function<void(size_t, size_t, const JobResult &)> OnJobDone;
+  /// Cooperative stop request (signal handling): when non-null and it
+  /// becomes true mid-run, workers stop picking up new groups and every
+  /// not-yet-started job is delivered as a skipped result (Ok = false,
+  /// Canceled, Error "skipped: run interrupted") instead of running.
+  /// Jobs already in flight finish on their own — pair the flag with
+  /// SmtSolver::interruptAll() to bring stuck solves back as canceled.
+  /// The partial report keeps campaign order and slot layout.
+  const std::atomic<bool> *StopFlag = nullptr;
 };
 
 class Engine {

@@ -1,0 +1,66 @@
+//===- TaskPool.cpp - Long-lived fixed-size worker pool -------------------===//
+
+#include "engine/TaskPool.h"
+
+using namespace isopredict;
+using namespace isopredict::engine;
+
+TaskPool::TaskPool(unsigned Threads) {
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() { shutdown(); }
+
+void TaskPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Outstanding == 0)
+        DrainCv.notify_all();
+    }
+  }
+}
+
+void TaskPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Pool.empty() && !Stopping) {
+      ++Outstanding;
+      Queue.push_back(std::move(Task));
+      WorkCv.notify_one();
+      return;
+    }
+  }
+  // Inline mode (zero threads) or post-shutdown: run on the caller.
+  Task();
+}
+
+void TaskPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DrainCv.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+void TaskPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping && Pool.empty())
+      return;
+    Stopping = true;
+    WorkCv.notify_all();
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  Pool.clear();
+}

@@ -1,0 +1,78 @@
+//===- TaskPool.h - Long-lived fixed-size worker pool ---------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool decoupling job *submission* from
+/// whole-campaign runs. Engine::run submits one task per scheduling
+/// group and drains; the server keeps one pool alive for the process
+/// lifetime and feeds it query jobs as connections produce them —
+/// the same share-nothing execution either way.
+///
+/// Semantics:
+///  - Threads == 0: no threads are spawned; submit() runs the task
+///    inline on the calling thread (the engine's single-worker mode).
+///  - Tasks are executed FIFO. Nothing about ordering across workers is
+///    guaranteed — callers that need deterministic output write results
+///    into pre-allocated slots (the engine's report contract).
+///  - drain() blocks until every task submitted so far has finished;
+///    the pool stays usable afterwards.
+///  - shutdown() drains and joins the threads; submit() after shutdown
+///    runs inline (lifecycle tails like late admin verbs still work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_ENGINE_TASKPOOL_H
+#define ISOPREDICT_ENGINE_TASKPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isopredict {
+namespace engine {
+
+class TaskPool {
+public:
+  explicit TaskPool(unsigned Threads);
+  ~TaskPool();
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  /// Enqueues \p Task (or runs it inline in zero-thread mode).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every previously submitted task has completed.
+  void drain();
+
+  /// Drains, then stops and joins the worker threads. Idempotent.
+  void shutdown();
+
+  /// Worker threads actually running (0 in inline mode).
+  unsigned threads() const { return static_cast<unsigned>(Pool.size()); }
+
+  /// Tasks submitted but not yet finished (queued + running).
+  size_t pending() const;
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkCv;  ///< Signals workers: task or stop.
+  std::condition_variable DrainCv; ///< Signals drain(): Outstanding hit 0.
+  std::deque<std::function<void()>> Queue;
+  size_t Outstanding = 0; ///< Queued + running task count.
+  bool Stopping = false;
+  std::vector<std::thread> Pool;
+};
+
+} // namespace engine
+} // namespace isopredict
+
+#endif // ISOPREDICT_ENGINE_TASKPOOL_H

@@ -49,6 +49,7 @@ namespace isopredict {
 namespace obs {
 
 /// Span categories (stable strings; the README documents them).
+constexpr const char *CatServer = "server";
 constexpr const char *CatEngine = "engine";
 constexpr const char *CatSession = "session";
 constexpr const char *CatEncode = "encode";

@@ -1,0 +1,730 @@
+//===- Server.cpp - Multi-tenant prediction-as-a-service daemon -----------===//
+
+#include "server/Server.h"
+
+#include "engine/Engine.h"
+#include "engine/JobIo.h"
+#include "history/TraceIO.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "smt/Smt.h"
+#include "store/Store.h"
+#include "support/Signal.h"
+#include "support/StrUtil.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace isopredict;
+using namespace isopredict::server;
+using engine::JobResult;
+using engine::JobSpec;
+
+namespace {
+
+unsigned resolveWorkers(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+obs::Counter &requestsCounter() {
+  static obs::Counter &C = obs::Metrics::global().counter("server.requests");
+  return C;
+}
+
+obs::Counter &errorsCounter() {
+  static obs::Counter &C = obs::Metrics::global().counter("server.errors");
+  return C;
+}
+
+/// Fills the workload-shape counters of a history-query result from the
+/// uploaded history itself (there is no RunResult — the server never
+/// re-executed the workload).
+void fillHistoryStats(JobResult &R, const History &H) {
+  R.CommittedTxns = static_cast<unsigned>(H.numTxns() - 1);
+  for (TxnId Id = 1; Id < H.numTxns(); ++Id) {
+    bool Wrote = false;
+    for (const Event &E : H.txn(Id).Events) {
+      if (E.Kind == EventKind::Read)
+        ++R.Reads;
+      else {
+        ++R.Writes;
+        Wrote = true;
+      }
+    }
+    R.ReadOnlyTxns += !Wrote;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Connection
+//===----------------------------------------------------------------------===
+
+Server::Conn::~Conn() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void Server::Conn::send(const std::string &Line) {
+  if (Closed.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(WriteMutex);
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // Client went away; late job completions become no-ops.
+      Closed.store(true, std::memory_order_release);
+      return;
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Lifecycle
+//===----------------------------------------------------------------------===
+
+Server::Server(ServerOptions O, TenantRegistry R)
+    : Opts(std::move(O)), Registry(std::move(R)),
+      Pool(std::max(1u, resolveWorkers(Opts.Workers))),
+      Sessions(Opts.SessionCapacity) {
+  if (!Opts.CacheDir.empty())
+    Store.emplace(Opts.CacheDir);
+}
+
+Server::~Server() { drainAndClose(); }
+
+bool Server::start(std::string *Error) {
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Error)
+      *Error = formatString("socket: %s", std::strerror(errno));
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Opts.Port));
+  if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "invalid listen address '" + Opts.Host + "'";
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 64) != 0) {
+    if (Error)
+      *Error = formatString("bind/listen on %s:%u: %s", Opts.Host.c_str(),
+                            Opts.Port, std::strerror(errno));
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  Uptime.reset();
+  return true;
+}
+
+void Server::requestStop() {
+  // No StopSignal::request() here: that flag is process-global and
+  // sticky, and would stop every later Server in this process (tests
+  // run several). The accept loop's 200ms poll timeout bounds the
+  // wake-up latency instead.
+  Stopping.store(true, std::memory_order_release);
+}
+
+void Server::serve() {
+  StopSignal::install();
+  static obs::Counter &Connections =
+      obs::Metrics::global().counter("server.connections");
+  static obs::Gauge &Active =
+      obs::Metrics::global().gauge("server.active_connections");
+
+  while (!Stopping.load(std::memory_order_acquire)) {
+    pollfd P[2];
+    P[0].fd = ListenFd;
+    P[0].events = POLLIN;
+    P[0].revents = 0;
+    nfds_t N = 1;
+    if (StopSignal::fd() >= 0) {
+      P[1].fd = StopSignal::fd();
+      P[1].events = POLLIN;
+      P[1].revents = 0;
+      N = 2;
+    }
+    int Ready = ::poll(P, N, 200);
+    if (StopSignal::requested() || Stopping.load(std::memory_order_acquire))
+      break;
+    if (Ready <= 0 || !(P[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    C->T.store(Registry.defaultTenant(), std::memory_order_release);
+    Connections.inc();
+    Active.add(1);
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Conns.push_back(C);
+    Readers.emplace_back([this, C] { connectionLoop(C); });
+  }
+  Stopping.store(true, std::memory_order_release);
+  drainAndClose();
+}
+
+void Server::drainAndClose() {
+  Stopping.store(true, std::memory_order_release);
+  // Two rounds close the race where a job completing during the first
+  // flush promotes a queued query we have already walked past.
+  for (int Round = 0; Round < 2; ++Round) {
+    std::vector<QueryJob> Flushed;
+    {
+      std::lock_guard<std::mutex> Lock(PendingMutex);
+      for (auto &Entry : Pending) {
+        for (QueryJob &J : Entry.second)
+          Flushed.push_back(std::move(J));
+        Entry.second.clear();
+      }
+    }
+    for (QueryJob &J : Flushed) {
+      J.T->dropQueued();
+      J.C->send(errorResponse(J.Req, errc::ShuttingDown,
+                              "server is draining; resubmit elsewhere"));
+    }
+    // In-flight checks come back as canceled unknowns; every started
+    // job still writes its response.
+    SmtSolver::interruptAll();
+    Pool.drain();
+  }
+  Pool.shutdown();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (auto &W : Conns)
+      if (std::shared_ptr<Conn> C = W.lock())
+        ::shutdown(C->Fd, SHUT_RDWR); // Unblocks the reader thread.
+  }
+  for (std::thread &T : Readers)
+    if (T.joinable())
+      T.join();
+  Readers.clear();
+  Sessions.clear();
+}
+
+//===----------------------------------------------------------------------===
+// Request handling (reader threads)
+//===----------------------------------------------------------------------===
+
+void Server::connectionLoop(std::shared_ptr<Conn> C) {
+  static obs::Gauge &Active =
+      obs::Metrics::global().gauge("server.active_connections");
+  std::string Buf;
+  char Chunk[64 * 1024];
+  bool Discarding = false;
+  for (;;) {
+    ssize_t N = ::read(C->Fd, Chunk, sizeof(Chunk));
+    if (N == 0)
+      break;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t Start = 0;
+    for (size_t Nl; (Nl = Buf.find('\n', Start)) != std::string::npos;
+         Start = Nl + 1) {
+      if (Discarding) { // Tail of an oversized frame: swallow it.
+        Discarding = false;
+        continue;
+      }
+      std::string Line = Buf.substr(Start, Nl - Start);
+      if (trimString(Line).empty())
+        continue;
+      requestsCounter().inc();
+      std::string Error;
+      std::optional<Request> Req = parseRequest(Line, &Error);
+      if (!Req) {
+        errorsCounter().inc();
+        C->send(errorResponseNoId(errc::BadRequest, Error));
+        continue;
+      }
+      handleRequest(C, std::move(*Req));
+    }
+    Buf.erase(0, Start);
+    if (Buf.size() > MaxRequestBytes) {
+      if (!Discarding) {
+        errorsCounter().inc();
+        C->send(errorResponseNoId(
+            errc::TooLarge,
+            formatString("request frame exceeds %zu bytes",
+                         MaxRequestBytes)));
+        Discarding = true;
+      }
+      Buf.clear();
+    }
+  }
+  C->Closed.store(true, std::memory_order_release);
+  Active.add(-1);
+}
+
+void Server::handleRequest(const std::shared_ptr<Conn> &C, Request Req) {
+  obs::Span Span("server.request", obs::CatServer);
+  Span.arg("verb", Req.Verb);
+  static obs::Histogram &ReqSeconds =
+      obs::Metrics::global().histogram("server.request_seconds");
+
+  if (Req.Verb == "ping") {
+    JsonWriter J(JsonWriter::Style::Compact);
+    beginResponse(J, Req, true);
+    J.closeObject();
+    C->send(J.take());
+  } else if (Req.Verb == "auth") {
+    handleAuth(C, Req);
+  } else if (Req.Verb == "status") {
+    C->send(statusJson(Req));
+  } else if (Req.Verb == "upload" || Req.Verb == "observe" ||
+             Req.Verb == "query" || Req.Verb == "shutdown") {
+    Tenant *T = C->T.load(std::memory_order_acquire);
+    if (!T) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::AuthRequired,
+                            "authenticate first (auth verb)"));
+    } else if (Req.Verb == "upload") {
+      handleUpload(C, Req, *T);
+    } else if (Req.Verb == "observe") {
+      handleObserve(C, Req, *T);
+    } else if (Req.Verb == "query") {
+      handleQuery(C, std::move(Req), *T);
+    } else if (!T->config().Admin) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::NotAuthorized,
+                            "shutdown requires an admin tenant"));
+    } else {
+      JsonWriter J(JsonWriter::Style::Compact);
+      beginResponse(J, Req, true);
+      J.boolean("draining", true);
+      J.closeObject();
+      C->send(J.take());
+      requestStop();
+    }
+  } else {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::UnknownVerb,
+                          "unknown verb '" + Req.Verb + "'"));
+  }
+  Span.finish();
+  ReqSeconds.observe(Span.seconds());
+}
+
+void Server::handleAuth(const std::shared_ptr<Conn> &C, const Request &Req) {
+  const JsonValue *Name = Req.Body.field("tenant");
+  if (!Name || Name->K != JsonValue::Kind::String || Name->Text.empty()) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest,
+                          "auth needs a string field \"tenant\""));
+    return;
+  }
+  const JsonValue *Key = Req.Body.field("api_key");
+  Tenant *T = Registry.authenticate(
+      Name->Text,
+      Key && Key->K == JsonValue::Kind::String ? Key->Text : std::string());
+  if (!T) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::AuthFailed,
+                          "unknown tenant or wrong api key"));
+    return;
+  }
+  C->T.store(T, std::memory_order_release);
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Req, true);
+  J.str("tenant", T->name());
+  J.str("app_id", T->config().AppId);
+  J.boolean("admin", T->config().Admin);
+  J.closeObject();
+  C->send(J.take());
+}
+
+void Server::handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
+                          Tenant &T) {
+  const JsonValue *Name = Req.Body.field("name");
+  const JsonValue *Trace = Req.Body.field("trace");
+  if (!Name || Name->K != JsonValue::Kind::String || Name->Text.empty() ||
+      !Trace || Trace->K != JsonValue::Kind::String) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest,
+                          "upload needs string fields \"name\" and "
+                          "\"trace\""));
+    return;
+  }
+  std::string Error;
+  std::optional<History> H = readTrace(Trace->Text, &Error);
+  if (!H) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest, "trace: " + Error));
+    return;
+  }
+  size_t Txns = H->numTxns() - 1, NumSessions = H->numSessions();
+  if (!T.putHistory(Name->Text, std::move(*H))) {
+    errorsCounter().inc();
+    C->send(errorResponse(
+        Req, errc::QuotaExceeded,
+        formatString("history quota of %u reached; re-upload under an "
+                     "existing name to replace it",
+                     T.config().MaxHistories)));
+    return;
+  }
+  std::optional<StoredHistory> Stored = T.getHistory(Name->Text);
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Req, true);
+  J.str("name", Name->Text);
+  J.num("sessions", static_cast<uint64_t>(NumSessions));
+  J.num("txns", static_cast<uint64_t>(Txns));
+  if (Stored)
+    J.str("content_hash",
+          formatString("%016llx",
+                       static_cast<unsigned long long>(Stored->ContentHash)));
+  J.closeObject();
+  C->send(J.take());
+}
+
+void Server::handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
+                           Tenant &T) {
+  std::string Error;
+  std::optional<JobSpec> S = parseQuerySpec(Req.Body, &Error);
+  if (!S) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest, Error));
+    return;
+  }
+  auto App = makeApplication(S->App);
+  if (!App) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::UnknownApplication,
+                          "unknown application '" + S->App + "'"));
+    return;
+  }
+  obs::Span Span("server.observe", obs::CatServer);
+  Span.arg("app", S->App);
+  DataStore::Options SO;
+  SO.Mode = StoreMode::SerialObserved;
+  SO.Level = IsolationLevel::Serializable;
+  SO.Seed = S->Cfg.Seed;
+  DataStore DS(SO);
+  RunResult Run = WorkloadRunner::run(*App, DS, S->Cfg);
+
+  const JsonValue *Name = Req.Body.field("name");
+  std::optional<StoredHistory> Stored;
+  if (Name && Name->K == JsonValue::Kind::String && !Name->Text.empty()) {
+    History Copy = Run.Hist;
+    if (!T.putHistory(Name->Text, std::move(Copy))) {
+      errorsCounter().inc();
+      C->send(errorResponse(
+          Req, errc::QuotaExceeded,
+          formatString("history quota of %u reached",
+                       T.config().MaxHistories)));
+      return;
+    }
+    Stored = T.getHistory(Name->Text);
+  }
+
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Req, true);
+  J.str("app", S->App);
+  J.str("workload", engine::workloadLabel(S->Cfg));
+  J.num("seed", S->Cfg.Seed);
+  J.num("sessions", static_cast<uint64_t>(Run.Hist.numSessions()));
+  J.num("txns", static_cast<uint64_t>(Run.Hist.numTxns() - 1));
+  if (Stored) {
+    J.str("name", Name->Text);
+    J.str("content_hash",
+          formatString("%016llx",
+                       static_cast<unsigned long long>(Stored->ContentHash)));
+  }
+  J.str("trace", writeTrace(Run.Hist));
+  J.closeObject();
+  C->send(J.take());
+}
+
+//===----------------------------------------------------------------------===
+// Queries (quota, pool dispatch, execution)
+//===----------------------------------------------------------------------===
+
+void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
+                         Tenant &T) {
+  static obs::Counter &Queries =
+      obs::Metrics::global().counter("server.queries");
+  static obs::Counter &QuotaRejections =
+      obs::Metrics::global().counter("server.quota_rejections");
+  if (Stopping.load(std::memory_order_acquire)) {
+    C->send(errorResponse(Req, errc::ShuttingDown, "server is draining"));
+    return;
+  }
+  Queries.inc();
+
+  QueryJob Job;
+  Job.C = C;
+  Job.T = &T;
+  std::string Error;
+  if (const JsonValue *Spec = Req.Body.field("spec")) {
+    std::optional<JobSpec> S = parseQuerySpec(*Spec, &Error);
+    if (!S) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::BadRequest, Error));
+      return;
+    }
+    if (!makeApplication(S->App)) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::UnknownApplication,
+                            "unknown application '" + S->App + "'"));
+      return;
+    }
+    Job.Spec = *S;
+    Job.CacheSpec = scopedSpec(T, *S);
+  } else if (const JsonValue *HName = Req.Body.field("history")) {
+    if (HName->K != JsonValue::Kind::String) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::BadRequest,
+                            "field \"history\" must be a string"));
+      return;
+    }
+    std::optional<StoredHistory> SH = T.getHistory(HName->Text);
+    if (!SH) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::UnknownHistory,
+                            "no history named '" + HName->Text +
+                                "' (upload or observe it first)"));
+      return;
+    }
+    JobSpec S;
+    S.Kind = engine::JobKind::Predict;
+    S.App = "@" + HName->Text;
+    // A synthetic-but-deterministic workload shape: identical for the
+    // same history, so the canonical spec (and cache identity) is
+    // stable across uploads.
+    S.Cfg.Sessions = static_cast<unsigned>(SH->H->numSessions());
+    S.Cfg.TxnsPerSession = 0;
+    for (SessionId Sess = 0; Sess < SH->H->numSessions(); ++Sess)
+      S.Cfg.TxnsPerSession = std::max(
+          S.Cfg.TxnsPerSession,
+          static_cast<unsigned>(SH->H->sessionTxns(Sess).size()));
+    S.Cfg.Seed = 0;
+    S.StoreSeed = 0;
+    S.Validate = false;
+    S.CheckSerializability = false;
+    // Bounded by default — an unbounded solve would pin a pool worker
+    // for as long as the tenant likes. timeout_ms=0 opts out explicitly.
+    S.TimeoutMs = 5000;
+    if (!parseQueryOptions(Req.Body, S, &Error)) {
+      errorsCounter().inc();
+      C->send(errorResponse(Req, errc::BadRequest, Error));
+      return;
+    }
+    Job.Spec = S;
+    Job.Hist = SH;
+    Job.CacheSpec = scopedHistorySpec(T, *SH, S);
+  } else {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest,
+                          "query needs \"spec\" or \"history\""));
+    return;
+  }
+  Job.Req = std::move(Req);
+
+  switch (T.admitQuery()) {
+  case Tenant::Admit::Run:
+    submitJob(std::move(Job));
+    break;
+  case Tenant::Admit::Queue: {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    Pending[&T].push_back(std::move(Job));
+    break;
+  }
+  case Tenant::Admit::Reject:
+    QuotaRejections.inc();
+    C->send(errorResponse(
+        Job.Req, errc::QuotaExceeded,
+        formatString("tenant '%s' is over quota (%u running, %u queued)",
+                     T.name().c_str(), T.config().MaxConcurrent,
+                     T.config().MaxQueued)));
+    break;
+  }
+}
+
+void Server::submitJob(QueryJob Job) {
+  auto Shared = std::make_shared<QueryJob>(std::move(Job));
+  Pool.submit([this, Shared] {
+    executeQuery(*Shared);
+    Tenant *T = Shared->T;
+    if (T->finishQuery()) {
+      std::optional<QueryJob> Next;
+      {
+        std::lock_guard<std::mutex> Lock(PendingMutex);
+        auto It = Pending.find(T);
+        if (It != Pending.end() && !It->second.empty()) {
+          Next = std::move(It->second.front());
+          It->second.pop_front();
+        }
+      }
+      if (Next) {
+        T->promoteQueued();
+        submitJob(std::move(*Next));
+      }
+    }
+  });
+}
+
+void Server::executeQuery(QueryJob &Job) {
+  static obs::Counter &CacheAnswers =
+      obs::Metrics::global().counter("server.cache_answers");
+  static obs::Histogram &QuerySeconds =
+      obs::Metrics::global().histogram("server.query_seconds");
+  obs::Span Span("server.query", obs::CatServer);
+  Span.arg("app", Job.Spec.App);
+  Span.arg("tenant", Job.T->name());
+
+  cache::EncodingMode Mode =
+      Job.Hist ? cache::EncodingMode::Session : cache::EncodingMode::OneShot;
+  JobResult R;
+  bool Warm = false;
+
+  std::optional<JobResult> Hit;
+  if (Store)
+    Hit = Store->lookup(Job.CacheSpec, Mode);
+  if (Hit) {
+    R = std::move(*Hit);
+    R.Spec = Job.Spec; // Back into the client's (unscoped) identity.
+    Job.T->noteCacheHit();
+    CacheAnswers.inc();
+  } else if (Job.Hist) {
+    R.Spec = Job.Spec;
+    R.Ok = true;
+    const History &H = *Job.Hist->H;
+    fillHistoryStats(R, H);
+    std::string Key = SessionPool::key(Job.T->config().AppId,
+                                       Job.Hist->ContentHash, Job.Spec.Prune);
+    std::unique_ptr<PredictSession> Sess = Sessions.acquire(Key);
+    Warm = Sess != nullptr;
+    if (Warm) {
+      Job.T->noteSessionHit();
+    } else {
+      PredictSession::Options SO;
+      SO.PruneFormula = Job.Spec.Prune;
+      Sess = std::make_unique<PredictSession>(H, SO);
+    }
+    PredictSession::QueryOptions Q;
+    Q.Level = Job.Spec.Level;
+    Q.Strat = Job.Spec.Strat;
+    Q.Pco = Job.Spec.Pco;
+    Q.TimeoutMs = Job.Spec.TimeoutMs;
+    Prediction P = Sess->query(Q);
+    R.Outcome = P.Result;
+    R.Stats = P.Stats;
+    R.Witness = P.Witness;
+    R.TimedOut = P.TimedOut;
+    R.Canceled = P.Canceled;
+    R.SolverStats = P.SolverStats;
+    // An interrupted solver is sticky-canceled; never pool it.
+    if (!P.Canceled)
+      Sessions.release(Key, std::move(Sess));
+  } else {
+    R = engine::Engine::runJob(Job.Spec);
+  }
+
+  if (Store && !R.CacheHit && cache::cacheable(R)) {
+    JobResult Stored = R;
+    Stored.Spec = Job.CacheSpec; // The store verifies spec identity.
+    Store->store(Stored, Mode);
+  }
+
+  Span.finish();
+  QuerySeconds.observe(Span.seconds());
+  if (R.WallSeconds == 0)
+    R.WallSeconds = Span.seconds();
+
+  if (!R.Ok) {
+    errorsCounter().inc();
+    Job.C->send(errorResponse(Job.Req, errc::Internal, R.Error));
+    return;
+  }
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Job.Req, true);
+  J.str("answered_by", R.CacheHit
+                           ? "cache"
+                           : (Job.Hist ? (Warm ? "warm_session" : "session")
+                                       : "engine"));
+  J.boolean("cache_hit", R.CacheHit);
+  if (Job.Hist)
+    J.boolean("warm_session", Warm);
+  J.openObjectIn("job");
+  engine::ReportOptions RO;
+  RO.IncludeTimings = true;
+  engine::writeJobFields(J, R, RO);
+  J.closeObject();
+  J.closeObject();
+  Job.C->send(J.take());
+}
+
+//===----------------------------------------------------------------------===
+// Status
+//===----------------------------------------------------------------------===
+
+std::string Server::statusJson(const Request &Req) {
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Req, true);
+  J.str("schema", "isopredict-server-status/1");
+  J.str("tool_version", engine::toolVersion());
+  J.num("uptime_seconds", Uptime.seconds());
+  J.num("workers", static_cast<uint64_t>(Pool.threads()));
+  J.boolean("draining", Stopping.load(std::memory_order_acquire));
+
+  SessionPool::Stats PS = Sessions.stats();
+  J.openObjectIn("session_pool");
+  J.num("hits", PS.Hits);
+  J.num("misses", PS.Misses);
+  J.num("evictions", PS.Evictions);
+  J.num("size", static_cast<uint64_t>(PS.Size));
+  J.num("capacity", static_cast<uint64_t>(PS.Capacity));
+  J.closeObject();
+
+  J.openArray("tenants");
+  for (Tenant *T : Registry.tenants()) {
+    Tenant::Counters C = T->counters();
+    J.openElement();
+    J.str("name", T->name());
+    J.num("running", static_cast<uint64_t>(C.Running));
+    J.num("queued", static_cast<uint64_t>(C.Queued));
+    J.num("completed", C.Completed);
+    J.num("rejected", C.Rejected);
+    J.num("cache_hits", C.CacheHits);
+    J.num("session_hits", C.SessionHits);
+    J.num("histories", static_cast<uint64_t>(T->numHistories()));
+    J.closeObject();
+  }
+  J.closeArray();
+
+  // The same "metrics" block shape campaign reports carry under
+  // --timings — report_profile reads either. Totals since process
+  // start; callers diff two status snapshots for interval deltas.
+  obs::writeMetricsJson(J, obs::Metrics::global().snapshot());
+  J.closeObject();
+  return J.take();
+}

@@ -1,0 +1,140 @@
+//===- Server.h - Multi-tenant prediction-as-a-service daemon --*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived TCP daemon behind examples/isopredict_server. One
+/// accept loop (poll()-driven so a stop request wakes it), one reader
+/// thread per connection, and the engine TaskPool executing prediction
+/// jobs — the same share-nothing workers a batch campaign uses, fed by
+/// the network instead of a campaign vector.
+///
+/// Answer paths of a query, cheapest first:
+///   1. ResultStore hit (tenant-scoped spec) — zero solver calls.
+///   2. Warm PredictSession from the SessionPool (history queries on a
+///      hot (tenant × history) pair) — base prefix already encoded.
+///   3. Cold compute: a fresh session (history queries) or the full
+///      Engine::runJob pipeline (spec queries) — identical outcomes to
+///      a batch campaign_cli run, which CI gates with report_diff.
+///
+/// Lifecycle: SIGINT/SIGTERM (support/Signal) or the shutdown verb stop
+/// the accept loop, flush queued-but-unstarted queries as well-formed
+/// shutting_down errors, interrupt in-flight solvers
+/// (SmtSolver::interruptAll), drain the pool — every started job still
+/// gets its response — then close connections and join every thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SERVER_SERVER_H
+#define ISOPREDICT_SERVER_SERVER_H
+
+#include "cache/ResultStore.h"
+#include "engine/TaskPool.h"
+#include "server/Protocol.h"
+#include "server/SessionPool.h"
+#include "server/Tenant.h"
+#include "support/Env.h"
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+
+namespace isopredict {
+namespace server {
+
+struct ServerOptions {
+  /// Listen address; loopback by default (no accidental exposure).
+  std::string Host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (port() reports it).
+  unsigned Port = 0;
+  /// Worker threads of the job pool; 0 = hardware concurrency.
+  unsigned Workers = 0;
+  /// Idle warm sessions kept across queries (SessionPool LRU).
+  size_t SessionCapacity = 8;
+  /// Result-cache root shared with batch runs; empty = no cache.
+  std::string CacheDir;
+};
+
+class Server {
+public:
+  Server(ServerOptions Opts, TenantRegistry Registry);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens. False + \p Error on failure.
+  bool start(std::string *Error);
+
+  /// The bound port (after start(); resolves Port == 0).
+  unsigned port() const { return BoundPort; }
+
+  /// Serves until a stop is requested (signal or shutdown verb), then
+  /// drains and tears down. Call after start(), from the owning thread.
+  void serve();
+
+  /// Asks serve() to wind down; safe from any thread.
+  void requestStop();
+
+private:
+  /// One client connection. send() is the only writer and serializes
+  /// frames under WriteMutex, so responses from reader threads and pool
+  /// workers interleave at line granularity only.
+  struct Conn {
+    int Fd = -1;
+    std::mutex WriteMutex;
+    std::atomic<bool> Closed{false};
+    std::atomic<Tenant *> T{nullptr};
+    ~Conn();
+    void send(const std::string &Line);
+  };
+
+  /// One admitted query waiting for / occupying a pool slot.
+  struct QueryJob {
+    std::shared_ptr<Conn> C;
+    Request Req;
+    engine::JobSpec Spec;      ///< As the client sees it (responses).
+    engine::JobSpec CacheSpec; ///< Tenant-scoped (ResultStore identity).
+    std::optional<StoredHistory> Hist; ///< Set for history queries.
+    Tenant *T = nullptr;
+  };
+
+  void connectionLoop(std::shared_ptr<Conn> C);
+  void handleRequest(const std::shared_ptr<Conn> &C, Request Req);
+  void handleAuth(const std::shared_ptr<Conn> &C, const Request &Req);
+  void handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
+                    Tenant &T);
+  void handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
+                     Tenant &T);
+  void handleQuery(const std::shared_ptr<Conn> &C, Request Req, Tenant &T);
+  void submitJob(QueryJob Job);
+  void executeQuery(QueryJob &Job);
+  std::string statusJson(const Request &Req);
+  void drainAndClose();
+
+  ServerOptions Opts;
+  TenantRegistry Registry;
+  engine::TaskPool Pool;
+  SessionPool Sessions;
+  std::optional<cache::ResultStore> Store;
+
+  int ListenFd = -1;
+  unsigned BoundPort = 0;
+  std::atomic<bool> Stopping{false};
+  Timer Uptime;
+
+  std::mutex ConnMutex;
+  std::vector<std::weak_ptr<Conn>> Conns;
+  std::vector<std::thread> Readers;
+
+  /// Per-tenant FIFO of admitted-but-not-running queries.
+  std::mutex PendingMutex;
+  std::map<Tenant *, std::deque<QueryJob>> Pending;
+};
+
+} // namespace server
+} // namespace isopredict
+
+#endif // ISOPREDICT_SERVER_SERVER_H

@@ -5,6 +5,7 @@
 #include "obs/Metrics.h"
 #include "obs/Tracer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -251,16 +252,50 @@ SmtExpr SmtContext::internLe(SmtExpr A, SmtExpr B) {
 // SmtSolver
 //===----------------------------------------------------------------------===
 
+namespace {
+
+/// Registry of every live solver in the process, for interruptAll().
+/// The registry mutex is strictly outer to any solver's InterruptMutex
+/// (interruptAll holds it across interrupt() calls; nothing takes it
+/// while holding a solver lock), so the order is deadlock-free.
+struct SolverRegistry {
+  std::mutex Mutex;
+  std::vector<SmtSolver *> Live;
+
+  static SolverRegistry &get() {
+    static SolverRegistry R;
+    return R;
+  }
+};
+
+} // namespace
+
 SmtSolver::SmtSolver(SmtContext &Ctx, const char *Logic) : Parent(Ctx) {
   Solver = Logic ? Z3_mk_solver_for_logic(
                        Ctx.raw(), Z3_mk_string_symbol(Ctx.raw(), Logic))
                  : Z3_mk_solver(Ctx.raw());
   Z3_solver_inc_ref(Ctx.raw(), Solver);
+  SolverRegistry &R = SolverRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Live.push_back(this);
 }
 
 SmtSolver::~SmtSolver() {
+  {
+    SolverRegistry &R = SolverRegistry::get();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Live.erase(std::remove(R.Live.begin(), R.Live.end(), this),
+                 R.Live.end());
+  }
   releaseModel();
   Z3_solver_dec_ref(Parent.raw(), Solver);
+}
+
+void SmtSolver::interruptAll() {
+  SolverRegistry &R = SolverRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (SmtSolver *S : R.Live)
+    S->interrupt();
 }
 
 void SmtSolver::releaseModel() {

@@ -243,6 +243,16 @@ public:
   /// Safe to call from any thread, any number of times.
   void interrupt();
 
+  /// Interrupts every live SmtSolver in the process (each via its own
+  /// interrupt() handshake). This is the signal-handling path: a
+  /// SIGINT/SIGTERM watcher thread calls it so long-running binaries can
+  /// abandon in-flight checks and exit with a partial report / clean
+  /// drain. Solvers register in their constructor and deregister in
+  /// their destructor, so a solver cannot be torn down while this call
+  /// is touching it. Safe from any thread — but not from a signal
+  /// handler itself (it takes locks); call it from a watcher thread.
+  static void interruptAll();
+
   /// True once interrupt() has been called. A check() that returned
   /// Unknown on an interrupted solver was canceled by us, not by a
   /// timeout — callers must classify it as canceled (Z3's reason string

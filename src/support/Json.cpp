@@ -48,15 +48,29 @@ namespace {
 
 class JsonParser {
 public:
-  explicit JsonParser(const std::string &Src) : Src(Src) {}
+  JsonParser(const std::string &Src, const JsonParseLimits &Limits)
+      : Src(Src), Limits(Limits) {}
 
   std::optional<JsonValue> parse(std::string *Error) {
+    if (Limits.MaxBytes && Src.size() > Limits.MaxBytes) {
+      if (Error)
+        *Error = formatString(
+            "JSON document of %zu bytes exceeds maximum size of %zu bytes",
+            Src.size(), Limits.MaxBytes);
+      return std::nullopt;
+    }
     std::optional<JsonValue> V = value();
     skipWs();
     if (!V || Pos != Src.size()) {
-      if (Error)
-        *Error = formatString("JSON parse error at offset %zu",
-                              Fail ? FailPos : Pos);
+      if (Error) {
+        if (TooDeep)
+          *Error = formatString(
+              "JSON nesting at offset %zu exceeds maximum depth of %u",
+              FailPos, Limits.MaxDepth);
+        else
+          *Error = formatString("JSON parse error at offset %zu",
+                                Fail ? FailPos : Pos);
+      }
       return std::nullopt;
     }
     return V;
@@ -64,8 +78,11 @@ public:
 
 private:
   const std::string &Src;
+  JsonParseLimits Limits;
   size_t Pos = 0;
+  unsigned Depth = 0;
   bool Fail = false;
+  bool TooDeep = false;
   size_t FailPos = 0;
 
   std::nullopt_t fail() {
@@ -75,6 +92,19 @@ private:
     }
     return std::nullopt;
   }
+
+  /// Tracks container nesting against Limits.MaxDepth; the first
+  /// violation records its offset so the error message can point at it.
+  struct DepthGuard {
+    JsonParser &P;
+    bool Ok;
+    explicit DepthGuard(JsonParser &P)
+        : P(P), Ok(++P.Depth <= P.Limits.MaxDepth) {
+      if (!Ok && !P.Fail)
+        P.TooDeep = true;
+    }
+    ~DepthGuard() { --P.Depth; }
+  };
 
   void skipWs() {
     while (Pos < Src.size() && (Src[Pos] == ' ' || Src[Pos] == '\t' ||
@@ -160,6 +190,9 @@ private:
     char C = Src[Pos];
     if (C == '{') {
       ++Pos;
+      DepthGuard G(*this);
+      if (!G.Ok)
+        return fail();
       V.K = JsonValue::Kind::Object;
       if (eat('}'))
         return V;
@@ -179,6 +212,9 @@ private:
     }
     if (C == '[') {
       ++Pos;
+      DepthGuard G(*this);
+      if (!G.Ok)
+        return fail();
       V.K = JsonValue::Kind::Array;
       if (eat(']'))
         return V;
@@ -231,5 +267,11 @@ private:
 
 std::optional<JsonValue> isopredict::parseJson(const std::string &Src,
                                                std::string *Error) {
-  return JsonParser(Src).parse(Error);
+  return JsonParser(Src, JsonParseLimits()).parse(Error);
+}
+
+std::optional<JsonValue> isopredict::parseJson(const std::string &Src,
+                                               const JsonParseLimits &Limits,
+                                               std::string *Error) {
+  return JsonParser(Src, Limits).parse(Error);
 }

@@ -72,16 +72,40 @@ struct JsonValue {
   }
 };
 
+/// Resource bounds for parsing documents from untrusted sources (the
+/// server reads attacker-controlled bytes off a socket). Zero means
+/// "no limit" for MaxBytes; MaxDepth must be >= 1.
+struct JsonParseLimits {
+  size_t MaxBytes = 0;     ///< Reject documents larger than this (0 = off).
+  unsigned MaxDepth = 128; ///< Maximum container nesting depth.
+};
+
 /// Parses a complete JSON document. Returns std::nullopt (and sets
 /// \p Error when non-null) on malformed input or trailing garbage.
+/// Applies default JsonParseLimits (depth only) — deep enough for every
+/// document this tool suite emits, shallow enough that hostile nesting
+/// can't blow the stack.
 std::optional<JsonValue> parseJson(const std::string &Src,
                                    std::string *Error = nullptr);
 
+/// Parsing with explicit resource bounds; exceeding a bound fails with
+/// a clear error ("exceeds maximum depth" / "exceeds maximum size").
+std::optional<JsonValue> parseJson(const std::string &Src,
+                                   const JsonParseLimits &Limits,
+                                   std::string *Error);
+
 /// Minimal ordered JSON emitter; see file comment for the byte-stability
-/// contract.
+/// contract. In Compact mode the document is emitted on a single line
+/// (", "-separated, no indentation) — take() still appends the trailing
+/// '\n', which doubles as the frame terminator for the server's
+/// newline-delimited JSON protocol.
 class JsonWriter {
 public:
+  enum class Style { Pretty, Compact };
+
   explicit JsonWriter(unsigned Indent = 2) : IndentWidth(Indent) {}
+  explicit JsonWriter(Style S)
+      : IndentWidth(2), Compact(S == Style::Compact) {}
 
   void openObject() {
     element();
@@ -156,11 +180,13 @@ private:
     if (Stack.empty())
       return;
     if (!First)
-      Out << ',';
+      Out << (Compact ? ", " : ",");
     newline();
     First = false;
   }
   void newline() {
+    if (Compact)
+      return;
     Out << '\n';
     for (size_t I = 0; I < Stack.size() * IndentWidth; ++I)
       Out << ' ';
@@ -170,6 +196,7 @@ private:
   std::vector<char> Stack;
   bool First = true;
   unsigned IndentWidth;
+  bool Compact = false;
 };
 
 } // namespace isopredict

@@ -1,0 +1,72 @@
+//===- Signal.cpp - Cooperative SIGINT/SIGTERM handling -------------------===//
+
+#include "support/Signal.h"
+
+#include <atomic>
+#include <csignal>
+#include <unistd.h>
+
+using namespace isopredict;
+
+namespace {
+
+std::atomic<bool> Requested{false};
+std::atomic<int> SigNum{0};
+int PipeFds[2] = {-1, -1};
+bool Installed = false;
+
+extern "C" void stopHandler(int Sig) {
+  // First delivery: record and notify. Second delivery: restore default
+  // disposition so the next one kills the process outright.
+  if (Requested.exchange(true)) {
+    std::signal(Sig, SIG_DFL);
+    return;
+  }
+  SigNum.store(Sig);
+  if (PipeFds[1] != -1) {
+    unsigned char Byte = 1;
+    // The pipe only ever carries this one wake-up byte; a failed write
+    // (full pipe can't happen, EINTR can) still leaves the flag set.
+    ssize_t Ignored = write(PipeFds[1], &Byte, 1);
+    (void)Ignored;
+  }
+}
+
+} // namespace
+
+bool StopSignal::install() {
+  if (Installed)
+    return true;
+  if (pipe(PipeFds) != 0)
+    PipeFds[0] = PipeFds[1] = -1;
+  struct sigaction SA;
+  SA.sa_handler = stopHandler;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESTART;
+  if (sigaction(SIGINT, &SA, nullptr) != 0 ||
+      sigaction(SIGTERM, &SA, nullptr) != 0)
+    return false;
+  // A dropped client connection must surface as a write error, not a
+  // process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  Installed = true;
+  return true;
+}
+
+bool StopSignal::requested() {
+  return Requested.load(std::memory_order_acquire);
+}
+
+void StopSignal::request() {
+  if (Requested.exchange(true))
+    return;
+  if (PipeFds[1] != -1) {
+    unsigned char Byte = 1;
+    ssize_t Ignored = write(PipeFds[1], &Byte, 1);
+    (void)Ignored;
+  }
+}
+
+int StopSignal::fd() { return PipeFds[0]; }
+
+int StopSignal::signalNumber() { return SigNum.load(); }

@@ -1,0 +1,58 @@
+//===- Signal.h - Cooperative SIGINT/SIGTERM handling ---------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stop-request plumbing for long-running binaries (campaign_cli, the
+/// server). A signal handler may only touch async-signal-safe state, so
+/// the handler here just flips an atomic flag and writes one byte to a
+/// self-pipe; everything interesting (interrupting solvers, draining
+/// workers, writing a partial report) happens on ordinary threads that
+/// observe the flag or poll()/read() the pipe fd.
+///
+/// Usage:
+///   StopSignal::install();            // once, before spawning work
+///   ... if (StopSignal::requested()) bail out early ...
+///   // or block a watcher thread / poll loop on StopSignal::fd().
+///
+/// A second signal after the first restores default disposition, so a
+/// user can always Ctrl-C twice to kill a wedged process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_SUPPORT_SIGNAL_H
+#define ISOPREDICT_SUPPORT_SIGNAL_H
+
+namespace isopredict {
+
+namespace StopSignal {
+
+/// Installs SIGINT/SIGTERM handlers that record a stop request.
+/// Idempotent; returns false if the handlers could not be installed.
+bool install();
+
+/// True once SIGINT or SIGTERM has been delivered (or request() called).
+bool requested();
+
+/// Programmatic stop request — same observable effect as a signal
+/// (flag set, pipe readable). Lets admin verbs ("shutdown") and tests
+/// share the signal path.
+void request();
+
+/// Read end of the self-pipe: becomes readable on the first stop
+/// request. Intended for poll()/select() in accept loops; -1 before
+/// install(). Don't read it dry from more than one place — use
+/// requested() for the actual state.
+int fd();
+
+/// The signal number that triggered the stop (SIGINT/SIGTERM), or 0 if
+/// the stop was programmatic / none happened.
+int signalNumber();
+
+} // namespace StopSignal
+
+} // namespace isopredict
+
+#endif // ISOPREDICT_SUPPORT_SIGNAL_H

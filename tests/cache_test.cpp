@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <thread>
 #include <unistd.h>
 
 using namespace isopredict;
@@ -246,6 +247,102 @@ TEST(ResultStore, VersionMismatchIsAMiss) {
   Old.replace(Pos, Stamp.size(), "\"tool_version\": \"isopredict-0\"");
   ASSERT_TRUE(writeFileAtomic(Store.entryPath(S), Old));
   EXPECT_FALSE(Store.lookup(S).has_value());
+}
+
+TEST(ResultStore, ConcurrentWritersAndReadersNeverSeeTornEntries) {
+  // Two writer threads hammer the same spec_hash while two readers
+  // loop lookups: atomic tmp+rename writes mean every lookup is either
+  // a miss or a fully valid entry — never a torn read. This is the
+  // same contract two processes sharing --cache-dir rely on (the CI
+  // server gate runs that variant).
+  std::string Dir = scratchDir("race");
+  ResultStore Store(Dir);
+
+  JobSpec S;
+  S.Kind = JobKind::Observe;
+  S.App = "voter";
+  S.Cfg = WorkloadConfig::small(5);
+  JobResult R = Engine::runJob(S);
+  ASSERT_TRUE(R.Ok);
+
+  std::atomic<bool> Go{false}, Done{false};
+  std::atomic<unsigned> Hits{0}, Misses{0}, Torn{0};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < 2; ++W)
+    Threads.emplace_back([&] {
+      while (!Go.load())
+        std::this_thread::yield();
+      for (int I = 0; I < 50; ++I)
+        EXPECT_TRUE(Store.store(R));
+    });
+  for (int Rd = 0; Rd < 2; ++Rd)
+    Threads.emplace_back([&] {
+      while (!Go.load())
+        std::this_thread::yield();
+      while (!Done.load()) {
+        std::optional<JobResult> Hit = Store.lookup(S);
+        if (!Hit) {
+          ++Misses;
+          continue;
+        }
+        ++Hits;
+        // A torn entry would fail the store's spec verification and
+        // surface as a miss; a hit must carry the full result.
+        if (Hit->CommittedTxns != R.CommittedTxns || Hit->Reads != R.Reads ||
+            canonicalSpec(Hit->Spec) != canonicalSpec(S))
+          ++Torn;
+      }
+    });
+  Go.store(true);
+  Threads[0].join();
+  Threads[1].join();
+  Done.store(true);
+  Threads[2].join();
+  Threads[3].join();
+
+  EXPECT_EQ(Torn.load(), 0u);
+  EXPECT_GT(Hits.load(), 0u);
+  // The final state is a pristine entry.
+  std::optional<JobResult> Final = Store.lookup(S);
+  ASSERT_TRUE(Final.has_value());
+  EXPECT_EQ(canonicalSpec(Final->Spec), canonicalSpec(S));
+}
+
+TEST(ResultStore, ConcurrentDistinctSpecsAllLand) {
+  // Four threads store four different specs into one root concurrently;
+  // every entry must be independently retrievable afterwards.
+  std::string Dir = scratchDir("race-distinct");
+  ResultStore Store(Dir);
+
+  std::vector<JobSpec> Specs;
+  std::vector<JobResult> Results;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    JobSpec S;
+    S.Kind = JobKind::Observe;
+    S.App = Seed % 2 ? "voter" : "smallbank";
+    S.Cfg = WorkloadConfig::small(Seed);
+    Results.push_back(Engine::runJob(S));
+    ASSERT_TRUE(Results.back().Ok);
+    Specs.push_back(std::move(S));
+  }
+
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Specs.size(); ++I)
+    Threads.emplace_back([&, I] {
+      for (int K = 0; K < 20; ++K) {
+        EXPECT_TRUE(Store.store(Results[I]));
+        std::optional<JobResult> Hit = Store.lookup(Specs[I]);
+        EXPECT_TRUE(Hit.has_value());
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    std::optional<JobResult> Hit = Store.lookup(Specs[I]);
+    ASSERT_TRUE(Hit.has_value()) << Specs[I].App;
+    EXPECT_EQ(canonicalSpec(Hit->Spec), canonicalSpec(Specs[I]));
+  }
 }
 
 TEST(ResultStore, CacheablePolicyRejectsTimeoutShapedResults) {

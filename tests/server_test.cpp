@@ -1,0 +1,691 @@
+//===- server_test.cpp - Prediction-service daemon tests ------*- C++ -*-===//
+//
+// Protocol parsing, tenant quotas and cache namespacing, the warm
+// session pool, the TaskPool, and the full daemon end-to-end over
+// loopback sockets — including concurrent connections, cross-tenant
+// isolation, and graceful shutdown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "cache/ResultStore.h"
+#include "engine/Engine.h"
+#include "engine/JobIo.h"
+#include "engine/TaskPool.h"
+#include "history/TraceIO.h"
+#include "store/Store.h"
+#include "support/Fs.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace isopredict;
+using namespace isopredict::server;
+using engine::JobSpec;
+
+namespace {
+
+std::string scratchDir(const char *Tag) {
+  static std::atomic<unsigned> Counter{0};
+  std::string Dir =
+      pathJoin(testing::TempDir(),
+               formatString("isopredict-server-%s-%ld-%u", Tag,
+                            static_cast<long>(::getpid()),
+                            Counter.fetch_add(1)));
+  EXPECT_TRUE(createDirectories(Dir));
+  return Dir;
+}
+
+/// A small observed history for upload/session tests.
+History observedHistory(uint64_t Seed) {
+  auto App = makeApplication("voter");
+  DataStore::Options SO;
+  SO.Mode = StoreMode::SerialObserved;
+  SO.Level = IsolationLevel::Serializable;
+  SO.Seed = Seed;
+  DataStore DS(SO);
+  return WorkloadRunner::run(*App, DS, WorkloadConfig::small(Seed)).Hist;
+}
+
+//===----------------------------------------------------------------------===
+// Protocol
+//===----------------------------------------------------------------------===
+
+TEST(Protocol, ParseRequestEnvelope) {
+  std::string Error;
+  std::optional<Request> R =
+      parseRequest(R"({"id": 7, "verb": "ping"})", &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_TRUE(R->HasId);
+  EXPECT_EQ(R->Id, 7u);
+  EXPECT_EQ(R->Verb, "ping");
+
+  // The id is optional; the verb is not.
+  R = parseRequest(R"({"verb": "status"})", &Error);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->HasId);
+
+  EXPECT_FALSE(parseRequest("not json", &Error).has_value());
+  EXPECT_FALSE(parseRequest("[1, 2]", &Error).has_value());
+  EXPECT_FALSE(parseRequest(R"({"id": 1})", &Error).has_value());
+  EXPECT_NE(Error.find("verb"), std::string::npos);
+  EXPECT_FALSE(parseRequest(R"({"verb": 9})", &Error).has_value());
+}
+
+TEST(Protocol, ParseRequestAppliesJsonLimits) {
+  // Nesting beyond MaxRequestDepth bounces instead of recursing.
+  std::string Deep = R"({"verb": "query", "spec": )";
+  Deep.append(MaxRequestDepth + 8, '[');
+  Deep += "1";
+  Deep.append(MaxRequestDepth + 8, ']');
+  Deep += "}";
+  std::string Error;
+  EXPECT_FALSE(parseRequest(Deep, &Error).has_value());
+  EXPECT_NE(Error.find("depth"), std::string::npos) << Error;
+}
+
+TEST(Protocol, ErrorResponsesAreWellFormedFrames) {
+  Request Req;
+  Req.HasId = true;
+  Req.Id = 3;
+  Req.Verb = "query";
+  std::string Line = errorResponse(Req, errc::QuotaExceeded, "over quota");
+  ASSERT_EQ(Line.back(), '\n');
+  std::optional<JsonValue> V = parseJson(Line, nullptr);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_FALSE(V->field("ok")->B);
+  EXPECT_EQ(V->field("id")->Text, "3");
+  EXPECT_EQ(V->field("error")->field("code")->Text, "quota_exceeded");
+  EXPECT_EQ(V->field("error")->field("message")->Text, "over quota");
+}
+
+TEST(Protocol, LenientSpecFormFillsDefaults) {
+  std::string Error;
+  std::optional<JsonValue> Obj = parseJson(
+      R"({"app": "voter", "workload": "small", "seed": 3,
+          "level": "causal", "strategy": "relaxed", "timeout_ms": 1234})",
+      &Error);
+  ASSERT_TRUE(Obj.has_value());
+  std::optional<JobSpec> S = parseQuerySpec(*Obj, &Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  EXPECT_EQ(S->App, "voter");
+  EXPECT_EQ(S->Cfg.Sessions, 3u);
+  EXPECT_EQ(S->Cfg.Seed, 3u);
+  EXPECT_EQ(S->Level, IsolationLevel::Causal);
+  EXPECT_EQ(S->Strat, Strategy::ApproxRelaxed);
+  EXPECT_EQ(S->TimeoutMs, 1234u);
+
+  // "SxT" workload labels round-trip.
+  Obj = parseJson(R"({"app": "voter", "workload": "3x8"})", &Error);
+  S = parseQuerySpec(*Obj, &Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  EXPECT_EQ(S->Cfg.TxnsPerSession, 8u);
+
+  // Unknown enum values are rejected with a diagnostic.
+  Obj = parseJson(R"({"app": "voter", "level": "dirty"})", &Error);
+  EXPECT_FALSE(parseQuerySpec(*Obj, &Error).has_value());
+  EXPECT_NE(Error.find("dirty"), std::string::npos);
+}
+
+TEST(Protocol, StrictSpecFormRoundTripsThroughJobIo) {
+  JobSpec S;
+  S.Kind = engine::JobKind::Predict;
+  S.App = "smallbank";
+  S.Cfg = WorkloadConfig::small(2);
+  S.Level = IsolationLevel::Causal;
+  S.Strat = Strategy::ApproxRelaxed;
+  S.TimeoutMs = 2500;
+
+  JsonWriter J(JsonWriter::Style::Compact);
+  J.openObject();
+  engine::writeJobSpecFields(J, S);
+  J.closeObject();
+  std::string Error;
+  std::optional<JsonValue> Obj = parseJson(J.take(), &Error);
+  ASSERT_TRUE(Obj.has_value());
+  std::optional<JobSpec> Back = parseQuerySpec(*Obj, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(engine::specHash(*Back), engine::specHash(S));
+}
+
+//===----------------------------------------------------------------------===
+// TaskPool
+//===----------------------------------------------------------------------===
+
+TEST(TaskPool, ZeroThreadsRunsInline) {
+  engine::TaskPool Pool(0);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::atomic<int> Ran{0};
+  Pool.submit([&] {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    ++Ran;
+  });
+  EXPECT_EQ(Ran.load(), 1);
+  Pool.drain();
+}
+
+TEST(TaskPool, DrainWaitsForAllTasks) {
+  engine::TaskPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&] { ++Ran; });
+  Pool.drain();
+  EXPECT_EQ(Ran.load(), 64);
+  // The pool is reusable after a drain.
+  Pool.submit([&] { ++Ran; });
+  Pool.drain();
+  EXPECT_EQ(Ran.load(), 65);
+  Pool.shutdown();
+}
+
+TEST(TaskPool, TasksRunConcurrently) {
+  engine::TaskPool Pool(2);
+  // Two tasks that each wait for the other prove two workers exist.
+  std::atomic<int> Arrived{0};
+  for (int I = 0; I < 2; ++I)
+    Pool.submit([&] {
+      ++Arrived;
+      while (Arrived.load() < 2)
+        std::this_thread::yield();
+    });
+  Pool.drain();
+  EXPECT_EQ(Arrived.load(), 2);
+}
+
+//===----------------------------------------------------------------------===
+// Tenants: quotas and cache namespacing
+//===----------------------------------------------------------------------===
+
+TEST(Tenant, HistoryQuotaAllowsReplacement) {
+  TenantConfig Cfg;
+  Cfg.Name = "t";
+  Cfg.AppId = "t";
+  Cfg.MaxHistories = 2;
+  Tenant T(Cfg);
+  EXPECT_TRUE(T.putHistory("a", observedHistory(1)));
+  EXPECT_TRUE(T.putHistory("b", observedHistory(2)));
+  // At quota: a new name fails, replacing an existing one succeeds.
+  EXPECT_FALSE(T.putHistory("c", observedHistory(3)));
+  EXPECT_TRUE(T.putHistory("a", observedHistory(3)));
+  EXPECT_EQ(T.numHistories(), 2u);
+  EXPECT_TRUE(T.getHistory("a").has_value());
+  EXPECT_FALSE(T.getHistory("c").has_value());
+}
+
+TEST(Tenant, QuotaAdmissionLifecycle) {
+  TenantConfig Cfg;
+  Cfg.Name = "t";
+  Cfg.MaxConcurrent = 1;
+  Cfg.MaxQueued = 1;
+  Tenant T(Cfg);
+
+  EXPECT_EQ(T.admitQuery(), Tenant::Admit::Run);
+  EXPECT_EQ(T.admitQuery(), Tenant::Admit::Queue);
+  EXPECT_EQ(T.admitQuery(), Tenant::Admit::Reject);
+  Tenant::Counters C = T.counters();
+  EXPECT_EQ(C.Running, 1u);
+  EXPECT_EQ(C.Queued, 1u);
+  EXPECT_EQ(C.Rejected, 1u);
+
+  // Finishing the runner reports the waiter; promotion frees the queue.
+  EXPECT_TRUE(T.finishQuery());
+  T.promoteQueued();
+  C = T.counters();
+  EXPECT_EQ(C.Running, 1u);
+  EXPECT_EQ(C.Queued, 0u);
+  EXPECT_EQ(C.Completed, 1u);
+  EXPECT_FALSE(T.finishQuery());
+  EXPECT_EQ(T.counters().Completed, 2u);
+}
+
+TEST(Tenant, ScopedSpecsNamespaceTheSharedCache) {
+  TenantConfig A, B;
+  A.Name = A.AppId = "acme";
+  B.Name = B.AppId = "bravo";
+  Tenant TA(A), TB(B);
+
+  JobSpec S;
+  S.Kind = engine::JobKind::Predict;
+  S.App = "voter";
+  S.Cfg = WorkloadConfig::small(1);
+
+  JobSpec SA = scopedSpec(TA, S), SB = scopedSpec(TB, S);
+  EXPECT_EQ(SA.App, "acme:voter");
+  EXPECT_EQ(SB.App, "bravo:voter");
+  EXPECT_NE(engine::canonicalSpec(SA), engine::canonicalSpec(SB));
+
+  // The pin the acceptance criteria name: identical queries from two
+  // tenants land on different result-cache entries.
+  cache::ResultStore Store(scratchDir("scoped"));
+  EXPECT_NE(Store.entryPath(SA), Store.entryPath(SB));
+
+  // History scoping is content-addressed per tenant: the same trace
+  // under two tenants differs, the same trace under two names does not.
+  History H = observedHistory(1);
+  ASSERT_TRUE(TA.putHistory("one", observedHistory(1)));
+  ASSERT_TRUE(TA.putHistory("two", observedHistory(1)));
+  ASSERT_TRUE(TB.putHistory("one", observedHistory(1)));
+  StoredHistory HA1 = *TA.getHistory("one"), HA2 = *TA.getHistory("two"),
+                HB = *TB.getHistory("one");
+  JobSpec QA1 = scopedHistorySpec(TA, HA1, S),
+          QA2 = scopedHistorySpec(TA, HA2, S),
+          QB = scopedHistorySpec(TB, HB, S);
+  EXPECT_EQ(QA1.App, QA2.App);
+  EXPECT_NE(QA1.App, QB.App);
+  EXPECT_EQ(QA1.App.find("@acme/"), 0u) << QA1.App;
+}
+
+TEST(TenantRegistry, OpenModeHasImplicitAdmin) {
+  TenantRegistry R;
+  Tenant *Default = R.defaultTenant();
+  ASSERT_NE(Default, nullptr);
+  EXPECT_TRUE(Default->config().Admin);
+  EXPECT_EQ(R.authenticate("default", ""), Default);
+  EXPECT_EQ(R.authenticate("nobody", ""), nullptr);
+}
+
+TEST(TenantRegistry, ConfigFileLocksDownAuth) {
+  std::string Error;
+  std::optional<TenantRegistry> R = TenantRegistry::fromJson(
+      R"({"tenants": [
+           {"name": "acme", "api_key": "k1", "max_concurrent": 2},
+           {"name": "ops", "admin": true}]})",
+      &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_EQ(R->defaultTenant(), nullptr); // auth is mandatory
+  EXPECT_EQ(R->authenticate("acme", "wrong"), nullptr);
+  Tenant *Acme = R->authenticate("acme", "k1");
+  ASSERT_NE(Acme, nullptr);
+  EXPECT_EQ(Acme->config().MaxConcurrent, 2u);
+  EXPECT_FALSE(Acme->config().Admin);
+  EXPECT_NE(R->authenticate("ops", ""), nullptr);
+
+  // Duplicate names are a config error.
+  EXPECT_FALSE(TenantRegistry::fromJson(
+                   R"({"tenants": [{"name": "a"}, {"name": "a"}]})", &Error)
+                   .has_value());
+}
+
+//===----------------------------------------------------------------------===
+// SessionPool
+//===----------------------------------------------------------------------===
+
+TEST(SessionPool, CheckoutLruLifecycle) {
+  History H = observedHistory(1);
+  SessionPool Pool(2);
+  std::string K1 = SessionPool::key("t", 1, false);
+  std::string K2 = SessionPool::key("t", 2, false);
+  std::string K3 = SessionPool::key("t", 3, false);
+  EXPECT_NE(K1, K2);
+  EXPECT_NE(SessionPool::key("t", 1, true), K1); // prune is part of it
+  EXPECT_NE(SessionPool::key("u", 1, false), K1);
+
+  EXPECT_EQ(Pool.acquire(K1), nullptr); // cold
+  Pool.release(K1, std::make_unique<PredictSession>(H));
+  Pool.release(K2, std::make_unique<PredictSession>(H));
+
+  // Touch K1 (checkout + return), then add K3: K2 is the LRU victim.
+  std::unique_ptr<PredictSession> S = Pool.acquire(K1);
+  ASSERT_NE(S, nullptr);
+  Pool.release(K1, std::move(S));
+  Pool.release(K3, std::make_unique<PredictSession>(H));
+  EXPECT_NE(Pool.acquire(K1), nullptr);
+  EXPECT_EQ(Pool.acquire(K2), nullptr);
+  EXPECT_NE(Pool.acquire(K3), nullptr);
+
+  SessionPool::Stats St = Pool.stats();
+  EXPECT_EQ(St.Capacity, 2u);
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_EQ(St.Hits, 3u);
+  EXPECT_EQ(St.Misses, 2u);
+
+  Pool.clear();
+  EXPECT_EQ(Pool.stats().Size, 0u);
+}
+
+TEST(SessionPool, ZeroCapacityDisablesPooling) {
+  History H = observedHistory(1);
+  SessionPool Pool(0);
+  std::string K = SessionPool::key("t", 1, false);
+  Pool.release(K, std::make_unique<PredictSession>(H));
+  EXPECT_EQ(Pool.acquire(K), nullptr);
+}
+
+//===----------------------------------------------------------------------===
+// End-to-end over loopback
+//===----------------------------------------------------------------------===
+
+/// A blocking NDJSON client for one loopback connection.
+struct TestClient {
+  int Fd = -1;
+  std::string Buf;
+  uint64_t NextId = 1;
+
+  ~TestClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool connect(unsigned Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+  }
+
+  bool sendLine(const std::string &Line) {
+    size_t Off = 0;
+    while (Off < Line.size()) {
+      ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return false;
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  std::optional<std::string> readLine() {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Out = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Out;
+      }
+      char Chunk[4096];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return std::nullopt;
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+  /// One request/response round trip, parsed.
+  std::optional<JsonValue> request(const std::string &BodyFields) {
+    std::string Line = formatString("{\"id\": %llu%s%s}\n",
+                                    static_cast<unsigned long long>(NextId++),
+                                    BodyFields.empty() ? "" : ", ",
+                                    BodyFields.c_str());
+    if (!sendLine(Line))
+      return std::nullopt;
+    std::optional<std::string> Resp = readLine();
+    if (!Resp)
+      return std::nullopt;
+    return parseJson(*Resp, nullptr);
+  }
+};
+
+/// Body fields of an upload request (spliced into the id envelope).
+std::string uploadBody(const char *Name, const History &H) {
+  return formatString("\"verb\": \"upload\", \"name\": \"%s\", \"trace\": \"%s\"",
+                      Name, jsonEscape(writeTrace(H)).c_str());
+}
+
+bool isOk(const std::optional<JsonValue> &V) {
+  if (!V || V->K != JsonValue::Kind::Object)
+    return false;
+  const JsonValue *Ok = V->field("ok");
+  return Ok && Ok->K == JsonValue::Kind::Bool && Ok->B;
+}
+
+std::string errorCode(const std::optional<JsonValue> &V) {
+  if (!V)
+    return "<no response>";
+  const JsonValue *E = V->field("error");
+  const JsonValue *C = E ? E->field("code") : nullptr;
+  return C ? C->Text : "<no code>";
+}
+
+/// A Server running on its own thread for one test's lifetime.
+struct TestServer {
+  Server S;
+  std::thread Thread;
+
+  TestServer(ServerOptions O, TenantRegistry R)
+      : S(std::move(O), std::move(R)) {}
+
+  bool start() {
+    std::string Error;
+    if (!S.start(&Error)) {
+      ADD_FAILURE() << Error;
+      return false;
+    }
+    Thread = std::thread([this] { S.serve(); });
+    return true;
+  }
+
+  ~TestServer() {
+    S.requestStop();
+    if (Thread.joinable())
+      Thread.join();
+  }
+};
+
+TEST(ServerE2E, PingUploadQueryAndCacheHit) {
+  ServerOptions O;
+  O.Workers = 2;
+  O.CacheDir = scratchDir("e2e-cache");
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+  EXPECT_TRUE(isOk(C.request(R"("verb": "ping")")));
+
+  // Upload a locally observed trace, then query it twice: the second
+  // answer must come from the result cache.
+  History H = observedHistory(2);
+  std::optional<JsonValue> R = C.request(uploadBody("h1", H));
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_EQ(R->field("name")->Text, "h1");
+
+  // One line: a newline inside the body would split the NDJSON frame.
+  const char *Query = R"("verb": "query", "history": "h1", )"
+                      R"("level": "causal", "strategy": "relaxed", )"
+                      R"("timeout_ms": 30000)";
+  std::optional<JsonValue> First = C.request(Query);
+  ASSERT_TRUE(isOk(First)) << errorCode(First);
+  EXPECT_FALSE(First->field("cache_hit")->B);
+  ASSERT_NE(First->field("job"), nullptr);
+  std::string Outcome = First->field("job")->field("result")->Text;
+
+  std::optional<JsonValue> Second = C.request(Query);
+  ASSERT_TRUE(isOk(Second)) << errorCode(Second);
+  EXPECT_TRUE(Second->field("cache_hit")->B);
+  EXPECT_EQ(Second->field("answered_by")->Text, "cache");
+  EXPECT_EQ(Second->field("job")->field("result")->Text, Outcome);
+  // The cached answer surfaces the client-facing identity, not the
+  // tenant-scoped cache key.
+  EXPECT_EQ(Second->field("job")->field("app")->Text, "@h1");
+}
+
+TEST(ServerE2E, SpecQueryMatchesBatchEngine) {
+  ServerOptions O;
+  O.Workers = 1;
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  JobSpec S;
+  S.Kind = engine::JobKind::Predict;
+  S.App = "voter";
+  S.Cfg = WorkloadConfig::small(1);
+  S.Level = IsolationLevel::Causal;
+  S.Strat = Strategy::ApproxRelaxed;
+  S.TimeoutMs = 30000;
+
+  JsonWriter J(JsonWriter::Style::Compact);
+  J.openObjectIn("spec");
+  engine::writeJobSpecFields(J, S);
+  J.closeObject();
+  std::string Spec = J.take();
+  Spec.pop_back();
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+  std::optional<JsonValue> R =
+      C.request("\"verb\": \"query\", " + Spec);
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+
+  engine::JobResult Batch = engine::Engine::runJob(S);
+  const JsonValue *Job = R->field("job");
+  ASSERT_NE(Job, nullptr);
+  EXPECT_EQ(Job->field("result")->Text, toString(Batch.Outcome));
+  EXPECT_EQ(Job->field("spec_hash")->Text,
+            formatString("%016llx", static_cast<unsigned long long>(
+                                        engine::specHash(S))));
+}
+
+TEST(ServerE2E, TenantsAreIsolated) {
+  std::string Error;
+  std::optional<TenantRegistry> Reg = TenantRegistry::fromJson(
+      R"({"tenants": [{"name": "acme", "api_key": "k1"},
+                      {"name": "bravo", "api_key": "k2"}]})",
+      &Error);
+  ASSERT_TRUE(Reg.has_value()) << Error;
+  ServerOptions O;
+  O.Workers = 2;
+  TestServer TS(std::move(O), std::move(*Reg));
+  ASSERT_TRUE(TS.start());
+
+  // Unauthenticated connections can ping but not query.
+  TestClient A, B;
+  ASSERT_TRUE(A.connect(TS.S.port()));
+  ASSERT_TRUE(B.connect(TS.S.port()));
+  std::optional<JsonValue> R =
+      A.request(R"("verb": "query", "history": "h")");
+  EXPECT_FALSE(isOk(R));
+  EXPECT_EQ(errorCode(R), "auth_required");
+
+  EXPECT_FALSE(isOk(A.request(R"("verb": "auth", "tenant": "acme")")));
+  ASSERT_TRUE(isOk(
+      A.request(R"("verb": "auth", "tenant": "acme", "api_key": "k1")")));
+  ASSERT_TRUE(isOk(
+      B.request(R"("verb": "auth", "tenant": "bravo", "api_key": "k2")")));
+
+  // acme's history is invisible to bravo.
+  ASSERT_TRUE(isOk(A.request(uploadBody("secret", observedHistory(3)))));
+  R = B.request(R"("verb": "query", "history": "secret")");
+  EXPECT_FALSE(isOk(R));
+  EXPECT_EQ(errorCode(R), "unknown_history");
+
+  // Neither may shut the server down.
+  R = A.request(R"("verb": "shutdown")");
+  EXPECT_FALSE(isOk(R));
+  EXPECT_EQ(errorCode(R), "not_authorized");
+}
+
+TEST(ServerE2E, ConcurrentConnectionsAllAnswer) {
+  ServerOptions O;
+  O.Workers = 2;
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  constexpr int NumClients = 6;
+  std::atomic<int> OkCount{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumClients; ++I)
+    Threads.emplace_back([&, I] {
+      TestClient C;
+      if (!C.connect(TS.S.port()))
+        return;
+      for (int K = 0; K < 5; ++K)
+        if (isOk(C.request(R"("verb": "ping")")))
+          ++OkCount;
+      // A real query on some of the connections keeps workers busy.
+      if (I % 3 == 0) {
+        std::optional<JsonValue> R = C.request(
+            R"("verb": "query", "spec": {"app": "voter", "seed": 1, )"
+            R"("level": "causal", "timeout_ms": 30000})");
+        if (isOk(R))
+          ++OkCount;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(OkCount.load(), NumClients * 5 + 2);
+}
+
+TEST(ServerE2E, QuotaRejectionsAreWellFormedErrors) {
+  std::string Error;
+  std::optional<TenantRegistry> Reg = TenantRegistry::fromJson(
+      R"({"tenants": [{"name": "tiny", "max_concurrent": 1,
+                       "max_queued": 1}]})",
+      &Error);
+  ASSERT_TRUE(Reg.has_value()) << Error;
+  ServerOptions O;
+  O.Workers = 2;
+  TestServer TS(std::move(O), std::move(*Reg));
+  ASSERT_TRUE(TS.start());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+  ASSERT_TRUE(isOk(C.request(R"("verb": "auth", "tenant": "tiny")")));
+
+  // Pipeline a burst: with 1 running + 1 queued, the rest must come
+  // back as quota_exceeded errors on the same connection (never a
+  // disconnect), and the admitted ones must still answer.
+  constexpr int Burst = 6;
+  for (int I = 0; I < Burst; ++I)
+    ASSERT_TRUE(C.sendLine(formatString(
+        "{\"id\": %d, \"verb\": \"query\", \"spec\": {\"app\": \"voter\", "
+        "\"seed\": 1, \"level\": \"causal\", \"timeout_ms\": 30000}}\n",
+        100 + I)));
+  int OkCount = 0, Rejected = 0;
+  for (int I = 0; I < Burst; ++I) {
+    std::optional<std::string> Line = C.readLine();
+    ASSERT_TRUE(Line.has_value()) << "connection dropped mid-burst";
+    std::optional<JsonValue> V = parseJson(*Line, nullptr);
+    ASSERT_TRUE(V.has_value());
+    if (isOk(V))
+      ++OkCount;
+    else {
+      EXPECT_EQ(errorCode(V), "quota_exceeded");
+      ++Rejected;
+    }
+  }
+  EXPECT_GE(OkCount, 2); // the running + queued pair at minimum
+  EXPECT_EQ(OkCount + Rejected, Burst);
+  // The connection survived the burst.
+  EXPECT_TRUE(isOk(C.request(R"("verb": "ping")")));
+}
+
+TEST(ServerE2E, ShutdownVerbDrainsAndStatusReports) {
+  ServerOptions O;
+  O.Workers = 1;
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+  std::optional<JsonValue> St = C.request(R"("verb": "status")");
+  ASSERT_TRUE(isOk(St));
+  EXPECT_EQ(St->field("schema")->Text, "isopredict-server-status/1");
+  ASSERT_NE(St->field("metrics"), nullptr);
+  EXPECT_NE(St->field("metrics")->field("counters"), nullptr);
+
+  // Open mode's implicit tenant is admin: shutdown is accepted and the
+  // server thread winds down on its own.
+  std::optional<JsonValue> R = C.request(R"("verb": "shutdown")");
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  TS.Thread.join();
+  EXPECT_FALSE(TS.Thread.joinable());
+}
+
+} // namespace

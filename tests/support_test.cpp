@@ -176,6 +176,73 @@ TEST(Json, WriterRoundTripsThroughParser) {
   ASSERT_EQ(Doc->field("items")->Items.size(), 2u);
 }
 
+TEST(Json, DepthLimitRejectsDeepNesting) {
+  JsonParseLimits Limits;
+  Limits.MaxDepth = 4;
+  std::string Error;
+  EXPECT_TRUE(parseJson("[[[[1]]]]", Limits, &Error).has_value());
+  EXPECT_FALSE(parseJson("[[[[[1]]]]]", Limits, &Error).has_value());
+  EXPECT_NE(Error.find("depth"), std::string::npos) << Error;
+  Error.clear();
+  // Four levels of objects sit exactly at the limit; a fifth exceeds it.
+  EXPECT_TRUE(parseJson(R"({"a": {"b": {"c": {"d": 1}}}})", Limits, &Error)
+                  .has_value());
+  EXPECT_FALSE(
+      parseJson(R"({"a": {"b": {"c": {"d": {"e": 1}}}}})", Limits, &Error)
+          .has_value());
+  EXPECT_NE(Error.find("depth"), std::string::npos) << Error;
+}
+
+TEST(Json, DepthLimitDefaultAcceptsOrdinaryDocuments) {
+  // 100 levels sits under the default limit of 128.
+  std::string Doc(100, '[');
+  Doc += "1";
+  Doc.append(100, ']');
+  EXPECT_TRUE(parseJson(Doc, nullptr).has_value());
+  // 200 levels does not.
+  std::string Deep(200, '[');
+  Deep += "1";
+  Deep.append(200, ']');
+  std::string Error;
+  EXPECT_FALSE(parseJson(Deep, &Error).has_value());
+  EXPECT_NE(Error.find("depth"), std::string::npos) << Error;
+}
+
+TEST(Json, SizeLimitRejectsOversizedDocuments) {
+  JsonParseLimits Limits;
+  Limits.MaxBytes = 16;
+  std::string Error;
+  EXPECT_TRUE(parseJson(R"({"a": 1})", Limits, &Error).has_value());
+  EXPECT_FALSE(
+      parseJson(R"({"a": "0123456789abcdef"})", Limits, &Error).has_value());
+  EXPECT_NE(Error.find("bytes"), std::string::npos) << Error;
+  // Zero means unlimited.
+  Limits.MaxBytes = 0;
+  EXPECT_TRUE(
+      parseJson(R"({"a": "0123456789abcdef"})", Limits, &Error).has_value());
+}
+
+TEST(Json, CompactWriterEmitsOneLine) {
+  JsonWriter J(JsonWriter::Style::Compact);
+  J.openObject();
+  J.str("name", "x");
+  J.num("n", static_cast<uint64_t>(3));
+  J.openArray("items");
+  J.numElement(1);
+  J.numElement(2);
+  J.closeArray();
+  J.closeObject();
+  std::string Out = J.take();
+  // One newline only: the trailing frame terminator.
+  EXPECT_EQ(Out.back(), '\n');
+  EXPECT_EQ(Out.find('\n'), Out.size() - 1);
+  // Still valid JSON with the same content as the pretty form.
+  std::optional<JsonValue> V = parseJson(Out, nullptr);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->field("name")->Text, "x");
+  EXPECT_EQ(V->field("items")->Items.size(), 2u);
+}
+
 TEST(Fs, ReadWriteRoundTrip) {
   std::string Dir = testing::TempDir() + formatString("isopredict-fs-%ld",
                                                       (long)::getpid());
