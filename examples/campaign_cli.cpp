@@ -12,6 +12,8 @@
 //                [--cache-dir DIR] [--shard K/N] [--write-shards N]
 //                [--campaign FILE] [--dry-run]
 //                [--name NAME] [--out report.json]
+//                [--metrics-out FILE]
+//                [--log-file FILE] [--log-level L] [--log-json]
 //
 // Defaults run every app under causal with Approx-Relaxed, small
 // workload, 5 seeds, on one worker. `--jobs 0` uses all hardware
@@ -42,6 +44,7 @@
 #include "cache/Shard.h"
 #include "engine/Engine.h"
 #include "engine/JobIo.h"
+#include "obs/Log.h"
 #include "obs/Tracer.h"
 #include "smt/Smt.h"
 #include "support/Fs.h"
@@ -108,7 +111,14 @@ int usage(const char *Msg = nullptr) {
       "                        does not change report bytes\n"
       "  --quiet               suppress per-job progress on stderr\n"
       "  --name NAME           campaign name in the report\n"
-      "  --out FILE            JSON report path, '-' = stdout (default: -)\n");
+      "  --out FILE            JSON report path, '-' = stdout (default: -)\n"
+      "  --metrics-out FILE    write the run's metrics delta as a\n"
+      "                        standalone JSON document (the --timings\n"
+      "                        metrics block, without touching the report)\n"
+      "  --log-file FILE       structured log sink (default: stderr)\n"
+      "  --log-level L         debug|info|warn|error|off (default: info;\n"
+      "                        debug adds a job.done event per job)\n"
+      "  --log-json            NDJSON log lines instead of text\n");
   return 2;
 }
 
@@ -200,6 +210,11 @@ int main(int argc, char **argv) {
   std::string Name = "campaign";
   std::string OutPath = "-";
   std::string TraceOut;
+  std::string MetricsOut;
+  obs::Log::Options LogOpts;
+  // Structured events are emitted only when a --log-* flag is given, so
+  // default stderr output (which scripts grep) is unchanged.
+  bool LogUsed = false;
   // A campaign file carries its own grid; mixing it with grid flags
   // would silently change spec hashes, so the two are exclusive.
   bool GridFlagUsed = false;
@@ -371,6 +386,25 @@ int main(int argc, char **argv) {
       if (!V)
         return usage("--out needs a value");
       OutPath = V;
+    } else if (Flag == "--metrics-out") {
+      const char *V = next();
+      if (!V)
+        return usage("--metrics-out needs a value");
+      MetricsOut = V;
+    } else if (Flag == "--log-file") {
+      const char *V = next();
+      if (!V)
+        return usage("--log-file needs a value");
+      LogOpts.Path = V;
+      LogUsed = true;
+    } else if (Flag == "--log-level") {
+      const char *V = next();
+      if (!V || !obs::parseLogLevel(V, LogOpts.Level))
+        return usage("--log-level needs debug|info|warn|error|off");
+      LogUsed = true;
+    } else if (Flag == "--log-json") {
+      LogOpts.Ndjson = true;
+      LogUsed = true;
     } else {
       return usage(("unknown option '" + Flag + "'").c_str());
     }
@@ -472,14 +506,39 @@ int main(int argc, char **argv) {
     std::remove(Probe.c_str());
   }
 
+  if (LogUsed) {
+    std::string Error;
+    if (!obs::Log::global().configure(LogOpts, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
   EngineOptions EO;
   EO.NumWorkers = Jobs;
   EO.ShareEncodings = ShareEncodings;
   EO.CacheDir = CacheDir;
   EO.PortfolioLanes = PortfolioLanes;
   EO.LaneStatsDir = LaneStatsDir;
-  if (!Quiet)
-    EO.OnJobDone = [](size_t Done, size_t Total, const JobResult &R) {
+  // Per-job structured events at debug ride alongside the human
+  // progress lines (which --quiet still suppresses independently).
+  bool LogJobs = LogUsed && obs::Log::global().enabled(obs::LogLevel::Debug);
+  if (!Quiet || LogJobs)
+    EO.OnJobDone = [Quiet, LogJobs](size_t Done, size_t Total,
+                                    const JobResult &R) {
+      if (LogJobs)
+        obs::Log::global().debug(
+            "job.done",
+            {{"done", formatString("%zu", Done)},
+             {"total", formatString("%zu", Total)},
+             {"app", R.Spec.App},
+             {"seed", formatString("%llu", static_cast<unsigned long long>(
+                                               R.Spec.Cfg.Seed))},
+             {"outcome", R.Ok ? toString(R.Outcome) : "failed"},
+             {"cached", R.CacheHit ? "true" : "false"},
+             {"wall_seconds", formatString("%.3f", R.WallSeconds)}});
+      if (Quiet)
+        return;
       std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s%s%s\n", Done,
                    Total, R.Spec.App.c_str(), toString(R.Spec.Level),
                    toString(R.Spec.Strat),
@@ -517,6 +576,12 @@ int main(int argc, char **argv) {
 
   std::fprintf(stderr, "campaign '%s': %zu jobs on %u worker(s)\n",
                C.Name.c_str(), C.size(), E.numWorkers());
+  if (LogUsed)
+    obs::Log::global().info(
+        "campaign.start",
+        {{"campaign", C.Name},
+         {"jobs", formatString("%zu", C.size())},
+         {"workers", formatString("%u", E.numWorkers())}});
   // Tracing changes only what the tracer records, never what the
   // engine computes: report bytes with --trace-out are identical to a
   // run without it.
@@ -527,6 +592,15 @@ int main(int argc, char **argv) {
   Watcher.join();
   bool Interrupted = StopSignal::requested();
   R.setShard(ReportShardIndex, ReportShardCount);
+  if (LogUsed)
+    obs::Log::global().info(
+        "campaign.done",
+        {{"campaign", C.Name},
+         {"jobs", formatString("%zu", R.size())},
+         {"wall_seconds", formatString("%.3f", R.wallSeconds())},
+         {"cache_hits", formatString("%u", R.cacheHits())},
+         {"cache_misses", formatString("%u", R.cacheMisses())},
+         {"interrupted", Interrupted ? "true" : "false"}});
   if (!TraceOut.empty()) {
     obs::Tracer::global().disable();
     std::string Error;
@@ -549,6 +623,14 @@ int main(int argc, char **argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  }
+  if (!MetricsOut.empty()) {
+    std::string Error;
+    if (!R.writeMetricsFile(MetricsOut, &Error)) {
+      std::fprintf(stderr, "error: --metrics-out: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", MetricsOut.c_str());
   }
   R.printSummary(stderr);
   if (Interrupted) {

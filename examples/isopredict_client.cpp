@@ -32,6 +32,8 @@
 //   --status                    print a status/metrics snapshot
 //   --status-out FILE           write the raw status response to FILE
 //                               (report_profile reads it)\n
+//   --metrics-out FILE          fetch the `metrics` verb and write the
+//                               Prometheus text exposition to FILE
 //   --shutdown                  ask the server to drain (admin tenants)
 //   --collect FILE              after all actions, write collected query
 //                               results as a campaign report (report_diff
@@ -73,7 +75,8 @@ int usage(const char *Msg = nullptr) {
       "actions: --ping | --auth T[:KEY] | --upload NAME:FILE\n"
       "         --observe k=v,... | --query k=v,... \n"
       "         --query-history NAME[,k=v...] | --burst N | --status\n"
-      "         --status-out FILE | --shutdown | --collect FILE\n");
+      "         --status-out FILE | --metrics-out FILE | --shutdown\n"
+      "         --collect FILE\n");
   return 2;
 }
 
@@ -302,7 +305,7 @@ int main(int argc, char **argv) {
     } else if (Flag == "--auth" || Flag == "--upload" ||
                Flag == "--observe" || Flag == "--query" ||
                Flag == "--query-history" || Flag == "--burst" ||
-               Flag == "--status-out") {
+               Flag == "--status-out" || Flag == "--metrics-out") {
       auto V = value(Flag.c_str());
       if (!V)
         return 2;
@@ -348,6 +351,25 @@ int main(int argc, char **argv) {
         return 1;
       }
       if (!writeFileAtomic(Arg, Resp + "\n", &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+    } else if (Flag == "--metrics-out") {
+      std::string Req = C.bareRequest("metrics");
+      std::string Resp;
+      if (!sendAll(C.Fd, Req) || !C.Reader.readLine(Resp)) {
+        std::fprintf(stderr, "error: connection lost during metrics\n");
+        return 1;
+      }
+      std::optional<JsonValue> V = parseJson(Resp, &Error);
+      const JsonValue *Expo =
+          V && V->K == JsonValue::Kind::Object ? V->field("exposition")
+                                               : nullptr;
+      if (!Expo || Expo->K != JsonValue::Kind::String) {
+        std::fprintf(stderr, "error: metrics response lacks exposition\n");
+        return 1;
+      }
+      if (!writeFileAtomic(Arg, Expo->Text, &Error)) {
         std::fprintf(stderr, "error: %s\n", Error.c_str());
         return 1;
       }

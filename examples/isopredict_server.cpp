@@ -12,6 +12,10 @@
 //   isopredict_server [--host ADDR] [--port N] [--port-file FILE]
 //                     [--workers N] [--sessions N] [--cache-dir DIR]
 //                     [--tenants FILE]
+//                     [--log-file FILE] [--log-level L] [--log-json]
+//                     [--slow-query-ms N]
+//                     [--trace-dir DIR] [--trace-flush-sec N]
+//                     [--trace-ring N] [--trace-keep N]
 //
 // Without --tenants the server runs in open mode: a single implicit
 // admin tenant named "default" with generous quotas, and connections
@@ -29,11 +33,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "server/Server.h"
 #include "support/Fs.h"
 #include "support/StrUtil.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 using namespace isopredict;
@@ -54,7 +60,17 @@ int usage(const char *Msg = nullptr) {
       "  --sessions N     warm solver sessions kept (default: 8)\n"
       "  --cache-dir DIR  persistent result cache shared with batch runs\n"
       "  --tenants FILE   tenant config JSON (default: open mode, one\n"
-      "                   implicit admin tenant \"default\", no api key)\n");
+      "                   implicit admin tenant \"default\", no api key)\n"
+      "  --log-file FILE  structured log sink (default: stderr)\n"
+      "  --log-level L    debug|info|warn|error|off (default: info)\n"
+      "  --log-json       NDJSON log lines instead of text\n"
+      "  --slow-query-ms N  slow-query log threshold in ms (fractional\n"
+      "                   ok), 0 = off (default: 1000)\n"
+      "  --trace-dir DIR  continuous ring-buffer tracing: rotate Chrome\n"
+      "                   trace files into DIR\n"
+      "  --trace-flush-sec N  trace flush/rotate period (default: 10)\n"
+      "  --trace-ring N   ring capacity in spans (default: 16384)\n"
+      "  --trace-keep N   rotated trace files kept (default: 8)\n");
   return 2;
 }
 
@@ -63,6 +79,7 @@ int usage(const char *Msg = nullptr) {
 int main(int argc, char **argv) {
   ServerOptions Opts;
   std::string PortFile, TenantsFile;
+  obs::Log::Options LogOpts;
   for (int I = 1; I < argc; ++I) {
     std::string Flag = argv[I];
     const char *V = I + 1 < argc ? argv[I + 1] : nullptr;
@@ -110,12 +127,60 @@ int main(int argc, char **argv) {
       if (!needValue("--tenants"))
         return 2;
       TenantsFile = V;
+    } else if (Flag == "--log-file") {
+      if (!needValue("--log-file"))
+        return 2;
+      LogOpts.Path = V;
+    } else if (Flag == "--log-level") {
+      if (!needValue("--log-level"))
+        return 2;
+      if (!obs::parseLogLevel(V, LogOpts.Level))
+        return usage("--log-level needs debug|info|warn|error|off");
+    } else if (Flag == "--log-json") {
+      LogOpts.Ndjson = true;
+    } else if (Flag == "--slow-query-ms") {
+      if (!needValue("--slow-query-ms"))
+        return 2;
+      char *End = nullptr;
+      double Ms = std::strtod(V, &End);
+      if (End == V || *End != '\0' || Ms < 0)
+        return usage("--slow-query-ms needs a non-negative number");
+      Opts.SlowQueryMs = Ms;
+    } else if (Flag == "--trace-dir") {
+      if (!needValue("--trace-dir"))
+        return 2;
+      Opts.TraceDir = V;
+    } else if (Flag == "--trace-flush-sec") {
+      if (!needValue("--trace-flush-sec"))
+        return 2;
+      auto N = parseInt(V);
+      if (!N || *N <= 0)
+        return usage("--trace-flush-sec needs a positive integer");
+      Opts.TraceFlushSec = static_cast<unsigned>(*N);
+    } else if (Flag == "--trace-ring") {
+      if (!needValue("--trace-ring"))
+        return 2;
+      auto N = parseInt(V);
+      if (!N || *N <= 0)
+        return usage("--trace-ring needs a positive integer");
+      Opts.TraceRingCapacity = static_cast<size_t>(*N);
+    } else if (Flag == "--trace-keep") {
+      if (!needValue("--trace-keep"))
+        return 2;
+      auto N = parseInt(V);
+      if (!N || *N < 0)
+        return usage("--trace-keep needs a non-negative integer");
+      Opts.TraceKeepFiles = static_cast<unsigned>(*N);
     } else {
       return usage(("unknown option '" + Flag + "'").c_str());
     }
   }
 
   std::string Error;
+  if (!obs::Log::global().configure(LogOpts, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
   TenantRegistry Registry;
   if (!TenantsFile.empty()) {
     std::string Text;
@@ -132,6 +197,7 @@ int main(int argc, char **argv) {
     Registry = std::move(*R);
   }
 
+  std::string Host = Opts.Host;
   Server S(std::move(Opts), std::move(Registry));
   if (!S.start(&Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -142,8 +208,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-  std::fprintf(stderr, "isopredict_server: listening on port %u\n", S.port());
+  // The "listening"/"drained" markers scripts grep for now flow through
+  // the structured log (still stderr by default).
+  obs::Log::global().info(
+      "server.listening",
+      {{"host", Host}, {"port", std::to_string(S.port())}});
   S.serve();
-  std::fprintf(stderr, "isopredict_server: drained, exiting\n");
+  obs::Log::global().info("server.drained", {{"exit", "0"}});
   return 0;
 }

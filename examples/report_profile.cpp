@@ -8,8 +8,16 @@
 //
 // Usage:
 //   report_profile [--top N] FILE
+//   report_profile --follow HOST:PORT [--interval SEC] [--count N]
 //
-// The input kind is detected from the JSON shape: a "traceEvents"
+// --follow turns the tool into a live dashboard: it connects to a
+// running isopredict_server, polls the `status` verb every --interval
+// seconds (default 2), and redraws a traffic / per-tenant / rolling-
+// percentile view with deltas between polls (ANSI clear-screen when
+// stdout is a terminal, plain appended frames otherwise). --count N
+// stops after N polls (0 = forever) so scripts and CI can smoke it.
+//
+// For file input, the kind is detected from the JSON shape: a "traceEvents"
 // array is a Chrome trace (phases are span categories, slow entries
 // are the longest spans); an "isopredict-campaign-report/2" document
 // is a report (phases come from its `metrics` block when present,
@@ -30,10 +38,18 @@
 #include "support/TablePrinter.h"
 
 #include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <netinet/in.h>
 #include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace isopredict;
@@ -46,11 +62,18 @@ int usage(const char *Msg = nullptr) {
     std::fprintf(stderr, "error: %s\n", Msg);
   std::fprintf(stderr,
                "usage: report_profile [--top N] FILE\n"
+               "       report_profile --follow HOST:PORT [--interval SEC]"
+               " [--count N]\n"
                "  FILE   campaign report JSON (campaign_cli --out),\n"
                "         Chrome trace JSON (campaign_cli --trace-out), or\n"
                "         server status JSON (isopredict_client "
                "--status-out)\n"
-               "  --top  slowest entries to list (default: 5)\n");
+               "  --top  slowest entries to list (default: 5)\n"
+               "  --follow    live dashboard off a running server's status"
+               " verb\n"
+               "  --interval  seconds between polls (default: 2)\n"
+               "  --count     stop after N polls, 0 = forever (default: "
+               "0)\n");
   return 2;
 }
 
@@ -419,11 +442,246 @@ int profileReport(const JsonValue &Doc, unsigned TopN) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Follow mode (--follow HOST:PORT)
+//===----------------------------------------------------------------------===//
+
+/// Blocking connect to HOST:PORT; -1 (with a diagnostic) on failure.
+int connectTo(const std::string &Host, unsigned Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    std::fprintf(stderr, "error: connect %s:%u: %s\n", Host.c_str(), Port,
+                 std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::string &Line) {
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readLine(int Fd, std::string &Buf, std::string &Out) {
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Out = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    char Chunk[64 * 1024];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+double counterOf(const JsonValue &Doc, const char *Name) {
+  const JsonValue *M = Doc.field("metrics");
+  const JsonValue *C = M ? M->field("counters") : nullptr;
+  if (const JsonValue *V = C ? C->field(Name) : nullptr)
+    return numberOf(V);
+  // Family-only counters (e.g. server.slow_queries{tenant}) have no
+  // unlabeled twin: sum the cells instead.
+  const JsonValue *Fams = M ? M->field("families") : nullptr;
+  const JsonValue *F = Fams ? Fams->field(Name) : nullptr;
+  const JsonValue *Series = F ? F->field("series") : nullptr;
+  double Sum = 0;
+  if (Series && Series->K == JsonValue::Kind::Array)
+    for (const JsonValue &Cell : Series->Items)
+      Sum += numberOf(Cell.field("value"));
+  return Sum;
+}
+
+/// One row per verb/tenant out of a status "latency" sub-object, both
+/// rolling windows side by side.
+void printLatencyTable(const char *Title, const JsonValue *Sect) {
+  if (!Sect || Sect->K != JsonValue::Kind::Object || Sect->Fields.empty())
+    return;
+  std::printf("\n");
+  TablePrinter T;
+  T.setHeader({Title, "1m n", "1m p50", "1m p95", "1m p99", "5m n",
+               "5m p50", "5m p95", "5m p99"});
+  for (const auto &F : Sect->Fields) {
+    std::vector<std::string> Row = {F.first};
+    for (const char *Win : {"1m", "5m"}) {
+      const JsonValue *W = F.second.field(Win);
+      Row.push_back(formatString("%.0f", numberOf(W ? W->field("count")
+                                                    : nullptr)));
+      for (const char *P : {"p50", "p95", "p99"})
+        Row.push_back(
+            secondsCell(numberOf(W ? W->field(P) : nullptr)));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print(stdout);
+}
+
+/// A counter cell with its delta since the previous poll ("120 (+12)").
+std::string deltaCell(double Now, const std::map<std::string, double> &Prev,
+                      const char *Name) {
+  auto It = Prev.find(Name);
+  std::string S = formatString("%.0f", Now);
+  if (It != Prev.end())
+    S += formatString(" (%+.0f)", Now - It->second);
+  return S;
+}
+
+int followLoop(const std::string &HostPort, double IntervalSec,
+               unsigned Count) {
+  size_t Colon = HostPort.rfind(':');
+  auto Port = Colon != std::string::npos
+                  ? parseInt(HostPort.substr(Colon + 1))
+                  : std::nullopt;
+  if (!Port || *Port <= 0 || *Port > 65535)
+    return usage("--follow needs HOST:PORT");
+  std::string Host = HostPort.substr(0, Colon);
+
+  int Fd = connectTo(Host, static_cast<unsigned>(*Port));
+  if (Fd < 0)
+    return 1;
+  bool Tty = ::isatty(STDOUT_FILENO) == 1;
+  std::string Buf;
+  std::map<std::string, double> Prev;
+  static const char *Tracked[] = {
+      "server.requests",     "server.queries",       "server.errors",
+      "server.cache_answers", "server.session_hits", "server.quota_rejections",
+      "solver.checks",       "solver.timeouts",      "server.slow_queries"};
+
+  for (uint64_t Poll = 1; Count == 0 || Poll <= Count; ++Poll) {
+    std::string Req =
+        formatString("{\"id\":%llu,\"verb\":\"status\"}\n",
+                     static_cast<unsigned long long>(Poll));
+    std::string Resp, Error;
+    if (!sendAll(Fd, Req) || !readLine(Fd, Buf, Resp)) {
+      std::fprintf(stderr, "error: connection lost (server gone?)\n");
+      ::close(Fd);
+      return 1;
+    }
+    std::optional<JsonValue> Doc = parseJson(Resp, &Error);
+    if (!Doc || Doc->K != JsonValue::Kind::Object) {
+      std::fprintf(stderr, "error: malformed status: %s\n", Error.c_str());
+      ::close(Fd);
+      return 1;
+    }
+    const JsonValue *Ok = Doc->field("ok");
+    if (!Ok || Ok->K != JsonValue::Kind::Bool || !Ok->B) {
+      std::fprintf(stderr, "error: status refused: %s\n", Resp.c_str());
+      ::close(Fd);
+      return 1;
+    }
+
+    if (Tty)
+      std::printf("\x1b[H\x1b[J"); // home + clear: redraw in place
+    std::printf("isopredict_server %s — up %.1fs, %.0f worker(s)%s"
+                "   [poll %llu%s, every %.1fs]\n",
+                HostPort.c_str(), numberOf(Doc->field("uptime_seconds")),
+                numberOf(Doc->field("workers")),
+                Doc->field("draining") && Doc->field("draining")->B
+                    ? ", DRAINING"
+                    : "",
+                static_cast<unsigned long long>(Poll),
+                Count ? formatString("/%u", Count).c_str() : "",
+                IntervalSec);
+    std::printf("traffic: %s requests, %s queries, %s errors, %s slow\n",
+                deltaCell(counterOf(*Doc, "server.requests"), Prev,
+                          "server.requests")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "server.queries"), Prev,
+                          "server.queries")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "server.errors"), Prev,
+                          "server.errors")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "server.slow_queries"), Prev,
+                          "server.slow_queries")
+                    .c_str());
+    std::printf("answers: %s cache, %s warm session, %s quota-rejected; "
+                "solver: %s checks, %s timeouts\n",
+                deltaCell(counterOf(*Doc, "server.cache_answers"), Prev,
+                          "server.cache_answers")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "server.session_hits"), Prev,
+                          "server.session_hits")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "server.quota_rejections"), Prev,
+                          "server.quota_rejections")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "solver.checks"), Prev,
+                          "solver.checks")
+                    .c_str(),
+                deltaCell(counterOf(*Doc, "solver.timeouts"), Prev,
+                          "solver.timeouts")
+                    .c_str());
+
+    if (const JsonValue *Tenants = Doc->field("tenants");
+        Tenants && Tenants->K == JsonValue::Kind::Array &&
+        !Tenants->Items.empty()) {
+      std::printf("\n");
+      TablePrinter T;
+      T.setHeader({"Tenant", "Running", "Queued", "Done", "Rejected",
+                   "Cache", "Warm", "Histories"});
+      for (const JsonValue &TV : Tenants->Items) {
+        if (TV.K != JsonValue::Kind::Object)
+          continue;
+        const JsonValue *Name = TV.field("name");
+        T.addRow({Name ? Name->Text : "?",
+                  formatString("%.0f", numberOf(TV.field("running"))),
+                  formatString("%.0f", numberOf(TV.field("queued"))),
+                  formatString("%.0f", numberOf(TV.field("completed"))),
+                  formatString("%.0f", numberOf(TV.field("rejected"))),
+                  formatString("%.0f", numberOf(TV.field("cache_hits"))),
+                  formatString("%.0f", numberOf(TV.field("session_hits"))),
+                  formatString("%.0f", numberOf(TV.field("histories")))});
+      }
+      T.print(stdout);
+    }
+
+    const JsonValue *Latency = Doc->field("latency");
+    printLatencyTable("Verb",
+                      Latency ? Latency->field("verbs") : nullptr);
+    printLatencyTable("Tenant",
+                      Latency ? Latency->field("tenants") : nullptr);
+    std::fflush(stdout);
+
+    for (const char *Name : Tracked)
+      Prev[Name] = counterOf(*Doc, Name);
+    if (Count == 0 || Poll < Count)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(IntervalSec * 1000)));
+  }
+  ::close(Fd);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   unsigned TopN = 5;
-  std::string Path;
+  std::string Path, Follow;
+  double IntervalSec = 2.0;
+  unsigned Count = 0;
   for (int I = 1; I < argc; ++I) {
     std::string Flag = argv[I];
     if (Flag == "--top") {
@@ -432,6 +690,23 @@ int main(int argc, char **argv) {
       if (!N || *N < 1)
         return usage("--top needs a positive integer");
       TopN = static_cast<unsigned>(*N);
+    } else if (Flag == "--follow") {
+      const char *V = I + 1 < argc ? argv[++I] : nullptr;
+      if (!V)
+        return usage("--follow needs HOST:PORT");
+      Follow = V;
+    } else if (Flag == "--interval") {
+      const char *V = I + 1 < argc ? argv[++I] : nullptr;
+      double S = V ? std::strtod(V, nullptr) : 0;
+      if (S <= 0)
+        return usage("--interval needs a positive number of seconds");
+      IntervalSec = S;
+    } else if (Flag == "--count") {
+      const char *V = I + 1 < argc ? argv[++I] : nullptr;
+      auto N = V ? parseInt(V) : std::nullopt;
+      if (!N || *N < 0)
+        return usage("--count needs a non-negative integer");
+      Count = static_cast<unsigned>(*N);
     } else if (!Flag.empty() && Flag[0] == '-') {
       return usage(("unknown option '" + Flag + "'").c_str());
     } else if (Path.empty()) {
@@ -439,6 +714,11 @@ int main(int argc, char **argv) {
     } else {
       return usage("exactly one input file expected");
     }
+  }
+  if (!Follow.empty()) {
+    if (!Path.empty())
+      return usage("--follow takes no input file");
+    return followLoop(Follow, IntervalSec, Count);
   }
   if (Path.empty())
     return usage();

@@ -196,6 +196,35 @@ bool Report::writeJsonFile(const std::string &Path, const ReportOptions &Opts,
   return Ok;
 }
 
+std::string Report::metricsToJson() const {
+  JsonWriter J;
+  J.openObject();
+  J.str("schema", "isopredict-metrics/1");
+  J.str("tool_version", toolVersion());
+  J.str("campaign", CampaignName);
+  J.num("workers", static_cast<uint64_t>(NumWorkers));
+  obs::writeMetricsJson(J, Metrics);
+  J.closeObject();
+  return J.take();
+}
+
+bool Report::writeMetricsFile(const std::string &Path,
+                              std::string *Error) const {
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Json = metricsToJson();
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), Out);
+  bool CloseOk = std::fclose(Out) == 0;
+  bool Ok = Written == Json.size() && CloseOk;
+  if (!Ok && Error)
+    *Error = "short write to '" + Path + "'";
+  return Ok;
+}
+
 void Report::printSummary(FILE *Out) const {
   TablePrinter T;
   T.setHeader({"Config", "Jobs", "Sat", "Unsat", "Unk", "Validated",

@@ -223,6 +223,18 @@ public:
   bool writeJsonFile(const std::string &Path, const ReportOptions &Opts = {},
                      std::string *Error = nullptr) const;
 
+  /// The run's metrics delta as a standalone JSON document (schema
+  /// "isopredict-metrics/1": campaign name, tool version, the same
+  /// "metrics" block toJson emits under IncludeTimings). Lets
+  /// `campaign_cli --metrics-out` export telemetry without turning on
+  /// --timings — the default report bytes stay untouched.
+  std::string metricsToJson() const;
+
+  /// Writes metricsToJson() to \p Path. False + \p Error on I/O
+  /// failure.
+  bool writeMetricsFile(const std::string &Path,
+                        std::string *Error = nullptr) const;
+
   /// Prints a per-configuration summary table (TablePrinter layout).
   void printSummary(FILE *Out = stdout) const;
 

@@ -1,0 +1,186 @@
+//===- Log.cpp - Structured leveled logging ------------------------------===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+#include "obs/Tracer.h"
+#include "support/Json.h"
+#include "support/StrUtil.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace isopredict {
+namespace obs {
+
+const char *logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "info";
+}
+
+bool parseLogLevel(const std::string &Name, LogLevel &Out) {
+  std::string N = toLowerAscii(Name);
+  if (N == "debug")
+    Out = LogLevel::Debug;
+  else if (N == "info")
+    Out = LogLevel::Info;
+  else if (N == "warn" || N == "warning")
+    Out = LogLevel::Warn;
+  else if (N == "error")
+    Out = LogLevel::Error;
+  else if (N == "off" || N == "none")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+/// UTC wall clock with millisecond precision: 2026-08-07T12:34:56.789Z.
+std::string wallTimestamp() {
+  using namespace std::chrono;
+  auto Now = system_clock::now();
+  std::time_t Secs = system_clock::to_time_t(Now);
+  auto Ms = duration_cast<milliseconds>(Now.time_since_epoch()).count() % 1000;
+  std::tm Tm;
+  gmtime_r(&Secs, &Tm);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                Tm.tm_year + 1900, Tm.tm_mon + 1, Tm.tm_mday, Tm.tm_hour,
+                Tm.tm_min, Tm.tm_sec, static_cast<int>(Ms));
+  return Buf;
+}
+
+bool needsQuoting(const std::string &V) {
+  if (V.empty())
+    return true;
+  for (char C : V)
+    if (C == ' ' || C == '"' || C == '=' || C == '\\' || C == '\n' ||
+        C == '\t')
+      return true;
+  return false;
+}
+
+void appendQuoted(std::string &Out, const std::string &V) {
+  Out += '"';
+  for (char C : V) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  Out += '"';
+}
+
+} // namespace
+
+struct Log::Impl {
+  std::atomic<int> Level{static_cast<int>(LogLevel::Info)};
+  std::atomic<bool> Ndjson{false};
+  std::mutex Mu;
+  FILE *File = nullptr; ///< Owned when non-null; else stderr.
+};
+
+Log::Log() : I(*new Impl) {}
+
+Log &Log::global() {
+  static Log L;
+  return L;
+}
+
+LogLevel Log::level() const {
+  return static_cast<LogLevel>(I.Level.load(std::memory_order_relaxed));
+}
+
+bool Log::configure(const Options &O, std::string *Error) {
+  FILE *NewFile = nullptr;
+  if (!O.Path.empty()) {
+    NewFile = std::fopen(O.Path.c_str(), "ab");
+    if (!NewFile) {
+      if (Error)
+        *Error = "cannot open log file '" + O.Path + "'";
+      return false;
+    }
+  }
+  std::lock_guard<std::mutex> L(I.Mu);
+  if (I.File)
+    std::fclose(I.File);
+  I.File = NewFile;
+  I.Level.store(static_cast<int>(O.Level), std::memory_order_relaxed);
+  I.Ndjson.store(O.Ndjson, std::memory_order_relaxed);
+  return true;
+}
+
+void Log::write(LogLevel L, const std::string &Event,
+                std::vector<LogField> Fields) {
+  if (!enabled(L) || L == LogLevel::Off)
+    return;
+  uint64_t MonoNs = Tracer::nowNs();
+  uint32_t Tid = Tracer::threadId();
+  std::string Line;
+  if (I.Ndjson.load(std::memory_order_relaxed)) {
+    JsonWriter J(JsonWriter::Style::Compact);
+    J.openObject();
+    J.str("ts", wallTimestamp());
+    J.num("mono_ns", MonoNs);
+    J.str("level", logLevelName(L));
+    J.str("event", Event);
+    J.num("tid", static_cast<uint64_t>(Tid));
+    J.openObjectIn("fields");
+    for (const auto &F : Fields)
+      J.str(F.first.c_str(), F.second);
+    J.closeObject();
+    J.closeObject();
+    Line = J.take(); // take() appends the '\n' frame terminator
+  } else {
+    Line = wallTimestamp();
+    Line += ' ';
+    const char *Name = logLevelName(L);
+    for (const char *C = Name; *C; ++C)
+      Line += static_cast<char>(*C >= 'a' && *C <= 'z' ? *C - 32 : *C);
+    Line += ' ';
+    Line += Event;
+    Line += " tid=";
+    Line += std::to_string(Tid);
+    Line += " mono_ns=";
+    Line += std::to_string(MonoNs);
+    for (const auto &F : Fields) {
+      Line += ' ';
+      Line += F.first;
+      Line += '=';
+      if (needsQuoting(F.second))
+        appendQuoted(Line, F.second);
+      else
+        Line += F.second;
+    }
+    Line += '\n';
+  }
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  FILE *Out = I.File ? I.File : stderr;
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  std::fflush(Out);
+}
+
+} // namespace obs
+} // namespace isopredict

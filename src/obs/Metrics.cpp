@@ -37,6 +37,45 @@ void Histogram::reset() {
 }
 
 //===----------------------------------------------------------------------===//
+// Labeled families
+//===----------------------------------------------------------------------===//
+
+template <typename Inst>
+Inst &Family<Inst>::at(std::vector<std::string> Values) {
+  // A short tuple reads as "" for the missing trailing keys; a long one
+  // is truncated. Serving code passes exact-arity tuples; this just
+  // keeps a miscounted call site from corrupting the map ordering.
+  Values.resize(LabelKeys.size());
+  std::lock_guard<std::mutex> L(CellMu);
+  auto &Slot = Cells[std::move(Values)];
+  if (!Slot)
+    Slot.reset(new Inst());
+  return *Slot;
+}
+
+template <typename Inst>
+template <typename Snap, typename Copy>
+std::vector<std::pair<std::vector<std::string>, Snap>>
+Family<Inst>::snapshotCells(Copy CopyFn) const {
+  std::lock_guard<std::mutex> L(CellMu);
+  std::vector<std::pair<std::vector<std::string>, Snap>> Out;
+  Out.reserve(Cells.size());
+  for (const auto &C : Cells)
+    Out.emplace_back(C.first, CopyFn(*C.second));
+  return Out;
+}
+
+template <typename Inst> void Family<Inst>::reset() {
+  std::lock_guard<std::mutex> L(CellMu);
+  for (auto &C : Cells)
+    C.second->reset();
+}
+
+template class Family<Counter>;
+template class Family<Gauge>;
+template class Family<Histogram>;
+
+//===----------------------------------------------------------------------===//
 // MetricsSnapshot
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +98,46 @@ uint64_t MetricsSnapshot::histogramCount(const std::string &Name) const {
     if (H.first == Name)
       return H.second.Count;
   return 0;
+}
+
+namespace {
+
+template <typename FamilySnap>
+const FamilySnap *findFamily(const std::vector<FamilySnap> &Families,
+                             const std::string &Name) {
+  for (const auto &F : Families)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+template <typename FamilySnap, typename Snap>
+const Snap *findCell(const FamilySnap *F,
+                     const std::vector<std::string> &Values) {
+  if (!F)
+    return nullptr;
+  for (const auto &C : F->Cells)
+    if (C.first == Values)
+      return &C.second;
+  return nullptr;
+}
+
+} // namespace
+
+uint64_t
+MetricsSnapshot::familyCounter(const std::string &Name,
+                               const std::vector<std::string> &Values) const {
+  const uint64_t *V =
+      findCell<CounterFamilySnapshot, uint64_t>(findFamily(CounterFamilies, Name), Values);
+  return V ? *V : 0;
+}
+
+int64_t
+MetricsSnapshot::familyGauge(const std::string &Name,
+                             const std::vector<std::string> &Values) const {
+  const int64_t *V =
+      findCell<GaugeFamilySnapshot, int64_t>(findFamily(GaugeFamilies, Name), Values);
+  return V ? *V : 0;
 }
 
 MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot &Before,
@@ -86,6 +165,38 @@ MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot &Before,
     }
     D.Histograms.emplace_back(H.first, S);
   }
+  for (const auto &F : After.CounterFamilies) {
+    const CounterFamilySnapshot *Prev = findFamily(Before.CounterFamilies, F.Name);
+    CounterFamilySnapshot DF;
+    DF.Name = F.Name;
+    DF.Keys = F.Keys;
+    for (const auto &C : F.Cells) {
+      const uint64_t *B = findCell<CounterFamilySnapshot, uint64_t>(Prev, C.first);
+      DF.Cells.emplace_back(C.first, C.second - (B ? *B : 0));
+    }
+    D.CounterFamilies.push_back(std::move(DF));
+  }
+  D.GaugeFamilies = After.GaugeFamilies;
+  for (const auto &F : After.HistogramFamilies) {
+    const HistogramFamilySnapshot *Prev =
+        findFamily(Before.HistogramFamilies, F.Name);
+    HistogramFamilySnapshot DF;
+    DF.Name = F.Name;
+    DF.Keys = F.Keys;
+    for (const auto &C : F.Cells) {
+      const HistogramSnapshot *B =
+          findCell<HistogramFamilySnapshot, HistogramSnapshot>(Prev, C.first);
+      HistogramSnapshot S = C.second;
+      if (B) {
+        S.Count -= B->Count;
+        S.Sum -= B->Sum;
+        for (size_t I = 0; I < Histogram::NumBuckets; ++I)
+          S.Buckets[I] -= B->Buckets[I];
+      }
+      DF.Cells.emplace_back(C.first, S);
+    }
+    D.HistogramFamilies.push_back(std::move(DF));
+  }
   return D;
 }
 
@@ -101,6 +212,9 @@ struct Metrics::Impl {
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, std::unique_ptr<CounterFamily>> CounterFamilies;
+  std::map<std::string, std::unique_ptr<GaugeFamily>> GaugeFamilies;
+  std::map<std::string, std::unique_ptr<HistogramFamily>> HistogramFamilies;
 };
 
 Metrics::Metrics() : I(*new Impl) {}
@@ -134,6 +248,34 @@ Histogram &Metrics::histogram(const std::string &Name) {
   return *Slot;
 }
 
+CounterFamily &Metrics::counterFamily(const std::string &Name,
+                                      const std::vector<std::string> &Keys) {
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto &Slot = I.CounterFamilies[Name];
+  if (!Slot)
+    Slot.reset(new CounterFamily(Name, Keys));
+  return *Slot;
+}
+
+GaugeFamily &Metrics::gaugeFamily(const std::string &Name,
+                                  const std::vector<std::string> &Keys) {
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto &Slot = I.GaugeFamilies[Name];
+  if (!Slot)
+    Slot.reset(new GaugeFamily(Name, Keys));
+  return *Slot;
+}
+
+HistogramFamily &
+Metrics::histogramFamily(const std::string &Name,
+                         const std::vector<std::string> &Keys) {
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto &Slot = I.HistogramFamilies[Name];
+  if (!Slot)
+    Slot.reset(new HistogramFamily(Name, Keys));
+  return *Slot;
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> L(I.Mu);
   MetricsSnapshot S;
@@ -149,6 +291,37 @@ MetricsSnapshot Metrics::snapshot() const {
       HS.Buckets[B] = H.second->bucket(B);
     S.Histograms.emplace_back(H.first, HS);
   }
+  auto CopyCounter = [](const Counter &C) { return C.value(); };
+  auto CopyGauge = [](const Gauge &G) { return G.value(); };
+  auto CopyHistogram = [](const Histogram &H) {
+    HistogramSnapshot HS;
+    HS.Count = H.count();
+    HS.Sum = H.sum();
+    for (size_t B = 0; B < Histogram::NumBuckets; ++B)
+      HS.Buckets[B] = H.bucket(B);
+    return HS;
+  };
+  for (const auto &F : I.CounterFamilies) {
+    CounterFamilySnapshot FS;
+    FS.Name = F.first;
+    FS.Keys = F.second->labelKeys();
+    FS.Cells = F.second->snapshotCells<uint64_t>(CopyCounter);
+    S.CounterFamilies.push_back(std::move(FS));
+  }
+  for (const auto &F : I.GaugeFamilies) {
+    GaugeFamilySnapshot FS;
+    FS.Name = F.first;
+    FS.Keys = F.second->labelKeys();
+    FS.Cells = F.second->snapshotCells<int64_t>(CopyGauge);
+    S.GaugeFamilies.push_back(std::move(FS));
+  }
+  for (const auto &F : I.HistogramFamilies) {
+    HistogramFamilySnapshot FS;
+    FS.Name = F.first;
+    FS.Keys = F.second->labelKeys();
+    FS.Cells = F.second->snapshotCells<HistogramSnapshot>(CopyHistogram);
+    S.HistogramFamilies.push_back(std::move(FS));
+  }
   return S;
 }
 
@@ -160,6 +333,12 @@ void Metrics::reset() {
     G.second->reset();
   for (auto &H : I.Histograms)
     H.second->reset();
+  for (auto &F : I.CounterFamilies)
+    F.second->reset();
+  for (auto &F : I.GaugeFamilies)
+    F.second->reset();
+  for (auto &F : I.HistogramFamilies)
+    F.second->reset();
 }
 
 //===----------------------------------------------------------------------===//
@@ -191,6 +370,67 @@ void writeMetricsJson(JsonWriter &J, const MetricsSnapshot &S) {
         J.numElement(H.second.Buckets[B]);
       J.closeArray();
       J.num("overflow", H.second.Buckets[Histogram::NumEdges]);
+      J.closeObject();
+    }
+    J.closeObject();
+  }
+  bool AnyFamilies = !S.CounterFamilies.empty() || !S.GaugeFamilies.empty() ||
+                     !S.HistogramFamilies.empty();
+  if (AnyFamilies) {
+    // Grouped by kind, name-sorted within each group: deterministic,
+    // and absent entirely for batch campaigns (byte-frozen reports).
+    J.openObjectIn("families");
+    auto WriteHead = [&](const char *Kind, const std::string &Name,
+                         const std::vector<std::string> &Keys) {
+      J.openObjectIn(Name.c_str());
+      J.str("kind", Kind);
+      J.openArray("labels");
+      for (const auto &K : Keys)
+        J.strElement(K);
+      J.closeArray();
+      J.openArray("series");
+    };
+    auto WriteLabels = [&](const std::vector<std::string> &Values) {
+      J.openElement();
+      J.openArray("labels");
+      for (const auto &V : Values)
+        J.strElement(V);
+      J.closeArray();
+    };
+    for (const auto &F : S.CounterFamilies) {
+      WriteHead("counter", F.Name, F.Keys);
+      for (const auto &C : F.Cells) {
+        WriteLabels(C.first);
+        J.num("value", C.second);
+        J.closeObject();
+      }
+      J.closeArray();
+      J.closeObject();
+    }
+    for (const auto &F : S.GaugeFamilies) {
+      WriteHead("gauge", F.Name, F.Keys);
+      for (const auto &C : F.Cells) {
+        WriteLabels(C.first);
+        J.num("value", static_cast<uint64_t>(C.second));
+        J.closeObject();
+      }
+      J.closeArray();
+      J.closeObject();
+    }
+    for (const auto &F : S.HistogramFamilies) {
+      WriteHead("histogram", F.Name, F.Keys);
+      for (const auto &C : F.Cells) {
+        WriteLabels(C.first);
+        J.num("count", C.second.Count);
+        J.num("sum_seconds", C.second.Sum);
+        J.openArray("bucket_le");
+        for (size_t B = 0; B < Histogram::NumEdges; ++B)
+          J.numElement(C.second.Buckets[B]);
+        J.closeArray();
+        J.num("overflow", C.second.Buckets[Histogram::NumEdges]);
+        J.closeObject();
+      }
+      J.closeArray();
       J.closeObject();
     }
     J.closeObject();

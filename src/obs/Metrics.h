@@ -36,6 +36,25 @@
 ///   validate.replays           counter   validation replays run
 ///   validate.seconds           histogram per-replay wall-clock
 ///   extract.seconds            histogram model extractions
+///   tracer.dropped_spans       counter   spans overwritten in ring mode
+///
+/// Serving adds *labeled families* (one name, fixed label keys, one
+/// cell per label-value tuple) on top of the frozen unlabeled names:
+///
+///   server.requests{tenant,verb,outcome}   counter   protocol requests
+///   server.queries{tenant,outcome}         counter   async query results
+///   server.slow_queries{tenant}            counter   over-threshold queries
+///   server.query_seconds{tenant}           histogram per-tenant query wall
+///   server.tenant_running{tenant}          gauge     in-flight queries
+///   server.tenant_queued{tenant}           gauge     queued queries
+///   server.tenant_completed{tenant}        gauge     lifetime completions
+///   server.tenant_rejected{tenant}         gauge     lifetime rejections
+///   server.tenant_cache_hits{tenant}       gauge     cache answers
+///   server.tenant_session_hits{tenant}     gauge     warm-session answers
+///   server.tenant_histories{tenant}        gauge     stored histories
+///
+/// Unlabeled names are frozen: adding a label dimension means adding a
+/// *new* family, never relabeling an existing unlabeled metric.
 ///
 /// Determinism: counter totals of one campaign are pure functions of
 /// the campaign and engine flags (identical across worker counts —
@@ -52,6 +71,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,6 +153,66 @@ struct HistogramSnapshot {
   uint64_t Buckets[Histogram::NumBuckets] = {};
 };
 
+//===----------------------------------------------------------------------===//
+// Labeled families
+//===----------------------------------------------------------------------===//
+//
+// A family is one metric name with a fixed set of label keys; each
+// distinct label-value tuple owns its own instrument cell (same
+// stable-address contract as the unlabeled registry, so serving code
+// can cache `Counter &` per tenant/verb). Families are a serving-side
+// addition: the batch pipeline registers none, and snapshot emission
+// skips empty family lists, which keeps PR 6's `--timings` metrics
+// block and default campaign report bytes byte-identical.
+
+/// One metric name fanned out over label-value tuples. \p Inst is
+/// Counter, Gauge, or Histogram.
+template <typename Inst> class Family {
+public:
+  Family(std::string Name, std::vector<std::string> Keys)
+      : FamilyName(std::move(Name)), LabelKeys(std::move(Keys)) {}
+
+  /// The cell for \p Values (aligned with labelKeys(); missing values
+  /// read as ""), creating it on first use. The reference is stable for
+  /// the process lifetime.
+  Inst &at(std::vector<std::string> Values);
+
+  const std::string &name() const { return FamilyName; }
+  const std::vector<std::string> &labelKeys() const { return LabelKeys; }
+
+  /// Point-in-time copy of every cell, value-tuple-sorted.
+  template <typename Snap, typename Copy>
+  std::vector<std::pair<std::vector<std::string>, Snap>>
+  snapshotCells(Copy CopyFn) const;
+
+  /// Zeroes every cell (tests only).
+  void reset();
+
+private:
+  std::string FamilyName;
+  std::vector<std::string> LabelKeys;
+  mutable std::mutex CellMu;
+  // std::map keeps tuples sorted for deterministic emission; unique_ptr
+  // keeps cell addresses stable.
+  std::map<std::vector<std::string>, std::unique_ptr<Inst>> Cells;
+};
+
+using CounterFamily = Family<Counter>;
+using GaugeFamily = Family<Gauge>;
+using HistogramFamily = Family<Histogram>;
+
+/// Point-in-time copy of one family: the label keys plus one entry per
+/// cell (label-value tuple, instrument snapshot), tuple-sorted.
+template <typename Snap> struct FamilySnapshot {
+  std::string Name;
+  std::vector<std::string> Keys;
+  std::vector<std::pair<std::vector<std::string>, Snap>> Cells;
+};
+
+using CounterFamilySnapshot = FamilySnapshot<uint64_t>;
+using GaugeFamilySnapshot = FamilySnapshot<int64_t>;
+using HistogramFamilySnapshot = FamilySnapshot<HistogramSnapshot>;
+
 /// Point-in-time copy of the whole registry, name-sorted so emission is
 /// deterministic. Engine::run records the *delta* across one campaign
 /// (snapshot-before vs snapshot-after), so a report's metrics cover
@@ -139,9 +221,15 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> Counters;
   std::vector<std::pair<std::string, int64_t>> Gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> Histograms;
+  // Labeled families, name-sorted (empty for batch campaigns).
+  std::vector<CounterFamilySnapshot> CounterFamilies;
+  std::vector<GaugeFamilySnapshot> GaugeFamilies;
+  std::vector<HistogramFamilySnapshot> HistogramFamilies;
 
   bool empty() const {
-    return Counters.empty() && Gauges.empty() && Histograms.empty();
+    return Counters.empty() && Gauges.empty() && Histograms.empty() &&
+           CounterFamilies.empty() && GaugeFamilies.empty() &&
+           HistogramFamilies.empty();
   }
 
   /// Counter value by name (0 when absent).
@@ -151,9 +239,19 @@ struct MetricsSnapshot {
   double histogramSum(const std::string &Name) const;
   uint64_t histogramCount(const std::string &Name) const;
 
+  /// Labeled counter cell by family name + exact value tuple (0 when
+  /// absent).
+  uint64_t familyCounter(const std::string &Name,
+                         const std::vector<std::string> &Values) const;
+  /// Labeled gauge cell by family name + exact value tuple (0 when
+  /// absent).
+  int64_t familyGauge(const std::string &Name,
+                      const std::vector<std::string> &Values) const;
+
   /// What happened between \p Before and \p After: counters and
-  /// histogram counts/sums/buckets subtract; gauges take the After
-  /// value. Names union (a metric registered mid-run counts from 0).
+  /// histogram counts/sums/buckets subtract (cell-wise for labeled
+  /// families); gauges take the After value. Names union (a metric or
+  /// cell registered mid-run counts from 0).
   static MetricsSnapshot delta(const MetricsSnapshot &Before,
                                const MetricsSnapshot &After);
 };
@@ -176,6 +274,18 @@ public:
   Gauge &gauge(const std::string &Name);
   Histogram &histogram(const std::string &Name);
 
+  /// Returns the labeled family registered under \p Name, creating it
+  /// with \p Keys on first use. A family's key list is fixed at first
+  /// registration (later calls may pass an empty key list as shorthand
+  /// for "whatever it was registered with"); family names live in the
+  /// same stable-name space as the unlabeled instruments.
+  CounterFamily &counterFamily(const std::string &Name,
+                               const std::vector<std::string> &Keys);
+  GaugeFamily &gaugeFamily(const std::string &Name,
+                           const std::vector<std::string> &Keys);
+  HistogramFamily &histogramFamily(const std::string &Name,
+                                   const std::vector<std::string> &Keys);
+
   MetricsSnapshot snapshot() const;
 
   /// Zeroes every registered instrument (registration survives — cached
@@ -192,7 +302,9 @@ private:
 /// Emits \p S as the currently-open JSON object's "metrics" member:
 /// name-sorted "counters" / "gauges" / "histograms" sub-objects (each
 /// omitted when empty; histogram objects carry count, sum and the
-/// fixed-edge bucket array).
+/// fixed-edge bucket array). Labeled families follow in a "families"
+/// sub-object — also omitted when empty, so snapshots without families
+/// (every batch campaign) emit exactly the PR 6 bytes.
 void writeMetricsJson(JsonWriter &J, const MetricsSnapshot &S);
 
 } // namespace obs

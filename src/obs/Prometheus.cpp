@@ -1,0 +1,172 @@
+//===- Prometheus.cpp - Text-format metrics exposition -------------------===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Prometheus.h"
+
+#include "obs/Metrics.h"
+#include "support/StrUtil.h"
+
+#include <map>
+
+namespace isopredict {
+namespace obs {
+
+std::string prometheusName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    if (!Ok)
+      C = '_';
+  }
+  if (!Out.empty() && Out[0] >= '0' && Out[0] <= '9')
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string prometheusEscapeLabel(const std::string &Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+namespace {
+
+/// `{k1="v1",k2="v2"}` (empty string for no labels). \p Extra appends
+/// one more pair (the histogram `le` label).
+std::string labelSet(const std::vector<std::string> &Keys,
+                     const std::vector<std::string> &Values,
+                     const std::string &ExtraKey = "",
+                     const std::string &ExtraValue = "") {
+  std::string Out;
+  size_t N = Keys.size() < Values.size() ? Keys.size() : Values.size();
+  for (size_t I = 0; I < N; ++I) {
+    Out += Out.empty() ? "{" : ",";
+    Out += prometheusName(Keys[I]);
+    Out += "=\"";
+    Out += prometheusEscapeLabel(Values[I]);
+    Out += '"';
+  }
+  if (!ExtraKey.empty()) {
+    Out += Out.empty() ? "{" : ",";
+    Out += ExtraKey;
+    Out += "=\"";
+    Out += ExtraValue;
+    Out += '"';
+  }
+  if (!Out.empty())
+    Out += '}';
+  return Out;
+}
+
+void appendType(std::string &Out, const std::string &Name, const char *Kind) {
+  Out += "# TYPE ";
+  Out += Name;
+  Out += ' ';
+  Out += Kind;
+  Out += '\n';
+}
+
+void appendHistogramSeries(std::string &Out, const std::string &Name,
+                           const std::vector<std::string> &Keys,
+                           const std::vector<std::string> &Values,
+                           const HistogramSnapshot &H) {
+  uint64_t Cum = 0;
+  for (size_t B = 0; B < Histogram::NumEdges; ++B) {
+    Cum += H.Buckets[B];
+    Out += formatString("%s_bucket%s %llu\n", Name.c_str(),
+                        labelSet(Keys, Values, "le",
+                                 formatString("%g", Histogram::Edges[B]))
+                            .c_str(),
+                        static_cast<unsigned long long>(Cum));
+  }
+  Out += formatString(
+      "%s_bucket%s %llu\n", Name.c_str(),
+      labelSet(Keys, Values, "le", "+Inf").c_str(),
+      static_cast<unsigned long long>(H.Count));
+  Out += formatString("%s_sum%s %.9g\n", Name.c_str(),
+                      labelSet(Keys, Values).c_str(), H.Sum);
+  Out += formatString("%s_count%s %llu\n", Name.c_str(),
+                      labelSet(Keys, Values).c_str(),
+                      static_cast<unsigned long long>(H.Count));
+}
+
+} // namespace
+
+std::string toPrometheusText(const MetricsSnapshot &S) {
+  // An unlabeled metric and a labeled family may share one name (e.g.
+  // the `server.query_seconds` total and its per-tenant family); the
+  // exposition format requires all samples of a name in one group under
+  // a single `# TYPE` line, so samples are collected per sanitized name
+  // first (unlabeled series land before labeled ones) and emitted
+  // name-sorted.
+  struct Group {
+    const char *Kind = "counter";
+    std::string Body;
+  };
+  std::map<std::string, Group> Groups;
+  static const std::vector<std::string> NoLabels;
+  auto GroupFor = [&](const std::string &RawName, const char *Kind) -> Group & {
+    Group &G = Groups[prometheusName(RawName)];
+    G.Kind = Kind;
+    return G;
+  };
+  for (const auto &C : S.Counters) {
+    std::string Name = prometheusName(C.first);
+    GroupFor(C.first, "counter").Body += formatString(
+        "%s %llu\n", Name.c_str(), static_cast<unsigned long long>(C.second));
+  }
+  for (const auto &G : S.Gauges) {
+    std::string Name = prometheusName(G.first);
+    GroupFor(G.first, "gauge").Body += formatString(
+        "%s %lld\n", Name.c_str(), static_cast<long long>(G.second));
+  }
+  for (const auto &H : S.Histograms)
+    appendHistogramSeries(GroupFor(H.first, "histogram").Body,
+                          prometheusName(H.first), NoLabels, NoLabels,
+                          H.second);
+  for (const auto &F : S.CounterFamilies) {
+    std::string Name = prometheusName(F.Name);
+    Group &G = GroupFor(F.Name, "counter");
+    for (const auto &C : F.Cells)
+      G.Body += formatString("%s%s %llu\n", Name.c_str(),
+                             labelSet(F.Keys, C.first).c_str(),
+                             static_cast<unsigned long long>(C.second));
+  }
+  for (const auto &F : S.GaugeFamilies) {
+    std::string Name = prometheusName(F.Name);
+    Group &G = GroupFor(F.Name, "gauge");
+    for (const auto &C : F.Cells)
+      G.Body += formatString("%s%s %lld\n", Name.c_str(),
+                             labelSet(F.Keys, C.first).c_str(),
+                             static_cast<long long>(C.second));
+  }
+  for (const auto &F : S.HistogramFamilies) {
+    Group &G = GroupFor(F.Name, "histogram");
+    for (const auto &C : F.Cells)
+      appendHistogramSeries(G.Body, prometheusName(F.Name), F.Keys, C.first,
+                            C.second);
+  }
+  std::string Out;
+  for (const auto &G : Groups) {
+    appendType(Out, G.first, G.second.Kind);
+    Out += G.second.Body;
+  }
+  return Out;
+}
+
+} // namespace obs
+} // namespace isopredict

@@ -1,0 +1,51 @@
+//===- Prometheus.h - Text-format metrics exposition -----------*- C++ -*-===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a MetricsSnapshot in the Prometheus text exposition format
+/// (version 0.0.4), served by the daemon's `metrics` protocol verb.
+/// Mapping rules, chosen so dashboards track the README metric-name
+/// table one-to-one:
+///
+///  - Names are the registry names with every character outside
+///    [a-zA-Z0-9_:] rewritten to '_' (`server.requests` →
+///    `server_requests`); no prefix or `_total` suffix is added — the
+///    registry names are already the stable surface.
+///  - Unlabeled counters/gauges emit a `# TYPE` line and one sample.
+///  - Histograms emit cumulative `_bucket{le="..."}` series (with the
+///    `le="+Inf"` total), `_sum` and `_count`.
+///  - Labeled families emit one sample per cell with label values
+///    escaped per the spec (backslash, double-quote, newline).
+///
+/// Output order is the snapshot's name-sorted order, so exposition is
+/// deterministic for a fixed snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISOPREDICT_OBS_PROMETHEUS_H
+#define ISOPREDICT_OBS_PROMETHEUS_H
+
+#include <string>
+
+namespace isopredict {
+namespace obs {
+
+struct MetricsSnapshot;
+
+/// `metric_name` sanitized for Prometheus ([a-zA-Z0-9_:], '_' elsewhere).
+std::string prometheusName(const std::string &Name);
+
+/// A label value with backslash, double-quote and newline escaped.
+std::string prometheusEscapeLabel(const std::string &Value);
+
+/// The whole snapshot as text exposition (ends with a newline; empty
+/// string for an empty snapshot).
+std::string toPrometheusText(const MetricsSnapshot &S);
+
+} // namespace obs
+} // namespace isopredict
+
+#endif // ISOPREDICT_OBS_PROMETHEUS_H

@@ -1,0 +1,104 @@
+//===- Rolling.cpp - Sliding-window latency histograms -------------------===//
+//
+// Part of the IsoPredict reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Rolling.h"
+
+#include "obs/Tracer.h"
+
+namespace isopredict {
+namespace obs {
+
+constexpr double RollingHistogram::Edges[];
+constexpr size_t RollingHistogram::NumEdges;
+constexpr size_t RollingHistogram::NumBuckets;
+
+RollingHistogram::RollingHistogram(unsigned WindowSeconds,
+                                   unsigned SliceSeconds)
+    : WindowSec(WindowSeconds ? WindowSeconds : 1),
+      SliceSec(SliceSeconds ? SliceSeconds : 1) {
+  if (SliceSec > WindowSec)
+    SliceSec = WindowSec;
+  Slices.resize((WindowSec + SliceSec - 1) / SliceSec);
+}
+
+void RollingHistogram::observe(double Seconds) {
+  observeAt(Seconds, Tracer::nowNs());
+}
+
+void RollingHistogram::observeAt(double Seconds, uint64_t NowNs) {
+  if (Seconds < 0)
+    Seconds = 0;
+  uint64_t Epoch = NowNs / (static_cast<uint64_t>(SliceSec) * 1000000000ull);
+  std::lock_guard<std::mutex> L(Mu);
+  Slice &S = Slices[Epoch % Slices.size()];
+  if (S.Epoch != Epoch) {
+    // The slot last held a slice a full ring-revolution ago — evict it.
+    S = Slice();
+    S.Epoch = Epoch;
+  }
+  S.Count += 1;
+  S.SumNs += static_cast<uint64_t>(Seconds * 1e9);
+  S.Buckets[bucketFor(Seconds)] += 1;
+}
+
+RollingHistogram::Snapshot
+RollingHistogram::snapshot(unsigned WindowSeconds, uint64_t NowNs) const {
+  if (WindowSeconds == 0 || WindowSeconds > WindowSec)
+    WindowSeconds = WindowSec;
+  uint64_t Epoch = NowNs / (static_cast<uint64_t>(SliceSec) * 1000000000ull);
+  uint64_t InWindow = (WindowSeconds + SliceSec - 1) / SliceSec;
+  uint64_t MinEpoch = Epoch >= InWindow - 1 ? Epoch - (InWindow - 1) : 0;
+  Snapshot Out;
+  std::lock_guard<std::mutex> L(Mu);
+  for (const Slice &S : Slices) {
+    if (S.Count == 0 || S.Epoch < MinEpoch || S.Epoch > Epoch)
+      continue;
+    Out.Count += S.Count;
+    Out.Sum += static_cast<double>(S.SumNs) * 1e-9;
+    for (size_t B = 0; B < NumBuckets; ++B)
+      Out.Buckets[B] += S.Buckets[B];
+  }
+  return Out;
+}
+
+RollingHistogram::Snapshot
+RollingHistogram::snapshot(unsigned WindowSeconds) const {
+  return snapshot(WindowSeconds, Tracer::nowNs());
+}
+
+double RollingHistogram::percentile(const Snapshot &S, double Q) {
+  if (S.Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank of the target observation (1-based), then a linear walk over
+  // the buckets interpolating position within the one it lands in.
+  double Rank = Q * static_cast<double>(S.Count);
+  if (Rank < 1)
+    Rank = 1;
+  uint64_t Below = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    uint64_t InBucket = S.Buckets[B];
+    if (InBucket == 0)
+      continue;
+    if (Rank <= static_cast<double>(Below + InBucket)) {
+      if (B == NumEdges)
+        return Edges[NumEdges - 1]; // overflow: the last edge is a floor
+      double Lo = B == 0 ? 0.0 : Edges[B - 1];
+      double Hi = Edges[B];
+      double Frac =
+          (Rank - static_cast<double>(Below)) / static_cast<double>(InBucket);
+      return Lo + (Hi - Lo) * Frac;
+    }
+    Below += InBucket;
+  }
+  return Edges[NumEdges - 1];
+}
+
+} // namespace obs
+} // namespace isopredict

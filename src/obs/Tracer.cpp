@@ -6,6 +6,7 @@
 
 #include "obs/Tracer.h"
 
+#include "obs/Metrics.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -36,6 +37,17 @@ struct Tracer::Impl {
     std::vector<SpanRecord> Spans;
   };
   Shard Shards[NumShards];
+  // Ring mode (serving): one mutex-protected ring instead of the
+  // sharded vectors — span rates in the daemon are request-bounded, so
+  // shard-level contention relief isn't worth a per-shard cap that
+  // would skew retention toward busy threads.
+  std::atomic<size_t> RingCap{0};
+  std::atomic<uint64_t> Dropped{0};
+  struct {
+    std::mutex Mu;
+    std::vector<SpanRecord> Spans;
+    size_t Head = 0; ///< Oldest entry once the ring has wrapped.
+  } Ring;
 };
 
 Tracer::Tracer() : I(*new Impl) {}
@@ -75,6 +87,25 @@ void Tracer::clear() {
     std::lock_guard<std::mutex> L(S.Mu);
     S.Spans.clear();
   }
+  {
+    std::lock_guard<std::mutex> L(I.Ring.Mu);
+    I.Ring.Spans.clear();
+    I.Ring.Head = 0;
+  }
+  I.Dropped.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::setRingCapacity(size_t MaxSpans) {
+  I.RingCap.store(MaxSpans, std::memory_order_relaxed);
+  clear();
+}
+
+size_t Tracer::ringCapacity() const {
+  return I.RingCap.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::droppedSpans() const {
+  return I.Dropped.load(std::memory_order_relaxed);
 }
 
 uint64_t Tracer::epochNs() const {
@@ -82,6 +113,21 @@ uint64_t Tracer::epochNs() const {
 }
 
 void Tracer::record(SpanRecord R) {
+  size_t Cap = I.RingCap.load(std::memory_order_relaxed);
+  if (Cap) {
+    static Counter &MDropped =
+        Metrics::global().counter("tracer.dropped_spans");
+    std::lock_guard<std::mutex> L(I.Ring.Mu);
+    if (I.Ring.Spans.size() < Cap) {
+      I.Ring.Spans.push_back(std::move(R));
+    } else {
+      I.Ring.Spans[I.Ring.Head] = std::move(R);
+      I.Ring.Head = (I.Ring.Head + 1) % Cap;
+      I.Dropped.fetch_add(1, std::memory_order_relaxed);
+      MDropped.inc();
+    }
+    return;
+  }
   auto &Shard = I.Shards[R.Tid % NumShards];
   std::lock_guard<std::mutex> L(Shard.Mu);
   Shard.Spans.push_back(std::move(R));
@@ -92,6 +138,10 @@ std::vector<Tracer::SpanRecord> Tracer::spans() const {
   for (auto &S : I.Shards) {
     std::lock_guard<std::mutex> L(S.Mu);
     All.insert(All.end(), S.Spans.begin(), S.Spans.end());
+  }
+  {
+    std::lock_guard<std::mutex> L(I.Ring.Mu);
+    All.insert(All.end(), I.Ring.Spans.begin(), I.Ring.Spans.end());
   }
   // Earlier first; at equal starts longer first, so an enclosing span
   // sorts before the spans it contains.
@@ -160,6 +210,19 @@ bool Tracer::writeChromeTrace(const std::string &Path,
       std::fclose(F);
   }
   return Ok;
+}
+
+bool Tracer::flushChromeTrace(const std::string &Path, std::string *Error) {
+  if (!writeChromeTrace(Path, Error))
+    return false;
+  for (auto &S : I.Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.Spans.clear();
+  }
+  std::lock_guard<std::mutex> L(I.Ring.Mu);
+  I.Ring.Spans.clear();
+  I.Ring.Head = 0;
+  return true;
 }
 
 void Span::finish() {

@@ -80,8 +80,29 @@ public:
   void disable();
   bool enabled() const;
 
-  /// Drops collected spans without touching the enabled flag.
+  /// Drops collected spans without touching the enabled flag; also
+  /// zeroes droppedSpans().
   void clear();
+
+  /// Caps the in-memory sink. With a nonzero \p MaxSpans the sink is a
+  /// ring buffer of the most recent spans: once full, each new span
+  /// overwrites the oldest and bumps droppedSpans() plus the
+  /// `tracer.dropped_spans` counter — safe to leave enabled for the
+  /// life of a server. 0 (the default) is the unbounded batch sink
+  /// used by `--trace-out`. Switching capacity drops collected spans;
+  /// call before enable().
+  void setRingCapacity(size_t MaxSpans);
+  size_t ringCapacity() const;
+
+  /// Spans overwritten in ring mode since the last enable()/clear().
+  uint64_t droppedSpans() const;
+
+  /// Writes the collected spans as Chrome trace JSON to \p Path and, on
+  /// success, drops them from the sink (the timestamp epoch is kept, so
+  /// a rotation of flushed files shares one timeline). Spans recorded
+  /// concurrently with the flush land in the next file or are dropped.
+  /// False + \p Error on I/O failure (spans are kept).
+  bool flushChromeTrace(const std::string &Path, std::string *Error);
 
   /// All spans recorded since enable(), sorted by (start, longest-first,
   /// tid) so parents precede children and the order is stable across

@@ -19,7 +19,13 @@
 ///             seed [, name]                  execution server-side; "name"
 ///                                            registers the history
 ///   query     spec | history+level/strategy  one prediction job (see below)
-///   status    —                              server/tenant/metrics snapshot
+///   status    —                              server/tenant/latency/metrics
+///                                            snapshot (rolling p50/p95/p99
+///                                            per verb and tenant)
+///   metrics   [format]                       metrics exposition: "prometheus"
+///                                            (default; text format under
+///                                            "exposition") or "json" (the
+///                                            status "metrics" block alone)
 ///   shutdown  —                              drain and exit (admin tenants)
 ///
 /// A query carries either a full engine JobSpec under "spec" — the

@@ -2,18 +2,23 @@
 
 #include "server/Server.h"
 
+#include "engine/Campaign.h"
 #include "engine/Engine.h"
 #include "engine/JobIo.h"
 #include "history/TraceIO.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/Prometheus.h"
 #include "obs/Tracer.h"
 #include "smt/Smt.h"
 #include "store/Store.h"
+#include "support/Fs.h"
 #include "support/Signal.h"
 #include "support/StrUtil.h"
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
@@ -154,6 +159,21 @@ void Server::serve() {
   static obs::Gauge &Active =
       obs::Metrics::global().gauge("server.active_connections");
 
+  if (!Opts.TraceDir.empty()) {
+    std::string Error;
+    if (!createDirectories(Opts.TraceDir, &Error)) {
+      obs::Log::global().error(
+          "trace.dir_failed", {{"dir", Opts.TraceDir}, {"error", Error}});
+    } else {
+      // Ring mode bounds memory for the life of the process; the
+      // flusher thread rotates Chrome trace files out of the ring.
+      obs::Tracer::global().setRingCapacity(
+          Opts.TraceRingCapacity ? Opts.TraceRingCapacity : 16384);
+      obs::Tracer::global().enable();
+      TraceFlusher = std::thread([this] { traceFlushLoop(); });
+    }
+  }
+
   while (!Stopping.load(std::memory_order_acquire)) {
     pollfd P[2];
     P[0].fd = ListenFd;
@@ -189,6 +209,14 @@ void Server::serve() {
 
 void Server::drainAndClose() {
   Stopping.store(true, std::memory_order_release);
+  if (TraceFlusher.joinable()) {
+    FlushCv.notify_all();
+    TraceFlusher.join();
+    // Leave the global tracer as we found it — tests and batch
+    // --trace-out runs share the process-global sink.
+    obs::Tracer::global().disable();
+    obs::Tracer::global().setRingCapacity(0);
+  }
   // Two rounds close the race where a job completing during the first
   // flush promotes a queued query we have already walked past.
   for (int Round = 0; Round < 2; ++Round) {
@@ -291,6 +319,10 @@ void Server::handleRequest(const std::shared_ptr<Conn> &C, Request Req) {
   Span.arg("verb", Req.Verb);
   static obs::Histogram &ReqSeconds =
       obs::Metrics::global().histogram("server.request_seconds");
+  static obs::CounterFamily &Requests = obs::Metrics::global().counterFamily(
+      "server.requests", {"tenant", "verb", "outcome"});
+  std::string Verb = Req.Verb; // Survives the moves below.
+  bool Ok = true;
 
   if (Req.Verb == "ping") {
     JsonWriter J(JsonWriter::Style::Compact);
@@ -298,23 +330,27 @@ void Server::handleRequest(const std::shared_ptr<Conn> &C, Request Req) {
     J.closeObject();
     C->send(J.take());
   } else if (Req.Verb == "auth") {
-    handleAuth(C, Req);
+    Ok = handleAuth(C, Req);
   } else if (Req.Verb == "status") {
     C->send(statusJson(Req));
+  } else if (Req.Verb == "metrics") {
+    C->send(metricsJson(Req));
   } else if (Req.Verb == "upload" || Req.Verb == "observe" ||
              Req.Verb == "query" || Req.Verb == "shutdown") {
     Tenant *T = C->T.load(std::memory_order_acquire);
     if (!T) {
+      Ok = false;
       errorsCounter().inc();
       C->send(errorResponse(Req, errc::AuthRequired,
                             "authenticate first (auth verb)"));
     } else if (Req.Verb == "upload") {
-      handleUpload(C, Req, *T);
+      Ok = handleUpload(C, Req, *T);
     } else if (Req.Verb == "observe") {
-      handleObserve(C, Req, *T);
+      Ok = handleObserve(C, Req, *T);
     } else if (Req.Verb == "query") {
-      handleQuery(C, std::move(Req), *T);
+      Ok = handleQuery(C, std::move(Req), *T);
     } else if (!T->config().Admin) {
+      Ok = false;
       errorsCounter().inc();
       C->send(errorResponse(Req, errc::NotAuthorized,
                             "shutdown requires an admin tenant"));
@@ -324,24 +360,36 @@ void Server::handleRequest(const std::shared_ptr<Conn> &C, Request Req) {
       J.boolean("draining", true);
       J.closeObject();
       C->send(J.take());
+      obs::Log::global().info("server.shutdown",
+                              {{"tenant", T->name()}});
       requestStop();
     }
   } else {
+    Ok = false;
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::UnknownVerb,
                           "unknown verb '" + Req.Verb + "'"));
+    // Client-chosen strings must not mint label values (unbounded
+    // cardinality); every unknown verb shares one cell and no ring.
+    Verb = "other";
   }
+
+  Tenant *T = C->T.load(std::memory_order_acquire);
+  Requests.at({T ? T->name() : "-", Verb, Ok ? "ok" : "error"}).inc();
   Span.finish();
-  ReqSeconds.observe(Span.seconds());
+  double Secs = Span.seconds();
+  ReqSeconds.observe(Secs);
+  if (Verb != "other")
+    latencyRing(VerbLatency, Verb).observe(Secs);
 }
 
-void Server::handleAuth(const std::shared_ptr<Conn> &C, const Request &Req) {
+bool Server::handleAuth(const std::shared_ptr<Conn> &C, const Request &Req) {
   const JsonValue *Name = Req.Body.field("tenant");
   if (!Name || Name->K != JsonValue::Kind::String || Name->Text.empty()) {
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::BadRequest,
                           "auth needs a string field \"tenant\""));
-    return;
+    return false;
   }
   const JsonValue *Key = Req.Body.field("api_key");
   Tenant *T = Registry.authenticate(
@@ -351,7 +399,7 @@ void Server::handleAuth(const std::shared_ptr<Conn> &C, const Request &Req) {
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::AuthFailed,
                           "unknown tenant or wrong api key"));
-    return;
+    return false;
   }
   C->T.store(T, std::memory_order_release);
   JsonWriter J(JsonWriter::Style::Compact);
@@ -361,9 +409,10 @@ void Server::handleAuth(const std::shared_ptr<Conn> &C, const Request &Req) {
   J.boolean("admin", T->config().Admin);
   J.closeObject();
   C->send(J.take());
+  return true;
 }
 
-void Server::handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
+bool Server::handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
                           Tenant &T) {
   const JsonValue *Name = Req.Body.field("name");
   const JsonValue *Trace = Req.Body.field("trace");
@@ -373,14 +422,14 @@ void Server::handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
     C->send(errorResponse(Req, errc::BadRequest,
                           "upload needs string fields \"name\" and "
                           "\"trace\""));
-    return;
+    return false;
   }
   std::string Error;
   std::optional<History> H = readTrace(Trace->Text, &Error);
   if (!H) {
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::BadRequest, "trace: " + Error));
-    return;
+    return false;
   }
   size_t Txns = H->numTxns() - 1, NumSessions = H->numSessions();
   if (!T.putHistory(Name->Text, std::move(*H))) {
@@ -390,7 +439,7 @@ void Server::handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
         formatString("history quota of %u reached; re-upload under an "
                      "existing name to replace it",
                      T.config().MaxHistories)));
-    return;
+    return false;
   }
   std::optional<StoredHistory> Stored = T.getHistory(Name->Text);
   JsonWriter J(JsonWriter::Style::Compact);
@@ -404,23 +453,24 @@ void Server::handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
                        static_cast<unsigned long long>(Stored->ContentHash)));
   J.closeObject();
   C->send(J.take());
+  return true;
 }
 
-void Server::handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
+bool Server::handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
                            Tenant &T) {
   std::string Error;
   std::optional<JobSpec> S = parseQuerySpec(Req.Body, &Error);
   if (!S) {
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::BadRequest, Error));
-    return;
+    return false;
   }
   auto App = makeApplication(S->App);
   if (!App) {
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::UnknownApplication,
                           "unknown application '" + S->App + "'"));
-    return;
+    return false;
   }
   obs::Span Span("server.observe", obs::CatServer);
   Span.arg("app", S->App);
@@ -441,7 +491,7 @@ void Server::handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
           Req, errc::QuotaExceeded,
           formatString("history quota of %u reached",
                        T.config().MaxHistories)));
-      return;
+      return false;
     }
     Stored = T.getHistory(Name->Text);
   }
@@ -462,13 +512,14 @@ void Server::handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
   J.str("trace", writeTrace(Run.Hist));
   J.closeObject();
   C->send(J.take());
+  return true;
 }
 
 //===----------------------------------------------------------------------===
 // Queries (quota, pool dispatch, execution)
 //===----------------------------------------------------------------------===
 
-void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
+bool Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
                          Tenant &T) {
   static obs::Counter &Queries =
       obs::Metrics::global().counter("server.queries");
@@ -476,7 +527,7 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
       obs::Metrics::global().counter("server.quota_rejections");
   if (Stopping.load(std::memory_order_acquire)) {
     C->send(errorResponse(Req, errc::ShuttingDown, "server is draining"));
-    return;
+    return false;
   }
   Queries.inc();
 
@@ -489,13 +540,13 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
     if (!S) {
       errorsCounter().inc();
       C->send(errorResponse(Req, errc::BadRequest, Error));
-      return;
+      return false;
     }
     if (!makeApplication(S->App)) {
       errorsCounter().inc();
       C->send(errorResponse(Req, errc::UnknownApplication,
                             "unknown application '" + S->App + "'"));
-      return;
+      return false;
     }
     Job.Spec = *S;
     Job.CacheSpec = scopedSpec(T, *S);
@@ -504,7 +555,7 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
       errorsCounter().inc();
       C->send(errorResponse(Req, errc::BadRequest,
                             "field \"history\" must be a string"));
-      return;
+      return false;
     }
     std::optional<StoredHistory> SH = T.getHistory(HName->Text);
     if (!SH) {
@@ -512,7 +563,7 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
       C->send(errorResponse(Req, errc::UnknownHistory,
                             "no history named '" + HName->Text +
                                 "' (upload or observe it first)"));
-      return;
+      return false;
     }
     JobSpec S;
     S.Kind = engine::JobKind::Predict;
@@ -536,7 +587,7 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
     if (!parseQueryOptions(Req.Body, S, &Error)) {
       errorsCounter().inc();
       C->send(errorResponse(Req, errc::BadRequest, Error));
-      return;
+      return false;
     }
     Job.Spec = S;
     Job.Hist = SH;
@@ -545,7 +596,7 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
     errorsCounter().inc();
     C->send(errorResponse(Req, errc::BadRequest,
                           "query needs \"spec\" or \"history\""));
-    return;
+    return false;
   }
   Job.Req = std::move(Req);
 
@@ -565,8 +616,9 @@ void Server::handleQuery(const std::shared_ptr<Conn> &C, Request Req,
         formatString("tenant '%s' is over quota (%u running, %u queued)",
                      T.name().c_str(), T.config().MaxConcurrent,
                      T.config().MaxQueued)));
-    break;
+    return false;
   }
+  return true;
 }
 
 void Server::submitJob(QueryJob Job) {
@@ -656,9 +708,53 @@ void Server::executeQuery(QueryJob &Job) {
   }
 
   Span.finish();
-  QuerySeconds.observe(Span.seconds());
+  double Secs = Span.seconds();
+  QuerySeconds.observe(Secs);
   if (R.WallSeconds == 0)
-    R.WallSeconds = Span.seconds();
+    R.WallSeconds = Secs;
+
+  static obs::CounterFamily &QueriesF = obs::Metrics::global().counterFamily(
+      "server.queries", {"tenant", "outcome"});
+  static obs::HistogramFamily &QuerySecondsF =
+      obs::Metrics::global().histogramFamily("server.query_seconds",
+                                             {"tenant"});
+  const char *Outcome = !R.Ok ? "error"
+                        : R.Canceled
+                            ? "canceled"
+                            : (R.TimedOut ? "timeout" : "ok");
+  QueriesF.at({Job.T->name(), Outcome}).inc();
+  QuerySecondsF.at({Job.T->name()}).observe(Secs);
+  latencyRing(TenantLatency, Job.T->name()).observe(Secs);
+
+  if (Opts.SlowQueryMs > 0 && Secs * 1000.0 >= Opts.SlowQueryMs) {
+    static obs::CounterFamily &SlowF = obs::Metrics::global().counterFamily(
+        "server.slow_queries", {"tenant"});
+    SlowF.at({Job.T->name()}).inc();
+    std::vector<obs::LogField> Fields = {
+        {"tenant", Job.T->name()},
+        {"app", Job.Spec.App},
+        {"spec_hash",
+         formatString("%016llx", static_cast<unsigned long long>(
+                                     engine::specHash(Job.CacheSpec)))},
+        {"seconds", formatString("%.3f", Secs)},
+        {"outcome", Outcome},
+        {"answered_by",
+         R.CacheHit ? "cache"
+                    : (Job.Hist ? (Warm ? "warm_session" : "session")
+                                : "engine")},
+    };
+    if (!R.WinningLane.empty())
+      Fields.emplace_back("lane", R.WinningLane);
+    Fields.emplace_back("solver_conflicts",
+                        std::to_string(R.SolverStats.Conflicts));
+    Fields.emplace_back("solver_decisions",
+                        std::to_string(R.SolverStats.Decisions));
+    Fields.emplace_back("solver_restarts",
+                        std::to_string(R.SolverStats.Restarts));
+    Fields.emplace_back("solver_memory_mb",
+                        formatString("%.1f", R.SolverStats.MaxMemoryMb));
+    obs::Log::global().warn("slow_query", std::move(Fields));
+  }
 
   if (!R.Ok) {
     errorsCounter().inc();
@@ -684,10 +780,93 @@ void Server::executeQuery(QueryJob &Job) {
 }
 
 //===----------------------------------------------------------------------===
-// Status
+// Status / metrics exposition
 //===----------------------------------------------------------------------===
 
+obs::RollingHistogram &
+Server::latencyRing(std::map<std::string, obs::RollingHistogram> &M,
+                    const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(LatencyMutex);
+  auto It = M.find(Key);
+  if (It == M.end())
+    It = M.emplace(std::piecewise_construct, std::forward_as_tuple(Key),
+                   std::forward_as_tuple(300u, 5u))
+             .first;
+  return It->second;
+}
+
+void Server::writeLatencyJson(JsonWriter &J) {
+  static const struct {
+    const char *Name;
+    unsigned Seconds;
+  } Windows[] = {{"1m", 60}, {"5m", 300}};
+  auto WriteRing = [&](const obs::RollingHistogram &R) {
+    for (const auto &W : Windows) {
+      obs::RollingHistogram::Snapshot S = R.snapshot(W.Seconds);
+      J.openObjectIn(W.Name);
+      J.num("count", S.Count);
+      J.num("mean_seconds", S.mean());
+      J.num("p50", obs::RollingHistogram::percentile(S, 0.50));
+      J.num("p95", obs::RollingHistogram::percentile(S, 0.95));
+      J.num("p99", obs::RollingHistogram::percentile(S, 0.99));
+      J.closeObject();
+    }
+  };
+  std::lock_guard<std::mutex> Lock(LatencyMutex);
+  J.openObjectIn("latency");
+  J.openObjectIn("verbs");
+  for (const auto &E : VerbLatency) {
+    J.openObjectIn(E.first.c_str());
+    WriteRing(E.second);
+    J.closeObject();
+  }
+  J.closeObject();
+  J.openObjectIn("tenants");
+  for (const auto &E : TenantLatency) {
+    J.openObjectIn(E.first.c_str());
+    WriteRing(E.second);
+    J.closeObject();
+  }
+  J.closeObject();
+  J.closeObject();
+}
+
+obs::MetricsSnapshot Server::telemetrySnapshot() {
+  static obs::GaugeFamily &Running = obs::Metrics::global().gaugeFamily(
+      "server.tenant_running", {"tenant"});
+  static obs::GaugeFamily &Queued = obs::Metrics::global().gaugeFamily(
+      "server.tenant_queued", {"tenant"});
+  static obs::GaugeFamily &Completed = obs::Metrics::global().gaugeFamily(
+      "server.tenant_completed", {"tenant"});
+  static obs::GaugeFamily &Rejected = obs::Metrics::global().gaugeFamily(
+      "server.tenant_rejected", {"tenant"});
+  static obs::GaugeFamily &CacheHits = obs::Metrics::global().gaugeFamily(
+      "server.tenant_cache_hits", {"tenant"});
+  static obs::GaugeFamily &SessionHits = obs::Metrics::global().gaugeFamily(
+      "server.tenant_session_hits", {"tenant"});
+  static obs::GaugeFamily &Histories = obs::Metrics::global().gaugeFamily(
+      "server.tenant_histories", {"tenant"});
+  static obs::Gauge &PoolCapacity =
+      obs::Metrics::global().gauge("server.session_capacity");
+  for (Tenant *T : Registry.tenants()) {
+    Tenant::Counters C = T->counters();
+    Running.at({T->name()}).set(C.Running);
+    Queued.at({T->name()}).set(C.Queued);
+    Completed.at({T->name()}).set(static_cast<int64_t>(C.Completed));
+    Rejected.at({T->name()}).set(static_cast<int64_t>(C.Rejected));
+    CacheHits.at({T->name()}).set(static_cast<int64_t>(C.CacheHits));
+    SessionHits.at({T->name()}).set(static_cast<int64_t>(C.SessionHits));
+    Histories.at({T->name()}).set(static_cast<int64_t>(T->numHistories()));
+  }
+  PoolCapacity.set(static_cast<int64_t>(Sessions.stats().Capacity));
+  return obs::Metrics::global().snapshot();
+}
+
 std::string Server::statusJson(const Request &Req) {
+  // One registry snapshot feeds the tenants table, the metrics block,
+  // and (via the metrics verb) the Prometheus exposition — the numbers
+  // cannot disagree because they have one source.
+  obs::MetricsSnapshot S = telemetrySnapshot();
   JsonWriter J(JsonWriter::Style::Compact);
   beginResponse(J, Req, true);
   J.str("schema", "isopredict-server-status/1");
@@ -696,6 +875,8 @@ std::string Server::statusJson(const Request &Req) {
   J.num("workers", static_cast<uint64_t>(Pool.threads()));
   J.boolean("draining", Stopping.load(std::memory_order_acquire));
 
+  // Per-pool structural state (this Server's pool, not the process-wide
+  // counters, which several servers in one test process share).
   SessionPool::Stats PS = Sessions.stats();
   J.openObjectIn("session_pool");
   J.num("hits", PS.Hits);
@@ -707,24 +888,94 @@ std::string Server::statusJson(const Request &Req) {
 
   J.openArray("tenants");
   for (Tenant *T : Registry.tenants()) {
-    Tenant::Counters C = T->counters();
+    const std::vector<std::string> Label = {T->name()};
     J.openElement();
     J.str("name", T->name());
-    J.num("running", static_cast<uint64_t>(C.Running));
-    J.num("queued", static_cast<uint64_t>(C.Queued));
-    J.num("completed", C.Completed);
-    J.num("rejected", C.Rejected);
-    J.num("cache_hits", C.CacheHits);
-    J.num("session_hits", C.SessionHits);
-    J.num("histories", static_cast<uint64_t>(T->numHistories()));
+    J.num("running", static_cast<uint64_t>(
+                         S.familyGauge("server.tenant_running", Label)));
+    J.num("queued", static_cast<uint64_t>(
+                        S.familyGauge("server.tenant_queued", Label)));
+    J.num("completed", static_cast<uint64_t>(
+                           S.familyGauge("server.tenant_completed", Label)));
+    J.num("rejected", static_cast<uint64_t>(
+                          S.familyGauge("server.tenant_rejected", Label)));
+    J.num("cache_hits", static_cast<uint64_t>(
+                            S.familyGauge("server.tenant_cache_hits", Label)));
+    J.num("session_hits",
+          static_cast<uint64_t>(
+              S.familyGauge("server.tenant_session_hits", Label)));
+    J.num("histories", static_cast<uint64_t>(
+                           S.familyGauge("server.tenant_histories", Label)));
     J.closeObject();
   }
   J.closeArray();
 
+  // Rolling p50/p95/p99 per verb and per tenant (1 m and 5 m windows).
+  writeLatencyJson(J);
+
   // The same "metrics" block shape campaign reports carry under
   // --timings — report_profile reads either. Totals since process
   // start; callers diff two status snapshots for interval deltas.
-  obs::writeMetricsJson(J, obs::Metrics::global().snapshot());
+  obs::writeMetricsJson(J, S);
   J.closeObject();
   return J.take();
+}
+
+std::string Server::metricsJson(const Request &Req) {
+  const JsonValue *F = Req.Body.field("format");
+  std::string Format =
+      F && F->K == JsonValue::Kind::String ? F->Text : "prometheus";
+  if (Format != "prometheus" && Format != "json") {
+    errorsCounter().inc();
+    return errorResponse(Req, errc::BadRequest,
+                         "metrics format must be \"prometheus\" or \"json\"");
+  }
+  obs::MetricsSnapshot S = telemetrySnapshot();
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Req, true);
+  J.str("schema", "isopredict-server-metrics/1");
+  J.str("tool_version", engine::toolVersion());
+  J.str("format", Format);
+  if (Format == "json")
+    obs::writeMetricsJson(J, S);
+  else
+    J.str("exposition", obs::toPrometheusText(S));
+  J.closeObject();
+  return J.take();
+}
+
+//===----------------------------------------------------------------------===
+// Continuous tracing (ring flush rotation)
+//===----------------------------------------------------------------------===
+
+void Server::traceFlushLoop() {
+  static obs::Counter &Flushes =
+      obs::Metrics::global().counter("tracer.flushes");
+  unsigned IntervalSec = Opts.TraceFlushSec ? Opts.TraceFlushSec : 10;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(FlushMutex);
+      FlushCv.wait_for(Lock, std::chrono::seconds(IntervalSec), [this] {
+        return Stopping.load(std::memory_order_acquire);
+      });
+    }
+    bool Last = Stopping.load(std::memory_order_acquire);
+    std::string Path =
+        pathJoin(Opts.TraceDir, formatString("trace-%06u.json", TraceSeq));
+    std::string Error;
+    if (obs::Tracer::global().flushChromeTrace(Path, &Error)) {
+      Flushes.inc();
+      ++TraceSeq;
+      if (Opts.TraceKeepFiles && TraceSeq > Opts.TraceKeepFiles)
+        ::unlink(pathJoin(Opts.TraceDir,
+                          formatString("trace-%06u.json",
+                                       TraceSeq - Opts.TraceKeepFiles - 1))
+                     .c_str());
+    } else {
+      obs::Log::global().error("trace.flush_failed",
+                               {{"path", Path}, {"error", Error}});
+    }
+    if (Last)
+      return;
+  }
 }

@@ -32,12 +32,15 @@
 
 #include "cache/ResultStore.h"
 #include "engine/TaskPool.h"
+#include "obs/Metrics.h"
+#include "obs/Rolling.h"
 #include "server/Protocol.h"
 #include "server/SessionPool.h"
 #include "server/Tenant.h"
 #include "support/Env.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <thread>
@@ -56,6 +59,19 @@ struct ServerOptions {
   size_t SessionCapacity = 8;
   /// Result-cache root shared with batch runs; empty = no cache.
   std::string CacheDir;
+  /// Queries slower than this log a structured `slow_query` event (with
+  /// tenant, spec hash, winning lane and Z3 solver stats) and count in
+  /// server.slow_queries{tenant}. Fractional values allow
+  /// sub-millisecond thresholds; 0 disables.
+  double SlowQueryMs = 1000;
+  /// When set, continuous tracing: the Tracer runs in ring-buffer mode
+  /// (bounded memory) and rotated Chrome trace files are flushed into
+  /// this directory every TraceFlushSec seconds.
+  std::string TraceDir;
+  unsigned TraceFlushSec = 10;
+  size_t TraceRingCapacity = 16384;
+  /// Rotated trace files kept in TraceDir (older ones are deleted).
+  unsigned TraceKeepFiles = 8;
 };
 
 class Server {
@@ -103,15 +119,28 @@ private:
 
   void connectionLoop(std::shared_ptr<Conn> C);
   void handleRequest(const std::shared_ptr<Conn> &C, Request Req);
-  void handleAuth(const std::shared_ptr<Conn> &C, const Request &Req);
-  void handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
+  /// Sync verb handlers return false when they answered with an error
+  /// (feeds the server.requests{tenant,verb,outcome} family).
+  bool handleAuth(const std::shared_ptr<Conn> &C, const Request &Req);
+  bool handleUpload(const std::shared_ptr<Conn> &C, const Request &Req,
                     Tenant &T);
-  void handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
+  bool handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
                      Tenant &T);
-  void handleQuery(const std::shared_ptr<Conn> &C, Request Req, Tenant &T);
+  bool handleQuery(const std::shared_ptr<Conn> &C, Request Req, Tenant &T);
   void submitJob(QueryJob Job);
   void executeQuery(QueryJob &Job);
+  /// Mirrors per-tenant and session-pool state into labeled gauges and
+  /// snapshots the registry — the one source behind statusJson and the
+  /// metrics verb (JSON and Prometheus agree by construction).
+  obs::MetricsSnapshot telemetrySnapshot();
   std::string statusJson(const Request &Req);
+  std::string metricsJson(const Request &Req);
+  /// Per-verb request / per-tenant query latency rings (status
+  /// percentiles).
+  obs::RollingHistogram &latencyRing(std::map<std::string, obs::RollingHistogram> &M,
+                                     const std::string &Key);
+  void writeLatencyJson(JsonWriter &J);
+  void traceFlushLoop();
   void drainAndClose();
 
   ServerOptions Opts;
@@ -132,6 +161,17 @@ private:
   /// Per-tenant FIFO of admitted-but-not-running queries.
   std::mutex PendingMutex;
   std::map<Tenant *, std::deque<QueryJob>> Pending;
+
+  /// 5-minute rings (5 s slices); status reads 1 m and 5 m windows.
+  std::mutex LatencyMutex;
+  std::map<std::string, obs::RollingHistogram> VerbLatency;
+  std::map<std::string, obs::RollingHistogram> TenantLatency;
+
+  /// Continuous-tracing flusher (TraceDir mode).
+  std::thread TraceFlusher;
+  std::mutex FlushMutex;
+  std::condition_variable FlushCv;
+  unsigned TraceSeq = 0;
 };
 
 } // namespace server

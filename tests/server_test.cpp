@@ -14,6 +14,8 @@
 #include "engine/JobIo.h"
 #include "engine/TaskPool.h"
 #include "history/TraceIO.h"
+#include "obs/Log.h"
+#include "obs/Tracer.h"
 #include "store/Store.h"
 #include "support/Fs.h"
 #include "support/StrUtil.h"
@@ -686,6 +688,214 @@ TEST(ServerE2E, ShutdownVerbDrainsAndStatusReports) {
   ASSERT_TRUE(isOk(R)) << errorCode(R);
   TS.Thread.join();
   EXPECT_FALSE(TS.Thread.joinable());
+}
+
+//===----------------------------------------------------------------------===
+// Serving telemetry
+//===----------------------------------------------------------------------===
+
+/// Restores the global logger (stderr, info, text) when a test that
+/// retargeted it finishes.
+struct LogRestore {
+  ~LogRestore() {
+    std::string Error;
+    obs::Log::global().configure(obs::Log::Options(), &Error);
+  }
+};
+
+TEST(ServerE2E, MetricsVerbServesPrometheusAndJson) {
+  std::string Error;
+  std::optional<TenantRegistry> Reg = TenantRegistry::fromJson(
+      R"({"tenants": [{"name": "acme", "api_key": "k1"},
+                      {"name": "bravo", "api_key": "k2"}]})",
+      &Error);
+  ASSERT_TRUE(Reg.has_value()) << Error;
+  ServerOptions O;
+  O.Workers = 2;
+  TestServer TS(std::move(O), std::move(*Reg));
+  ASSERT_TRUE(TS.start());
+
+  // Each tenant runs one query so both mint labeled series.
+  const char *Query = R"("verb": "query", "spec": {"app": "voter", )"
+                      R"("workload": "small", "seed": 1, )"
+                      R"("timeout_ms": 30000})";
+  TestClient A, B;
+  ASSERT_TRUE(A.connect(TS.S.port()));
+  ASSERT_TRUE(B.connect(TS.S.port()));
+  ASSERT_TRUE(isOk(A.request(
+      R"("verb": "auth", "tenant": "acme", "api_key": "k1")")));
+  ASSERT_TRUE(isOk(B.request(
+      R"("verb": "auth", "tenant": "bravo", "api_key": "k2")")));
+  ASSERT_TRUE(isOk(A.request(Query)));
+  ASSERT_TRUE(isOk(B.request(Query)));
+
+  // Default format is the Prometheus text exposition.
+  std::optional<JsonValue> R = A.request(R"("verb": "metrics")");
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_EQ(R->field("schema")->Text, "isopredict-server-metrics/1");
+  EXPECT_EQ(R->field("format")->Text, "prometheus");
+  const JsonValue *Expo = R->field("exposition");
+  ASSERT_NE(Expo, nullptr);
+  const std::string &Text = Expo->Text;
+  EXPECT_NE(Text.find("# TYPE server_requests counter"), std::string::npos);
+  // Per-tenant, per-verb labeled series — one per tenant, never shared.
+  EXPECT_NE(
+      Text.find(
+          "server_requests{tenant=\"acme\",verb=\"query\",outcome=\"ok\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      Text.find(
+          "server_requests{tenant=\"bravo\",verb=\"query\",outcome=\"ok\"}"),
+      std::string::npos);
+  EXPECT_NE(Text.find("server_queries{tenant=\"acme\""), std::string::npos);
+  // The per-tenant latency family shares its name with the unlabeled
+  // total histogram; both live under one TYPE line.
+  EXPECT_NE(Text.find("# TYPE server_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(Text.find("server_query_seconds_bucket{tenant=\"acme\",le="),
+            std::string::npos);
+
+  // JSON variant carries the status-style metrics block.
+  R = A.request(R"("verb": "metrics", "format": "json")");
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  const JsonValue *M = R->field("metrics");
+  ASSERT_NE(M, nullptr);
+  ASSERT_NE(M->field("counters"), nullptr);
+  const JsonValue *Families = M->field("families");
+  ASSERT_NE(Families, nullptr);
+  ASSERT_NE(Families->field("server.requests"), nullptr);
+
+  // Unknown formats bounce as bad_request.
+  R = A.request(R"("verb": "metrics", "format": "xml")");
+  EXPECT_FALSE(isOk(R));
+  EXPECT_EQ(errorCode(R), "bad_request");
+}
+
+TEST(ServerE2E, StatusReportsRollingLatencyPercentiles) {
+  ServerOptions O;
+  O.Workers = 1;
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+  ASSERT_TRUE(isOk(C.request(
+      R"("verb": "query", "spec": {"app": "voter", )"
+      R"("workload": "small", "seed": 2, "timeout_ms": 30000})")));
+
+  std::optional<JsonValue> St = C.request(R"("verb": "status")");
+  ASSERT_TRUE(isOk(St));
+  const JsonValue *Latency = St->field("latency");
+  ASSERT_NE(Latency, nullptr);
+  const JsonValue *Verbs = Latency->field("verbs");
+  ASSERT_NE(Verbs, nullptr);
+  const JsonValue *Q = Verbs->field("query");
+  ASSERT_NE(Q, nullptr);
+  for (const char *Win : {"1m", "5m"}) {
+    const JsonValue *W = Q->field(Win);
+    ASSERT_NE(W, nullptr) << Win;
+    ASSERT_NE(W->field("count"), nullptr);
+    EXPECT_GE(std::stod(W->field("count")->Text), 1.0);
+    double P50 = std::stod(W->field("p50")->Text);
+    double P95 = std::stod(W->field("p95")->Text);
+    double P99 = std::stod(W->field("p99")->Text);
+    EXPECT_GT(P50, 0.0);
+    EXPECT_GE(P95, P50);
+    EXPECT_GE(P99, P95);
+  }
+  // The per-tenant rings see the query too (open mode → "default").
+  const JsonValue *Tenants = Latency->field("tenants");
+  ASSERT_NE(Tenants, nullptr);
+  ASSERT_NE(Tenants->field("default"), nullptr);
+}
+
+TEST(ServerE2E, SlowQueryLogCapturesTenantAndSpec) {
+  LogRestore Restore;
+  std::string LogPath =
+      pathJoin(scratchDir("slowlog"), "server.ndjson");
+  obs::Log::Options LO;
+  LO.Ndjson = true;
+  LO.Path = LogPath;
+  std::string Error;
+  ASSERT_TRUE(obs::Log::global().configure(LO, &Error)) << Error;
+
+  ServerOptions O;
+  O.Workers = 1;
+  O.SlowQueryMs = 1e-6; // every query crosses a nanosecond threshold
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+  ASSERT_TRUE(isOk(C.request(
+      R"("verb": "query", "spec": {"app": "voter", )"
+      R"("workload": "small", "seed": 3, "timeout_ms": 30000})")));
+
+  std::string Text;
+  ASSERT_TRUE(readFile(LogPath, Text, &Error)) << Error;
+  const JsonValue *Fields = nullptr;
+  std::optional<JsonValue> Slow;
+  for (std::string_view L : splitString(Text, '\n')) {
+    if (L.empty())
+      continue;
+    std::optional<JsonValue> Doc = parseJson(std::string(L), &Error);
+    ASSERT_TRUE(Doc.has_value()) << Error;
+    const JsonValue *Event = Doc->field("event");
+    if (Event && Event->Text == "slow_query") {
+      Slow = std::move(*Doc);
+      Fields = Slow->field("fields");
+      break;
+    }
+  }
+  ASSERT_NE(Fields, nullptr) << "no slow_query event in:\n" << Text;
+  EXPECT_EQ(Slow->field("level")->Text, "warn");
+  ASSERT_NE(Fields->field("tenant"), nullptr);
+  EXPECT_EQ(Fields->field("tenant")->Text, "default");
+  ASSERT_NE(Fields->field("spec_hash"), nullptr);
+  EXPECT_EQ(Fields->field("spec_hash")->Text.size(), 16u); // %016llx
+  ASSERT_NE(Fields->field("seconds"), nullptr);
+  ASSERT_NE(Fields->field("outcome"), nullptr);
+  // Z3 search statistics ride along when the solver ran.
+  EXPECT_NE(Fields->field("solver_conflicts"), nullptr);
+
+  // The slow-query counter family saw it too.
+  TestClient M;
+  ASSERT_TRUE(M.connect(TS.S.port()));
+  std::optional<JsonValue> R = M.request(R"("verb": "metrics")");
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_NE(R->field("exposition")
+                ->Text.find("server_slow_queries{tenant=\"default\"}"),
+            std::string::npos);
+}
+
+TEST(ServerE2E, TraceDirRotatesRingFlushes) {
+  std::string Dir = scratchDir("tracedir");
+  ServerOptions O;
+  O.Workers = 1;
+  O.TraceDir = Dir;
+  O.TraceFlushSec = 3600; // only the final drain flush fires
+  O.TraceRingCapacity = 32;
+  {
+    TestServer TS(std::move(O), TenantRegistry());
+    ASSERT_TRUE(TS.start());
+    TestClient C;
+    ASSERT_TRUE(C.connect(TS.S.port()));
+    ASSERT_TRUE(isOk(C.request(
+        R"("verb": "query", "spec": {"app": "voter", )"
+        R"("workload": "small", "seed": 4, "timeout_ms": 30000})")));
+  } // ~TestServer drains; the flusher writes its final rotation
+
+  // The drain restored the global tracer for later tests and wrote at
+  // least one rotated trace file with spans in it.
+  EXPECT_EQ(obs::Tracer::global().ringCapacity(), 0u);
+  std::string Text, Error;
+  ASSERT_TRUE(readFile(pathJoin(Dir, "trace-000000.json"), Text, &Error))
+      << Error;
+  std::optional<JsonValue> Doc = parseJson(Text, &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const JsonValue *Events = Doc->field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_FALSE(Events->Items.empty());
 }
 
 } // namespace
