@@ -8,6 +8,7 @@
 //                [--strategies exact,strict,relaxed] [--sizes small,large]
 //                [--seeds N] [--jobs N] [--timeout-ms N] [--pco rank|layered]
 //                [--share-encodings] [--portfolio[=N]] [--lane-stats-dir DIR]
+//                [--stream[=CHUNK]] [--window N] [--stream-from-scratch]
 //                [--no-validate] [--timings] [--quiet]
 //                [--cache-dir DIR] [--shard K/N] [--write-shards N]
 //                [--campaign FILE] [--dry-run]
@@ -94,6 +95,19 @@ int usage(const char *Msg = nullptr) {
       "  --lane-stats-dir DIR  persist per-query-class lane win/latency\n"
       "                        stats to seed future lane schedules\n"
       "                        (default: --cache-dir when racing)\n"
+      "  --stream[=CHUNK]      streaming jobs instead of one-shot predict:\n"
+      "                        feed each observed execution to a windowed\n"
+      "                        PredictSession CHUNK transactions at a time\n"
+      "                        (default 4), querying after every step; the\n"
+      "                        report gains a per-step \"steps\" array\n"
+      "  --window N            streaming sliding-window width in\n"
+      "                        transactions per session (default 0 =\n"
+      "                        unbounded; requires --stream)\n"
+      "  --stream-from-scratch re-observe every streaming step with a fresh\n"
+      "                        session instead of extend() — the slow\n"
+      "                        equivalence baseline; an execution flag, so\n"
+      "                        spec hashes and report identities match the\n"
+      "                        extend run (diff them with report_diff)\n"
       "  --no-validate         skip validation replay of Sat predictions\n"
       "  --cache-dir DIR       persistent result cache: skip jobs whose\n"
       "                        results are cached, store the rest\n"
@@ -163,6 +177,11 @@ int dryRun(const Campaign &C, const std::string &CacheDir,
       Detail = formatString(" %s %s %s%s", toString(S.Level),
                             toString(S.Strat), toString(S.Pco),
                             S.Prune ? " prune" : "");
+    else if (S.Kind == JobKind::Stream)
+      Detail = formatString(" %s %s %s window=%u chunk=%u%s",
+                            toString(S.Level), toString(S.Strat),
+                            toString(S.Pco), S.Window, S.StreamChunk,
+                            S.Prune ? " prune" : "");
     else if (S.Kind == JobKind::RandomWeak)
       Detail = formatString(" %s store_seed=%llu", toString(S.Level),
                             static_cast<unsigned long long>(S.StoreSeed));
@@ -197,6 +216,10 @@ int main(int argc, char **argv) {
   PcoEncoding Pco = PcoEncoding::Rank;
   bool ShareEncodings = false;
   bool Prune = false;
+  bool Stream = false;
+  unsigned StreamChunk = 4;
+  unsigned Window = 0;
+  bool StreamFromScratch = false;
   unsigned PortfolioLanes = 0;
   std::string LaneStatsDir;
   bool Validate = true;
@@ -243,6 +266,27 @@ int main(int argc, char **argv) {
       if (!V)
         return usage("--lane-stats-dir needs a value");
       LaneStatsDir = V;
+    } else if (Flag == "--stream" || Flag.rfind("--stream=", 0) == 0) {
+      if (Flag != "--stream") {
+        auto N = parseInt(Flag.substr(std::strlen("--stream=")));
+        if (!N || *N < 1)
+          return usage("--stream=CHUNK needs a positive chunk size");
+        StreamChunk = static_cast<unsigned>(*N);
+      }
+      // Changes every job's kind (and hash): a grid flag.
+      Stream = true;
+      GridFlagUsed = true;
+    } else if (Flag == "--window") {
+      const char *V = next();
+      auto N = V ? parseInt(V) : std::nullopt;
+      if (!N || *N < 0)
+        return usage("--window needs a non-negative integer");
+      Window = static_cast<unsigned>(*N);
+      GridFlagUsed = true;
+    } else if (Flag == "--stream-from-scratch") {
+      // Execution mode, not part of any job's spec: the baseline run
+      // keeps the extend run's spec hashes so reports diff cleanly.
+      StreamFromScratch = true;
     } else if (Flag == "--prune") {
       // Changes every job's spec (and hash), so it is a grid flag:
       // campaign files carry their own prune decision per job.
@@ -433,12 +477,27 @@ int main(int argc, char **argv) {
   } else {
     if (Seeds == 0 || Apps.empty())
       return usage("nothing to do (zero seeds or no apps)");
+    if (Window && !Stream)
+      return usage("--window only applies to --stream jobs");
     C = Campaign::predictGrid(Name, Apps, Levels, Strategies, Larges, Seeds,
                               TimeoutMs, Pco);
     for (JobSpec &J : C.Jobs) {
       J.Validate = Validate;
       J.Prune = Prune;
+      if (Stream) {
+        J.Kind = JobKind::Stream;
+        J.Window = Window;
+        J.StreamChunk = StreamChunk;
+      }
     }
+  }
+  if (StreamFromScratch) {
+    bool AnyStream = false;
+    for (const JobSpec &J : C.Jobs)
+      AnyStream |= J.Kind == JobKind::Stream;
+    if (!AnyStream)
+      return usage("--stream-from-scratch needs stream jobs (--stream or "
+                   "a stream campaign file)");
   }
 
   if (WriteShards) {
@@ -520,6 +579,7 @@ int main(int argc, char **argv) {
   EO.CacheDir = CacheDir;
   EO.PortfolioLanes = PortfolioLanes;
   EO.LaneStatsDir = LaneStatsDir;
+  EO.StreamFromScratch = StreamFromScratch;
   // Per-job structured events at debug ride alongside the human
   // progress lines (which --quiet still suppresses independently).
   bool LogJobs = LogUsed && obs::Log::global().enabled(obs::LogLevel::Debug);

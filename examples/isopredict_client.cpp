@@ -12,6 +12,9 @@
 //   --ping                      liveness probe
 //   --auth TENANT[:KEY]         bind the connection to a tenant
 //   --upload NAME:FILE          register the trace in FILE as NAME
+//   --extend NAME:FILE          append the headerless trace delta in FILE
+//                               to the registered history NAME (warm
+//                               server sessions grow in place)
 //   --observe K=V[,K=V...]      run an observed execution server-side
 //                               (app= required; workload=, seed=, name=
 //                               registers the history, out=FILE saves
@@ -73,7 +76,7 @@ int usage(const char *Msg = nullptr) {
       "usage: isopredict_client [--host ADDR] [--port N | --port-file FILE]\n"
       "                         [--name NAME] actions...\n"
       "actions: --ping | --auth T[:KEY] | --upload NAME:FILE\n"
-      "         --observe k=v,... | --query k=v,... \n"
+      "         --extend NAME:FILE | --observe k=v,... | --query k=v,... \n"
       "         --query-history NAME[,k=v...] | --burst N | --status\n"
       "         --status-out FILE | --metrics-out FILE | --shutdown\n"
       "         --collect FILE\n");
@@ -303,7 +306,8 @@ int main(int argc, char **argv) {
                Flag == "--shutdown") {
       Actions.emplace_back(Flag, "");
     } else if (Flag == "--auth" || Flag == "--upload" ||
-               Flag == "--observe" || Flag == "--query" ||
+               Flag == "--extend" || Flag == "--observe" ||
+               Flag == "--query" ||
                Flag == "--query-history" || Flag == "--burst" ||
                Flag == "--status-out" || Flag == "--metrics-out") {
       auto V = value(Flag.c_str());
@@ -386,10 +390,12 @@ int main(int argc, char **argv) {
         J.str("api_key", Arg.substr(Colon + 1));
       J.closeObject();
       C.roundTrip(J.take());
-    } else if (Flag == "--upload") {
+    } else if (Flag == "--upload" || Flag == "--extend") {
+      const char *Verb = Flag == "--upload" ? "upload" : "extend";
       size_t Colon = Arg.find(':');
       if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Arg.size())
-        return usage("--upload needs NAME:FILE");
+        return usage(
+            formatString("--%s needs NAME:FILE", Verb).c_str());
       std::string Trace;
       if (!readFile(Arg.substr(Colon + 1), Trace, &Error)) {
         std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -398,7 +404,7 @@ int main(int argc, char **argv) {
       JsonWriter J(JsonWriter::Style::Compact);
       J.openObject();
       J.num("id", C.NextId++);
-      J.str("verb", "upload");
+      J.str("verb", Verb);
       J.str("name", Arg.substr(0, Colon));
       J.str("trace", Trace);
       J.closeObject();

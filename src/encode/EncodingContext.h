@@ -133,16 +133,21 @@ class EncodingContext {
 public:
   EncodingContext(const History &H, const PredictOptions &Opts,
                   SmtContext &Ctx, SmtSolver &Solver,
-                  bool SessionMode = false)
+                  bool SessionMode = false, bool Streaming = false)
       : H(H), Opts(Opts), Ctx(Ctx),
         Asserts(Solver, Opts.BatchAsserts
                             ? AssertionBuffer::FlushMode::Conjoin
                             : AssertionBuffer::FlushMode::Immediate),
-        N(H.numTxns()), SessionMode(SessionMode),
+        N(H.numTxns()), SessionMode(SessionMode || Streaming),
+        Streaming(Streaming),
         Relaxed(Opts.Strat == Strategy::ApproxRelaxed) {
     if (Opts.PruneFormula) {
-      PlanStorage =
-          std::make_unique<EncodingPlan>(computeEncodingPlan(H));
+      // Streaming plans disable the single-writer fixed-choice rule:
+      // it is the one relevance rule that is not monotone under
+      // history extension (a new writer would un-fix a read whose
+      // constant is already asserted).
+      PlanStorage = std::make_unique<EncodingPlan>(
+          computeEncodingPlan(H, /*FixedChoices=*/!Streaming));
       Plan = PlanStorage.get();
     }
   }
@@ -151,8 +156,30 @@ public:
   const PredictOptions &Opts;
   SmtContext &Ctx;
   AssertionBuffer Asserts;
-  const size_t N;
+  /// Number of encoded transactions; fixed except in streaming mode,
+  /// where extendHistory() grows it as H is appended to.
+  size_t N;
   const bool SessionMode;
+  /// Streaming mode (implies SessionMode): the declare+feasibility
+  /// prefix holds only the *monotone* constraint families (so
+  /// constants, before-boundary implications, choice-inclusion
+  /// implications, φwr_k/φwr definitions — all stable as transactions
+  /// are appended) and grows in place via delta re-runs of the base
+  /// passes over [DeltaFrom, N). The non-monotone families — boundary
+  /// domains and choice domains (their disjunctions widen with new
+  /// reads/writers) and the hb closure (new transactions can connect
+  /// already-encoded pairs) — move into the per-query WindowPass,
+  /// inside the solver scope. φso is substituted as constants even
+  /// unpruned, and φhb pair variables are never declared (EC.Hb
+  /// aliases the per-query folded closure; hb occurs only positively,
+  /// so this is sat-equivalent). Streaming encodings are therefore
+  /// never bit-identical to one-shot ones — outcome equivalence is
+  /// what the streaming tests pin.
+  const bool Streaming;
+  /// Streaming: first transaction of the current delta — the base
+  /// passes encode only entities/pairs touching [DeltaFrom, N).
+  /// 0 on the initial encode (everything is new).
+  size_t DeltaFrom = 0;
   /// Relevance plan of the pruned encoding (PredictOptions::
   /// PruneFormula); null when pruning is off. Computed once per context
   /// — once per one-shot query, or once per PredictSession — because it
@@ -222,6 +249,23 @@ public:
     Relaxed = Strat == Strategy::ApproxRelaxed;
     Pco.clear();
     Rank.clear();
+    // Streaming: Hb aliases the previous query's (popped) closure
+    // terms; WindowPass rebuilds it before any pass reads it.
+    if (Streaming)
+      Hb.clear();
+  }
+
+  /// Streaming: accounts for transactions appended to H since the last
+  /// base encode — advances the [DeltaFrom, N) delta range and extends
+  /// the relevance plan additively. The caller then re-runs the base
+  /// passes (forSessionBase) at root solver scope to encode the delta;
+  /// existing pairs are never re-encoded.
+  void extendHistory() {
+    assert(Streaming && "extendHistory is a streaming-mode operation");
+    DeltaFrom = N;
+    N = H.numTxns();
+    if (PlanStorage)
+      extendEncodingPlan(*PlanStorage, H);
   }
 
   //===--------------------------------------------------------------------===

@@ -84,9 +84,162 @@ void assertEmbedding(EncodingContext &EC, SmtExpr Hb,
   EC.assertExpr(Ctx.mkImplies(Ctx.mkOr(Lhs), Lt));
 }
 
+/// Streaming declarations: grows the pair tables and declares only the
+/// entities of the [DeltaFrom, N) delta. φso is always substituted as
+/// constants and φhb pair variables are never declared (WindowPass
+/// aliases EC.Hb to the per-query folded closure); sat-equivalent
+/// because hb occurs only positively and so is asserted verbatim
+/// anyway. The initial encode is the DeltaFrom == 0 special case.
+void declareStreaming(EncodingContext &EC) {
+  const History &H = EC.H;
+  SmtContext &Ctx = EC.Ctx;
+  size_t N = EC.N;
+  size_t From = EC.DeltaFrom;
+
+  // Inf: beyond every position — refreshed per extend; it is only
+  // referenced from query-scoped constraints (WindowPass boundary
+  // domains, BoundaryLinkPass) and extraction, never from the base.
+  uint32_t MaxPos = 0;
+  for (SessionId S = 0; S < H.numSessions(); ++S)
+    MaxPos = std::max(MaxPos, H.sessionLastPos(S));
+  EC.Inf = static_cast<int64_t>(MaxPos) + 1;
+
+  EC.So.resize(N);
+  EC.Wr.resize(N);
+  for (TxnId A = 0; A < N; ++A) {
+    EC.So[A].resize(N);
+    EC.Wr[A].resize(N);
+  }
+  for (TxnId A = 0; A < N; ++A)
+    for (TxnId B = A < From ? From : 0; B < N; ++B) {
+      if (A == B)
+        continue;
+      EC.So[A][B] = Ctx.boolVal(H.so(A, B));
+      if (EC.pruning() && !EC.Plan->wrPossible(A, B))
+        EC.Wr[A][B] = Ctx.boolVal(false);
+      else
+        EC.Wr[A][B] = Ctx.boolVar(formatString("wr_%u_%u", A, B));
+    }
+
+  // φwr_k: only triples with a delta endpoint can be new — a committed
+  // transaction never gains reads or writes.
+  for (KeyId K : H.keysRead()) {
+    std::vector<TxnId> Readers;
+    for (const ReadRef &R : H.readsOf(K))
+      if (Readers.empty() || Readers.back() != R.Reader)
+        Readers.push_back(R.Reader);
+    for (TxnId Writer : H.writersOf(K))
+      for (TxnId Reader : Readers)
+        if (Writer != Reader && (Writer >= From || Reader >= From))
+          EC.WrK.emplace(std::make_tuple(K, Writer, Reader),
+                         Ctx.boolVar(formatString("wrk_%u_%u_%u", K, Writer,
+                                                  Reader)));
+  }
+
+  // φchoice for the delta's reads. Streaming plans carry no fixed
+  // choices (the single-writer rule is not extension-monotone).
+  for (TxnId T = std::max<size_t>(1, From); T < N; ++T)
+    for (const Event &E : H.txn(T).Events)
+      if (E.Kind == EventKind::Read) {
+        SessionId S = H.txn(T).Session;
+        EC.Choice.emplace(std::make_pair(S, E.Pos),
+                          Ctx.intVar(formatString("choice_%u_%u", S,
+                                                  E.Pos)));
+      }
+
+  // Boundary/cut variables for sessions the delta opened (all of them
+  // on the initial encode).
+  for (SessionId S = static_cast<SessionId>(EC.Boundary.size());
+       S < H.numSessions(); ++S) {
+    EC.Boundary.push_back(Ctx.intVar(formatString("boundary_%u", S)));
+    EC.Cut.push_back(Ctx.intVar(formatString("cut_%u", S)));
+  }
+
+  EC.buildIndexes();
+}
+
+/// Streaming feasibility: asserts the monotone B.1 families for the
+/// [DeltaFrom, N) delta. Monotone means the assertion stays valid no
+/// matter what is appended later: the before-boundary implication and
+/// the φwr_k/φwr definitions of a read depend only on its own (fixed)
+/// transaction, and inclusion implications are per (writer, read) pair
+/// — new pairs only add implications. The non-monotone families (the
+/// boundary/choice domain disjunctions, which *widen* with new
+/// reads/writers, and the hb closure, which can newly connect old
+/// pairs through appended transactions) are asserted per query by
+/// WindowPass instead.
+void feasibilityStreaming(EncodingContext &EC) {
+  const History &H = EC.H;
+  SmtContext &Ctx = EC.Ctx;
+  size_t N = EC.N;
+  size_t From = EC.DeltaFrom;
+
+  // φso needs no assertions: the constants are substituted everywhere.
+
+  for (KeyId K : H.keysRead()) {
+    const std::vector<TxnId> &Writers = H.writersOf(K);
+    for (const ReadRef &R : H.readsOf(K)) {
+      SessionId S2 = H.txn(R.Reader).Session;
+
+      // i < φboundary(s2) ⇒ φchoice(s2,i) = φobs(s2,i), once per read.
+      if (R.Reader >= From)
+        EC.assertExpr(Ctx.mkImplies(EC.beforeBoundary(S2, R.Pos),
+                                    EC.choiceIs(S2, R.Pos, R.Writer)));
+
+      // An included read must read an included write — new reads gain
+      // the implication for every writer, old reads for new writers.
+      for (TxnId W : Writers) {
+        if (W == R.Reader || W == InitTxn)
+          continue;
+        if (W < From && R.Reader < From)
+          continue;
+        EC.assertExpr(Ctx.mkImplies(
+            Ctx.mkAnd(EC.choiceIs(S2, R.Pos, W),
+                      EC.eventIncluded(S2, R.Pos)),
+            EC.writeIncluded(W, K)));
+      }
+    }
+  }
+
+  // φwr_k definitions for the delta's triples; an old triple's
+  // definition is stable (the reader's read positions are fixed).
+  for (auto &[KeyTuple, Var] : EC.WrK) {
+    auto [K, Writer, Reader] = KeyTuple;
+    if (Writer < From && Reader < From)
+      continue;
+    SessionId S2 = H.txn(Reader).Session;
+    std::vector<SmtExpr> Terms;
+    for (uint32_t Pos : H.rdPos(Reader, K))
+      Terms.push_back(Ctx.mkAnd(EC.choiceIs(S2, Pos, Writer),
+                                EC.eventIncluded(S2, Pos)));
+    EC.assertExpr(Ctx.mkIff(Var, Ctx.mkOr(Terms)));
+  }
+
+  // φwr definitions for pairs with a delta endpoint. An old pair's
+  // φwr_k set is fixed, so its definition never needs re-asserting.
+  std::vector<std::vector<std::vector<SmtExpr>>> WrTerms(
+      N, std::vector<std::vector<SmtExpr>>(N));
+  for (auto &[KeyTuple, Var] : EC.WrK) {
+    auto [K, Writer, Reader] = KeyTuple;
+    (void)K;
+    WrTerms[Writer][Reader].push_back(Var);
+  }
+  for (TxnId A = 0; A < N; ++A)
+    for (TxnId B = A < From ? From : 0; B < N; ++B) {
+      if (A == B)
+        continue;
+      if (EC.pruning() && EC.isFalse(EC.Wr[A][B]))
+        continue;
+      EC.assertExpr(Ctx.mkIff(EC.Wr[A][B], Ctx.mkOr(WrTerms[A][B])));
+    }
+}
+
 } // namespace
 
 void DeclarePass::run(EncodingContext &EC) {
+  if (EC.Streaming)
+    return declareStreaming(EC);
+
   const History &H = EC.H;
   SmtContext &Ctx = EC.Ctx;
   size_t N = EC.N;
@@ -172,6 +325,9 @@ void DeclarePass::run(EncodingContext &EC) {
 }
 
 void FeasibilityPass::run(EncodingContext &EC) {
+  if (EC.Streaming)
+    return feasibilityStreaming(EC);
+
   const History &H = EC.H;
   SmtContext &Ctx = EC.Ctx;
   size_t N = EC.N;
@@ -352,6 +508,72 @@ void FeasibilityPass::run(EncodingContext &EC) {
                  "hb closure fold disagrees with the relevance plan");
 #endif
   }
+}
+
+void WindowPass::run(EncodingContext &EC) {
+  const History &H = EC.H;
+  SmtContext &Ctx = EC.Ctx;
+  size_t N = EC.N;
+  assert(EC.Streaming && "WindowPass is streaming-mode only");
+
+  // --- Boundary domain over the session's *current* reads, closed by
+  // the *current* ∞. Both widen with every extend, so the disjunction
+  // cannot live in the base prefix.
+  for (SessionId S = 0; S < H.numSessions(); ++S) {
+    std::vector<SmtExpr> Options;
+    for (TxnId T : H.sessionTxns(S))
+      for (const Event &E : H.txn(T).Events)
+        if (E.Kind == EventKind::Read)
+          Options.push_back(
+              Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(E.Pos)));
+    Options.push_back(
+        Ctx.internEq(EC.Boundary[S], Ctx.internIntVal(EC.Inf)));
+    EC.assertExpr(Ctx.mkOr(Options));
+  }
+
+  // --- Choice domains over the keys' *current* writer sets. A domain
+  // asserted at extend time would wrongly forbid writers appended
+  // later.
+  for (KeyId K : H.keysRead()) {
+    const std::vector<TxnId> &Writers = H.writersOf(K);
+    for (const ReadRef &R : H.readsOf(K)) {
+      SessionId S2 = H.txn(R.Reader).Session;
+      std::vector<SmtExpr> Domain;
+      for (TxnId W : Writers)
+        if (W != R.Reader)
+          Domain.push_back(EC.choiceIs(S2, R.Pos, W));
+      EC.assertExpr(Ctx.mkOr(Domain));
+    }
+  }
+
+  // --- φhb: the closure is not monotone — an appended transaction can
+  // hb-connect two already-encoded ones — so it is re-derived in every
+  // query scope over the current so/wr tables. Always folded: φso is
+  // constant in streaming mode (and φwr constant false off the plan's
+  // skeleton when pruning), so the closure base is one term per pair
+  // and EC.Hb aliases the layer terms with no declared hb variables at
+  // all. hb occurs only positively downstream, so aliasing the exact
+  // least fixpoint is sat-equivalent to the declared-iff encoding.
+  // Layer variable names are reused across query scopes; each scope
+  // re-asserts their (possibly wider) definitions and pops them with
+  // the query, so the reuse is benign.
+  PairMatrix Base(N, std::vector<SmtExpr>(N));
+  for (TxnId A = 0; A < N; ++A)
+    for (TxnId B = 0; B < N; ++B) {
+      if (A == B)
+        continue;
+      Base[A][B] = EC.isTrue(EC.So[A][B]) ? EC.So[A][B] : EC.Wr[A][B];
+    }
+  EC.Hb = defineClosure(Ctx, EC.Asserts, Base, "hb", /*Fold=*/true,
+                        &EC.PrunedVars, &EC.PrunedLits);
+#ifndef NDEBUG
+  if (EC.pruning())
+    for (TxnId A = 0; A < N; ++A)
+      for (TxnId B = 0; B < N; ++B)
+        if (A != B)
+          assert(!EC.isFalse(EC.Hb[A][B]) == EC.Plan->hbPossible(A, B) &&
+                 "hb closure fold disagrees with the relevance plan");
+#endif
 }
 
 void BoundaryLinkPass::run(EncodingContext &EC) {

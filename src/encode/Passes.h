@@ -75,6 +75,20 @@ public:
   void run(EncodingContext &EC) override;
 };
 
+/// Streaming mode only, first pass of every query scope: asserts the
+/// non-monotone B.1 families the streaming base prefix omits — the
+/// per-session boundary-domain disjunctions (they widen with every new
+/// read, and reference the current ∞ position), the per-read choice
+/// domains (they widen with every new writer of the key), and the hb
+/// closure (appended transactions can hb-connect already-encoded
+/// pairs, so hb cannot live below the scopes). Formula size is bounded
+/// by the encoded window, not the full trace.
+class WindowPass : public EncodingPass {
+public:
+  const char *name() const override { return "window"; }
+  void run(EncodingContext &EC) override;
+};
+
 /// B.2.1: exact unserializability via a universally quantified commit
 /// order.
 class ExactStrictPass : public EncodingPass {

@@ -79,3 +79,11 @@ EncoderPipeline EncoderPipeline::forQuery(const PredictOptions &Opts) {
   addQueryPasses(P, Opts);
   return P;
 }
+
+EncoderPipeline EncoderPipeline::forStreamQuery(const PredictOptions &Opts) {
+  EncoderPipeline P;
+  P.add(std::make_unique<WindowPass>());
+  P.add(std::make_unique<BoundaryLinkPass>());
+  addQueryPasses(P, Opts);
+  return P;
+}

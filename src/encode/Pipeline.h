@@ -58,6 +58,14 @@ public:
   /// scope on top of the forSessionBase prefix.
   static EncoderPipeline forQuery(const PredictOptions &Opts);
 
+  /// The per-query suffix of a *streaming* PredictSession: window →
+  /// boundary-link → strategy → isolation. The leading WindowPass
+  /// asserts the non-monotone B.1 families (boundary/choice domains,
+  /// hb closure) the streaming base prefix omits; forSessionBase is
+  /// reused for the base and for each extend delta (the passes branch
+  /// on EncodingContext::Streaming internally).
+  static EncoderPipeline forStreamQuery(const PredictOptions &Opts);
+
 private:
   std::vector<std::unique_ptr<EncodingPass>> Passes;
 };

@@ -5,7 +5,8 @@
 using namespace isopredict;
 using namespace isopredict::encode;
 
-EncodingPlan isopredict::encode::computeEncodingPlan(const History &H) {
+EncodingPlan isopredict::encode::computeEncodingPlan(const History &H,
+                                                     bool FixedChoices) {
   EncodingPlan Plan;
   size_t N = H.numTxns();
   Plan.N = N;
@@ -29,6 +30,9 @@ EncodingPlan isopredict::encode::computeEncodingPlan(const History &H) {
   Plan.HbReach = Plan.So;
   Plan.HbReach.unionWith(Plan.WrPossible);
   Plan.HbReach.closeTransitively();
+
+  if (!FixedChoices)
+    return Plan;
 
   // Single-writer reads: the choice domain of a read of k by R is
   // writersOf(k) \ {R}, and t0 is always a writer, so the domain is a
@@ -57,4 +61,27 @@ EncodingPlan isopredict::encode::computeEncodingPlan(const History &H) {
   }
 
   return Plan;
+}
+
+void isopredict::encode::extendEncodingPlan(EncodingPlan &Plan,
+                                            const History &H) {
+  assert(Plan.Fixed.empty() &&
+         "extendEncodingPlan is for streaming plans (no fixed choices)");
+  assert(H.numTxns() >= Plan.N && "history shrank under the plan");
+#ifndef NDEBUG
+  EncodingPlan Old = Plan;
+#endif
+  Plan = computeEncodingPlan(H, /*FixedChoices=*/false);
+#ifndef NDEBUG
+  // So and WrPossible must be monotone over the already-encoded prefix:
+  // the delta passes rely on existing pair constants/variables staying
+  // valid and only ever *add* pairs.
+  for (TxnId A = 0; A < Old.N; ++A)
+    for (TxnId B = 0; B < Old.N; ++B) {
+      assert(Old.So.test(A, B) == Plan.So.test(A, B) &&
+             "so changed for an already-encoded pair");
+      assert(Old.WrPossible.test(A, B) == Plan.WrPossible.test(A, B) &&
+             "wr-possible changed for an already-encoded pair");
+    }
+#endif
 }

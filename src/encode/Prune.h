@@ -98,8 +98,21 @@ struct EncodingPlan {
 
 /// Runs the relevance analysis on \p H. Cheap relative to encoding: two
 /// dense relations, one Warshall closure, and one sweep over the per-key
-/// read/write indexes.
-EncodingPlan computeEncodingPlan(const History &H);
+/// read/write indexes. \p FixedChoices off (streaming contexts) skips
+/// the single-writer rule: it is the one rule that is not monotone
+/// under history extension — a later transaction writing the key would
+/// un-fix a read whose constant is already baked into asserted clauses.
+EncodingPlan computeEncodingPlan(const History &H, bool FixedChoices = true);
+
+/// Extends \p Plan in place for transactions appended to \p H since the
+/// plan was (last) computed. So and WrPossible are monotone under
+/// extension — committed transactions never gain events, so no existing
+/// pair changes value and only pairs involving new transactions are
+/// added (debug-asserted); HbReach is re-closed over the grown skeleton
+/// (old pairs may newly connect through new transactions, which is why
+/// streaming encodes hb per query, not in the base prefix). Streaming
+/// plans carry no Fixed entries, so there is nothing to invalidate.
+void extendEncodingPlan(EncodingPlan &Plan, const History &H);
 
 } // namespace encode
 } // namespace isopredict

@@ -17,6 +17,8 @@ const char *isopredict::engine::toString(JobKind K) {
     return "random-weak";
   case JobKind::LockingRc:
     return "locking-rc";
+  case JobKind::Stream:
+    return "stream";
   }
   return "unknown";
 }
@@ -32,6 +34,8 @@ isopredict::engine::jobKindFromString(std::string_view Name) {
     return JobKind::RandomWeak;
   if (N == "locking-rc")
     return JobKind::LockingRc;
+  if (N == "stream")
+    return JobKind::Stream;
   return std::nullopt;
 }
 
@@ -40,7 +44,7 @@ std::string isopredict::engine::canonicalSpec(const JobSpec &S) {
   // key= prefixes so no two specs can serialize identically. Keep this
   // stable: SpecHash values are persisted in JSON reports and matched
   // across runs (report_diff) and, eventually, cache generations.
-  return formatString(
+  std::string Spec = formatString(
       "kind=%s;app=%s;sessions=%u;txns=%u;seed=%llu;level=%s;strat=%s;"
       "pco=%s;store_seed=%llu;timeout_ms=%u;validate=%u;check_ser=%u;"
       "prune=%u",
@@ -50,6 +54,13 @@ std::string isopredict::engine::canonicalSpec(const JobSpec &S) {
       static_cast<unsigned long long>(S.StoreSeed), S.TimeoutMs,
       S.Validate ? 1u : 0u, S.CheckSerializability ? 1u : 0u,
       S.Prune ? 1u : 0u);
+  // Stream-only fields ride as a conditional suffix: every pre-existing
+  // kind keeps the serialization (and therefore the spec_hash) it had
+  // before streaming existed, so old reports and cache entries stay
+  // addressable.
+  if (S.Kind == JobKind::Stream)
+    Spec += formatString(";window=%u;chunk=%u", S.Window, S.StreamChunk);
+  return Spec;
 }
 
 uint64_t isopredict::engine::specHash(const JobSpec &S) {

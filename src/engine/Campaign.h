@@ -50,12 +50,21 @@ enum class JobKind : uint8_t {
   /// Locked read-committed execution, the MySQL substitute (Table 7's
   /// regular-execution column).
   LockingRc,
+  /// Streaming prediction: observe the full workload, then feed it to a
+  /// windowed PredictSession (Options::Streaming) in StreamChunk-sized
+  /// transaction slices — base prefix first, one extend() per further
+  /// slice — querying after every step. Per-step outcomes land in
+  /// JobResult::Steps; the job's Outcome is the final step's. Replay
+  /// validation is skipped: a windowed witness speaks for the window,
+  /// not a full-trace prefix.
+  Stream,
 };
 
 const char *toString(JobKind K);
 
 /// Inverse of toString: parses "observe" / "predict" / "random-weak" /
-/// "locking-rc" (ASCII case-insensitively). std::nullopt otherwise.
+/// "locking-rc" / "stream" (ASCII case-insensitively). std::nullopt
+/// otherwise.
 std::optional<JobKind> jobKindFromString(std::string_view Name);
 
 /// One fully-specified pipeline job.
@@ -88,6 +97,15 @@ struct JobSpec {
   /// canonical spec: pruned and unpruned runs never answer each other's
   /// cache lookups or match in report_diff.
   bool Prune = false;
+  /// Stream: sliding-window width in transactions per session
+  /// (PredictSession::Options::Window); 0 = unbounded (every query
+  /// covers the whole trace). Part of the canonical spec for Stream
+  /// jobs only — the serialization is suffixed conditionally, so every
+  /// pre-existing kind's spec_hash is unchanged.
+  unsigned Window = 0;
+  /// Stream: transactions fed per step (base prefix and each extend);
+  /// 0 behaves as 1. Canonical-spec rules as Window.
+  unsigned StreamChunk = 0;
 };
 
 /// Canonical one-line serialization of every outcome-determining JobSpec

@@ -14,6 +14,7 @@
 #include "support/StrUtil.h"
 #include "validate/Validate.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -243,6 +244,75 @@ void runPredictGroup(const Campaign &C, const std::vector<size_t> &Indices,
   }
 }
 
+/// Executes the streaming pipeline of one Stream job over the observed
+/// history \p Full: base prefix, then one PredictSession::extend per
+/// StreamChunk-sized transaction slice, with the job's query after
+/// every step. \p FromScratch selects the equivalence baseline — a
+/// fresh windowed session per prefix instead of extend() — which must
+/// produce the same per-step outcomes (the CI streaming gate compares
+/// the two with report_diff --outcomes-only).
+void runStreamJob(JobResult &R, const JobSpec &Spec, const History &Full,
+                  bool FromScratch) {
+  unsigned Chunk = std::max(1u, Spec.StreamChunk);
+  TxnId N = static_cast<TxnId>(Full.numTxns()); // t0 included.
+
+  PredictSession::Options SO;
+  SO.PruneFormula = Spec.Prune;
+  SO.Streaming = true;
+  SO.Window = Spec.Window;
+
+  PredictSession::QueryOptions Q;
+  Q.Level = Spec.Level;
+  Q.Strat = Spec.Strat;
+  Q.Pco = Spec.Pco;
+  Q.TimeoutMs = Spec.TimeoutMs;
+
+  // Step cut points: prefix ends [1+Chunk, 1+2*Chunk, ...] clamped to N
+  // (transaction ids start at 1; the last step always covers the whole
+  // trace, so the final answer is the full-history one).
+  std::vector<TxnId> Cuts;
+  for (TxnId C = std::min<TxnId>(1 + Chunk, N);;
+       C = std::min<TxnId>(C + Chunk, N)) {
+    Cuts.push_back(C);
+    if (C == N)
+      break;
+  }
+
+  std::unique_ptr<PredictSession> S;
+  for (size_t I = 0; I < Cuts.size(); ++I) {
+    StreamStep Step;
+    if (FromScratch || I == 0) {
+      S = std::make_unique<PredictSession>(historyPrefix(Full, Cuts[I]), SO);
+      Step.WindowTxns = static_cast<unsigned>(S->window().numTxns());
+    } else {
+      // Delta [Cuts[I-1], Cuts[I]) extending what the session has seen.
+      History Mid = historyPrefix(Full, Cuts[I]);
+      PredictSession::ExtendStats ES =
+          S->extend(historyDelta(S->observed(), Mid, Cuts[I - 1]));
+      Step.WindowTxns = static_cast<unsigned>(ES.WindowTxns);
+      Step.EpochRebuild = ES.EpochRebuild;
+      Step.ExtendSeconds = ES.GenSeconds;
+      Step.Literals = ES.NumLiterals;
+    }
+
+    Prediction P = S->query(Q);
+    Step.Txns = static_cast<unsigned>(Cuts[I] - 1);
+    Step.Outcome = P.Result;
+    Step.TimedOut = P.TimedOut;
+    Step.Literals += P.Stats.NumLiterals;
+    Step.SolveSeconds = P.Stats.SolveSeconds;
+    R.Steps.push_back(Step);
+
+    if (I + 1 == Cuts.size()) {
+      R.Outcome = P.Result;
+      R.Stats = P.Stats;
+      R.Witness = P.Witness; // Full-history ids (extend() remaps).
+      R.TimedOut = P.TimedOut;
+      R.SolverStats = P.SolverStats;
+    }
+  }
+}
+
 /// Lane-statistics context of one engine run: the store (null when
 /// learning is off) plus the mutex serializing its read-modify-write
 /// updates across workers. Concurrent campaign_cli processes can still
@@ -381,7 +451,7 @@ JobResult runPortfolioJob(const JobSpec &Spec, unsigned MaxLanes,
 
 } // namespace
 
-JobResult Engine::runJob(const JobSpec &Spec) {
+JobResult Engine::runJob(const JobSpec &Spec, bool StreamFromScratch) {
   JobResult R;
   R.Spec = Spec;
   obs::Span JobSpan("engine.job", obs::CatEngine);
@@ -443,6 +513,15 @@ JobResult Engine::runJob(const JobSpec &Spec) {
                                 IsolationLevel::ReadCommitted,
                                 Spec.StoreSeed);
     fillWorkloadStats(R, Run);
+    break;
+  }
+
+  case JobKind::Stream: {
+    RunResult Observed =
+        runWorkload(*App, Spec.Cfg, StoreMode::SerialObserved,
+                    IsolationLevel::Serializable, Spec.Cfg.Seed);
+    fillWorkloadStats(R, Observed);
+    runStreamJob(R, Spec, Observed.Hist, StreamFromScratch);
     break;
   }
   }
@@ -573,7 +652,7 @@ Report Engine::run(const Campaign &C) const {
             PortfolioOn && C.Jobs[I].Kind == JobKind::Predict
                 ? runPortfolioJob(C.Jobs[I], Opts.PortfolioLanes,
                                   LaneStats)
-                : runJob(C.Jobs[I]);
+                : runJob(C.Jobs[I], Opts.StreamFromScratch);
         Cache.maybeStore(Results[I]);
       }
       Finished(I);

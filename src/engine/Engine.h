@@ -91,6 +91,16 @@ struct EngineOptions {
   /// SmtSolver::interruptAll() to bring stuck solves back as canceled.
   /// The partial report keeps campaign order and slot layout.
   const std::atomic<bool> *StopFlag = nullptr;
+  /// Stream jobs: instead of extending one PredictSession per slice,
+  /// re-observe every step from scratch (a fresh streaming session per
+  /// prefix). An *execution* flag, not a spec field: extend and
+  /// from-scratch runs of the same campaign share spec hashes, so
+  /// `report_diff --outcomes-only` is exactly the streaming
+  /// equivalence gate (sat models — witnesses — may differ across the
+  /// modes, like every other execution-mode knob). Much slower — this
+  /// is the baseline the incremental path is measured against, not a
+  /// mode anyone should serve from.
+  bool StreamFromScratch = false;
 };
 
 class Engine {
@@ -106,7 +116,10 @@ public:
 
   /// Executes one job in isolation — the full pipeline for its kind.
   /// Deterministic: depends only on \p Spec (modulo solver timeouts).
-  static JobResult runJob(const JobSpec &Spec);
+  /// \p StreamFromScratch selects the Stream baseline execution
+  /// (EngineOptions::StreamFromScratch); outcomes must not depend on it.
+  static JobResult runJob(const JobSpec &Spec,
+                          bool StreamFromScratch = false);
 
   /// The scheduling plan run() executes: job indices partitioned into
   /// groups, in first-appearance order. Share-nothing (\p

@@ -44,6 +44,14 @@ void isopredict::engine::writeJobSpecFields(JsonWriter &J, const JobSpec &S) {
   J.boolean("validate", S.Validate);
   J.boolean("check_serializability", S.CheckSerializability);
   J.boolean("prune", S.Prune);
+  // Stream-only fields, emitted (like the canonical-spec suffix they
+  // mirror) only for stream entries: every pre-existing kind keeps its
+  // exact bytes, and a parsed stream spec still re-hashes to the
+  // recorded spec_hash.
+  if (S.Kind == JobKind::Stream) {
+    J.num("window", static_cast<uint64_t>(S.Window));
+    J.num("chunk", static_cast<uint64_t>(S.StreamChunk));
+  }
 }
 
 void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
@@ -98,6 +106,42 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
       J.boolean("diverged", R.Diverged);
     }
   }
+  if (S.Kind == JobKind::Stream) {
+    // Final step's answer, witness in full-history ids. Replay
+    // validation never runs for stream jobs (a windowed witness speaks
+    // for the window), so there is no validation field to emit.
+    J.str("result", toString(R.Outcome));
+    if (R.TimedOut)
+      J.boolean("timeout", true);
+    if (R.Outcome == SmtResult::Sat) {
+      J.openArray("witness");
+      for (TxnId T : R.Witness)
+        J.numElement(T);
+      J.closeArray();
+    }
+    // Per-step outcomes, in feed order. Outcome fields are default
+    // bytes; literals and seconds are timings-gated because they
+    // depend on the execution mode (extend vs from-scratch baseline),
+    // and the streaming CI gate compares the two modes' reports.
+    J.openArray("steps");
+    for (const StreamStep &St : R.Steps) {
+      J.openElement();
+      J.num("txns", static_cast<uint64_t>(St.Txns));
+      J.num("window_txns", static_cast<uint64_t>(St.WindowTxns));
+      J.str("result", toString(St.Outcome));
+      if (St.TimedOut)
+        J.boolean("timeout", true);
+      if (Opts.IncludeTimings) {
+        J.num("literals", St.Literals);
+        if (St.EpochRebuild)
+          J.boolean("epoch_rebuild", true);
+        J.num("extend_seconds", St.ExtendSeconds);
+        J.num("solve_seconds", St.SolveSeconds);
+      }
+      J.closeObject();
+    }
+    J.closeArray();
+  }
   if (S.Kind == JobKind::RandomWeak) {
     J.boolean("assertion_failed", R.AssertionFailed);
     if (S.CheckSerializability)
@@ -114,7 +158,9 @@ void isopredict::engine::writeJobFields(JsonWriter &J, const JobResult &R,
     J.closeArray();
   }
   if (Opts.IncludeTimings) {
-    if (S.Kind == JobKind::Predict) {
+    // Stream results carry the final step's query stats in the same
+    // Predict-shaped fields.
+    if (S.Kind == JobKind::Predict || S.Kind == JobKind::Stream) {
       J.num("gen_seconds", R.Stats.GenSeconds);
       J.num("solve_seconds", R.Stats.SolveSeconds);
       // Z3 search statistics for this query (SmtSolver::statistics());
@@ -331,6 +377,16 @@ isopredict::engine::jobSpecFromJson(const JsonValue &Obj, std::string *Error) {
   // re-derivation below — exactly the stale-entry rejection we want.
   if (const JsonValue *Prune = Obj.field("prune"))
     S.Prune = Prune->K == JsonValue::Kind::Bool && Prune->B;
+  // Stream entries always carry their window/chunk (they are part of
+  // the canonical spec for this kind); other kinds never do.
+  if (S.Kind == JobKind::Stream) {
+    std::optional<uint64_t> Window = wantU64(Obj, "window", Error);
+    std::optional<uint64_t> Chunk = wantU64(Obj, "chunk", Error);
+    if (!Window || !Chunk)
+      return std::nullopt;
+    S.Window = static_cast<unsigned>(*Window);
+    S.StreamChunk = static_cast<unsigned>(*Chunk);
+  }
 
   // The recorded hash must re-derive from the reconstructed spec: a
   // mismatch means the entry was written by an incompatible
@@ -436,6 +492,71 @@ isopredict::engine::jobResultFromJson(const JsonValue &Obj,
       }
       R.ValStatus = *VS;
       R.Diverged = *Diverged;
+    }
+  }
+
+  if (S.Kind == JobKind::Stream) {
+    std::optional<std::string> Result = wantStr(Obj, "result", Error);
+    if (!Result)
+      return std::nullopt;
+    std::optional<SmtResult> Outcome = smtResultFromString(*Result);
+    if (!Outcome) {
+      setError(Error, "job entry: unknown result '" + *Result + "'");
+      return std::nullopt;
+    }
+    R.Outcome = *Outcome;
+    if (const JsonValue *TO = Obj.field("timeout"))
+      R.TimedOut = TO->K == JsonValue::Kind::Bool && TO->B;
+    if (R.Outcome == SmtResult::Sat) {
+      const JsonValue *Witness =
+          want(Obj, "witness", JsonValue::Kind::Array, Error);
+      if (!Witness)
+        return std::nullopt;
+      for (const JsonValue &T : Witness->Items) {
+        std::optional<int64_t> Id = T.K == JsonValue::Kind::Number
+                                        ? parseInt(T.Text)
+                                        : std::nullopt;
+        if (!Id || *Id < 0) {
+          setError(Error, "job entry: ill-typed witness element");
+          return std::nullopt;
+        }
+        R.Witness.push_back(static_cast<TxnId>(*Id));
+      }
+    }
+    const JsonValue *Steps = want(Obj, "steps", JsonValue::Kind::Array, Error);
+    if (!Steps)
+      return std::nullopt;
+    for (const JsonValue &SV : Steps->Items) {
+      if (SV.K != JsonValue::Kind::Object) {
+        setError(Error, "job entry: ill-typed steps element");
+        return std::nullopt;
+      }
+      StreamStep St;
+      std::optional<uint64_t> Txns = wantU64(SV, "txns", Error);
+      std::optional<uint64_t> WinTxns = wantU64(SV, "window_txns", Error);
+      std::optional<std::string> StRes = wantStr(SV, "result", Error);
+      if (!Txns || !WinTxns || !StRes)
+        return std::nullopt;
+      std::optional<SmtResult> SO = smtResultFromString(*StRes);
+      if (!SO) {
+        setError(Error, "job entry: unknown step result '" + *StRes + "'");
+        return std::nullopt;
+      }
+      St.Txns = static_cast<unsigned>(*Txns);
+      St.WindowTxns = static_cast<unsigned>(*WinTxns);
+      St.Outcome = *SO;
+      auto StepBool = [&SV](const char *Key) {
+        const JsonValue *F = SV.field(Key);
+        return F && F->K == JsonValue::Kind::Bool && F->B;
+      };
+      St.TimedOut = StepBool("timeout");
+      St.EpochRebuild = StepBool("epoch_rebuild");
+      if (const JsonValue *Lits = SV.field("literals"))
+        if (Lits->K == JsonValue::Kind::Number)
+          St.Literals = std::strtoull(Lits->Text.c_str(), nullptr, 10);
+      St.ExtendSeconds = optDouble(SV, "extend_seconds");
+      St.SolveSeconds = optDouble(SV, "solve_seconds");
+      R.Steps.push_back(St);
     }
   }
 

@@ -39,9 +39,10 @@ struct Group {
 std::string groupKey(const JobSpec &S) {
   std::string Key = formatString("%s|%s|%s", toString(S.Kind), S.App.c_str(),
                                  workloadLabel(S.Cfg).c_str());
-  if (S.Kind == JobKind::Predict || S.Kind == JobKind::RandomWeak)
+  if (S.Kind == JobKind::Predict || S.Kind == JobKind::Stream ||
+      S.Kind == JobKind::RandomWeak)
     Key += formatString("|%s", toString(S.Level));
-  if (S.Kind == JobKind::Predict)
+  if (S.Kind == JobKind::Predict || S.Kind == JobKind::Stream)
     Key += formatString("|%s|%s", toString(S.Strat), toString(S.Pco));
   return Key;
 }
@@ -56,7 +57,8 @@ void accumulate(Group &G, const JobResult &R) {
   G.AbortedTxns += R.AbortedTxns;
   G.DeadlockAborts += R.DeadlockAborts;
   G.WallSeconds += R.WallSeconds;
-  if (R.Spec.Kind == JobKind::Predict && R.Ok) {
+  if ((R.Spec.Kind == JobKind::Predict || R.Spec.Kind == JobKind::Stream) &&
+      R.Ok) {
     switch (R.Outcome) {
     case SmtResult::Sat:
       ++G.Sat;

@@ -70,6 +70,29 @@ struct LaneResult {
   SolverStatistics Stats;
 };
 
+/// One step of a Stream job: the query answered after the step's
+/// transaction slice was fed to the session. Outcome fields are
+/// deterministic and land in default report bytes (the kind is new, so
+/// no byte-stability contract predates them); seconds are timings-gated
+/// like every other timing.
+struct StreamStep {
+  /// Transactions observed so far (full history, t0 excluded).
+  unsigned Txns = 0;
+  /// Transactions inside the encoded window after this step (t0
+  /// included) — the quantity the sliding window bounds.
+  unsigned WindowTxns = 0;
+  /// This step's query answer.
+  SmtResult Outcome = SmtResult::Unknown;
+  bool TimedOut = false;
+  /// This step evicted transactions and rebuilt the encoding epoch.
+  bool EpochRebuild = false;
+  /// Literals added this step: the extend's base-prefix growth plus the
+  /// query's window-scoped passes.
+  uint64_t Literals = 0;
+  double ExtendSeconds = 0; ///< Timings-gated.
+  double SolveSeconds = 0;  ///< Timings-gated.
+};
+
 /// Everything one job produced. Fields beyond the workload counters are
 /// meaningful only for the job kinds noted.
 struct JobResult {
@@ -96,8 +119,14 @@ struct JobResult {
   ValidationResult::Status ValStatus = ValidationResult::Status::NoPrediction;
   bool Diverged = false;
   /// pco cycle witnessing unserializability of a Sat prediction, as
-  /// transaction ids (empty for ExactStrict).
+  /// transaction ids (empty for ExactStrict). For Stream jobs the ids
+  /// are full-history ids (PredictSession remaps from the window).
   std::vector<TxnId> Witness;
+
+  //===-- Stream ----------------------------------------------------------===
+  /// Per-step query answers of a Stream job, in feed order; the job's
+  /// Outcome/Witness are the final step's.
+  std::vector<StreamStep> Steps;
 
   //===-- RandomWeak / LockingRc ------------------------------------------===
   /// An in-application assertion failed in a committed transaction (for

@@ -116,25 +116,38 @@ const Transaction *History::txnAtPos(SessionId Session, uint32_t Pos) const {
 }
 
 void History::finalize() {
-  assert(!Txns.empty() && Txns[0].isInit() && "history must start with t0");
-
-  SessionId MaxSession = DeclaredSessions;
-  for (const Transaction &T : Txns)
-    if (T.Session != NoSession)
-      MaxSession = std::max(MaxSession, T.Session + 1);
-  SessionTxns.assign(MaxSession, {});
-  SessionLast.assign(MaxSession, 0);
-  WritersByKey.assign(Keys.size(), {});
-  ReadsByKey.assign(Keys.size(), {});
+  SessionTxns.clear();
+  SessionLast.clear();
+  WritersByKey.clear();
+  ReadsByKey.clear();
   KeysReadList.clear();
   WritePos.clear();
+  finalizeFrom(0);
+}
+
+void History::finalizeFrom(size_t First) {
+  assert(!Txns.empty() && Txns[0].isInit() && "history must start with t0");
+
+  SessionId MaxSession =
+      std::max<SessionId>(DeclaredSessions, SessionTxns.size());
+  for (size_t I = First; I < Txns.size(); ++I)
+    if (Txns[I].Session != NoSession)
+      MaxSession = std::max(MaxSession, Txns[I].Session + 1);
+  SessionTxns.resize(MaxSession);
+  SessionLast.resize(MaxSession, 0);
+  WritersByKey.resize(Keys.size());
+  ReadsByKey.resize(Keys.size());
 
   // t0 heads every per-key writer list: it implicitly writes all keys.
   for (KeyId K = 0; K < Keys.size(); ++K)
-    WritersByKey[K].push_back(InitTxn);
+    if (WritersByKey[K].empty())
+      WritersByKey[K].push_back(InitTxn);
 
   std::vector<bool> KeyRead(Keys.size(), false);
-  for (const Transaction &T : Txns) {
+  for (KeyId K : KeysReadList)
+    KeyRead[K] = true;
+  for (size_t I = First; I < Txns.size(); ++I) {
+    const Transaction &T = Txns[I];
     if (T.Session != NoSession) {
       SessionTxns[T.Session].push_back(T.Id);
       SessionLast[T.Session] = std::max(SessionLast[T.Session], T.EndPos);
@@ -160,12 +173,39 @@ void History::finalize() {
   std::sort(KeysReadList.begin(), KeysReadList.end());
 }
 
+void History::append(const History &Delta) {
+  assert(!Delta.Txns.empty() && Delta.Txns[0].isInit() &&
+         "delta fragment must carry a t0 sentinel");
+  const size_t OldTxns = Txns.size();
+  // Fragments built with HistoryBuilder::extending share our key table
+  // prefix, but remap by name anyway so fragments from other sources
+  // (e.g. a delta parsed against an equal but distinct history) work too.
+  std::vector<KeyId> KeyMap(Delta.Keys.size());
+  for (KeyId K = 0; K < Delta.Keys.size(); ++K)
+    KeyMap[K] = Keys.intern(Delta.Keys.name(K));
+  Txns.reserve(Txns.size() + Delta.Txns.size() - 1);
+  for (size_t I = 1; I < Delta.Txns.size(); ++I) {
+    Transaction T = Delta.Txns[I];
+    assert(T.Id == Txns.size() &&
+           "delta fragment ids must continue this history's numbering");
+    for (Event &E : T.Events) {
+      E.Key = KeyMap[E.Key];
+      assert((E.Kind != EventKind::Read || E.Writer < T.Id) &&
+             "delta read observes a not-yet-committed writer");
+    }
+    Txns.push_back(std::move(T));
+  }
+  DeclaredSessions = std::max(DeclaredSessions, Delta.DeclaredSessions);
+  finalizeFrom(OldTxns);
+}
+
 //===----------------------------------------------------------------------===
 // HistoryBuilder
 //===----------------------------------------------------------------------===
 
 HistoryBuilder::HistoryBuilder(unsigned NumSessions)
-    : NumSessions(NumSessions), NextPos(NumSessions, 1) {
+    : NumSessions(NumSessions), NextPos(NumSessions, 1),
+      SessionCount(NumSessions, 0) {
   H.DeclaredSessions = NumSessions;
   Transaction T0;
   T0.Id = InitTxn;
@@ -173,17 +213,34 @@ HistoryBuilder::HistoryBuilder(unsigned NumSessions)
   H.Txns.push_back(std::move(T0));
 }
 
+HistoryBuilder HistoryBuilder::extending(const History &Base,
+                                         unsigned NumSessions) {
+  HistoryBuilder B;
+  B.NumSessions = std::max<unsigned>(Base.numSessions(), NumSessions);
+  B.NextPos.assign(B.NumSessions, 1);
+  B.SessionCount.assign(B.NumSessions, 0);
+  for (SessionId S = 0; S < Base.numSessions(); ++S) {
+    B.NextPos[S] = Base.sessionLastPos(S) + 1;
+    B.SessionCount[S] = static_cast<uint32_t>(Base.sessionTxns(S).size());
+  }
+  B.NextId = static_cast<TxnId>(Base.numTxns());
+  B.Extending = true;
+  B.H.DeclaredSessions = B.NumSessions;
+  B.H.Keys = Base.keys();
+  Transaction T0;
+  T0.Id = InitTxn;
+  T0.Session = NoSession;
+  B.H.Txns.push_back(std::move(T0));
+  return B;
+}
+
 TxnId HistoryBuilder::beginTxn(SessionId Session, uint32_t Slot) {
   assert(Current == InitTxn && "previous transaction not committed");
   assert(Session < NumSessions && "session id out of range");
   Transaction T;
-  T.Id = static_cast<TxnId>(H.Txns.size());
+  T.Id = NextId++;
   T.Session = Session;
-  // Count existing transactions of this session for the so index.
-  uint32_t Index = 0;
-  for (const Transaction &Prev : H.Txns)
-    if (Prev.Session == Session)
-      ++Index;
+  uint32_t Index = SessionCount[Session]++;
   T.IndexInSession = Index;
   T.Slot = Slot == InfPos ? Index : Slot;
   T.StartPos = NextPos[Session];
@@ -194,7 +251,7 @@ TxnId HistoryBuilder::beginTxn(SessionId Session, uint32_t Slot) {
 
 void HistoryBuilder::read(const std::string &Key, TxnId Writer, Value Val) {
   assert(Current != InitTxn && "read outside a transaction");
-  Transaction &T = H.Txns[Current];
+  Transaction &T = H.Txns.back();
   Event E;
   E.Kind = EventKind::Read;
   E.Key = H.Keys.intern(Key);
@@ -206,7 +263,7 @@ void HistoryBuilder::read(const std::string &Key, TxnId Writer, Value Val) {
 
 void HistoryBuilder::write(const std::string &Key, Value Val) {
   assert(Current != InitTxn && "write outside a transaction");
-  Transaction &T = H.Txns[Current];
+  Transaction &T = H.Txns.back();
   Event E;
   E.Kind = EventKind::Write;
   E.Key = H.Keys.intern(Key);
@@ -225,7 +282,7 @@ void HistoryBuilder::write(const std::string &Key, Value Val) {
 
 void HistoryBuilder::commit() {
   assert(Current != InitTxn && "commit outside a transaction");
-  Transaction &T = H.Txns[Current];
+  Transaction &T = H.Txns.back();
   T.EndPos = NextPos[T.Session]++;
   if (T.Events.empty())
     T.StartPos = T.EndPos;
@@ -234,6 +291,40 @@ void HistoryBuilder::commit() {
 
 History HistoryBuilder::finish() {
   assert(Current == InitTxn && "unfinished transaction at finish()");
-  H.finalize();
+  // Delta fragments stay un-finalized: their reads reference base
+  // transactions outside the fragment, so only Txns/Keys are meaningful
+  // and History::append folds them into the target's indexes.
+  if (!Extending)
+    H.finalize();
   return std::move(H);
+}
+
+void isopredict::replayTxns(HistoryBuilder &B, const History &Full,
+                            TxnId First, TxnId Last) {
+  for (TxnId T = First; T < Last; ++T) {
+    const Transaction &Txn = Full.txn(T);
+    B.beginTxn(Txn.Session, Txn.Slot);
+    for (const Event &E : Txn.Events) {
+      const std::string &K = Full.keys().name(E.Key);
+      if (E.Kind == EventKind::Read)
+        B.read(K, E.Writer, E.Val);
+      else
+        B.write(K, E.Val);
+    }
+    B.commit();
+  }
+}
+
+History isopredict::historyPrefix(const History &Full, TxnId Last) {
+  HistoryBuilder B(static_cast<unsigned>(Full.numSessions()));
+  replayTxns(B, Full, 1, Last);
+  return B.finish();
+}
+
+History isopredict::historyDelta(const History &Base, const History &Full,
+                                 TxnId First) {
+  HistoryBuilder B = HistoryBuilder::extending(
+      Base, static_cast<unsigned>(Full.numSessions()));
+  replayTxns(B, Full, First, static_cast<TxnId>(Full.numTxns()));
+  return B.finish();
 }

@@ -200,6 +200,13 @@ public:
   /// Recomputes all derived indexes; must be called after Txns changes.
   void finalize();
 
+  /// Appends a *delta fragment* (built with HistoryBuilder::extending or
+  /// parseTraceDelta) in place and updates the derived indexes
+  /// incrementally — O(delta), not O(trace), so repeated streaming extends
+  /// stay linear. The fragment's transaction ids must continue this
+  /// history's numbering (Delta.Txns[0] is its t0 sentinel and is skipped).
+  void append(const History &Delta);
+
   std::vector<Transaction> Txns;
   KeyTable Keys;
   /// Number of sessions the producing run declared; numSessions() is the
@@ -208,6 +215,10 @@ public:
   uint32_t DeclaredSessions = 0;
 
 private:
+  /// Folds Txns[First..] into the derived indexes without clearing them;
+  /// finalize() is finalizeFrom(0) after a reset.
+  void finalizeFrom(size_t First);
+
   std::vector<std::vector<TxnId>> SessionTxns;
   std::vector<std::vector<TxnId>> WritersByKey;
   std::vector<std::vector<ReadRef>> ReadsByKey;
@@ -224,6 +235,18 @@ private:
 class HistoryBuilder {
 public:
   explicit HistoryBuilder(unsigned NumSessions);
+
+  /// Creates a builder whose result is a *delta fragment* extending
+  /// \p Base: transaction ids continue at Base.numTxns(), per-session
+  /// positions, session indexes, and default slots continue where Base
+  /// left off, and the key table is seeded from Base so KeyIds agree.
+  /// Reads may observe any Base transaction or any earlier fragment
+  /// transaction (combined numbering). finish() skips finalize(): a
+  /// fragment carries only Txns/Keys and is consumed by History::append
+  /// (or PredictSession::extend) — its query methods must not be used.
+  /// \p NumSessions may widen the session space; 0 keeps Base's.
+  static HistoryBuilder extending(const History &Base,
+                                  unsigned NumSessions = 0);
 
   /// Starts a transaction on \p Session and returns its id. \p Slot
   /// labels the application script slot; InfPos means "use the index of
@@ -243,11 +266,38 @@ public:
   History finish();
 
 private:
+  HistoryBuilder() = default;
+
   History H;
-  unsigned NumSessions;
+  unsigned NumSessions = 0;
   std::vector<uint32_t> NextPos;
+  /// Transactions per session so far (continues from the base history in
+  /// extending mode); avoids an O(numTxns) scan per beginTxn.
+  std::vector<uint32_t> SessionCount;
+  TxnId NextId = 1;
+  bool Extending = false;
   TxnId Current = InitTxn; ///< InitTxn means "no open transaction".
 };
+
+/// Replays transactions [\p First, \p Last) of \p Full into \p B, in id
+/// order. Histories record events in builder order, so the replay
+/// regenerates identical per-session positions — the same invariant the
+/// trace round-trip rests on. The chunking primitive behind streaming
+/// drivers that feed a recorded history to PredictSession::extend in
+/// slices.
+void replayTxns(HistoryBuilder &B, const History &Full, TxnId First,
+                TxnId Last);
+
+/// The prefix [1, \p Last) of \p Full as a standalone finalized history
+/// (t0 implied; the full session space is kept even for sessions with no
+/// transaction yet).
+History historyPrefix(const History &Full, TxnId Last);
+
+/// A delta fragment holding [\p First, Full.numTxns()) of \p Full,
+/// extending \p Base — which must be (byte-equivalent to) the prefix
+/// [1, First) of \p Full. Consumed by History::append or
+/// PredictSession::extend.
+History historyDelta(const History &Base, const History &Full, TxnId First);
 
 } // namespace isopredict
 

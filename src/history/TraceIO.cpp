@@ -4,6 +4,7 @@
 
 #include "support/StrUtil.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace isopredict;
@@ -26,8 +27,13 @@ std::string isopredict::writeTrace(const History &H) {
   return Out.str();
 }
 
-std::optional<History> isopredict::readTrace(const std::string &Text,
-                                             std::string *Error) {
+/// Shared directive loop for readTrace (Base == nullptr, `history` header
+/// required) and parseTraceDelta (Base != nullptr, headerless; numbering
+/// and diagnostics continue from the base).
+static std::optional<History> parseTrace(const History *Base,
+                                         const std::string &Text,
+                                         std::string *Error,
+                                         size_t StartLine) {
   auto Fail = [Error](const std::string &Msg) -> std::optional<History> {
     if (Error)
       *Error = Msg;
@@ -36,10 +42,29 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
 
   std::optional<HistoryBuilder> Builder;
   bool InTxn = false;
-  size_t LineNo = 0;
+  size_t LineNo = StartLine;
   size_t LastLine = 0; ///< Line of the last directive (EOF diagnostics).
   size_t TxnLine = 0;  ///< Line of the currently open txn directive.
   size_t NumTxnsSeen = 0;
+  if (Base) {
+    // Deltas may open sessions beyond the base's declared count; size the
+    // builder's session space from a pre-scan of the txn directives.
+    unsigned Sessions = static_cast<unsigned>(Base->numSessions());
+    for (std::string_view Line : splitString(Text, '\n')) {
+      Line = trimString(Line);
+      if (Line.rfind("txn ", 0) != 0)
+        continue;
+      std::vector<std::string_view> Tok;
+      for (std::string_view Part : splitString(Line, ' '))
+        if (!Part.empty())
+          Tok.push_back(Part);
+      if (Tok.size() >= 2)
+        if (auto S = parseInt(Tok[1]); S && *S >= 0)
+          Sessions = std::max(Sessions, static_cast<unsigned>(*S) + 1);
+    }
+    Builder.emplace(HistoryBuilder::extending(*Base, Sessions));
+    NumTxnsSeen = Base->numTxns() - 1;
+  }
 
   for (std::string_view Line : splitString(Text, '\n')) {
     ++LineNo;
@@ -54,6 +79,8 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
 
     const std::string Where = formatString("line %zu: ", LineNo);
     if (Tok[0] == "history") {
+      if (Base)
+        return Fail(Where + "history directive not allowed in a trace delta");
       if (Builder)
         return Fail(Where + "duplicate history directive");
       if (Tok.size() != 2)
@@ -130,4 +157,25 @@ std::optional<History> isopredict::readTrace(const std::string &Text,
                              "opened at line %zu (missing commit)",
                              LastLine, TxnLine));
   return Builder->finish();
+}
+
+std::optional<History> isopredict::readTrace(const std::string &Text,
+                                             std::string *Error) {
+  return parseTrace(nullptr, Text, Error, 0);
+}
+
+std::optional<History> isopredict::parseTraceDelta(const History &Base,
+                                                   const std::string &Text,
+                                                   std::string *Error,
+                                                   size_t StartLine) {
+  return parseTrace(&Base, Text, Error, StartLine);
+}
+
+bool isopredict::appendTrace(History &H, const std::string &Text,
+                             std::string *Error, size_t StartLine) {
+  std::optional<History> Delta = parseTraceDelta(H, Text, Error, StartLine);
+  if (!Delta)
+    return false;
+  H.append(*Delta);
+  return true;
 }

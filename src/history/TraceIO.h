@@ -42,6 +42,23 @@ std::string writeTrace(const History &H);
 std::optional<History> readTrace(const std::string &Text,
                                  std::string *Error = nullptr);
 
+/// Parses a headerless trace *continuation* (txn/read/write/commit lines
+/// only — no `history` directive) as a delta fragment extending \p Base:
+/// transaction numbering continues at Base.numTxns() and reads may
+/// observe any base or earlier-delta transaction. The returned fragment
+/// is consumed by History::append / PredictSession::extend. Diagnostics
+/// offset line numbers by \p StartLine, so a trace split into base +
+/// delta reports the same positions as the unsplit file.
+std::optional<History> parseTraceDelta(const History &Base,
+                                       const std::string &Text,
+                                       std::string *Error = nullptr,
+                                       size_t StartLine = 0);
+
+/// Convenience: parseTraceDelta + History::append in place. Returns false
+/// (leaving \p H untouched) on malformed input.
+bool appendTrace(History &H, const std::string &Text,
+                 std::string *Error = nullptr, size_t StartLine = 0);
+
 } // namespace isopredict
 
 #endif // ISOPREDICT_HISTORY_TRACEIO_H

@@ -18,6 +18,7 @@
 #include "obs/Tracer.h"
 #include "support/Env.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace isopredict;
@@ -152,13 +153,23 @@ PredictSession::PredictSession(const History &Observed)
     : PredictSession(Observed, Options()) {}
 
 PredictSession::PredictSession(const History &Observed, Options SO)
-    : PredictSession(Observed, toPredictOptions(SO), /*Shared=*/true) {}
+    : PredictSession(Observed, toPredictOptions(SO), /*Shared=*/true,
+                     SO.Streaming, SO.Window) {}
 
 PredictSession::PredictSession(const History &Observed,
-                               const PredictOptions &O, bool Shared)
+                               const PredictOptions &O, bool Shared,
+                               bool Streaming, unsigned Window)
     : OwnedH(Shared ? Observed : History()),
       H(Shared ? OwnedH : Observed), Opts(O), Shared(Shared),
+      Streaming(Streaming), Window(Window),
       DefaultTimeoutMs(O.TimeoutMs) {
+  assert((!Streaming || Shared) && "streaming sessions are shared");
+  if (Streaming) {
+    EvictCount.resize(H.numSessions());
+    for (SessionId S = 0; S < H.numSessions(); ++S)
+      EvictCount[S] = evictCount(H.sessionTxns(S).size());
+    rebuildSub();
+  }
   // Fast-path precondition (the paper's footnote 5, generalized): with
   // at most one writing transaction besides t0, every causal execution
   // of the same program prefix is serializable — each transaction's
@@ -183,8 +194,9 @@ void PredictSession::ensureSolver() {
   Solver = std::make_unique<SmtSolver>(*Ctx);
   for (const auto &Param : Opts.SolverParams)
     Solver->setOption(Param.first, Param.second);
-  EC = std::make_unique<encode::EncodingContext>(H, Opts, *Ctx, *Solver,
-                                                 /*SessionMode=*/Shared);
+  EC = std::make_unique<encode::EncodingContext>(
+      Streaming ? SubH : H, Opts, *Ctx, *Solver,
+      /*SessionMode=*/Shared, Streaming);
   // Publish the solver for cross-thread interrupt(), then re-check the
   // sticky request: an interrupt that raced solver creation is applied
   // here instead of being lost.
@@ -220,6 +232,164 @@ void PredictSession::applyTimeout(unsigned TimeoutMs) {
 Prediction PredictSession::query(const QueryOptions &Q) {
   assert(Shared && "query() is for shared sessions; use predict()");
   return runQuery(Q);
+}
+
+uint32_t PredictSession::evictCount(size_t Count) const {
+  if (Window == 0 || Count <= Window)
+    return 0;
+  // Hysteresis: evict in steps of H so eviction — and therefore the
+  // epoch — changes at most once every H appended transactions per
+  // session. Pure function of the final count, so extending by deltas
+  // and re-observing from scratch agree on the window.
+  uint32_t Hyst = std::max(1u, Window / 2);
+  return static_cast<uint32_t>((Count - Window) / Hyst) * Hyst;
+}
+
+void PredictSession::rebuildSub() {
+  size_t Full = H.numTxns();
+  SubH = History();
+  SubH.Keys = H.keys();
+  SubH.DeclaredSessions = static_cast<uint32_t>(H.numSessions());
+  FullToSub.assign(Full, NoSub);
+  SubToFull.clear();
+  FullToSub[InitTxn] = InitTxn;
+  SubToFull.push_back(InitTxn);
+  SubH.Txns.push_back(H.txn(InitTxn));
+  for (TxnId T = 1; T < Full; ++T) {
+    const Transaction &FT = H.txn(T);
+    if (FT.IndexInSession < EvictCount[FT.Session])
+      continue;
+    Transaction C = FT;
+    C.Id = static_cast<TxnId>(SubH.Txns.size());
+    for (Event &E : C.Events)
+      if (E.Kind == EventKind::Read)
+        // Reads of evicted writers fold into t0: the initial state
+        // stands in for everything before the window (observed value
+        // kept — values only matter to replay validation, which
+        // streaming skips).
+        E.Writer = FullToSub[E.Writer] == NoSub ? InitTxn
+                                                : FullToSub[E.Writer];
+    FullToSub[T] = C.Id;
+    SubToFull.push_back(T);
+    SubH.Txns.push_back(std::move(C));
+  }
+  SubH.finalize();
+}
+
+void PredictSession::appendSubDelta(size_t FullFrom) {
+  // Build a delta fragment with mapped ids/writers and hand it to
+  // History::append — O(delta) index folding, no full finalize.
+  History Frag;
+  Frag.Keys = H.keys(); // Current table: the delta may have new keys.
+  Frag.DeclaredSessions = static_cast<uint32_t>(H.numSessions());
+  Frag.Txns.push_back(SubH.txn(InitTxn)); // t0 sentinel, skipped.
+  FullToSub.resize(H.numTxns(), NoSub);
+  for (TxnId T = static_cast<TxnId>(FullFrom); T < H.numTxns(); ++T) {
+    Transaction C = H.txn(T);
+    C.Id = static_cast<TxnId>(SubH.numTxns() + Frag.Txns.size() - 1);
+    for (Event &E : C.Events)
+      if (E.Kind == EventKind::Read)
+        E.Writer = FullToSub[E.Writer] == NoSub ? InitTxn
+                                                : FullToSub[E.Writer];
+    FullToSub[T] = C.Id;
+    SubToFull.push_back(T);
+    Frag.Txns.push_back(std::move(C));
+  }
+  SubH.append(Frag);
+}
+
+PredictSession::ExtendStats PredictSession::extend(const History &Delta) {
+  assert(Shared && Streaming && "extend() is for streaming sessions");
+  assert((!Solver || Solver->atRootScope()) &&
+         "extend() must run between queries, not inside one");
+  static obs::Counter &ExtendCount =
+      obs::Metrics::global().counter("session.extends");
+  static obs::Counter &EvictedCount =
+      obs::Metrics::global().counter("encode.window_evicted");
+  ExtendCount.inc();
+  obs::Span Sp("session.extend", obs::CatSession);
+
+  size_t FullFrom = OwnedH.numTxns();
+  OwnedH.append(Delta);
+
+  // The causal fast-path precondition stays a property of the *full*
+  // history (the from-scratch path observes the full history too, so
+  // the two agree on when the solver is skipped).
+  for (TxnId T = static_cast<TxnId>(FullFrom); T < H.numTxns(); ++T)
+    for (const Event &E : H.txn(T).Events)
+      if (E.Kind == EventKind::Write) {
+        ++WritingTxns;
+        break;
+      }
+
+  ExtendStats ES;
+  size_t Sessions = H.numSessions();
+  if (EvictCount.size() < Sessions)
+    EvictCount.resize(Sessions, 0);
+  bool EpochChange = false;
+  for (SessionId S = 0; S < Sessions; ++S) {
+    uint32_t E = evictCount(H.sessionTxns(S).size());
+    if (E != EvictCount[S]) {
+      ES.EvictedTxns += E - EvictCount[S];
+      EvictCount[S] = E;
+      EpochChange = true;
+    }
+  }
+  if (ES.EvictedTxns)
+    EvictedCount.inc(ES.EvictedTxns);
+
+  if (!BaseDone) {
+    // Nothing encoded yet: just refresh the window; the first query
+    // pays for the whole base as usual.
+    assert(!Ctx && "shared solver exists without an encoded base");
+    rebuildSub();
+    ++Extends;
+    ES.WindowTxns = SubH.numTxns();
+    return ES;
+  }
+
+  if (EpochChange) {
+    // The window moved: existing base assertions mention evicted
+    // transactions, so the incremental prefix is rebuilt from scratch
+    // over the new sub-history — a fresh context keeps the old epoch's
+    // interned atoms from pinning memory. Amortized by the eviction
+    // hysteresis: at most one rebuild every H appended transactions
+    // per session.
+    ES.EpochRebuild = true;
+    rebuildSub();
+    PublishedSolver.store(nullptr, std::memory_order_release);
+    EC.reset();
+    Solver.reset();
+    Ctx.reset();
+    BaseDone = false;
+    BaseStats = EncodingStats();
+    AppliedTimeoutMs = 0;
+    ensureBase(); // Re-publishes the solver for interrupt().
+    ES.GenSeconds = BaseStats.GenSeconds;
+    ES.NumLiterals = BaseStats.NumLiterals;
+  } else {
+    // In-place delta: append the mapped delta to the sub-history, grow
+    // the plan/tables, and re-run the base passes — they encode only
+    // entities and pairs touching [DeltaFrom, N).
+    appendSubDelta(FullFrom);
+    EC->extendHistory();
+    obs::Span Gen("session.extend_encode", obs::CatSession);
+    uint64_t Before = Ctx->literalCount();
+    EncodingStats DeltaStats;
+    encode::EncoderPipeline::forSessionBase(Opts).run(*EC, DeltaStats);
+    Gen.finish();
+    ES.GenSeconds = Gen.seconds();
+    ES.NumLiterals = Ctx->literalCount() - Before;
+    // Fold into the base's books so baseLiterals() stays "literals on
+    // the solver below the scopes".
+    BaseStats.NumLiterals += ES.NumLiterals;
+    BaseStats.GenSeconds += ES.GenSeconds;
+    BaseStats.PrunedVars = EC->PrunedVars;
+    BaseStats.PrunedLits = EC->PrunedLits;
+  }
+  ++Extends;
+  ES.WindowTxns = SubH.numTxns();
+  return ES;
 }
 
 Prediction PredictSession::oneShot(const History &Observed,
@@ -322,7 +492,9 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
   uint64_t Before = Ctx->literalCount();
   uint64_t PVBefore = EC->PrunedVars, PLBefore = EC->PrunedLits;
   Timer Gen;
-  encode::EncoderPipeline::forQuery(Opts).run(*EC, Out.Stats);
+  (Streaming ? encode::EncoderPipeline::forStreamQuery(Opts)
+             : encode::EncoderPipeline::forQuery(Opts))
+      .run(*EC, Out.Stats);
   Out.Stats.GenSeconds = Gen.seconds();
   Out.Stats.NumLiterals = Ctx->literalCount() - Before;
   Out.Stats.PrunedVars = EC->PrunedVars - PVBefore;
@@ -347,8 +519,15 @@ Prediction PredictSession::runQuery(const QueryOptions &Q) {
     Out.Result = Solver->check();
     Out.Stats.SolveSeconds = Solve.seconds();
     recordCheckOutcome(*Solver, Opts.TimeoutMs, Out);
-    if (Out.Result == SmtResult::Sat)
+    if (Out.Result == SmtResult::Sat) {
       extract(*EC, *Solver, Out); // before pop: the model reads scoped vars
+      if (Streaming)
+        // The model speaks window ids: map the witness back to the
+        // observed history's ids. Predicted stays window-scoped (its
+        // ids are the window's — see windowToFull).
+        for (TxnId &T : Out.Witness)
+          T = SubToFull[T];
+    }
   }
   Solver->pop();
   ++Queries;

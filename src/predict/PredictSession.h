@@ -76,6 +76,42 @@ public:
     /// only on the observed history) and every query's scope encodes
     /// against the same pruned base.
     bool PruneFormula = false;
+    /// Streaming mode: the session accepts extend() deltas and encodes
+    /// over a sliding window (see Window). The base prefix holds only
+    /// the monotone constraint families and grows in place per extend;
+    /// the non-monotone ones are asserted per query by WindowPass
+    /// (encode/Passes.h). Streaming answers are outcome-equivalent to
+    /// predict() on the window's sub-history — and to predict() on the
+    /// full trace whenever Window covers it — but never bit-identical.
+    bool Streaming = false;
+    /// Sliding window: per-session cap on the number of encoded
+    /// transactions; 0 = unbounded (never evict — still streaming, the
+    /// base just grows with the trace). Eviction is deterministic in
+    /// the final history: session s evicts its first
+    ///   E_s = count_s <= W ? 0 : floor((count_s - W) / H) * H
+    /// transactions, with hysteresis H = max(1, W/2), so extending by
+    /// deltas and re-observing from scratch encode the *same* window —
+    /// the streaming CI gate pins that equivalence. A change in any E_s
+    /// triggers an epoch rebuild (fresh solver over the new window);
+    /// the hysteresis makes rebuilds amortized O(1/H) per extend.
+    unsigned Window = 0;
+  };
+
+  /// Cost of one extend() (bench_streaming's measurement unit).
+  struct ExtendStats {
+    /// Wall-clock of the delta encode (or of the full window re-encode
+    /// when EpochRebuild).
+    double GenSeconds = 0;
+    /// Literals asserted by this extend (0 until the base is encoded —
+    /// the first query pays for everything pending).
+    uint64_t NumLiterals = 0;
+    /// Eviction changed, forcing a from-scratch rebuild of the solver
+    /// over the new window.
+    bool EpochRebuild = false;
+    /// Transactions (including t0) in the encoded window afterwards.
+    size_t WindowTxns = 0;
+    /// Transactions newly evicted from the window by this extend.
+    uint64_t EvictedTxns = 0;
   };
 
   /// Knobs that may vary per query; everything else about the
@@ -107,12 +143,59 @@ public:
   /// each call runs inside its own solver scope.
   Prediction query(const QueryOptions &Q);
 
+  /// Streaming sessions only: appends \p Delta — a fragment built with
+  /// HistoryBuilder::extending(observed()) or parseTraceDelta — to the
+  /// observed history *in place* (O(delta); repeated extends stay
+  /// linear, not quadratic) and grows the encoded base accordingly:
+  /// new transactions and pairs are encoded additively, existing pairs
+  /// are never re-encoded, and a window eviction change rebuilds the
+  /// solver over the new window instead. Must be called between
+  /// queries (the solver is at root scope), never concurrently with
+  /// one.
+  ///
+  /// Aliasing rule: the session owns its copy of the history — the
+  /// History passed at construction is not referenced afterwards, and
+  /// \p Delta is copied too (the caller's fragment is unchanged and
+  /// may be discarded). observed() is the one view of the full
+  /// extended history and is invalidated-by-growth only (ids and
+  /// indexes of existing transactions never change). Portfolio lanes
+  /// (makeLane) reference the *caller's* history and must not be mixed
+  /// with extend().
+  ExtendStats extend(const History &Delta);
+
+  /// Extends answered so far.
+  size_t numExtends() const { return Extends; }
+
+  /// True for sessions built with Options::Streaming — the only kind
+  /// extend() accepts (the server's extend verb checks this before
+  /// growing a pooled session in place).
+  bool streaming() const { return Streaming; }
+
+  /// The encoded history: the sliding-window sub-history in streaming
+  /// mode (transaction ids renumbered densely; windowToFull maps them
+  /// back), the full observed history otherwise.
+  const History &window() const { return Streaming ? SubH : H; }
+
+  /// Streaming: maps a window transaction id to the observed history's
+  /// id (identity when not streaming). query() already remaps
+  /// Prediction::Witness; Prediction::Predicted stays window-scoped.
+  TxnId windowToFull(TxnId W) const {
+    return Streaming ? SubToFull[W] : W;
+  }
+
   /// Queries answered so far (including fast-pathed ones).
   size_t numQueries() const { return Queries; }
 
   /// True once the shared declare+feasibility prefix is on the solver
   /// (it is encoded lazily by the first query that needs the solver).
   bool baseEncoded() const { return BaseDone; }
+
+  /// Encodes the shared declare+feasibility prefix now if not done yet.
+  /// Normally lazy (the first query pays for it); public so callers can
+  /// warm a session up front — e.g. pre-encoding a registered history
+  /// before the first query arrives, or measuring the base-encode cost
+  /// in isolation without paying a query's per-query passes.
+  void ensureBase();
 
   /// Literals of the shared prefix (0 until baseEncoded()).
   uint64_t baseLiterals() const { return BaseStats.NumLiterals; }
@@ -159,13 +242,28 @@ public:
 
 private:
   PredictSession(const History &Observed, const PredictOptions &Opts,
-                 bool Shared);
+                 bool Shared, bool Streaming = false, unsigned Window = 0);
 
   /// Creates the Z3 context/solver/encoding context on first use.
   void ensureSolver();
 
-  /// Encodes the shared declare+feasibility prefix if not done yet.
-  void ensureBase();
+  /// Deterministic eviction count for a session of \p Count
+  /// transactions (see Options::Window).
+  uint32_t evictCount(size_t Count) const;
+
+  /// Streaming: rebuilds SubH (and the id maps) from scratch as the
+  /// window sub-history of the current full history under the current
+  /// EvictCount — evicted transactions are dropped wholesale, kept
+  /// reads of evicted writers are folded into t0 (observed values
+  /// kept), ids are renumbered densely, and original per-session
+  /// positions/indexes/slots are preserved.
+  void rebuildSub();
+
+  /// Streaming, no-eviction extend: appends the full history's
+  /// [FullFrom, numTxns) transactions to SubH in place (mapped ids,
+  /// folded writers), updating the id maps and derived indexes in
+  /// O(delta).
+  void appendSubDelta(size_t FullFrom);
 
   /// Applies \p TimeoutMs (0 = none) only when it differs from the
   /// timeout currently installed on the solver.
@@ -175,19 +273,33 @@ private:
   Prediction runQuery(const QueryOptions &Q);
 
   /// Shared sessions own a copy of the observed history (the session
-  /// outlives the structures campaigns build histories in); the
+  /// outlives the structures campaigns build histories in); streaming
+  /// extends append to it in place (see extend()'s aliasing rule). The
   /// one-shot path leaves this empty and references the caller's
   /// history directly — it never outlives the predict() call, so the
   /// pre-session no-copy behaviour is preserved.
-  const History OwnedH;
+  History OwnedH;
   const History &H;
   /// Effective options handed to the encoding passes; the query-varying
   /// fields (Level/Strat/Pco/TimeoutMs) are rewritten per query.
   PredictOptions Opts;
   const bool Shared;
+  const bool Streaming;
+  const unsigned Window;
   /// Session-default solver timeout (Opts.TimeoutMs is rewritten per
   /// query, so the default lives here).
   const unsigned DefaultTimeoutMs;
+
+  /// Streaming: the encoded window sub-history (the EncodingContext
+  /// references it — a member, so its address is stable across
+  /// extends) and the dense id maps between it and the full history.
+  History SubH;
+  std::vector<TxnId> SubToFull;
+  std::vector<TxnId> FullToSub; ///< NoSub when evicted.
+  static constexpr TxnId NoSub = std::numeric_limits<TxnId>::max();
+  /// Per-session eviction counts of the current epoch.
+  std::vector<uint32_t> EvictCount;
+  size_t Extends = 0;
 
   /// Number of transactions (besides t0) that write: the causal
   /// fast-path precondition (footnote 5), computed once per history.

@@ -18,6 +18,13 @@
 ///   observe   app, workload|sessions/txns,   run a serializable observed
 ///             seed [, name]                  execution server-side; "name"
 ///                                            registers the history
+///   extend    name, trace                    append a headerless trace delta
+///                                            (TraceIO parseTraceDelta) to a
+///                                            registered history; warm pooled
+///                                            sessions grow in place
+///                                            (PredictSession::extend) and are
+///                                            re-keyed under the new content
+///                                            hash
 ///   query     spec | history+level/strategy  one prediction job (see below)
 ///   status    —                              server/tenant/latency/metrics
 ///                                            snapshot (rolling p50/p95/p99

@@ -336,7 +336,8 @@ void Server::handleRequest(const std::shared_ptr<Conn> &C, Request Req) {
   } else if (Req.Verb == "metrics") {
     C->send(metricsJson(Req));
   } else if (Req.Verb == "upload" || Req.Verb == "observe" ||
-             Req.Verb == "query" || Req.Verb == "shutdown") {
+             Req.Verb == "extend" || Req.Verb == "query" ||
+             Req.Verb == "shutdown") {
     Tenant *T = C->T.load(std::memory_order_acquire);
     if (!T) {
       Ok = false;
@@ -347,6 +348,8 @@ void Server::handleRequest(const std::shared_ptr<Conn> &C, Request Req) {
       Ok = handleUpload(C, Req, *T);
     } else if (Req.Verb == "observe") {
       Ok = handleObserve(C, Req, *T);
+    } else if (Req.Verb == "extend") {
+      Ok = handleExtend(C, Req, *T);
     } else if (Req.Verb == "query") {
       Ok = handleQuery(C, std::move(Req), *T);
     } else if (!T->config().Admin) {
@@ -510,6 +513,95 @@ bool Server::handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
                        static_cast<unsigned long long>(Stored->ContentHash)));
   }
   J.str("trace", writeTrace(Run.Hist));
+  J.closeObject();
+  C->send(J.take());
+  return true;
+}
+
+bool Server::handleExtend(const std::shared_ptr<Conn> &C, const Request &Req,
+                          Tenant &T) {
+  static obs::Counter &Extends =
+      obs::Metrics::global().counter("server.extends");
+  static obs::Counter &InPlace =
+      obs::Metrics::global().counter("server.extends_in_place");
+  const JsonValue *Name = Req.Body.field("name");
+  const JsonValue *Trace = Req.Body.field("trace");
+  if (!Name || Name->K != JsonValue::Kind::String || Name->Text.empty() ||
+      !Trace || Trace->K != JsonValue::Kind::String) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest,
+                          "extend needs string fields \"name\" and "
+                          "\"trace\""));
+    return false;
+  }
+  std::optional<StoredHistory> Old = T.getHistory(Name->Text);
+  if (!Old) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::UnknownHistory,
+                          "no history named '" + Name->Text +
+                              "' (upload or observe it first)"));
+    return false;
+  }
+  std::string Error;
+  std::optional<History> Delta = parseTraceDelta(*Old->H, Trace->Text, &Error);
+  if (!Delta) {
+    errorsCounter().inc();
+    C->send(errorResponse(Req, errc::BadRequest, "delta: " + Error));
+    return false;
+  }
+  size_t DeltaTxns = Delta->Txns.size() - 1; // [0] is the t0 sentinel
+  History Full = *Old->H;
+  Full.append(*Delta);
+  size_t Txns = Full.numTxns() - 1, NumSessions = Full.numSessions();
+  // Replacing an existing name never trips the history quota.
+  T.putHistory(Name->Text, std::move(Full));
+  std::optional<StoredHistory> Stored = T.getHistory(Name->Text);
+
+  // Re-home warm sessions: a pooled session keyed under the old content
+  // hash is grown in place — its encoded base keeps amortizing across
+  // the extended trace — and released under the new hash. A session a
+  // concurrent query holds right now is simply missed here; it comes
+  // back under the old key as an unreachable stray and ages out of the
+  // LRU. Non-streaming strays (pooled before this server version) are
+  // discarded the same way.
+  unsigned ExtendedInPlace = 0;
+  if (Stored) {
+    for (bool Prune : {false, true}) {
+      std::unique_ptr<PredictSession> Sess = Sessions.acquire(
+          SessionPool::key(T.config().AppId, Old->ContentHash, Prune));
+      if (!Sess)
+        continue;
+      if (!Sess->streaming() ||
+          Sess->observed().numTxns() != Old->H->numTxns())
+        continue;
+      Sess->extend(*Delta);
+      Sessions.release(
+          SessionPool::key(T.config().AppId, Stored->ContentHash, Prune),
+          std::move(Sess));
+      ++ExtendedInPlace;
+    }
+  }
+  Extends.inc();
+  InPlace.inc(ExtendedInPlace);
+  obs::Log::global().info(
+      "server.extend",
+      {{"tenant", T.name()},
+       {"name", Name->Text},
+       {"delta_txns", std::to_string(DeltaTxns)},
+       {"txns", std::to_string(Txns)},
+       {"extended_sessions", std::to_string(ExtendedInPlace)}});
+
+  JsonWriter J(JsonWriter::Style::Compact);
+  beginResponse(J, Req, true);
+  J.str("name", Name->Text);
+  J.num("sessions", static_cast<uint64_t>(NumSessions));
+  J.num("txns", static_cast<uint64_t>(Txns));
+  J.num("delta_txns", static_cast<uint64_t>(DeltaTxns));
+  if (Stored)
+    J.str("content_hash",
+          formatString("%016llx",
+                       static_cast<unsigned long long>(Stored->ContentHash)));
+  J.num("extended_sessions", static_cast<uint64_t>(ExtendedInPlace));
   J.closeObject();
   C->send(J.take());
   return true;
@@ -680,6 +772,11 @@ void Server::executeQuery(QueryJob &Job) {
     } else {
       PredictSession::Options SO;
       SO.PruneFormula = Job.Spec.Prune;
+      // Streaming with an unbounded window: outcome-equivalent to a
+      // plain session (the window covers the whole trace), but the
+      // extend verb can grow the pooled session in place instead of
+      // throwing the warm encoding away.
+      SO.Streaming = true;
       Sess = std::make_unique<PredictSession>(H, SO);
     }
     PredictSession::QueryOptions Q;

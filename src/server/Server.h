@@ -15,6 +15,11 @@
 ///   1. ResultStore hit (tenant-scoped spec) — zero solver calls.
 ///   2. Warm PredictSession from the SessionPool (history queries on a
 ///      hot (tenant × history) pair) — base prefix already encoded.
+///      Sessions are streaming (unbounded window), so the extend verb
+///      can append a trace delta to the stored history AND grow the
+///      warm session's encoding in place (PredictSession::extend)
+///      instead of discarding it — the pooled entry is re-keyed under
+///      the grown trace's content hash.
 ///   3. Cold compute: a fresh session (history queries) or the full
 ///      Engine::runJob pipeline (spec queries) — identical outcomes to
 ///      a batch campaign_cli run, which CI gates with report_diff.
@@ -126,6 +131,8 @@ private:
                     Tenant &T);
   bool handleObserve(const std::shared_ptr<Conn> &C, const Request &Req,
                      Tenant &T);
+  bool handleExtend(const std::shared_ptr<Conn> &C, const Request &Req,
+                    Tenant &T);
   bool handleQuery(const std::shared_ptr<Conn> &C, Request Req, Tenant &T);
   void submitJob(QueryJob Job);
   void executeQuery(QueryJob &Job);

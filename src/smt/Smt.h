@@ -285,6 +285,12 @@ public:
   /// Current scope depth (0 = root).
   size_t scopeDepth() const { return ScopeLits.size(); }
 
+  /// True when no scope is open. Assertions made now persist across
+  /// later push/pop cycles — the precondition for growing a streaming
+  /// session's base prefix (PredictSession::extend asserts it: an
+  /// extend inside a query scope would vanish at the pop).
+  bool atRootScope() const { return ScopeLits.empty(); }
+
   SmtResult check();
 
   /// Z3's explanation for the last Unknown check ("timeout", "canceled",

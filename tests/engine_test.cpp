@@ -2,6 +2,7 @@
 
 #include "engine/Engine.h"
 
+#include "engine/JobIo.h"
 #include "support/StrUtil.h"
 
 #include <gtest/gtest.h>
@@ -345,4 +346,113 @@ TEST(Campaign, GoldenSpecHashes) {
   Locking.StoreSeed = 99;
   Locking.CheckSerializability = false;
   EXPECT_EQ(hash(Locking), "bfb4b7a047b9d336");
+}
+
+//===----------------------------------------------------------------------===
+// Streaming job kind (JobKind::Stream)
+//===----------------------------------------------------------------------===
+
+// Window/chunk are Stream-only spec fields: on every other kind they
+// must not perturb the canonical spec, so every pre-streaming hash —
+// including the golden ones above — stays valid.
+TEST(Campaign, StreamSpecFieldsAreConditional) {
+  JobSpec P;
+  P.Kind = JobKind::Predict;
+  P.App = "smallbank";
+  P.Cfg = WorkloadConfig::small(1);
+  JobSpec P2 = P;
+  P2.Window = 9;
+  P2.StreamChunk = 4;
+  EXPECT_EQ(canonicalSpec(P), canonicalSpec(P2));
+  EXPECT_EQ(specHash(P), specHash(P2));
+
+  JobSpec S = P;
+  S.Kind = JobKind::Stream;
+  S.Window = 9;
+  S.StreamChunk = 4;
+  EXPECT_EQ(canonicalSpec(S),
+            "kind=stream;app=smallbank;sessions=3;txns=4;seed=1;"
+            "level=causal;strat=Approx-Relaxed;pco=rank;store_seed=1;"
+            "timeout_ms=0;validate=1;check_ser=1;prune=0;window=9;chunk=4");
+  JobSpec S2 = S;
+  S2.Window = 10;
+  EXPECT_NE(specHash(S), specHash(S2));
+  S2 = S;
+  S2.StreamChunk = 5;
+  EXPECT_NE(specHash(S), specHash(S2));
+}
+
+// The incremental extend path and the from-scratch baseline must agree
+// on every step's outcome and on the encoded window size — the
+// equivalence the CI streaming gate checks at campaign scale.
+TEST(Engine, StreamJobMatchesFromScratchBaseline) {
+  JobSpec J;
+  J.Kind = JobKind::Stream;
+  J.App = "smallbank";
+  J.Cfg = WorkloadConfig::small(2);
+  J.TimeoutMs = 60000;
+  J.Window = 2;
+  J.StreamChunk = 3;
+  JobResult Ext = Engine::runJob(J, /*StreamFromScratch=*/false);
+  JobResult Scr = Engine::runJob(J, /*StreamFromScratch=*/true);
+  ASSERT_TRUE(Ext.Ok);
+  ASSERT_TRUE(Scr.Ok);
+  ASSERT_GT(Ext.Steps.size(), 1u);
+  ASSERT_EQ(Ext.Steps.size(), Scr.Steps.size());
+  for (size_t I = 0; I < Ext.Steps.size(); ++I) {
+    EXPECT_EQ(Ext.Steps[I].Outcome, Scr.Steps[I].Outcome) << "step " << I;
+    EXPECT_EQ(Ext.Steps[I].Txns, Scr.Steps[I].Txns) << "step " << I;
+    EXPECT_EQ(Ext.Steps[I].WindowTxns, Scr.Steps[I].WindowTxns)
+        << "step " << I;
+  }
+  EXPECT_EQ(Ext.Outcome, Scr.Outcome);
+  EXPECT_EQ(Ext.Steps.back().Outcome, Ext.Outcome);
+}
+
+// Stream job entries round-trip through the JSON wire format exactly,
+// per-step fields included — the JobIo invariant.
+TEST(Report, StreamResultRoundTrips) {
+  JobSpec J;
+  J.Kind = JobKind::Stream;
+  J.App = "smallbank";
+  J.Cfg = WorkloadConfig::small(2);
+  J.TimeoutMs = 60000;
+  J.Window = 3;
+  J.StreamChunk = 4;
+  JobResult R = Engine::runJob(J);
+  ASSERT_TRUE(R.Ok);
+
+  for (bool Timings : {false, true}) {
+    ReportOptions RO;
+    RO.IncludeTimings = Timings;
+    JsonWriter W;
+    W.openObject();
+    writeJobFields(W, R, RO);
+    W.closeObject();
+    std::string Json = W.take();
+
+    std::string Error;
+    std::optional<JsonValue> Doc = parseJson(Json, &Error);
+    ASSERT_TRUE(Doc) << Error;
+    std::optional<JobResult> Back = jobResultFromJson(*Doc, &Error);
+    ASSERT_TRUE(Back) << Error;
+    EXPECT_EQ(Back->Spec.Kind, JobKind::Stream);
+    EXPECT_EQ(Back->Spec.Window, 3u);
+    EXPECT_EQ(Back->Spec.StreamChunk, 4u);
+    EXPECT_EQ(specHash(Back->Spec), specHash(J));
+    ASSERT_EQ(Back->Steps.size(), R.Steps.size());
+    for (size_t I = 0; I < R.Steps.size(); ++I) {
+      EXPECT_EQ(Back->Steps[I].Outcome, R.Steps[I].Outcome);
+      EXPECT_EQ(Back->Steps[I].Txns, R.Steps[I].Txns);
+      EXPECT_EQ(Back->Steps[I].WindowTxns, R.Steps[I].WindowTxns);
+      if (Timings)
+        EXPECT_EQ(Back->Steps[I].Literals, R.Steps[I].Literals);
+    }
+
+    JsonWriter W2;
+    W2.openObject();
+    writeJobFields(W2, *Back, RO);
+    W2.closeObject();
+    EXPECT_EQ(W2.take(), Json) << "timings=" << Timings;
+  }
 }

@@ -518,6 +518,86 @@ TEST(ServerE2E, PingUploadQueryAndCacheHit) {
   EXPECT_EQ(Second->field("job")->field("app")->Text, "@h1");
 }
 
+TEST(ServerE2E, ExtendGrowsHistoryAndWarmSessions) {
+  ServerOptions O;
+  O.Workers = 1;
+  TestServer TS(std::move(O), TenantRegistry());
+  ASSERT_TRUE(TS.start());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(TS.S.port()));
+
+  // Split an observed trace into a base prefix and a headerless delta
+  // tail at a transaction boundary (the TraceIO split contract).
+  History Full = observedHistory(5);
+  TxnId Cut = static_cast<TxnId>(Full.numTxns() / 2);
+  ASSERT_GE(Cut, 1u);
+  ASSERT_LT(Cut + 1, Full.numTxns());
+  std::string Text = writeTrace(Full);
+  size_t Lines = 1; // history directive
+  for (TxnId T = 1; T <= Cut; ++T)
+    Lines += Full.txn(T).Events.size() + 2; // txn + events + commit
+  size_t Off = 0;
+  for (size_t I = 0; I < Lines; ++I)
+    Off = Text.find('\n', Off) + 1;
+  std::string BaseText = Text.substr(0, Off), DeltaText = Text.substr(Off);
+
+  // Upload the prefix and warm a session on it.
+  std::optional<JsonValue> R = C.request(formatString(
+      "\"verb\": \"upload\", \"name\": \"h\", \"trace\": \"%s\"",
+      jsonEscape(BaseText).c_str()));
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  const char *Query = R"("verb": "query", "history": "h", )"
+                      R"("level": "causal", "strategy": "relaxed", )"
+                      R"("timeout_ms": 30000)";
+  R = C.request(Query);
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_FALSE(R->field("warm_session")->B);
+
+  // Extend: the stored history grows to the full trace and the pooled
+  // warm session is grown in place and re-keyed.
+  R = C.request(formatString(
+      "\"verb\": \"extend\", \"name\": \"h\", \"trace\": \"%s\"",
+      jsonEscape(DeltaText).c_str()));
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_EQ(R->field("txns")->Text,
+            formatString("%u", static_cast<unsigned>(Full.numTxns() - 1)));
+  EXPECT_EQ(R->field("delta_txns")->Text,
+            formatString("%u", static_cast<unsigned>(Full.numTxns() - 1 - Cut)));
+  EXPECT_EQ(R->field("extended_sessions")->Text, "1");
+  std::string GrownHash = R->field("content_hash")->Text;
+
+  // The grown history is content-identical to uploading the unsplit
+  // trace — extend-then-hash equals upload-of-full hash.
+  R = C.request(formatString(
+      "\"verb\": \"upload\", \"name\": \"full\", \"trace\": \"%s\"",
+      jsonEscape(Text).c_str()));
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_EQ(R->field("content_hash")->Text, GrownHash);
+
+  // Re-query: answered by the extended warm session, and the outcome
+  // matches a cold session over the full trace.
+  R = C.request(Query);
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_TRUE(R->field("warm_session")->B);
+  EXPECT_EQ(R->field("answered_by")->Text, "warm_session");
+  std::string WarmOutcome = R->field("job")->field("result")->Text;
+  R = C.request(R"("verb": "query", "history": "full", )"
+                R"("level": "causal", "strategy": "relaxed", )"
+                R"("timeout_ms": 30000)");
+  ASSERT_TRUE(isOk(R)) << errorCode(R);
+  EXPECT_EQ(R->field("job")->field("result")->Text, WarmOutcome);
+
+  // Error surface: unknown names and malformed deltas bounce.
+  R = C.request(R"("verb": "extend", "name": "nope", "trace": "txn 0")");
+  EXPECT_FALSE(isOk(R));
+  EXPECT_EQ(errorCode(R), "unknown_history");
+  R = C.request(
+      R"("verb": "extend", "name": "h", "trace": "history 3\n")");
+  EXPECT_FALSE(isOk(R));
+  EXPECT_EQ(errorCode(R), "bad_request");
+}
+
 TEST(ServerE2E, SpecQueryMatchesBatchEngine) {
   ServerOptions O;
   O.Workers = 1;

@@ -91,6 +91,115 @@ TEST(TraceIO, RoundTripStoreHistories) {
   }
 }
 
+namespace {
+
+/// Splits \p Text into the first \p Lines lines and the remainder.
+std::pair<std::string, std::string> splitAtLine(const std::string &Text,
+                                                size_t Lines) {
+  size_t Off = 0;
+  for (size_t I = 0; I < Lines && Off != std::string::npos; ++I)
+    Off = Text.find('\n', Off) + 1;
+  return {Text.substr(0, Off), Text.substr(Off)};
+}
+
+/// Reading the base part and appending the delta part must reconstruct a
+/// history byte-identical (as a trace) to reading the unsplit text.
+void expectSplitRoundTrip(const History &Full, size_t SplitLine) {
+  std::string Text = writeTrace(Full);
+  auto [BaseText, DeltaText] = splitAtLine(Text, SplitLine);
+  std::string Error;
+  auto Base = readTrace(BaseText, &Error);
+  ASSERT_TRUE(Base.has_value()) << Error << "\nbase:\n" << BaseText;
+  ASSERT_TRUE(appendTrace(*Base, DeltaText, &Error, SplitLine))
+      << Error << "\ndelta:\n" << DeltaText;
+  EXPECT_EQ(writeTrace(*Base), Text);
+}
+
+/// First line number (1-based) after the commit that ends transaction
+/// \p Txn in writeTrace output, i.e. a valid split point.
+size_t lineAfterTxn(const History &H, TxnId Txn) {
+  size_t Lines = 1; // history directive
+  for (TxnId T = 1; T <= Txn; ++T)
+    Lines += H.txn(T).Events.size() + 2; // txn + events + commit
+  return Lines;
+}
+
+} // namespace
+
+TEST(TraceIO, SplitTraceReconstructsByteIdentical) {
+  for (const History &H : {testutil::depositObserved(),
+                           testutil::crossReadObserved(),
+                           testutil::bankDivergenceObserved(),
+                           testutil::selfJustifyTrap()}) {
+    // Split after every transaction boundary, including the degenerate
+    // empty-delta split at the end.
+    for (TxnId T = 1; T < H.numTxns(); ++T)
+      expectSplitRoundTrip(H, lineAfterTxn(H, T));
+  }
+}
+
+TEST(TraceIO, SplitTraceRandomHistories) {
+  Rng R(20260807);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    unsigned Sessions = 1 + static_cast<unsigned>(R.below(4));
+    HistoryBuilder B(Sessions);
+    unsigned NumTxns = 2 + static_cast<unsigned>(R.below(8));
+    for (unsigned T = 1; T <= NumTxns; ++T) {
+      B.beginTxn(static_cast<SessionId>(R.below(Sessions)));
+      unsigned NumEvents = static_cast<unsigned>(R.below(6));
+      for (unsigned E = 0; E < NumEvents; ++E) {
+        std::string Key = "k" + std::to_string(R.below(4));
+        if (R.chance(1, 2))
+          B.read(Key, static_cast<TxnId>(R.below(T)), R.range(-99, 99));
+        else
+          B.write(Key, R.range(-99, 99));
+      }
+      B.commit();
+    }
+    History H = B.finish();
+    TxnId SplitTxn = 1 + static_cast<TxnId>(R.below(H.numTxns() - 1));
+    expectSplitRoundTrip(H, lineAfterTxn(H, SplitTxn));
+  }
+}
+
+TEST(TraceIO, DeltaMayOpenNewSessions) {
+  auto Base = readTrace("history 1\ntxn 0\nwrite k 1\ncommit\n");
+  ASSERT_TRUE(Base.has_value());
+  std::string Error;
+  ASSERT_TRUE(appendTrace(*Base, "txn 3\nread k 1 1\ncommit\n", &Error))
+      << Error;
+  EXPECT_EQ(Base->numSessions(), 4u);
+  EXPECT_EQ(Base->numTxns(), 3u);
+  EXPECT_EQ(Base->txn(2).Session, 3u);
+}
+
+TEST(TraceIO, DeltaErrorsCarryGlobalLineNumbers) {
+  auto Base = readTrace("history 2\ntxn 0\nwrite k 1\ncommit\n");
+  ASSERT_TRUE(Base.has_value());
+  std::string Error;
+
+  // Same EOF diagnostic (missing commit) as the unsplit trace would give:
+  // the delta starts at global line 5, so its second line is line 6.
+  History Copy = *Base;
+  EXPECT_FALSE(appendTrace(Copy, "txn 1\nwrite k 2\n", &Error, 4));
+  EXPECT_NE(Error.find("line 6"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("line 5"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("missing commit"), std::string::npos) << Error;
+
+  // Writer ids may reference base transactions but not future ones.
+  EXPECT_FALSE(appendTrace(Copy, "txn 1\nread k 9 0\ncommit\n", &Error, 4));
+  EXPECT_NE(Error.find("line 6"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("bad writer id"), std::string::npos) << Error;
+
+  // A failed append leaves the history untouched.
+  EXPECT_EQ(writeTrace(Copy), writeTrace(*Base));
+
+  // The header directive is reserved for full traces.
+  EXPECT_FALSE(appendTrace(Copy, "history 2\n", &Error, 4));
+  EXPECT_NE(Error.find("not allowed in a trace delta"), std::string::npos)
+      << Error;
+}
+
 TEST(TraceIO, ErrorsCarryLineNumbers) {
   std::string Error;
 
